@@ -1,0 +1,72 @@
+//! Device-loop throughput: how many kick/complete cycles per second the
+//! CSD state machine sustains (the simulation's inner loop), and the
+//! cost of the end-to-end scenario driver at miniature scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use skipper_core::driver::{EngineKind, Scenario};
+use skipper_csd::{
+    CsdConfig, CsdDevice, IntraGroupOrder, ObjectId, ObjectStore, QueryId, SchedPolicy,
+};
+use skipper_datagen::{tpch, GenConfig};
+use skipper_sim::{SimDuration, SimTime};
+
+fn bench_device_loop(c: &mut Criterion) {
+    c.bench_function("device/serve_200_objects_4_groups", |b| {
+        b.iter(|| {
+            let mut store = ObjectStore::new();
+            for t in 0..4u16 {
+                for s in 0..50u32 {
+                    store.put(ObjectId::new(t, 0, s), 1 << 20, t as u32, ());
+                }
+            }
+            let mut dev = CsdDevice::new(
+                CsdConfig {
+                    switch_latency: SimDuration::from_secs(10),
+                    bandwidth_bytes_per_sec: (1 << 20) as f64,
+                    initial_load_free: true,
+                    parallel_streams: 1,
+                },
+                store,
+                SchedPolicy::RankBased.build(),
+                IntraGroupOrder::SemanticRoundRobin,
+            );
+            let mut now = SimTime::ZERO;
+            for t in 0..4u16 {
+                let objs: Vec<ObjectId> = (0..50).map(|s| ObjectId::new(t, 0, s)).collect();
+                dev.submit(now, t as usize, QueryId::new(t, 0), &objs);
+            }
+            let mut served = 0u32;
+            while let Some(until) = dev.kick(now) {
+                now = until;
+                if dev.complete(now).is_some() {
+                    served += 1;
+                }
+            }
+            black_box(served)
+        })
+    });
+}
+
+fn bench_scenario_end_to_end(c: &mut Criterion) {
+    let ds = tpch::dataset(&GenConfig::new(1, 2).with_phys_divisor(400_000));
+    let q12 = tpch::q12(&ds);
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(20);
+    for kind in [EngineKind::Vanilla, EngineKind::Skipper] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                Scenario::new(ds.clone())
+                    .clients(3)
+                    .engine(kind)
+                    .cache_bytes(4 << 30)
+                    .repeat_query(q12.clone(), 1)
+                    .run()
+                    .makespan
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_device_loop, bench_scenario_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Scheduler decision-cost microbenchmarks: how expensive is one
+//! group-switch decision at realistic queue depths? (Five Skipper clients
+//! submit ~300 upfront GETs; the device re-decides after every service.)
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipper_csd::sched::{PendingRequest, Residency};
+use skipper_csd::{ObjectId, QueryId, SchedPolicy};
+use skipper_sim::SimTime;
+
+/// A queue shaped like five Skipper tenants with 59-object queries
+/// spread over five groups.
+fn queue(requests_per_client: u32) -> Vec<PendingRequest> {
+    let mut pending = Vec::new();
+    let mut seq = 0u64;
+    for tenant in 0..5u16 {
+        for i in 0..requests_per_client {
+            pending.push(PendingRequest {
+                object: ObjectId::new(tenant, (i % 3) as u16, i / 3),
+                query: QueryId::new(tenant, 0),
+                client: tenant as usize,
+                group: tenant as u32,
+                arrival: SimTime::from_secs(i as u64 / 10),
+                seq,
+            });
+            seq += 1;
+        }
+    }
+    pending
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/decide");
+    for policy in [
+        SchedPolicy::FcfsObject,
+        SchedPolicy::FcfsQuery,
+        SchedPolicy::MaxQueries,
+        SchedPolicy::RankBased,
+    ] {
+        let pending = queue(59);
+        let residency: Residency = pending
+            .iter()
+            .filter(|r| r.group == 0)
+            .map(|r| r.seq)
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &policy,
+            |b, &policy| {
+                let mut sched = policy.build();
+                b.iter(|| sched.decide(black_box(&pending), Some(0), black_box(&residency)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_serve_scope(c: &mut Criterion) {
+    let pending = queue(59);
+    let residency: Residency = pending
+        .iter()
+        .filter(|r| r.group == 2)
+        .map(|r| r.seq)
+        .collect();
+    let sched = SchedPolicy::RankBased.build();
+    c.bench_function("scheduler/serve_scope_295_pending", |b| {
+        b.iter(|| sched.serve_scope(black_box(&pending), 2, black_box(&residency)))
+    });
+}
+
+fn bench_on_switch_complete(c: &mut Criterion) {
+    let pending = queue(59);
+    let mut sched = SchedPolicy::RankBased.build();
+    c.bench_function("scheduler/rank_on_switch_complete", |b| {
+        b.iter(|| sched.on_switch_complete(black_box(&pending), 3))
+    });
+}
+
+criterion_group!(benches, bench_decide, bench_serve_scope, bench_on_switch_complete);
+criterion_main!(benches);

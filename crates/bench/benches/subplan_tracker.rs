@@ -1,0 +1,111 @@
+//! Microbenchmarks of the subplan tracker — the data structure on
+//! Skipper's per-arrival hot path. Sized to the paper's largest
+//! experiment: TPC-H SF-100 Q5 with 95×22×7 = 14 630 subplans.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use skipper_core::subplan::SubplanTracker;
+
+/// The SF-100 Q5 geometry.
+const Q5_SF100: [u32; 6] = [95, 22, 7, 1, 1, 1];
+
+fn executed_tracker(frac: f64) -> SubplanTracker {
+    let mut t = SubplanTracker::new(&Q5_SF100);
+    let limit = (14_630.0 * frac) as u64;
+    let mut n = 0;
+    'outer: for a in 0..95 {
+        for b in 0..22 {
+            for c in 0..7 {
+                if n >= limit {
+                    break 'outer;
+                }
+                t.mark_executed(&[a, b, c, 0, 0, 0]);
+                n += 1;
+            }
+        }
+    }
+    t
+}
+
+fn bench_mark_executed(c: &mut Criterion) {
+    c.bench_function("subplan/mark_executed_14630", |b| {
+        b.iter(|| {
+            let mut t = SubplanTracker::new(&Q5_SF100);
+            for a in 0..95 {
+                for bb in 0..22 {
+                    for cc in 0..7 {
+                        t.mark_executed(black_box(&[a, bb, cc, 0, 0, 0]));
+                    }
+                }
+            }
+            t.is_complete()
+        })
+    });
+}
+
+fn bench_pending_count(c: &mut Criterion) {
+    let t = executed_tracker(0.5);
+    c.bench_function("subplan/pending_count", |b| {
+        b.iter(|| black_box(&t).pending_count((0, 42)))
+    });
+}
+
+fn bench_executable_counts(c: &mut Criterion) {
+    // The eviction-decision pass: half the subplans executed, a
+    // 42-object cache (the Figure 11c sweet spot).
+    let t = executed_tracker(0.5);
+    let cached: Vec<Vec<u32>> = vec![
+        (0..30).collect(),
+        (0..7).collect(),
+        (0..2).collect(),
+        vec![0],
+        vec![0],
+        vec![0],
+    ];
+    let candidates: Vec<(usize, u32)> = cached
+        .iter()
+        .enumerate()
+        .flat_map(|(r, segs)| segs.iter().map(move |&s| (r, s)))
+        .collect();
+    c.bench_function("subplan/executable_counts_42obj_cache", |b| {
+        b.iter(|| {
+            black_box(&t).executable_counts(
+                black_box(&cached),
+                Some((0, 31)),
+                black_box(&candidates),
+            )
+        })
+    });
+}
+
+fn bench_runnable_with(c: &mut Criterion) {
+    let t = executed_tracker(0.25);
+    let cached: Vec<Vec<u32>> = vec![
+        (0..30).collect(),
+        (0..7).collect(),
+        (0..2).collect(),
+        vec![0],
+        vec![0],
+        vec![0],
+    ];
+    c.bench_function("subplan/runnable_with", |b| {
+        b.iter(|| black_box(&t).runnable_with(black_box(&cached), (0, 5)))
+    });
+}
+
+fn bench_first_pending(c: &mut Criterion) {
+    // Worst-ish case: a long executed prefix before the first gap.
+    let t = executed_tracker(0.9);
+    c.bench_function("subplan/first_pending_90pct_executed", |b| {
+        b.iter(|| black_box(&t).first_pending())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mark_executed,
+    bench_pending_count,
+    bench_executable_counts,
+    bench_runnable_with,
+    bench_first_pending
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Runs the design-choice ablations (eviction / ordering / pruning).
+use skipper_bench::Ctx;
+fn main() {
+    let mut ctx = Ctx::new();
+    println!("{}", skipper_bench::experiments::ablations::ablations(&mut ctx));
+}

@@ -1,0 +1,37 @@
+//! Regenerates every table and figure of the paper in sequence — the
+//! data source for `EXPERIMENTS.md`.
+use std::time::Instant;
+
+use skipper_bench::experiments::*;
+use skipper_bench::{Ctx, Table};
+
+fn main() {
+    let started = Instant::now();
+    let mut ctx = Ctx::new();
+    let mut section = |name: &str, run: &mut dyn FnMut(&mut Ctx) -> Table| {
+        let t0 = Instant::now();
+        let table = run(&mut ctx);
+        println!("{table}");
+        eprintln!("[{name} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    };
+    section("table1", &mut |_| costs::table1());
+    section("fig2", &mut |_| costs::fig2());
+    section("fig3", &mut |_| costs::fig3());
+    section("fig4", &mut baseline::fig4);
+    section("fig5", &mut baseline::fig5);
+    section("table2", &mut |_| table2::table2());
+    section("fig7", &mut skipper_exp::fig7);
+    section("fig8", &mut mixed::fig8);
+    section("fig9", &mut skipper_exp::fig9);
+    section("table3", &mut skipper_exp::table3);
+    section("fig10", &mut skipper_exp::fig10);
+    section("fig11a", &mut layout_exp::fig11a);
+    section("fig11b", &mut cache_exp::fig11b);
+    section("fig11c", &mut cache_exp::fig11c);
+    section("fig12", &mut sched_exp::fig12);
+    section("ablations", &mut ablations::ablations);
+    section("outlook", &mut outlook::outlook);
+    section("suite", &mut suite::suite);
+    section("power", &mut power_exp::power);
+    eprintln!("[all experiments in {:.1}s]", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 10 (sensitivity to group-switch latency, both engines).
+use skipper_bench::Ctx;
+fn main() {
+    let mut ctx = Ctx::new();
+    println!("{}", skipper_bench::experiments::skipper_exp::fig10(&mut ctx));
+}

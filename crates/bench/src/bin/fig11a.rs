@@ -1,0 +1,6 @@
+//! Regenerates Figure 11a (sensitivity to data layout, 4 clients).
+use skipper_bench::Ctx;
+fn main() {
+    let mut ctx = Ctx::new();
+    println!("{}", skipper_bench::experiments::layout_exp::fig11a(&mut ctx));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 11b (cache sensitivity, TPC-H SF-50 Q5).
+use skipper_bench::Ctx;
+fn main() {
+    let mut ctx = Ctx::new();
+    println!("{}", skipper_bench::experiments::cache_exp::fig11b(&mut ctx));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 11c (cache sensitivity at SF-100: 127 objects, 14630 subplans).
+use skipper_bench::Ctx;
+fn main() {
+    let mut ctx = Ctx::new();
+    println!("{}", skipper_bench::experiments::cache_exp::fig11c(&mut ctx));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 12 (scheduler fairness vs efficiency).
+use skipper_bench::Ctx;
+fn main() {
+    let mut ctx = Ctx::new();
+    println!("{}", skipper_bench::experiments::sched_exp::fig12(&mut ctx));
+}

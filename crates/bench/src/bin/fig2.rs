@@ -1,0 +1,4 @@
+//! Regenerates Figure 2 (cost of a 100 TB database per configuration).
+fn main() {
+    println!("{}", skipper_bench::experiments::costs::fig2());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 3 (CSD-based cold storage tier savings).
+fn main() {
+    println!("{}", skipper_bench::experiments::costs::fig3());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 (vanilla PostgreSQL on CSD vs HDD, 1-5 clients).
+use skipper_bench::Ctx;
+fn main() {
+    let mut ctx = Ctx::new();
+    println!("{}", skipper_bench::experiments::baseline::fig4(&mut ctx));
+}

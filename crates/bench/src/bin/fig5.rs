@@ -1,0 +1,6 @@
+//! Regenerates Figure 5 (vanilla sensitivity to group-switch latency).
+use skipper_bench::Ctx;
+fn main() {
+    let mut ctx = Ctx::new();
+    println!("{}", skipper_bench::experiments::baseline::fig5(&mut ctx));
+}

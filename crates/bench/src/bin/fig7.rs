@@ -1,0 +1,6 @@
+//! Regenerates Figure 7 (Skipper vs PostgreSQL vs ideal, 1-5 clients).
+use skipper_bench::Ctx;
+fn main() {
+    let mut ctx = Ctx::new();
+    println!("{}", skipper_bench::experiments::skipper_exp::fig7(&mut ctx));
+}

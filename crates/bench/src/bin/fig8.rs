@@ -1,0 +1,6 @@
+//! Regenerates Figure 8 (mixed workload cumulative execution time).
+use skipper_bench::Ctx;
+fn main() {
+    let mut ctx = Ctx::new();
+    println!("{}", skipper_bench::experiments::mixed::fig8(&mut ctx));
+}

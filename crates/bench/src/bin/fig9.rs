@@ -1,0 +1,6 @@
+//! Regenerates Figure 9 (execution-time breakdown, 5 clients).
+use skipper_bench::Ctx;
+fn main() {
+    let mut ctx = Ctx::new();
+    println!("{}", skipper_bench::experiments::skipper_exp::fig9(&mut ctx));
+}

@@ -1,0 +1,7 @@
+//! Quantifies the paper's §7 outlook: Skipper with parallel intra-group
+//! request servicing approaches conventional disk-based storage.
+use skipper_bench::Ctx;
+fn main() {
+    let mut ctx = Ctx::new();
+    println!("{}", skipper_bench::experiments::outlook::outlook(&mut ctx));
+}

@@ -1,0 +1,6 @@
+//! Runs the MAID energy comparison for the Figure 7 scenario.
+use skipper_bench::Ctx;
+fn main() {
+    let mut ctx = Ctx::new();
+    println!("{}", skipper_bench::experiments::power_exp::power(&mut ctx));
+}

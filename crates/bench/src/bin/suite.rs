@@ -1,0 +1,6 @@
+//! Runs the extended TPC-H suite (Q1/Q3/Q5/Q6/Q10/Q12/Q14) at SF-50.
+use skipper_bench::Ctx;
+fn main() {
+    let mut ctx = Ctx::new();
+    println!("{}", skipper_bench::experiments::suite::suite(&mut ctx));
+}

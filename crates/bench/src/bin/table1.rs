@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (device pricing and tier fractions).
+fn main() {
+    println!("{}", skipper_bench::experiments::costs::table1());
+}

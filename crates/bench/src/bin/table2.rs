@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (layout → subplans example + switch counts).
+fn main() {
+    println!("{}", skipper_bench::experiments::table2::table2());
+}

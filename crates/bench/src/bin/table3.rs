@@ -1,0 +1,6 @@
+//! Regenerates Table 3 (component breakdown: query exec / FUSE / network).
+use skipper_bench::Ctx;
+fn main() {
+    let mut ctx = Ctx::new();
+    println!("{}", skipper_bench::experiments::skipper_exp::table3(&mut ctx));
+}

@@ -1,0 +1,79 @@
+//! Shared experiment context: memoized dataset generation.
+//!
+//! The `all` binary runs every experiment in one process; datasets are
+//! deterministic in `(benchmark, sf, phys_divisor, seed)`, so they are
+//! generated once and shared (`Arc`) across experiments.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use skipper_datagen::{mrbench, nref, ssb, tpch, Dataset, GenConfig};
+
+/// The root seed used by all paper experiments.
+pub const PAPER_SEED: u64 = 2016;
+
+/// Memoizing dataset factory.
+#[derive(Default)]
+pub struct Ctx {
+    cache: HashMap<(String, u32, u64), Arc<Dataset>>,
+}
+
+impl Ctx {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get(
+        &mut self,
+        kind: &str,
+        sf: u32,
+        divisor: u64,
+        gen: impl FnOnce(&GenConfig) -> Dataset,
+    ) -> Arc<Dataset> {
+        let key = (kind.to_string(), sf, divisor);
+        if let Some(d) = self.cache.get(&key) {
+            return Arc::clone(d);
+        }
+        let cfg = GenConfig::new(PAPER_SEED, sf).with_phys_divisor(divisor);
+        let ds = Arc::new(gen(&cfg));
+        self.cache.insert(key, Arc::clone(&ds));
+        ds
+    }
+
+    /// TPC-H at the given scale factor and miniaturization.
+    pub fn tpch(&mut self, sf: u32, divisor: u64) -> Arc<Dataset> {
+        self.get("tpch", sf, divisor, tpch::dataset)
+    }
+
+    /// SSB at the given scale factor.
+    pub fn ssb(&mut self, sf: u32, divisor: u64) -> Arc<Dataset> {
+        self.get("ssb", sf, divisor, ssb::dataset)
+    }
+
+    /// MR-bench (Pavlo) at the given scale factor (50 = the paper's
+    /// 20 GB database).
+    pub fn mrbench(&mut self, sf: u32, divisor: u64) -> Arc<Dataset> {
+        self.get("mrbench", sf, divisor, mrbench::dataset)
+    }
+
+    /// NREF at the given scale factor (50 = the paper's 13 GB database).
+    pub fn nref(&mut self, sf: u32, divisor: u64) -> Arc<Dataset> {
+        self.get("nref", sf, divisor, nref::dataset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoizes_datasets() {
+        let mut ctx = Ctx::new();
+        let a = ctx.tpch(1, 100_000);
+        let b = ctx.tpch(1, 100_000);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = ctx.tpch(2, 100_000);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

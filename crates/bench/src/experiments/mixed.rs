@@ -1,0 +1,139 @@
+//! Figure 8: cumulative execution time under a mixed workload.
+//!
+//! Four tenants share the CSD, each running a different benchmark five
+//! times: TPC-H Q12, the MR-bench JoinTask, the NREF protein-count query,
+//! and SSB Q1.1 — the paper's demonstration that Skipper's benefit is not
+//! TPC-H-specific.
+
+use std::sync::Arc;
+
+use skipper_core::driver::{EngineKind, Scenario};
+use skipper_datagen::{mrbench, nref, ssb, tpch, Dataset};
+use skipper_relational::query::QuerySpec;
+
+use crate::ctx::Ctx;
+use crate::experiments::params::{DIVISOR_MAIN, GIB, SF_MAIN};
+use crate::report::{secs, Table};
+
+/// Cumulative seconds per benchmark for one engine.
+#[derive(Clone, Debug)]
+pub struct Fig8Row {
+    /// Benchmark label (paper x-axis).
+    pub benchmark: &'static str,
+    /// Vanilla cumulative execution time (5 runs).
+    pub vanilla_secs: f64,
+    /// Skipper cumulative execution time (5 runs).
+    pub skipper_secs: f64,
+}
+
+/// The four tenants: `(label, dataset, query)`.
+pub fn tenants(ctx: &mut Ctx) -> Vec<(&'static str, Arc<Dataset>, QuerySpec)> {
+    let tpch_ds = ctx.tpch(SF_MAIN, DIVISOR_MAIN);
+    let mr_ds = ctx.mrbench(SF_MAIN, DIVISOR_MAIN);
+    let nref_ds = ctx.nref(SF_MAIN, DIVISOR_MAIN);
+    let ssb_ds = ctx.ssb(SF_MAIN, DIVISOR_MAIN);
+    let q12 = tpch::q12(&tpch_ds);
+    let mr = mrbench::join_task(&mr_ds);
+    let pc = nref::protein_count(&nref_ds);
+    let q1 = ssb::q1(&ssb_ds);
+    vec![
+        ("TPC-H", tpch_ds, q12),
+        ("MR-Bench", mr_ds, mr),
+        ("NREF", nref_ds, pc),
+        ("SSB", ssb_ds, q1),
+    ]
+}
+
+/// Runs Figure 8 with `reps` repetitions per tenant (paper: 5).
+pub fn fig8_rows(ctx: &mut Ctx, reps: usize) -> Vec<Fig8Row> {
+    let tenants = tenants(ctx);
+    let run = |engine: EngineKind| {
+        let clients: Vec<(Arc<Dataset>, Vec<QuerySpec>)> = tenants
+            .iter()
+            .map(|(_, ds, q)| {
+                (
+                    Arc::clone(ds),
+                    std::iter::repeat_with(|| q.clone()).take(reps).collect(),
+                )
+            })
+            .collect();
+        // Base dataset is unused once custom clients are set; reuse the
+        // first tenant's.
+        Scenario::new((*tenants[0].1).clone())
+            .custom_clients(clients)
+            .engine(engine)
+            .cache_bytes(30 * GIB)
+            .run()
+    };
+    let vanilla = run(EngineKind::Vanilla);
+    let skipper = run(EngineKind::Skipper);
+    tenants
+        .iter()
+        .enumerate()
+        .map(|(c, (label, _, _))| {
+            let sum = |res: &skipper_core::driver::RunResult| {
+                res.clients[c]
+                    .iter()
+                    .map(|r| r.duration().as_secs_f64())
+                    .sum::<f64>()
+            };
+            Fig8Row {
+                benchmark: label,
+                vanilla_secs: sum(&vanilla),
+                skipper_secs: sum(&skipper),
+            }
+        })
+        .collect()
+}
+
+/// Figure 8 as a printable table.
+pub fn fig8(ctx: &mut Ctx) -> Table {
+    let mut t = Table::new(
+        "Figure 8: cumulative execution time of the mixed workload (5 runs each, s)",
+        &["benchmark", "PostgreSQL", "Skipper", "speedup"],
+    );
+    for r in fig8_rows(ctx, 5) {
+        t.push_row(vec![
+            r.benchmark.into(),
+            secs(r.vanilla_secs),
+            secs(r.skipper_secs),
+            format!("{:.2}x", r.vanilla_secs / r.skipper_secs),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_workload_runs_and_skipper_wins_overall() {
+        // Miniature: SF-2 datasets, 1 repetition.
+        let mut ctx = Ctx::new();
+        let tpch_ds = ctx.tpch(2, 200_000);
+        let mr_ds = ctx.mrbench(2, 200_000);
+        let clients = vec![
+            (Arc::clone(&tpch_ds), vec![tpch::q12(&tpch_ds)]),
+            (Arc::clone(&mr_ds), vec![mrbench::join_task(&mr_ds)]),
+        ];
+        let run = |engine| {
+            Scenario::new((*tpch_ds).clone())
+                .custom_clients(clients.clone())
+                .engine(engine)
+                .cache_bytes(20 * GIB)
+                .run()
+        };
+        let v = run(EngineKind::Vanilla);
+        let s = run(EngineKind::Skipper);
+        assert_eq!(v.clients.len(), 2);
+        assert!(s.cumulative_secs() < v.cumulative_secs());
+        // Both engines agree on every tenant's result (the miniature
+        // MR-bench window may legitimately select zero rows).
+        for (a, b) in s.records().zip(v.records()) {
+            assert_eq!(a.result.len(), b.result.len(), "{}", a.query);
+        }
+        // The TPC-H tenant's result is non-trivial.
+        assert!(!s.clients[0][0].result.is_empty());
+    }
+}

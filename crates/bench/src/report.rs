@@ -1,0 +1,133 @@
+//! Plain-text result tables.
+//!
+//! Experiments return a [`Table`]; the binaries print it. The format is
+//! fixed-width aligned text with a tab-separated fallback via
+//! [`Table::to_tsv`], so results can be diffed and post-processed without
+//! extra dependencies.
+
+use std::fmt;
+
+/// A titled result table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    /// Title, e.g. `"Figure 7: average execution time (s)"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of rendered cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity mismatch in table {:?}",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Tab-separated rendering (headers + rows).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(f, &rule)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders seconds with no decimals (the paper reports ×1000 s scales).
+pub fn secs(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+/// Renders a ratio/factor with two decimals.
+pub fn factor(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Renders a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["clients", "secs"]);
+        t.push_row(vec!["1".into(), "100".into()]);
+        t.push_row(vec!["5".into(), "12345".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("clients"));
+        assert!(s.contains("12345"));
+    }
+
+    #[test]
+    fn tsv_roundtrip_shape() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_tsv(), "a\tb\n1\t2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(1234.56), "1235");
+        assert_eq!(factor(1.699), "1.70");
+        assert_eq!(pct(0.4153), "41.5%");
+    }
+}

@@ -1,0 +1,94 @@
+//! The client-engine abstraction shared by Skipper and the baseline.
+//!
+//! A [`QueryEngine`] is one query execution inside one tenant's database
+//! VM. The simulation driver feeds it object deliveries and it responds
+//! with a [`Reaction`]: how long the delivery took to process (charged to
+//! virtual time) and which GETs to issue next — one at a time for the
+//! pull-based baseline, everything upfront plus reissue cycles for
+//! Skipper.
+
+use std::sync::Arc;
+
+use skipper_csd::ObjectId;
+use skipper_relational::segment::Segment;
+use skipper_relational::tuple::Row;
+use skipper_relational::value::Value;
+use skipper_sim::SimDuration;
+
+/// The engine's response to one object delivery.
+#[derive(Debug, Default)]
+pub struct Reaction {
+    /// Virtual CPU time consumed processing the delivery. The client is
+    /// busy for this long; follow-up requests go out when it ends.
+    pub processing: SimDuration,
+    /// GET requests to submit after processing completes.
+    pub requests: Vec<ObjectId>,
+    /// True when the query finished with this delivery.
+    pub finished: bool,
+}
+
+/// Work/behaviour counters exposed by every engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total GET requests issued (initial + reissues) — the y-axis of
+    /// Figures 11b/11c.
+    pub gets_issued: u64,
+    /// GETs beyond the first issue of each object (cache-thrash refetches).
+    pub reissues: u64,
+    /// Objects received.
+    pub objects_received: u64,
+    /// Physical tuples scanned.
+    pub scanned_tuples: u64,
+    /// Physical hash-table entries built.
+    pub built_tuples: u64,
+    /// Physical probe operations.
+    pub probe_ops: u64,
+    /// Physical joined rows emitted.
+    pub emitted_rows: u64,
+    /// Subplans executed (MJoin only).
+    pub subplans_executed: u64,
+    /// Objects pruned via the §5.2.4 optimization (MJoin only).
+    pub pruned_objects: u64,
+    /// Reissue cycles completed (MJoin only).
+    pub cycles: u64,
+}
+
+/// One query execution against the CSD.
+pub trait QueryEngine {
+    /// Engine name for reports ("skipper" / "vanilla").
+    fn name(&self) -> &'static str;
+
+    /// The initial GET batch. Called exactly once, at query start.
+    fn start(&mut self) -> Vec<ObjectId>;
+
+    /// Handles one delivered object.
+    fn on_object(&mut self, object: ObjectId, payload: &Arc<Segment>) -> Reaction;
+
+    /// Whether the query has completed.
+    fn is_finished(&self) -> bool;
+
+    /// The final `(group key, aggregates)` rows, sorted by key.
+    /// Meaningful only after [`QueryEngine::is_finished`].
+    fn result(&self) -> Vec<(Row, Vec<Value>)>;
+
+    /// Work counters.
+    fn stats(&self) -> EngineStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reaction_default_is_inert() {
+        let r = Reaction::default();
+        assert!(r.processing.is_zero());
+        assert!(r.requests.is_empty());
+        assert!(!r.finished);
+    }
+
+    #[test]
+    fn stats_default_zeroed() {
+        assert_eq!(EngineStats::default().gets_issued, 0);
+    }
+}

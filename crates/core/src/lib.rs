@@ -1,0 +1,65 @@
+//! # skipper-core — the Skipper query-execution framework
+//!
+//! This crate implements the paper's primary contribution: a CSD-driven
+//! query execution framework that masks the multi-second group-switch
+//! latency of cold storage devices. Its pieces map one-to-one onto §4 of
+//! the paper:
+//!
+//! * [`subplan`] — the subplan bookkeeping behind the cache-aware MJoin:
+//!   the cross product of per-relation segment choices (Table 2), with
+//!   pending/executed tracking, per-object counts, and the §5.2.4
+//!   subplan-pruning optimization.
+//! * [`cache`] — the MJoin buffer cache with the two eviction policies of
+//!   §4.2: *maximal pending subplans* and the paper's final
+//!   *maximal progress* policy.
+//! * [`state_manager`] — Algorithm 1: issue-everything-upfront,
+//!   out-of-order arrival handling, admission/eviction, runnable-subplan
+//!   execution, and reissue cycles.
+//! * [`vanilla`] — the pull-based baseline: plan-ordered, one GET at a
+//!   time, blocking binary hash joins (vanilla PostgreSQL's behaviour).
+//! * [`proxy`] — the client proxy that tags GETs with query identifiers,
+//!   making the CSD scheduler query-aware (§4.3).
+//! * [`config`] — the calibrated cost model mapping real tuple work to
+//!   virtual time (Table 3 anchors).
+//! * [`analysis`] — the §5.2.4 closed-form reissue model and a cache
+//!   advisor derived from it.
+//! * [`driver`] — the multi-tenant discrete-event driver wiring N client
+//!   engines to one shared CSD, producing the per-query timings, stall
+//!   breakdowns, and GET counts behind every figure in §5.
+//!
+//! The typical entry point is [`driver::Scenario`]:
+//!
+//! ```no_run
+//! use skipper_core::driver::{Scenario, EngineKind};
+//! use skipper_datagen::{tpch, GenConfig};
+//!
+//! let data = tpch::dataset(&GenConfig::new(42, 50));
+//! let q12 = tpch::q12(&data);
+//! let result = Scenario::new(data)
+//!     .clients(5)
+//!     .engine(EngineKind::Skipper)
+//!     .repeat_query(q12, 1)
+//!     .run();
+//! println!("mean exec time: {:.0}s", result.mean_query_secs());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cache;
+pub mod config;
+pub mod driver;
+pub mod engine;
+pub mod proxy;
+pub mod state_manager;
+pub mod subplan;
+pub mod vanilla;
+
+pub use analysis::{CacheAdvisor, ReissueModel};
+pub use cache::{BufferCache, EvictionPolicy};
+pub use config::CostModel;
+pub use driver::{EngineKind, QueryRecord, RunResult, Scenario};
+pub use state_manager::SkipperEngine;
+pub use subplan::SubplanTracker;
+pub use vanilla::VanillaEngine;

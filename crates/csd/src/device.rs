@@ -1,0 +1,625 @@
+//! The CSD device state machine.
+//!
+//! Models the paper's emulated cold storage device: a request queue in
+//! front of a MAID array with one active disk group. The device is
+//! event-driven and passive — the simulation driver calls [`CsdDevice::kick`]
+//! whenever the device might have work (new requests, or an operation just
+//! completed) and schedules a wake-up at the returned completion time.
+//!
+//! The lifecycle of one operation:
+//!
+//! ```text
+//! kick(now) ──► scheduler.decide()
+//!    │               │
+//!    │          ServeActive ──► pick request via IntraGroupOrder,
+//!    │               │          start Transfer, complete at now + bytes/BW
+//!    │          SwitchTo(g) ──► start Switch, complete at now + S
+//!    │               │          (first load of an idle array is free)
+//!    │          Idle ───────► nothing pending
+//!    ▼
+//! complete(now) ──► Switch: activate group, notify scheduler
+//!                   Transfer: pop payload, return Delivery to the driver
+//! ```
+//!
+//! Serving never preempts: once a transfer starts it finishes; group
+//! residency policy is entirely the scheduler's business via
+//! [`GroupScheduler::serve_scope`].
+
+use skipper_sim::{Activity, ActivityTrace, SimDuration, SimTime};
+
+use crate::metrics::DeviceMetrics;
+use crate::object::{GroupId, ObjectId, QueryId};
+use crate::sched::{Decision, GroupScheduler, PendingRequest, Residency};
+use crate::store::{transfer_time, ObjectStore};
+
+/// Device parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CsdConfig {
+    /// Group switch latency `S` (Pelican: 8 s; the paper's experiments
+    /// use 10 s by default and sweep 0-40 s).
+    pub switch_latency: SimDuration,
+    /// Object streaming bandwidth in bytes/s. Non-positive or non-finite
+    /// means transfers are free (used by the "local disk" configuration of
+    /// the Table 3 component breakdown).
+    pub bandwidth_bytes_per_sec: f64,
+    /// Whether the very first group load costs nothing (the array always
+    /// has *some* group spinning; matching the paper where a lone client
+    /// with a one-group layout sees zero switches).
+    pub initial_load_free: bool,
+    /// Concurrent transfer streams while a group is loaded. The paper's
+    /// prototype middleware serialized request servicing (streams = 1)
+    /// and its §5.2.1 notes that "by parallelizing the servicing of
+    /// requests within a group, we can reduce transfer time
+    /// substantially" — the spun-up disk group itself sustains
+    /// 1-2 GB/s. Values > 1 model that improvement as a bandwidth
+    /// multiplier on intra-group service.
+    pub parallel_streams: u32,
+}
+
+impl Default for CsdConfig {
+    fn default() -> Self {
+        CsdConfig {
+            switch_latency: SimDuration::from_secs(10),
+            // ~110 MB/s: the effective per-object streaming rate implied by
+            // the paper's Table 3 (57 GB transferred in ~550 s through the
+            // serializing Swift middleware).
+            bandwidth_bytes_per_sec: 110.0 * 1024.0 * 1024.0,
+            initial_load_free: true,
+            parallel_streams: 1,
+        }
+    }
+}
+
+/// How the device orders requests *within* the loaded group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntraGroupOrder {
+    /// Semantically-smart ordering (§4.4): round-robin across a query's
+    /// tables (A.1, B.1, C.1, A.2, B.2, C.2, ...) so MJoin can complete
+    /// subplans early and evict aggressively.
+    SemanticRoundRobin,
+    /// Naive per-table ordering (all of A, then all of B, ...): the
+    /// pathological case for cache-constrained MJoin, used in ablations.
+    TableOrder,
+    /// Strict arrival order.
+    ArrivalOrder,
+}
+
+impl IntraGroupOrder {
+    /// Picks which of the in-scope pending requests to serve next.
+    ///
+    /// # Panics
+    /// Panics if `scope` is empty — the device only asks when the
+    /// scheduler granted a non-empty scope.
+    pub fn select(self, pending: &[PendingRequest], scope: &[usize]) -> usize {
+        assert!(!scope.is_empty(), "intra-group selection over empty scope");
+        *scope
+            .iter()
+            .min_by_key(|&&i| {
+                let r = &pending[i];
+                match self {
+                    // Segment-major: (seg, table) walks A.1,B.1,C.1,A.2,...
+                    IntraGroupOrder::SemanticRoundRobin => {
+                        (r.object.segment, r.object.table as u32, r.object.tenant as u32, r.seq)
+                    }
+                    // Table-major: (table, seg) drains A entirely first.
+                    IntraGroupOrder::TableOrder => {
+                        (r.object.table as u32, r.object.segment, r.object.tenant as u32, r.seq)
+                    }
+                    IntraGroupOrder::ArrivalOrder => (0, 0, 0, r.seq),
+                }
+            })
+            .expect("non-empty scope")
+    }
+}
+
+/// A completed object transfer handed back to the driver.
+#[derive(Clone, Debug)]
+pub struct Delivery<P> {
+    /// Receiving client.
+    pub client: usize,
+    /// The query the GET belonged to.
+    pub query: QueryId,
+    /// The delivered object.
+    pub object: ObjectId,
+    /// The object payload (cloned out of the store; `Arc` in practice).
+    pub payload: P,
+}
+
+/// The in-flight operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Switch { target: GroupId, until: SimTime },
+    Transfer { request: PendingRequest, until: SimTime },
+}
+
+/// The cold storage device: request queue + MAID state machine.
+pub struct CsdDevice<P> {
+    config: CsdConfig,
+    store: ObjectStore<P>,
+    scheduler: Box<dyn GroupScheduler>,
+    intra: IntraGroupOrder,
+    pending: Vec<PendingRequest>,
+    active_group: Option<GroupId>,
+    /// Snapshot of request seqs present when the active group was loaded
+    /// (or re-picked): the §4.4 non-preemption scope. Requests arriving
+    /// mid-residency wait for the next scheduling decision.
+    residency: Residency,
+    op: Option<Op>,
+    next_seq: u64,
+    trace: ActivityTrace,
+    metrics: DeviceMetrics,
+}
+
+impl<P: Clone> CsdDevice<P> {
+    /// Creates a device over `store` with the given scheduler and
+    /// intra-group ordering.
+    pub fn new(
+        config: CsdConfig,
+        store: ObjectStore<P>,
+        scheduler: Box<dyn GroupScheduler>,
+        intra: IntraGroupOrder,
+    ) -> Self {
+        CsdDevice {
+            config,
+            store,
+            scheduler,
+            intra,
+            pending: Vec::new(),
+            active_group: None,
+            residency: Residency::new(),
+            op: None,
+            next_seq: 0,
+            trace: ActivityTrace::new(),
+            metrics: DeviceMetrics::default(),
+        }
+    }
+
+    /// Enqueues GET requests from `client` tagged with `query`. Call
+    /// [`CsdDevice::kick`] afterwards to (re)start the device.
+    ///
+    /// # Panics
+    /// Panics if an object is not stored — requesting unknown objects is
+    /// a harness bug.
+    pub fn submit(&mut self, now: SimTime, client: usize, query: QueryId, objects: &[ObjectId]) {
+        for &object in objects {
+            let meta = self
+                .store
+                .meta(object)
+                .unwrap_or_else(|| panic!("GET for unknown object {object}"));
+            self.pending.push(PendingRequest {
+                object,
+                query,
+                client,
+                group: meta.group,
+                arrival: now,
+                seq: self.next_seq,
+            });
+            self.next_seq += 1;
+            self.metrics.requests_submitted += 1;
+        }
+    }
+
+    /// If the device is idle, consults the scheduler and starts the next
+    /// operation. Returns the completion time of the operation now in
+    /// flight (whether just started or pre-existing), or `None` if the
+    /// device is idle with nothing to do.
+    pub fn kick(&mut self, now: SimTime) -> Option<SimTime> {
+        if let Some(op) = &self.op {
+            return Some(match op {
+                Op::Switch { until, .. } | Op::Transfer { until, .. } => *until,
+            });
+        }
+        loop {
+            match self
+                .scheduler
+                .decide(&self.pending, self.active_group, &self.residency)
+            {
+                Decision::Idle => return None,
+                Decision::ServeActive => {
+                    let active = self
+                        .active_group
+                        .expect("ServeActive requires a loaded group");
+                    let mut scope =
+                        self.scheduler
+                            .serve_scope(&self.pending, active, &self.residency);
+                    if scope.is_empty() {
+                        // The residency drained but the scheduler re-picked
+                        // this group: start a fresh residency over the
+                        // current queue without paying a switch.
+                        self.arm_residency(active);
+                        scope = self
+                            .scheduler
+                            .serve_scope(&self.pending, active, &self.residency);
+                    }
+                    assert!(
+                        !scope.is_empty(),
+                        "scheduler {} returned ServeActive with empty scope",
+                        self.scheduler.name()
+                    );
+                    let idx = self.intra.select(&self.pending, &scope);
+                    let request = self.pending.swap_remove(idx);
+                    debug_assert_eq!(request.group, active, "serving off-group request");
+                    let bytes = self
+                        .store
+                        .meta(request.object)
+                        .expect("submitted object exists")
+                        .logical_bytes;
+                    let streams = self.config.parallel_streams.max(1) as f64;
+                    let until = now
+                        + transfer_time(bytes, self.config.bandwidth_bytes_per_sec * streams);
+                    self.trace.record(
+                        now,
+                        until,
+                        Activity::Transferring {
+                            client: request.client,
+                        },
+                    );
+                    self.op = Some(Op::Transfer { request, until });
+                    return Some(until);
+                }
+                Decision::SwitchTo(target) => {
+                    assert_ne!(
+                        Some(target),
+                        self.active_group,
+                        "scheduler {} switched to the already-active group",
+                        self.scheduler.name()
+                    );
+                    if self.active_group.is_none() && self.config.initial_load_free {
+                        // The array always has some group spinning; treat
+                        // the first load as free and re-decide.
+                        self.active_group = Some(target);
+                        self.metrics.initial_loads += 1;
+                        self.scheduler.on_switch_complete(&self.pending, target);
+                        self.arm_residency(target);
+                        continue;
+                    }
+                    let until = now + self.config.switch_latency;
+                    self.trace.record(now, until, Activity::Switching);
+                    self.metrics.group_switches += 1;
+                    self.op = Some(Op::Switch { target, until });
+                    return Some(until);
+                }
+            }
+        }
+    }
+
+    /// Completes the operation due at `now`. Returns a [`Delivery`] when a
+    /// transfer finished; the caller should then deliver it and call
+    /// [`CsdDevice::kick`] again.
+    ///
+    /// # Panics
+    /// Panics if no operation is in flight or the completion time does not
+    /// match — the event loop must be in lock-step with the device.
+    pub fn complete(&mut self, now: SimTime) -> Option<Delivery<P>> {
+        let op = self.op.take().expect("complete() with no operation in flight");
+        match op {
+            Op::Switch { target, until } => {
+                assert_eq!(until, now, "switch completion out of step");
+                self.active_group = Some(target);
+                self.scheduler.on_switch_complete(&self.pending, target);
+                self.arm_residency(target);
+                None
+            }
+            Op::Transfer { request, until } => {
+                assert_eq!(until, now, "transfer completion out of step");
+                let meta = *self.store.meta(request.object).expect("object exists");
+                self.metrics.objects_served += 1;
+                self.metrics.logical_bytes_served += meta.logical_bytes;
+                *self
+                    .metrics
+                    .served_per_client
+                    .entry(request.client)
+                    .or_default() += 1;
+                let payload = self
+                    .store
+                    .get(request.object)
+                    .expect("object exists")
+                    .clone();
+                Some(Delivery {
+                    client: request.client,
+                    query: request.query,
+                    object: request.object,
+                    payload,
+                })
+            }
+        }
+    }
+
+    /// Captures the residency snapshot: every currently pending request
+    /// on `group`.
+    fn arm_residency(&mut self, group: GroupId) {
+        self.residency = self
+            .pending
+            .iter()
+            .filter(|r| r.group == group)
+            .map(|r| r.seq)
+            .collect();
+    }
+
+    /// True when no operation is in flight and the queue is empty.
+    pub fn is_quiescent(&self) -> bool {
+        self.op.is_none() && self.pending.is_empty()
+    }
+
+    /// Number of queued (not yet served) requests.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The currently loaded group.
+    pub fn active_group(&self) -> Option<GroupId> {
+        self.active_group
+    }
+
+    /// Run counters.
+    pub fn metrics(&self) -> &DeviceMetrics {
+        &self.metrics
+    }
+
+    /// The activity trace (switch/transfer spans) for stall attribution.
+    pub fn trace(&self) -> &ActivityTrace {
+        &self.trace
+    }
+
+    /// The scheduler's report name.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// Read access to the backing store.
+    pub fn store(&self) -> &ObjectStore<P> {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::SchedPolicy;
+
+    const MB: u64 = 1 << 20;
+
+    /// 2 tenants × 2 objects, one group per tenant, 100 MB objects,
+    /// 100 MB/s bandwidth (1 s per object), 10 s switches.
+    fn device(policy: SchedPolicy) -> CsdDevice<&'static str> {
+        let mut store = ObjectStore::new();
+        for t in 0..2u16 {
+            for s in 0..2u32 {
+                store.put(ObjectId::new(t, 0, s), 100 * MB, t as u32, "seg");
+            }
+        }
+        CsdDevice::new(
+            CsdConfig {
+                switch_latency: SimDuration::from_secs(10),
+                bandwidth_bytes_per_sec: (100 * MB) as f64,
+                initial_load_free: true,
+                parallel_streams: 1,
+            },
+            store,
+            policy.build(),
+            IntraGroupOrder::SemanticRoundRobin,
+        )
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn single_client_sees_no_switches() {
+        let mut dev = device(SchedPolicy::RankBased);
+        let q = QueryId::new(0, 0);
+        dev.submit(t(0), 0, q, &[ObjectId::new(0, 0, 0), ObjectId::new(0, 0, 1)]);
+        // Initial load is free → first op is a 1 s transfer.
+        let done = dev.kick(t(0)).unwrap();
+        assert_eq!(done, t(1));
+        let d = dev.complete(t(1)).unwrap();
+        assert_eq!(d.client, 0);
+        assert_eq!(d.object.segment, 0); // semantic order: lowest segment first
+        let done = dev.kick(t(1)).unwrap();
+        assert_eq!(done, t(2));
+        let d = dev.complete(t(2)).unwrap();
+        assert_eq!(d.object.segment, 1);
+        assert!(dev.kick(t(2)).is_none());
+        assert!(dev.is_quiescent());
+        assert_eq!(dev.metrics().group_switches, 0);
+        assert_eq!(dev.metrics().initial_loads, 1);
+        assert_eq!(dev.metrics().objects_served, 2);
+    }
+
+    #[test]
+    fn two_clients_force_one_switch_with_batching() {
+        let mut dev = device(SchedPolicy::RankBased);
+        dev.submit(t(0), 0, QueryId::new(0, 0), &[ObjectId::new(0, 0, 0), ObjectId::new(0, 0, 1)]);
+        dev.submit(t(0), 1, QueryId::new(1, 0), &[ObjectId::new(1, 0, 0), ObjectId::new(1, 0, 1)]);
+        let mut now = t(0);
+        let mut deliveries = Vec::new();
+        while let Some(until) = dev.kick(now) {
+            now = until;
+            if let Some(d) = dev.complete(now) {
+                deliveries.push(d);
+            }
+        }
+        assert_eq!(deliveries.len(), 4);
+        // Batched: both of client 0's objects, then a single switch, then
+        // both of client 1's.
+        assert_eq!(dev.metrics().group_switches, 1);
+        assert_eq!(deliveries[0].client, deliveries[1].client);
+        assert_eq!(deliveries[2].client, deliveries[3].client);
+        assert_ne!(deliveries[0].client, deliveries[2].client);
+        // Total: 2×1 s + 10 s switch + 2×1 s = 14 s.
+        assert_eq!(now, t(14));
+    }
+
+    #[test]
+    fn object_fcfs_ping_pongs_between_groups() {
+        let mut dev = device(SchedPolicy::FcfsObject);
+        // Interleaved arrival: c0/s0, c1/s0, c0/s1, c1/s1.
+        dev.submit(t(0), 0, QueryId::new(0, 0), &[ObjectId::new(0, 0, 0)]);
+        dev.submit(t(0), 1, QueryId::new(1, 0), &[ObjectId::new(1, 0, 0)]);
+        dev.submit(t(0), 0, QueryId::new(0, 0), &[ObjectId::new(0, 0, 1)]);
+        dev.submit(t(0), 1, QueryId::new(1, 0), &[ObjectId::new(1, 0, 1)]);
+        let mut now = t(0);
+        while let Some(until) = dev.kick(now) {
+            now = until;
+            dev.complete(now);
+        }
+        // Strict arrival order forces 3 switches (0→1→0→1) vs 1 for the
+        // batching schedulers — the §4.4 pathology.
+        assert_eq!(dev.metrics().group_switches, 3);
+        assert_eq!(now, t(4 + 30));
+    }
+
+    #[test]
+    fn switch_latency_respected() {
+        let mut dev = device(SchedPolicy::MaxQueries);
+        dev.submit(t(0), 1, QueryId::new(1, 0), &[ObjectId::new(1, 0, 0)]);
+        // Free initial load lands on group 1 directly.
+        let until = dev.kick(t(0)).unwrap();
+        assert_eq!(until, t(1));
+        dev.complete(t(1));
+        // New work on group 0 arrives: now a paid switch.
+        dev.submit(t(1), 0, QueryId::new(0, 0), &[ObjectId::new(0, 0, 0)]);
+        let until = dev.kick(t(1)).unwrap();
+        assert_eq!(until, t(11)); // 10 s switch
+        assert!(dev.complete(t(11)).is_none());
+        assert_eq!(dev.active_group(), Some(0));
+        let until = dev.kick(t(11)).unwrap();
+        assert_eq!(until, t(12));
+        assert!(dev.complete(t(12)).is_some());
+    }
+
+    #[test]
+    fn trace_records_switch_and_transfer_spans() {
+        let mut dev = device(SchedPolicy::MaxQueries);
+        dev.submit(t(0), 0, QueryId::new(0, 0), &[ObjectId::new(0, 0, 0)]);
+        dev.submit(t(0), 1, QueryId::new(1, 0), &[ObjectId::new(1, 0, 0)]);
+        let mut now = t(0);
+        while let Some(until) = dev.kick(now) {
+            now = until;
+            dev.complete(now);
+        }
+        let attr = dev.trace().attribute(t(0), now);
+        assert_eq!(attr.switching, SimDuration::from_secs(10));
+        assert_eq!(attr.transfer, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn intra_group_orders() {
+        let mk = |table: u16, seg: u32, seq: u64| PendingRequest {
+            object: ObjectId::new(0, table, seg),
+            query: QueryId::new(0, 0),
+            client: 0,
+            group: 0,
+            arrival: SimTime::ZERO,
+            seq,
+        };
+        let pending = vec![mk(0, 0, 0), mk(0, 1, 1), mk(1, 0, 2), mk(1, 1, 3)];
+        let scope = vec![0, 1, 2, 3];
+        // Semantic: A.0 then B.0 (segment-major).
+        let first = IntraGroupOrder::SemanticRoundRobin.select(&pending, &scope);
+        assert_eq!(pending[first].object, ObjectId::new(0, 0, 0));
+        let scope_rest = vec![1, 2, 3];
+        let second = IntraGroupOrder::SemanticRoundRobin.select(&pending, &scope_rest);
+        assert_eq!(pending[second].object, ObjectId::new(0, 1, 0));
+        // TableOrder: A.0 then A.1 (table-major).
+        let second_naive = IntraGroupOrder::TableOrder.select(&pending, &scope_rest);
+        assert_eq!(pending[second_naive].object, ObjectId::new(0, 0, 1));
+        // Arrival order follows seq.
+        let arr = IntraGroupOrder::ArrivalOrder.select(&pending, &[3, 2]);
+        assert_eq!(pending[arr].object, ObjectId::new(0, 1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown object")]
+    fn unknown_object_rejected() {
+        let mut dev = device(SchedPolicy::RankBased);
+        dev.submit(t(0), 0, QueryId::new(0, 0), &[ObjectId::new(9, 9, 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no operation in flight")]
+    fn complete_without_op_panics() {
+        let mut dev = device(SchedPolicy::RankBased);
+        dev.complete(t(0));
+    }
+
+    #[test]
+    fn parallel_streams_scale_intra_group_bandwidth() {
+        let mut store = ObjectStore::new();
+        for s in 0..4u32 {
+            store.put(ObjectId::new(0, 0, s), 100 * MB, 0, "seg");
+        }
+        let mut dev = CsdDevice::new(
+            CsdConfig {
+                switch_latency: SimDuration::from_secs(10),
+                bandwidth_bytes_per_sec: (100 * MB) as f64,
+                initial_load_free: true,
+                parallel_streams: 4,
+            },
+            store,
+            SchedPolicy::RankBased.build(),
+            IntraGroupOrder::SemanticRoundRobin,
+        );
+        let objs: Vec<ObjectId> = (0..4).map(|s| ObjectId::new(0, 0, s)).collect();
+        dev.submit(t(0), 0, QueryId::new(0, 0), &objs);
+        let mut now = t(0);
+        while let Some(until) = dev.kick(now) {
+            now = until;
+            dev.complete(now);
+        }
+        // 4 objects x 1 s each at 4x service bandwidth = 1 s total.
+        assert_eq!(now, t(1));
+        assert_eq!(dev.metrics().objects_served, 4);
+    }
+
+    #[test]
+    fn residency_snapshot_excludes_mid_residency_arrivals() {
+        // Client 0's query is being served on group 0; client 1 submits
+        // for group 1; then client 0 submits MORE work for group 0. The
+        // new group-0 work must wait until after group 1 is served (it
+        // arrived after the residency snapshot).
+        let mut dev = device(SchedPolicy::RankBased);
+        dev.submit(t(0), 0, QueryId::new(0, 0), &[ObjectId::new(0, 0, 0)]);
+        let until = dev.kick(t(0)).unwrap(); // serving c0/s0 on group 0
+        dev.submit(t(0), 1, QueryId::new(1, 0), &[ObjectId::new(1, 0, 0)]);
+        dev.submit(t(0), 0, QueryId::new(0, 1), &[ObjectId::new(0, 0, 1)]);
+        let mut order = Vec::new();
+        let mut now = until;
+        loop {
+            if let Some(d) = dev.complete(now) {
+                order.push(d.query);
+            }
+            match dev.kick(now) {
+                Some(u) => now = u,
+                None => break,
+            }
+        }
+        assert_eq!(
+            order,
+            vec![QueryId::new(0, 0), QueryId::new(1, 0), QueryId::new(0, 1)],
+            "post-snapshot work must not preempt the waiting group"
+        );
+        assert_eq!(dev.metrics().group_switches, 2);
+    }
+
+    #[test]
+    fn requests_submitted_counts_reissues() {
+        let mut dev = device(SchedPolicy::RankBased);
+        let obj = ObjectId::new(0, 0, 0);
+        dev.submit(t(0), 0, QueryId::new(0, 0), &[obj]);
+        let mut now = t(0);
+        while let Some(until) = dev.kick(now) {
+            now = until;
+            dev.complete(now);
+        }
+        dev.submit(now, 0, QueryId::new(0, 0), &[obj]); // reissue
+        while let Some(until) = dev.kick(now) {
+            now = until;
+            dev.complete(now);
+        }
+        assert_eq!(dev.metrics().requests_submitted, 2);
+        assert_eq!(dev.metrics().objects_served, 2);
+        assert_eq!(dev.metrics().served_to(0), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Data placement across disk groups.
+//!
+//! The database has no control over where a shared CSD places its data
+//! (§3.2): the device may spread a tenant — or even a single relation —
+//! across disk groups for load balancing, failure recovery or incremental
+//! arrival. The experiments in §5.2.3 probe exactly this dimension with
+//! four canned layouts, reproduced here, plus arbitrary custom maps.
+
+use std::collections::HashMap;
+
+use crate::object::{GroupId, ObjectId};
+
+/// The canned placement policies of the paper's layout-sensitivity
+/// experiment (Figure 11a), applied to per-tenant datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayoutPolicy {
+    /// `Allin1`: every tenant's data in one group — the no-switch ideal
+    /// (also how the paper emulates the HDD capacity tier).
+    AllInOne,
+    /// `2perG`: two consecutive tenants share each group.
+    TwoClientsPerGroup,
+    /// `1perG`: each tenant gets a private group (the default layout of
+    /// the scalability experiments).
+    OneClientPerGroup,
+    /// `Increm.`: each tenant's data is split in two halves stored on
+    /// *different* groups, interleaved with its neighbours: group g holds
+    /// the first half of tenant g and the second half of tenant g-1
+    /// (C1.1+C4.2 / C1.2+C2.1 / ... in the paper's notation).
+    Incremental,
+}
+
+impl LayoutPolicy {
+    /// Human-readable label matching the paper's figure axis.
+    pub fn label(self) -> &'static str {
+        match self {
+            LayoutPolicy::AllInOne => "Allin1",
+            LayoutPolicy::TwoClientsPerGroup => "2perG",
+            LayoutPolicy::OneClientPerGroup => "1perG",
+            LayoutPolicy::Incremental => "Increm.",
+        }
+    }
+}
+
+/// A concrete object → disk-group assignment.
+#[derive(Clone, Debug, Default)]
+pub struct Layout {
+    map: HashMap<ObjectId, GroupId>,
+    num_groups: u32,
+}
+
+impl Layout {
+    /// Builds a layout by applying `policy` to `tenant_objects`, where
+    /// `tenant_objects[t]` lists every object of tenant `t` in storage
+    /// order.
+    pub fn build(policy: LayoutPolicy, tenant_objects: &[Vec<ObjectId>]) -> Layout {
+        let tenants = tenant_objects.len() as u32;
+        let mut layout = Layout::default();
+        for (t, objs) in tenant_objects.iter().enumerate() {
+            let t = t as u32;
+            for (i, &obj) in objs.iter().enumerate() {
+                let group = match policy {
+                    LayoutPolicy::AllInOne => 0,
+                    LayoutPolicy::TwoClientsPerGroup => t / 2,
+                    LayoutPolicy::OneClientPerGroup => t,
+                    LayoutPolicy::Incremental => {
+                        // First half with the tenant's own group, second
+                        // half rolls over to the next tenant's group.
+                        if i < objs.len().div_ceil(2) {
+                            t
+                        } else {
+                            (t + 1) % tenants.max(1)
+                        }
+                    }
+                };
+                layout.place(obj, group);
+            }
+        }
+        layout
+    }
+
+    /// Builds a layout from explicit `(object, group)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (ObjectId, GroupId)>) -> Layout {
+        let mut layout = Layout::default();
+        for (obj, group) in pairs {
+            layout.place(obj, group);
+        }
+        layout
+    }
+
+    /// Assigns `obj` to `group` (last assignment wins).
+    pub fn place(&mut self, obj: ObjectId, group: GroupId) {
+        self.num_groups = self.num_groups.max(group + 1);
+        self.map.insert(obj, group);
+    }
+
+    /// The group housing `obj`.
+    ///
+    /// # Panics
+    /// Panics for unknown objects: requesting an object that was never
+    /// placed is a harness bug.
+    pub fn group_of(&self, obj: ObjectId) -> GroupId {
+        *self
+            .map
+            .get(&obj)
+            .unwrap_or_else(|| panic!("object {obj} was never placed on the device"))
+    }
+
+    /// Whether `obj` has a placement.
+    pub fn contains(&self, obj: ObjectId) -> bool {
+        self.map.contains_key(&obj)
+    }
+
+    /// Number of groups referenced by the layout (max group id + 1).
+    pub fn num_groups(&self) -> u32 {
+        self.num_groups
+    }
+
+    /// Number of placed objects.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is placed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates all `(object, group)` placements (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, GroupId)> + '_ {
+        self.map.iter().map(|(&o, &g)| (o, g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Four tenants with four objects each (two tables × two segments).
+    fn tenant_objects(tenants: u16, objects_each: u32) -> Vec<Vec<ObjectId>> {
+        (0..tenants)
+            .map(|t| {
+                (0..objects_each)
+                    .map(|i| ObjectId::new(t, (i / 2) as u16, i % 2))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_in_one_uses_single_group() {
+        let layout = Layout::build(LayoutPolicy::AllInOne, &tenant_objects(4, 4));
+        assert_eq!(layout.num_groups(), 1);
+        assert!(layout.iter().all(|(_, g)| g == 0));
+    }
+
+    #[test]
+    fn one_client_per_group_isolates_tenants() {
+        let layout = Layout::build(LayoutPolicy::OneClientPerGroup, &tenant_objects(4, 4));
+        assert_eq!(layout.num_groups(), 4);
+        for (obj, g) in layout.iter() {
+            assert_eq!(g, obj.tenant as u32);
+        }
+    }
+
+    #[test]
+    fn two_clients_per_group_pairs_tenants() {
+        let layout = Layout::build(LayoutPolicy::TwoClientsPerGroup, &tenant_objects(4, 4));
+        assert_eq!(layout.num_groups(), 2);
+        for (obj, g) in layout.iter() {
+            assert_eq!(g, obj.tenant as u32 / 2);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_paper_example() {
+        // Paper (§5.2.3, 4 clients): G1 stores C1.1 and C4.2, G2 stores
+        // C1.2 and C2.1, G3 stores C2.2 and C3.1, G4 stores C3.2 and C4.1.
+        // 0-based: tenant t first half → group t, second half → (t+1)%4.
+        let objs = tenant_objects(4, 4);
+        let layout = Layout::build(LayoutPolicy::Incremental, &objs);
+        assert_eq!(layout.num_groups(), 4);
+        for (t, tenant_objs) in objs.iter().enumerate() {
+            let (first, second) = tenant_objs.split_at(2);
+            for &o in first {
+                assert_eq!(layout.group_of(o), t as u32);
+            }
+            for &o in second {
+                assert_eq!(layout.group_of(o), (t as u32 + 1) % 4);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_odd_object_count_rounds_up_first_half() {
+        let objs = vec![(0..5).map(|i| ObjectId::new(0, 0, i)).collect::<Vec<_>>()];
+        let layout = Layout::build(LayoutPolicy::Incremental, &objs);
+        // div_ceil(5,2)=3 objects in the first half; single tenant ⇒ both
+        // halves land in group 0.
+        assert!(objs[0].iter().all(|&o| layout.group_of(o) == 0));
+    }
+
+    #[test]
+    fn from_pairs_and_contains() {
+        let a = ObjectId::new(0, 0, 0);
+        let b = ObjectId::new(0, 0, 1);
+        let layout = Layout::from_pairs([(a, 2), (b, 0)]);
+        assert_eq!(layout.group_of(a), 2);
+        assert_eq!(layout.num_groups(), 3);
+        assert!(layout.contains(b));
+        assert!(!layout.contains(ObjectId::new(9, 9, 9)));
+        assert_eq!(layout.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "never placed")]
+    fn unknown_object_panics() {
+        Layout::default().group_of(ObjectId::new(0, 0, 0));
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(LayoutPolicy::AllInOne.label(), "Allin1");
+        assert_eq!(LayoutPolicy::TwoClientsPerGroup.label(), "2perG");
+        assert_eq!(LayoutPolicy::OneClientPerGroup.label(), "1perG");
+        assert_eq!(LayoutPolicy::Incremental.label(), "Increm.");
+    }
+}

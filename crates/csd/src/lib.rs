@@ -1,0 +1,50 @@
+//! # skipper-csd — Cold Storage Device model
+//!
+//! A Cold Storage Device (CSD) packs hundreds to thousands of
+//! archival-grade SMR disks into a rack, organized as a
+//! Massive-Array-of-Idle-Disks: only one *disk group* is spun up at a
+//! time. Accessing data in the loaded group performs like a normal
+//! capacity-tier disk array (1-2 GB/s); accessing any other group first
+//! requires a *group switch* — spinning the active group down and the
+//! target group up — costing roughly 8-20 seconds (Pelican: 8 s).
+//!
+//! This crate models exactly the device the paper emulates with its Swift
+//! middleware:
+//!
+//! * [`object`] — object identifiers and metadata (tenant, table, segment,
+//!   logical size, group placement).
+//! * [`layout`] — data-placement policies across groups, including the
+//!   four layouts of §5.2.3 (all-in-one, two-clients-per-group,
+//!   one-client-per-group, incremental).
+//! * [`store`] — the object store holding real segment payloads behind a
+//!   GET interface.
+//! * [`sched`] — group-switch scheduling policies: object-FCFS,
+//!   query-FCFS, Max-Queries, and the paper's rank-based algorithm
+//!   `R(g) = N_g + K·ΣW_q(g)` with `K = 1` (§4.4).
+//! * [`device`] — the device state machine: request queue → pick group →
+//!   switch (latency S) → serve every pending request on the group
+//!   (no preemption) → repeat; with semantically-smart intra-group
+//!   ordering (round-robin across a query's tables).
+//! * [`metrics`] — switch/transfer counters per device and per client.
+//! * [`power`] — MAID energy accounting (the ~80 % power saving that
+//!   motivates cold storage economics).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod layout;
+pub mod metrics;
+pub mod object;
+pub mod power;
+pub mod sched;
+pub mod store;
+
+pub use device::{CsdConfig, CsdDevice, Delivery, IntraGroupOrder};
+pub use layout::{Layout, LayoutPolicy};
+pub use object::{GroupId, ObjectId, ObjectMeta, QueryId};
+pub use power::{EnergyReport, PowerModel};
+pub use sched::{
+    FcfsObject, FcfsQuery, FcfsSlack, GroupScheduler, MaxQueries, RankBased, SchedPolicy,
+};
+pub use store::ObjectStore;

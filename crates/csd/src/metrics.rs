@@ -1,0 +1,48 @@
+//! Device-side counters.
+
+use std::collections::HashMap;
+
+/// Counters accumulated by a [`CsdDevice`](crate::device::CsdDevice) over
+/// a run. GET counts per client feed Figures 11b/11c (request-reissue
+/// curves); switch counts validate the closed-form models of §3.2/§5.2.1.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeviceMetrics {
+    /// Paid group switches (spin-down + spin-up cycles).
+    pub group_switches: u64,
+    /// Free initial loads (the device always has *some* group spinning;
+    /// the first access is modelled as already loaded).
+    pub initial_loads: u64,
+    /// GET requests accepted.
+    pub requests_submitted: u64,
+    /// Objects fully transferred to clients.
+    pub objects_served: u64,
+    /// Logical bytes transferred.
+    pub logical_bytes_served: u64,
+    /// Objects served per client.
+    pub served_per_client: HashMap<usize, u64>,
+}
+
+impl DeviceMetrics {
+    /// Objects served to `client`.
+    pub fn served_to(&self, client: usize) -> u64 {
+        self.served_per_client.get(&client).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn served_to_defaults_to_zero() {
+        let m = DeviceMetrics::default();
+        assert_eq!(m.served_to(3), 0);
+    }
+
+    #[test]
+    fn served_per_client_tracks() {
+        let mut m = DeviceMetrics::default();
+        *m.served_per_client.entry(1).or_default() += 2;
+        assert_eq!(m.served_to(1), 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! First-come-first-served policies.
+//!
+//! [`FcfsObject`] is how stock cold storage devices schedule (§4.4):
+//! requests are served strictly in arrival order, so two adjacent
+//! requests on different groups force a switch even when more work exists
+//! on the loaded group. Being query-agnostic, it "produces many
+//! unwarranted group switches in an attempt to enforce fairness".
+//!
+//! [`FcfsQuery`] lifts FCFS to query granularity using the client proxy's
+//! query tags: the oldest query is served to completion (across all
+//! groups holding its data) before the next. This is the "fairness"
+//! baseline of Figure 12 — fair, but unable to merge requests across
+//! queries, so it still switches more than necessary.
+
+use crate::object::GroupId;
+use crate::sched::{Decision, GroupScheduler, PendingRequest, Residency};
+
+/// Strict object-level FCFS.
+#[derive(Debug, Default)]
+pub struct FcfsObject;
+
+impl FcfsObject {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        FcfsObject
+    }
+
+    fn oldest(pending: &[PendingRequest]) -> Option<&PendingRequest> {
+        pending.iter().min_by_key(|r| r.seq)
+    }
+}
+
+impl GroupScheduler for FcfsObject {
+    fn name(&self) -> &'static str {
+        "fcfs-object"
+    }
+
+    fn decide(
+        &mut self,
+        pending: &[PendingRequest],
+        active: Option<GroupId>,
+        _residency: &Residency,
+    ) -> Decision {
+        match Self::oldest(pending) {
+            None => Decision::Idle,
+            Some(r) if Some(r.group) == active => Decision::ServeActive,
+            Some(r) => Decision::SwitchTo(r.group),
+        }
+    }
+
+    /// Only the globally oldest request may be served — strict arrival
+    /// order, re-evaluated after every service.
+    fn serve_scope(
+        &self,
+        pending: &[PendingRequest],
+        active: GroupId,
+        _residency: &Residency,
+    ) -> Vec<usize> {
+        let Some(oldest_idx) = pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.seq)
+            .map(|(i, _)| i)
+        else {
+            return Vec::new();
+        };
+        if pending[oldest_idx].group == active {
+            vec![oldest_idx]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Query-level FCFS ("fairness" in Figure 12).
+#[derive(Debug, Default)]
+pub struct FcfsQuery;
+
+impl FcfsQuery {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        FcfsQuery
+    }
+
+    /// The query whose earliest request arrived first (by sequence
+    /// number, which encodes arrival order exactly).
+    fn oldest_query(pending: &[PendingRequest]) -> Option<crate::object::QueryId> {
+        pending.iter().min_by_key(|r| r.seq).map(|r| r.query)
+    }
+}
+
+impl GroupScheduler for FcfsQuery {
+    fn name(&self) -> &'static str {
+        "fairness"
+    }
+
+    fn decide(
+        &mut self,
+        pending: &[PendingRequest],
+        active: Option<GroupId>,
+        _residency: &Residency,
+    ) -> Decision {
+        let Some(q) = Self::oldest_query(pending) else {
+            return Decision::Idle;
+        };
+        // Serve the oldest query's requests; prefer its data on the active
+        // group to avoid gratuitous switches, otherwise go to the group
+        // holding its oldest request.
+        let on_active = active.is_some()
+            && pending
+                .iter()
+                .any(|r| r.query == q && Some(r.group) == active);
+        if on_active {
+            return Decision::ServeActive;
+        }
+        let target = pending
+            .iter()
+            .filter(|r| r.query == q)
+            .min_by_key(|r| r.seq)
+            .map(|r| r.group)
+            .expect("oldest query has requests");
+        if Some(target) == active {
+            Decision::ServeActive
+        } else {
+            Decision::SwitchTo(target)
+        }
+    }
+
+    /// Only the oldest query's requests on the loaded group are in scope —
+    /// no request merging across queries.
+    fn serve_scope(
+        &self,
+        pending: &[PendingRequest],
+        active: GroupId,
+        _residency: &Residency,
+    ) -> Vec<usize> {
+        let Some(q) = Self::oldest_query(pending) else {
+            return Vec::new();
+        };
+        pending
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.query == q && r.group == active)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::testutil::req;
+
+    fn all() -> Residency {
+        (0..100u64).collect()
+    }
+
+    #[test]
+    fn object_fcfs_follows_arrival_order() {
+        let mut p = FcfsObject::new();
+        let pending = vec![req(2, 0, 0, 0, 0, 5), req(1, 1, 0, 0, 0, 2)];
+        // Oldest (seq 2) is on group 1.
+        assert_eq!(p.decide(&pending, None, &all()), Decision::SwitchTo(1));
+        assert_eq!(p.decide(&pending, Some(1), &all()), Decision::ServeActive);
+        assert_eq!(p.serve_scope(&pending, 1, &all()), vec![1]);
+        // Even though group 1 might hold more data later, only the oldest
+        // request is in scope.
+        assert_eq!(p.serve_scope(&pending, 2, &all()), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn object_fcfs_switches_even_with_active_work() {
+        // Active group 1 still has a request (seq 7), but the oldest
+        // pending (seq 3) is on group 2: strict FCFS must switch.
+        let mut p = FcfsObject::new();
+        let pending = vec![req(1, 0, 0, 0, 0, 7), req(2, 1, 0, 0, 0, 3)];
+        assert_eq!(p.decide(&pending, Some(1), &all()), Decision::SwitchTo(2));
+    }
+
+    #[test]
+    fn query_fcfs_serves_oldest_query_completely() {
+        let mut p = FcfsQuery::new();
+        // Query (0,0) arrived first, spanning groups 1 and 2; query (1,0)
+        // is younger on group 1.
+        let pending = vec![
+            req(1, 0, 0, 0, 0, 0),
+            req(2, 0, 0, 1, 0, 1),
+            req(1, 1, 0, 0, 0, 2),
+        ];
+        assert_eq!(p.decide(&pending, None, &all()), Decision::SwitchTo(1));
+        // On group 1 only query (0,0)'s request is in scope, not (1,0)'s.
+        assert_eq!(p.serve_scope(&pending, 1, &all()), vec![0]);
+        // After group 1 is done for query 0, its remaining data is on 2.
+        let rest = vec![req(2, 0, 0, 1, 0, 1), req(1, 1, 0, 0, 0, 2)];
+        assert_eq!(p.decide(&rest, Some(1), &all()), Decision::SwitchTo(2));
+    }
+
+    #[test]
+    fn query_fcfs_prefers_active_group_of_oldest_query() {
+        let mut p = FcfsQuery::new();
+        // Oldest query has data on groups 1 and 2; active is 2 → serve 2
+        // first (no gratuitous switch), even though its oldest request is
+        // on group 1.
+        let pending = vec![req(1, 0, 0, 0, 0, 0), req(2, 0, 0, 1, 0, 1)];
+        assert_eq!(p.decide(&pending, Some(2), &all()), Decision::ServeActive);
+        assert_eq!(p.serve_scope(&pending, 2, &all()), vec![1]);
+    }
+
+    #[test]
+    fn idle_when_empty() {
+        assert_eq!(FcfsObject::new().decide(&[], Some(0), &all()), Decision::Idle);
+        assert_eq!(FcfsQuery::new().decide(&[], None, &all()), Decision::Idle);
+        assert!(FcfsQuery::new().serve_scope(&[], 0, &all()).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! The Max-Queries policy: efficiency without fairness.
+//!
+//! Prabhakar et al. showed that, for tertiary storage, always loading the
+//! medium with the largest number of pending requests performs within 2 %
+//! of the optimal switch-minimizing schedule. The paper adopts the
+//! query-granularity version — pick the group with the most distinct
+//! pending *queries* — as its efficiency yardstick ("maxquery" in
+//! Figure 12). Its known failure mode is starvation: a steady stream of
+//! requests to popular groups can postpone a lone query on another group
+//! indefinitely, which is exactly what the rank-based policy fixes.
+
+use crate::object::GroupId;
+use crate::sched::{group_stats, Decision, GroupScheduler, PendingRequest, Residency};
+
+/// Most-pending-queries-first group selection.
+#[derive(Debug, Default)]
+pub struct MaxQueries;
+
+impl MaxQueries {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        MaxQueries
+    }
+
+    fn best_group(pending: &[PendingRequest]) -> Option<GroupId> {
+        // Max query count; ties broken by oldest request (then group id
+        // implicitly, since group_stats is sorted by group).
+        group_stats(pending)
+            .into_iter()
+            .max_by(|(ga, a), (gb, b)| {
+                a.queries
+                    .len()
+                    .cmp(&b.queries.len())
+                    .then_with(|| b.oldest_seq.cmp(&a.oldest_seq)) // older (smaller seq) wins
+                    .then_with(|| gb.cmp(ga)) // lower group id wins
+            })
+            .map(|(g, _)| g)
+    }
+}
+
+impl GroupScheduler for MaxQueries {
+    fn name(&self) -> &'static str {
+        "maxquery"
+    }
+
+    fn decide(
+        &mut self,
+        pending: &[PendingRequest],
+        active: Option<GroupId>,
+        residency: &Residency,
+    ) -> Decision {
+        // Non-preemptive: drain the residency snapshot before
+        // reconsidering (new arrivals wait for the next decision point).
+        if let Some(g) = active {
+            if pending
+                .iter()
+                .any(|r| r.group == g && residency.contains(&r.seq))
+            {
+                return Decision::ServeActive;
+            }
+        }
+        match Self::best_group(pending) {
+            None => Decision::Idle,
+            Some(g) if Some(g) == active => Decision::ServeActive,
+            Some(g) => Decision::SwitchTo(g),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::testutil::req;
+
+    fn all() -> Residency {
+        (0..100u64).collect()
+    }
+
+    #[test]
+    fn picks_group_with_most_queries() {
+        let mut p = MaxQueries::new();
+        // Group 1: two queries; group 2: one query with three requests.
+        let pending = vec![
+            req(1, 0, 0, 0, 0, 0),
+            req(1, 1, 0, 0, 0, 1),
+            req(2, 2, 0, 0, 0, 2),
+            req(2, 2, 0, 1, 0, 3),
+            req(2, 2, 0, 2, 0, 4),
+        ];
+        assert_eq!(p.decide(&pending, None, &all()), Decision::SwitchTo(1));
+    }
+
+    #[test]
+    fn request_count_does_not_trump_query_count() {
+        let mut p = MaxQueries::new();
+        // Queries, not requests, drive the choice (a single query's many
+        // objects count once).
+        let pending = vec![
+            req(5, 0, 0, 0, 0, 0),
+            req(5, 0, 0, 1, 0, 1),
+            req(5, 0, 0, 2, 0, 2),
+            req(6, 1, 0, 0, 0, 3),
+            req(6, 2, 0, 0, 0, 4),
+        ];
+        assert_eq!(p.decide(&pending, None, &all()), Decision::SwitchTo(6));
+    }
+
+    #[test]
+    fn non_preemptive_drains_active_group() {
+        let mut p = MaxQueries::new();
+        // Group 2 has more queries, but group 1 is loaded and non-empty:
+        // finish it first (the "when to switch" rule of §4.4).
+        let pending = vec![
+            req(1, 0, 0, 0, 0, 0),
+            req(2, 1, 0, 0, 0, 1),
+            req(2, 2, 0, 0, 0, 2),
+        ];
+        assert_eq!(p.decide(&pending, Some(1), &all()), Decision::ServeActive);
+        // Once group 1 drains, switch.
+        let rest = &pending[1..];
+        assert_eq!(p.decide(rest, Some(1), &all()), Decision::SwitchTo(2));
+    }
+
+    #[test]
+    fn tie_broken_by_oldest_request() {
+        let mut p = MaxQueries::new();
+        let pending = vec![req(3, 0, 0, 0, 9, 9), req(2, 1, 0, 0, 1, 1)];
+        // Both groups have one query; group 2's request is older.
+        assert_eq!(p.decide(&pending, None, &all()), Decision::SwitchTo(2));
+    }
+
+    #[test]
+    fn idle_when_empty() {
+        assert_eq!(MaxQueries::new().decide(&[], Some(3), &all()), Decision::Idle);
+    }
+
+    #[test]
+    fn whole_group_scope() {
+        let p = MaxQueries::new();
+        let pending = vec![req(1, 0, 0, 0, 0, 0), req(1, 1, 0, 0, 0, 1), req(2, 2, 0, 0, 0, 2)];
+        assert_eq!(p.serve_scope(&pending, 1, &all()), vec![0, 1]);
+    }
+}

@@ -1,0 +1,134 @@
+//! The object store: payloads + placement + sizing.
+//!
+//! Plays the role of OpenStack Swift in the paper's testbed: a flat
+//! key–value store of GB-sized blobs fronting the MAID array. The store
+//! is generic over the payload type so this crate stays domain-free — the
+//! driver stores `Arc<Segment>`s, tests store strings.
+
+use std::collections::HashMap;
+
+use skipper_sim::SimDuration;
+
+use crate::layout::Layout;
+use crate::object::{GroupId, ObjectId, ObjectMeta};
+
+/// An object store mapping [`ObjectId`]s to `(metadata, payload)`.
+#[derive(Clone, Debug, Default)]
+pub struct ObjectStore<P> {
+    objects: HashMap<ObjectId, (ObjectMeta, P)>,
+}
+
+impl<P> ObjectStore<P> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ObjectStore {
+            objects: HashMap::new(),
+        }
+    }
+
+    /// Inserts an object with explicit placement.
+    pub fn put(&mut self, id: ObjectId, logical_bytes: u64, group: GroupId, payload: P) {
+        let meta = ObjectMeta {
+            id,
+            logical_bytes,
+            group,
+        };
+        self.objects.insert(id, (meta, payload));
+    }
+
+    /// Inserts an object, resolving its group from `layout`.
+    ///
+    /// # Panics
+    /// Panics if the layout does not place `id`.
+    pub fn put_with_layout(&mut self, id: ObjectId, logical_bytes: u64, layout: &Layout, payload: P) {
+        self.put(id, logical_bytes, layout.group_of(id), payload);
+    }
+
+    /// Metadata of `id`, if stored.
+    pub fn meta(&self, id: ObjectId) -> Option<&ObjectMeta> {
+        self.objects.get(&id).map(|(m, _)| m)
+    }
+
+    /// Payload of `id`, if stored (a GET without the latency model —
+    /// timing is the device's job).
+    pub fn get(&self, id: ObjectId) -> Option<&P> {
+        self.objects.get(&id).map(|(_, p)| p)
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total logical bytes stored.
+    pub fn total_logical_bytes(&self) -> u64 {
+        self.objects.values().map(|(m, _)| m.logical_bytes).sum()
+    }
+
+    /// Iterates all stored metadata (unordered).
+    pub fn iter_meta(&self) -> impl Iterator<Item = &ObjectMeta> {
+        self.objects.values().map(|(m, _)| m)
+    }
+}
+
+/// Transfer time of an object at `bandwidth_bytes_per_sec`.
+///
+/// Zero or non-finite bandwidth means "free" (used by the ideal/local
+/// configurations in Table 3's component breakdown).
+pub fn transfer_time(logical_bytes: u64, bandwidth_bytes_per_sec: f64) -> SimDuration {
+    if !(bandwidth_bytes_per_sec.is_finite() && bandwidth_bytes_per_sec > 0.0) {
+        return SimDuration::ZERO;
+    }
+    SimDuration::from_secs_f64(logical_bytes as f64 / bandwidth_bytes_per_sec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut store: ObjectStore<&str> = ObjectStore::new();
+        let id = ObjectId::new(0, 1, 2);
+        store.put(id, GIB, 3, "payload");
+        assert_eq!(store.get(id), Some(&"payload"));
+        let meta = store.meta(id).unwrap();
+        assert_eq!(meta.group, 3);
+        assert_eq!(meta.logical_bytes, GIB);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.total_logical_bytes(), GIB);
+    }
+
+    #[test]
+    fn missing_objects_are_none() {
+        let store: ObjectStore<u8> = ObjectStore::new();
+        assert!(store.get(ObjectId::new(0, 0, 0)).is_none());
+        assert!(store.meta(ObjectId::new(0, 0, 0)).is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn layout_resolution() {
+        let id = ObjectId::new(1, 0, 0);
+        let layout = Layout::from_pairs([(id, 7)]);
+        let mut store: ObjectStore<()> = ObjectStore::new();
+        store.put_with_layout(id, GIB, &layout, ());
+        assert_eq!(store.meta(id).unwrap().group, 7);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        // 1 GiB at 128 MiB/s = 8 s.
+        let t = transfer_time(GIB, (128 * 1024 * 1024) as f64);
+        assert_eq!(t, SimDuration::from_secs(8));
+        assert!(transfer_time(GIB, 0.0).is_zero());
+        assert!(transfer_time(GIB, f64::INFINITY).is_zero());
+    }
+}

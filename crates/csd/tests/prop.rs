@@ -1,0 +1,176 @@
+//! Property tests for the CSD device model.
+
+use proptest::prelude::*;
+
+use skipper_csd::{
+    CsdConfig, CsdDevice, IntraGroupOrder, Layout, LayoutPolicy, ObjectId, ObjectStore, QueryId,
+    SchedPolicy,
+};
+use skipper_sim::{SimDuration, SimTime};
+
+fn tenant_objects(tenants: u16, per_tenant: u32) -> Vec<Vec<ObjectId>> {
+    (0..tenants)
+        .map(|t| (0..per_tenant).map(|s| ObjectId::new(t, 0, s)).collect())
+        .collect()
+}
+
+proptest! {
+    /// Every layout policy places every object exactly once, and the
+    /// policy-specific structure holds.
+    #[test]
+    fn layouts_place_everything(
+        tenants in 1u16..6,
+        per_tenant in 1u32..10,
+        policy_idx in 0usize..4,
+    ) {
+        let policies = [
+            LayoutPolicy::AllInOne,
+            LayoutPolicy::TwoClientsPerGroup,
+            LayoutPolicy::OneClientPerGroup,
+            LayoutPolicy::Incremental,
+        ];
+        let objs = tenant_objects(tenants, per_tenant);
+        let layout = Layout::build(policies[policy_idx], &objs);
+        prop_assert_eq!(layout.len(), (tenants as u32 * per_tenant) as usize);
+        for tenant in &objs {
+            for &o in tenant {
+                prop_assert!(layout.contains(o));
+            }
+        }
+        match policies[policy_idx] {
+            LayoutPolicy::AllInOne => prop_assert_eq!(layout.num_groups(), 1),
+            LayoutPolicy::OneClientPerGroup => {
+                prop_assert_eq!(layout.num_groups(), tenants as u32)
+            }
+            LayoutPolicy::TwoClientsPerGroup => {
+                prop_assert_eq!(layout.num_groups(), tenants.div_ceil(2) as u32)
+            }
+            LayoutPolicy::Incremental => {
+                // Each tenant's data touches at most two groups.
+                for (t, tenant) in objs.iter().enumerate() {
+                    let mut groups: Vec<u32> =
+                        tenant.iter().map(|&o| layout.group_of(o)).collect();
+                    groups.sort_unstable();
+                    groups.dedup();
+                    prop_assert!(groups.len() <= 2, "tenant {t} spans {groups:?}");
+                }
+            }
+        }
+    }
+
+    /// Conservation: the device serves every submitted request exactly
+    /// once, under any scheduler and intra-group ordering, and virtual
+    /// time only moves forward.
+    #[test]
+    fn device_serves_every_request_once(
+        tenants in 1u16..5,
+        per_tenant in 1u32..8,
+        policy_idx in 0usize..5,
+        intra_idx in 0usize..3,
+        switch_secs in 0u64..30,
+        split_batches in any::<bool>(),
+    ) {
+        let policies = [
+            SchedPolicy::FcfsObject,
+            SchedPolicy::FcfsQuery,
+            SchedPolicy::MaxQueries,
+            SchedPolicy::RankBased,
+            SchedPolicy::FcfsSlack(8),
+        ];
+        let intras = [
+            IntraGroupOrder::SemanticRoundRobin,
+            IntraGroupOrder::TableOrder,
+            IntraGroupOrder::ArrivalOrder,
+        ];
+        let mut store = ObjectStore::new();
+        let objs = tenant_objects(tenants, per_tenant);
+        for tenant in &objs {
+            for &o in tenant {
+                store.put(o, 1 << 20, o.tenant as u32 % 3, ());
+            }
+        }
+        let mut dev = CsdDevice::new(
+            CsdConfig {
+                switch_latency: SimDuration::from_secs(switch_secs),
+                bandwidth_bytes_per_sec: (1 << 20) as f64,
+                initial_load_free: true,
+                parallel_streams: 1,
+            },
+            store,
+            policies[policy_idx].build(),
+            intras[intra_idx],
+        );
+        let mut now = SimTime::ZERO;
+        let mut expected = 0u64;
+        for (t, tenant) in objs.iter().enumerate() {
+            expected += tenant.len() as u64;
+            if split_batches {
+                for &o in tenant {
+                    dev.submit(now, t, QueryId::new(t as u16, 0), &[o]);
+                }
+            } else {
+                dev.submit(now, t, QueryId::new(t as u16, 0), tenant);
+            }
+        }
+        let mut served = Vec::new();
+        let mut last = now;
+        while let Some(until) = dev.kick(now) {
+            prop_assert!(until >= last, "time went backwards");
+            last = until;
+            now = until;
+            if let Some(d) = dev.complete(now) {
+                served.push(d.object);
+            }
+        }
+        prop_assert!(dev.is_quiescent());
+        prop_assert_eq!(served.len() as u64, expected);
+        served.sort_unstable();
+        served.dedup();
+        prop_assert_eq!(served.len() as u64, expected, "duplicate delivery");
+        prop_assert_eq!(dev.metrics().objects_served, expected);
+        // Switches are bounded by the number of service operations.
+        prop_assert!(dev.metrics().group_switches <= expected * 3);
+    }
+
+    /// With all data in one group no scheduler ever pays a switch.
+    #[test]
+    fn single_group_never_switches(
+        tenants in 1u16..5,
+        per_tenant in 1u32..6,
+        policy_idx in 0usize..4,
+    ) {
+        let policies = [
+            SchedPolicy::FcfsObject,
+            SchedPolicy::FcfsQuery,
+            SchedPolicy::MaxQueries,
+            SchedPolicy::RankBased,
+        ];
+        let mut store = ObjectStore::new();
+        let objs = tenant_objects(tenants, per_tenant);
+        for tenant in &objs {
+            for &o in tenant {
+                store.put(o, 1 << 20, 0, ());
+            }
+        }
+        let mut dev = CsdDevice::new(
+            CsdConfig {
+                switch_latency: SimDuration::from_secs(10),
+                bandwidth_bytes_per_sec: (1 << 20) as f64,
+                initial_load_free: true,
+                parallel_streams: 1,
+            },
+            store,
+            policies[policy_idx].build(),
+            IntraGroupOrder::SemanticRoundRobin,
+        );
+        let mut now = SimTime::ZERO;
+        for (t, tenant) in objs.iter().enumerate() {
+            dev.submit(now, t, QueryId::new(t as u16, 0), tenant);
+        }
+        while let Some(until) = dev.kick(now) {
+            now = until;
+            dev.complete(now);
+        }
+        prop_assert_eq!(dev.metrics().group_switches, 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Per-segment hash indexes.
+//!
+//! MJoin is a *symmetric* hash join: when a segment arrives, hash tables
+//! are built over it on every join column its relation participates in
+//! (§4.1 of the paper: "builds appropriate hash tables based on the join
+//! conditions"). The index owns the filtered rows; eviction simply drops
+//! the whole [`SegmentIndex`], which is exactly the paper's "frees space
+//! by dropping its hashtable".
+
+use crate::expr::Expr;
+use crate::hash::FxHashMap;
+use crate::ops::scan::{scan_filter, ScanStats};
+use crate::segment::Segment;
+use crate::tuple::Row;
+use crate::value::Value;
+
+/// Filtered rows of one segment plus hash indexes on its join columns.
+pub struct SegmentIndex {
+    rows: Vec<Row>,
+    /// `indexes[i]` maps values of `cols[i]` to row positions.
+    cols: Vec<usize>,
+    indexes: Vec<FxHashMap<Value, Vec<u32>>>,
+    stats: ScanStats,
+}
+
+impl SegmentIndex {
+    /// Scans `segment` through `filter` and builds hash indexes on
+    /// `join_cols`.
+    pub fn build(segment: &Segment, filter: Option<&Expr>, join_cols: &[usize]) -> Self {
+        let (rows, stats) = scan_filter(segment, filter);
+        let mut indexes: Vec<FxHashMap<Value, Vec<u32>>> =
+            join_cols.iter().map(|_| FxHashMap::default()).collect();
+        for (pos, row) in rows.iter().enumerate() {
+            for (slot, &col) in join_cols.iter().enumerate() {
+                let key = row.get(col);
+                if key.is_null() {
+                    continue; // NULL never equi-joins
+                }
+                indexes[slot]
+                    .entry(key.clone())
+                    .or_default()
+                    .push(pos as u32);
+            }
+        }
+        SegmentIndex {
+            rows,
+            cols: join_cols.to_vec(),
+            indexes,
+            stats,
+        }
+    }
+
+    /// Rows surviving the filter.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of surviving rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows survived the filter — the trigger for the
+    /// subplan-pruning optimization (§5.2.4).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Scan statistics (tuples examined/kept) for cost accounting.
+    pub fn stats(&self) -> ScanStats {
+        self.stats
+    }
+
+    /// Rows whose column `col` equals `key`. `col` must be one of the
+    /// join columns the index was built on.
+    ///
+    /// # Panics
+    /// Panics if `col` was not indexed — probing an unindexed column is a
+    /// planning bug, not a data condition.
+    pub fn probe(&self, col: usize, key: &Value) -> &[u32] {
+        let slot = self
+            .cols
+            .iter()
+            .position(|&c| c == col)
+            .unwrap_or_else(|| panic!("column {col} not indexed (indexed: {:?})", self.cols));
+        self.indexes[slot]
+            .get(key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The row at `pos` (positions come from [`SegmentIndex::probe`]).
+    #[inline]
+    pub fn row(&self, pos: u32) -> &Row {
+        &self.rows[pos as usize]
+    }
+
+    /// Approximate number of hash-table entries across all indexes; used
+    /// to charge hash-build CPU cost.
+    pub fn entries(&self) -> usize {
+        self.cols.len() * self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::{DataType, Schema};
+
+    fn seg() -> Segment {
+        let schema = Schema::of(&[("k", DataType::Int), ("g", DataType::Int)]);
+        Segment::new(
+            schema,
+            vec![
+                row![1i64, 10i64],
+                row![2i64, 10i64],
+                row![1i64, 20i64],
+                row![3i64, 30i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn probes_by_key() {
+        let idx = SegmentIndex::build(&seg(), None, &[0]);
+        assert_eq!(idx.probe(0, &Value::Int(1)).len(), 2);
+        assert_eq!(idx.probe(0, &Value::Int(3)).len(), 1);
+        assert!(idx.probe(0, &Value::Int(99)).is_empty());
+        let pos = idx.probe(0, &Value::Int(3))[0];
+        assert_eq!(idx.row(pos), &row![3i64, 30i64]);
+    }
+
+    #[test]
+    fn multiple_indexed_columns() {
+        let idx = SegmentIndex::build(&seg(), None, &[0, 1]);
+        assert_eq!(idx.probe(1, &Value::Int(10)).len(), 2);
+        assert_eq!(idx.entries(), 8);
+    }
+
+    #[test]
+    fn filter_applied_before_indexing() {
+        let pred = Expr::col(1).ge(Expr::lit(20i64));
+        let idx = SegmentIndex::build(&seg(), Some(&pred), &[0]);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.stats().scanned, 4);
+        assert_eq!(idx.stats().kept, 2);
+        assert_eq!(idx.probe(0, &Value::Int(2)).len(), 0); // filtered out
+        assert_eq!(idx.probe(0, &Value::Int(1)).len(), 1);
+    }
+
+    #[test]
+    fn empty_after_filter_flags_prunable() {
+        let pred = Expr::col(0).gt(Expr::lit(100i64));
+        let idx = SegmentIndex::build(&seg(), Some(&pred), &[0]);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn null_keys_not_indexed() {
+        let schema = Schema::of(&[("k", DataType::Int)]);
+        let seg = Segment::new(
+            schema,
+            vec![Row::new(vec![Value::Null]), row![1i64]],
+        )
+        .unwrap();
+        let idx = SegmentIndex::build(&seg, None, &[0]);
+        assert_eq!(idx.len(), 2);
+        assert!(idx.probe(0, &Value::Null).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not indexed")]
+    fn probing_unindexed_column_panics() {
+        let idx = SegmentIndex::build(&seg(), None, &[0]);
+        idx.probe(1, &Value::Int(10));
+    }
+}

@@ -1,0 +1,95 @@
+//! Filtered segment scans.
+//!
+//! Selection predicates are applied at the segment boundary in both
+//! engines — the baseline filters while building/probing, MJoin filters
+//! before inserting tuples into its per-segment hash tables. Centralizing
+//! the scan here keeps the two engines' filter semantics identical.
+
+use crate::expr::Expr;
+use crate::segment::Segment;
+use crate::tuple::Row;
+
+/// Statistics from one scan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Tuples examined.
+    pub scanned: usize,
+    /// Tuples passing the predicate.
+    pub kept: usize,
+}
+
+/// Scans `segment`, returning rows passing `filter` (all rows when
+/// `filter` is `None`) along with scan statistics.
+pub fn scan_filter(segment: &Segment, filter: Option<&Expr>) -> (Vec<Row>, ScanStats) {
+    let mut stats = ScanStats {
+        scanned: segment.len(),
+        kept: 0,
+    };
+    let rows: Vec<Row> = match filter {
+        None => segment.rows().to_vec(),
+        Some(pred) => segment
+            .rows()
+            .iter()
+            .filter(|r| pred.matches(r))
+            .cloned()
+            .collect(),
+    };
+    stats.kept = rows.len();
+    (rows, stats)
+}
+
+/// Counts rows passing `filter` without materializing them.
+pub fn count_matching(segment: &Segment, filter: Option<&Expr>) -> usize {
+    match filter {
+        None => segment.len(),
+        Some(pred) => segment.rows().iter().filter(|r| pred.matches(r)).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::{DataType, Schema};
+
+    fn seg() -> Segment {
+        let schema = Schema::of(&[("k", DataType::Int)]);
+        Segment::new(
+            schema,
+            (0..10i64).map(|i| row![i]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unfiltered_scan_keeps_all() {
+        let (rows, stats) = scan_filter(&seg(), None);
+        assert_eq!(rows.len(), 10);
+        assert_eq!(stats, ScanStats { scanned: 10, kept: 10 });
+    }
+
+    #[test]
+    fn filtered_scan_applies_predicate() {
+        let pred = Expr::col(0).ge(Expr::lit(7i64));
+        let (rows, stats) = scan_filter(&seg(), Some(&pred));
+        assert_eq!(rows.len(), 3);
+        assert_eq!(stats.kept, 3);
+        assert_eq!(stats.scanned, 10);
+        assert!(rows.iter().all(|r| r.get(0).as_int().unwrap() >= 7));
+    }
+
+    #[test]
+    fn count_matches_scan() {
+        let pred = Expr::col(0).lt(Expr::lit(4i64));
+        assert_eq!(count_matching(&seg(), Some(&pred)), 4);
+        assert_eq!(count_matching(&seg(), None), 10);
+    }
+
+    #[test]
+    fn selective_to_empty() {
+        let pred = Expr::col(0).gt(Expr::lit(100i64));
+        let (rows, stats) = scan_filter(&seg(), Some(&pred));
+        assert!(rows.is_empty());
+        assert_eq!(stats.kept, 0);
+    }
+}

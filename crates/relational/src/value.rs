@@ -1,0 +1,249 @@
+//! Scalar values.
+//!
+//! The benchmark schemas (TPC-H, SSB, MR-bench, NREF) need integers,
+//! floats, short strings, dates and booleans. Dates are stored as days
+//! since 1992-01-01 (the TPC-H epoch) in an `i32`, which keeps range
+//! predicates integer comparisons.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A scalar value flowing through the engine.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer (all key columns).
+    Int(i64),
+    /// 64-bit float (prices, discounts).
+    Float(f64),
+    /// Interned string; `Arc` keeps row clones cheap during joins.
+    Str(Arc<str>),
+    /// Days since the TPC-H epoch (1992-01-01).
+    Date(i32),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// The integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float payload, widening integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The date payload (days since epoch), if this is a [`Value::Date`].
+    pub fn as_date(&self) -> Option<i32> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// True for SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True when the value is a boolean `true` (SQL three-valued logic
+    /// collapses NULL to false at filter boundaries).
+    pub fn is_truthy(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Discriminant rank used to order across types (NULL < Bool < numbers
+    /// < Str). Numeric types compare cross-type by value.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) | Value::Date(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            // Cross-numeric comparisons go through f64 with a total order.
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Int(a), Date(b)) => a.cmp(&(*b as i64)),
+            (Date(a), Int(b)) => (*a as i64).cmp(b),
+            (Date(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Date(b)) => a.total_cmp(&(*b as f64)),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                state.write_u8(*b as u8);
+            }
+            Value::Int(i) => {
+                state.write_u8(2);
+                state.write_u64(*i as u64);
+            }
+            // Floats hash by bit pattern; join keys are never floats in the
+            // benchmark workloads, so cross-type Int/Float hash equality is
+            // not required (and equi-joins always compare like types).
+            Value::Float(f) => {
+                state.write_u8(3);
+                state.write_u64(f.to_bits());
+            }
+            Value::Str(s) => {
+                state.write_u8(4);
+                state.write(s.as_bytes());
+            }
+            Value::Date(d) => {
+                state.write_u8(2); // hash-compatible with Int per Ord above
+                state.write_u64(*d as i64 as u64);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x:.4}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "d{d}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::FxHashMap;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Date(100).as_date(), Some(100));
+        assert!(Value::Null.is_null());
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(!Value::Int(1).is_truthy());
+    }
+
+    #[test]
+    fn equality_and_ordering() {
+        assert_eq!(Value::Int(3), Value::Int(3));
+        assert_ne!(Value::Int(3), Value::Int(4));
+        assert!(Value::Int(3) < Value::Int(4));
+        assert!(Value::Date(10) < Value::Date(20));
+        assert_eq!(Value::str("ab"), Value::str("ab"));
+        assert!(Value::str("ab") < Value::str("ac"));
+        assert!(Value::Null < Value::Int(i64::MIN));
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert!(Value::Int(3) < Value::Float(3.5));
+        assert_eq!(Value::Date(5), Value::Int(5));
+    }
+
+    #[test]
+    fn date_and_int_hash_compatible() {
+        // Ord says Date(5) == Int(5); the Hash impl must agree.
+        let mut m: FxHashMap<Value, i32> = FxHashMap::default();
+        m.insert(Value::Date(5), 1);
+        assert_eq!(m.get(&Value::Int(5)), Some(&1));
+    }
+
+    #[test]
+    fn usable_as_join_key() {
+        let mut m: FxHashMap<Value, Vec<i32>> = FxHashMap::default();
+        m.entry(Value::Int(42)).or_default().push(1);
+        m.entry(Value::Int(42)).or_default().push(2);
+        assert_eq!(m[&Value::Int(42)], vec![1, 2]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::str("MAIL").to_string(), "MAIL");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

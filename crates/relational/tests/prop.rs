@@ -1,0 +1,113 @@
+//! Property tests for the relational substrate.
+
+use proptest::prelude::*;
+
+use skipper_relational::expr::{CmpOp, Expr};
+use skipper_relational::schema::{DataType, Schema};
+use skipper_relational::segment::Segment;
+use skipper_relational::tuple::Row;
+use skipper_relational::value::Value;
+
+/// Arbitrary scalar values (join-key-compatible subset).
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(|s| Value::str(&s)),
+        any::<i32>().prop_map(Value::Date),
+    ]
+}
+
+proptest! {
+    /// The value ordering is a total order: antisymmetric, transitive,
+    /// and Eq-consistent (required for BTreeMap keys and sort stability).
+    #[test]
+    fn value_total_order_laws(a in value(), b in value(), c in value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => {
+                prop_assert_eq!(b.cmp(&a), Ordering::Equal);
+                prop_assert_eq!(&a, &b);
+            }
+        }
+        // Transitivity (≤).
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Hash/Eq consistency: equal values hash identically (spot-checked
+    /// through a real map).
+    #[test]
+    fn equal_values_collide_in_maps(v in value()) {
+        use skipper_relational::hash::FxHashMap;
+        let mut m: FxHashMap<Value, u8> = FxHashMap::default();
+        m.insert(v.clone(), 1);
+        prop_assert_eq!(m.get(&v), Some(&1));
+    }
+
+    /// The segment codec round-trips arbitrary well-typed rows.
+    #[test]
+    fn codec_roundtrips_arbitrary_rows(
+        ints in proptest::collection::vec(any::<i64>(), 0..40),
+        strs in proptest::collection::vec("[\\PC]{0,24}", 0..40),
+    ) {
+        let n = ints.len().min(strs.len());
+        let schema = Schema::of(&[("i", DataType::Int), ("s", DataType::Str)]);
+        let rows: Vec<Row> = (0..n)
+            .map(|k| Row::new(vec![Value::Int(ints[k]), Value::str(&strs[k])]))
+            .collect();
+        let seg = Segment::new(schema.clone(), rows).unwrap();
+        let back = Segment::decode(&schema, seg.encode()).unwrap();
+        prop_assert_eq!(seg, back);
+    }
+
+    /// Comparison operators agree with the value ordering, and NULL
+    /// comparisons are always false (SQL semantics).
+    #[test]
+    fn cmp_ops_agree_with_ordering(a in value(), b in value()) {
+        let row = Row::new(vec![a.clone(), b.clone()]);
+        let test = |op: CmpOp| {
+            Expr::Cmp(op, Box::new(Expr::col(0)), Box::new(Expr::col(1))).matches(&row)
+        };
+        if a.is_null() || b.is_null() {
+            for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+                prop_assert!(!test(op), "NULL comparison must be false");
+            }
+        } else {
+            prop_assert_eq!(test(CmpOp::Eq), a == b);
+            prop_assert_eq!(test(CmpOp::Ne), a != b);
+            prop_assert_eq!(test(CmpOp::Lt), a < b);
+            prop_assert_eq!(test(CmpOp::Le), a <= b);
+            prop_assert_eq!(test(CmpOp::Gt), a > b);
+            prop_assert_eq!(test(CmpOp::Ge), a >= b);
+        }
+    }
+
+    /// De Morgan: NOT(a AND b) == (NOT a) OR (NOT b) for boolean columns.
+    #[test]
+    fn boolean_de_morgan(a in any::<bool>(), b in any::<bool>()) {
+        let row = Row::new(vec![Value::Bool(a), Value::Bool(b)]);
+        let ca = || Expr::col(0);
+        let cb = || Expr::col(1);
+        let lhs = Expr::Not(Box::new(ca().and(cb())));
+        let rhs = Expr::Or(vec![Expr::Not(Box::new(ca())), Expr::Not(Box::new(cb()))]);
+        prop_assert_eq!(lhs.matches(&row), rhs.matches(&row));
+    }
+
+    /// IN-list membership matches naive scanning.
+    #[test]
+    fn in_list_matches_linear_scan(
+        needle in any::<i64>(),
+        list in proptest::collection::vec(any::<i64>(), 0..16),
+    ) {
+        let row = Row::new(vec![Value::Int(needle)]);
+        let expr = Expr::col(0).in_list(list.iter().map(|&v| Value::Int(v)).collect());
+        prop_assert_eq!(expr.matches(&row), list.contains(&needle));
+    }
+}

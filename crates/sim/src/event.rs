@@ -1,0 +1,193 @@
+//! Deterministic future-event list.
+//!
+//! A thin wrapper over a binary heap keyed by `(SimTime, sequence)`.
+//! The monotonically increasing sequence number makes simultaneous events
+//! pop in insertion order, which is what makes whole-system runs exactly
+//! reproducible (the paper's experiments are all comparative, so run-to-run
+//! determinism is a feature, not a nicety).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A pending event: fires at `at`, carrying a caller-defined payload.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic priority queue of timestamped events.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were scheduled (FIFO tie-breaking).
+///
+/// # Example
+/// ```
+/// use skipper_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(5), "later");
+/// q.schedule(SimTime::from_secs(1), "first");
+/// q.schedule(SimTime::from_secs(1), "second");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "first")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(5), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    /// Highest timestamp ever popped; used to catch time-travel bugs.
+    last_popped: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `payload` to fire at instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` lies before the last popped event: a discrete-event
+    /// simulation must never schedule into its own past.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.last_popped,
+            "scheduled event at {at:?} before current simulation time {:?}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` when the
+    /// simulation has run dry.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.last_popped);
+        self.last_popped = ev.at;
+        Some((ev.at, ev.payload))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|ev| ev.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The current simulation time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for secs in [9u64, 3, 7, 1, 5] {
+            q.schedule(SimTime::from_secs(secs), secs);
+        }
+        let mut out = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(2);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn tracks_now() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::from_secs(4), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(4));
+        // Scheduling at exactly `now` is allowed (zero-delay follow-ups).
+        q.schedule(q.now(), ());
+        assert_eq!(q.pop(), Some((SimTime::from_secs(4), ())));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current simulation time")]
+    fn rejects_scheduling_into_the_past() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(10) - SimDuration::from_secs(1), ());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "a");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,181 @@
+//! Scheduling metrics and small statistics helpers.
+//!
+//! The fairness/efficiency comparison in §5.2.5 of the paper uses the
+//! *stretch* of a query — observed execution time divided by its ideal
+//! (single-tenant) execution time — aggregated over a workload with the
+//! L2-norm, plus the maximum stretch. Both are provided here, together
+//! with a Welford-style online accumulator used throughout the harness.
+
+use crate::time::SimDuration;
+
+/// Stretch of one query: observed time / ideal (single-client) time.
+///
+/// Returns 1.0 when the ideal time is zero (degenerate queries cannot be
+/// slowed down).
+pub fn stretch(observed: SimDuration, ideal: SimDuration) -> f64 {
+    if ideal.is_zero() {
+        1.0
+    } else {
+        observed.as_secs_f64() / ideal.as_secs_f64()
+    }
+}
+
+/// The L2-norm of a set of stretches: `sqrt(Σ sᵢ²)`.
+///
+/// This is the metric of Bansal & Pruhs ("Server Scheduling in the Lp
+/// Norm") adopted by the paper: it penalizes outliers harder than the
+/// average does, so a scheduler that starves one tenant scores badly even
+/// if it is efficient overall.
+pub fn l2_norm(stretches: &[f64]) -> f64 {
+    stretches.iter().map(|s| s * s).sum::<f64>().sqrt()
+}
+
+/// The maximum stretch across a workload (worst-served query).
+pub fn max_stretch(stretches: &[f64]) -> f64 {
+    stretches.iter().copied().fold(0.0, f64::max)
+}
+
+/// Numerically stable online mean/variance accumulator (Welford).
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// Convenience: mean of a slice of durations, as seconds.
+pub fn mean_secs(durations: &[SimDuration]) -> f64 {
+    if durations.is_empty() {
+        return 0.0;
+    }
+    durations.iter().map(|d| d.as_secs_f64()).sum::<f64>() / durations.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stretch_basics() {
+        let obs = SimDuration::from_secs(30);
+        let ideal = SimDuration::from_secs(10);
+        assert_eq!(stretch(obs, ideal), 3.0);
+        assert_eq!(stretch(obs, SimDuration::ZERO), 1.0);
+    }
+
+    #[test]
+    fn l2_norm_matches_hand_computation() {
+        // sqrt(3² + 4²) = 5
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn l2_norm_penalizes_outliers() {
+        // Same sum: {2,2,2,2} vs {5,1,1,1}. The skewed one has higher norm.
+        let fair = l2_norm(&[2.0, 2.0, 2.0, 2.0]);
+        let skewed = l2_norm(&[5.0, 1.0, 1.0, 1.0]);
+        assert!(skewed > fair);
+    }
+
+    #[test]
+    fn max_stretch_finds_worst() {
+        assert_eq!(max_stretch(&[1.5, 9.0, 2.0]), 9.0);
+        assert_eq!(max_stretch(&[]), 0.0);
+    }
+
+    #[test]
+    fn online_stats_match_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut st = OnlineStats::new();
+        for &x in &xs {
+            st.push(x);
+        }
+        assert_eq!(st.count(), 8);
+        assert!((st.mean() - 5.0).abs() < 1e-12);
+        assert!((st.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(st.min(), Some(2.0));
+        assert_eq!(st.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_empty_and_single() {
+        let mut st = OnlineStats::new();
+        assert_eq!(st.mean(), 0.0);
+        assert_eq!(st.variance(), 0.0);
+        assert_eq!(st.min(), None);
+        st.push(42.0);
+        assert_eq!(st.mean(), 42.0);
+        assert_eq!(st.variance(), 0.0);
+    }
+
+    #[test]
+    fn mean_secs_works() {
+        let ds = [SimDuration::from_secs(1), SimDuration::from_secs(3)];
+        assert!((mean_secs(&ds) - 2.0).abs() < 1e-12);
+        assert_eq!(mean_secs(&[]), 0.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Device activity traces and blocked-time attribution.
+//!
+//! Figure 9 and Table 3 of the paper decompose end-to-end query time into
+//! *group-switch stalls*, *data-transfer stalls*, and *useful processing*.
+//! The CSD model records what it is doing at every instant as a sequence of
+//! [`Activity`] spans; when a client was blocked during `[a, b)`, the
+//! attribution query slices that interval across the recorded spans.
+
+use crate::time::{SimDuration, SimTime};
+
+/// What the storage device is doing during a span of virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Activity {
+    /// Spinning a disk group down/up (the paper's "group switch").
+    Switching,
+    /// Streaming an object to the given client.
+    Transferring {
+        /// Client receiving the object.
+        client: usize,
+    },
+    /// No pending work.
+    Idle,
+}
+
+/// A half-open span `[start, end)` tagged with a device activity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Span start (inclusive).
+    pub start: SimTime,
+    /// Span end (exclusive).
+    pub end: SimTime,
+    /// Device activity during the span.
+    pub activity: Activity,
+}
+
+/// Blocked-time attribution: how much of a wait interval the device spent
+/// switching, transferring, or idle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Attribution {
+    /// Time attributable to group switches.
+    pub switching: SimDuration,
+    /// Time attributable to object transfers (to any client).
+    pub transfer: SimDuration,
+    /// Time the device was idle (e.g. client was the bottleneck).
+    pub idle: SimDuration,
+}
+
+impl Attribution {
+    /// Total attributed time.
+    pub fn total(&self) -> SimDuration {
+        self.switching + self.transfer + self.idle
+    }
+
+    /// Merges another attribution into this one.
+    pub fn merge(&mut self, other: Attribution) {
+        self.switching += other.switching;
+        self.transfer += other.transfer;
+        self.idle += other.idle;
+    }
+}
+
+/// An append-only log of device activity spans, ordered by time.
+///
+/// The device appends one span per state change; spans never overlap.
+/// Attribution queries binary-search the log, so post-hoc analysis of a
+/// whole experiment is `O(clients · log spans)`.
+#[derive(Default)]
+pub struct ActivityTrace {
+    spans: Vec<Span>,
+}
+
+impl ActivityTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds a trace from previously exported spans (see
+    /// [`ActivityTrace::spans`]); spans must be in time order and
+    /// non-overlapping.
+    pub fn from_spans(spans: impl IntoIterator<Item = Span>) -> Self {
+        let mut tr = ActivityTrace::new();
+        for s in spans {
+            tr.record(s.start, s.end, s.activity);
+        }
+        tr
+    }
+
+    /// Appends a span. Zero-length spans are dropped.
+    ///
+    /// # Panics
+    /// Panics if the span starts before the previous span ended (the
+    /// device records strictly sequential activity) or if `end < start`.
+    pub fn record(&mut self, start: SimTime, end: SimTime, activity: Activity) {
+        assert!(end >= start, "span ends before it starts");
+        if end == start {
+            return;
+        }
+        if let Some(last) = self.spans.last() {
+            assert!(
+                start >= last.end,
+                "span at {start:?} overlaps previous span ending {:?}",
+                last.end
+            );
+        }
+        // Coalesce adjacent spans with identical activity to keep the log
+        // small over long experiments.
+        if let Some(last) = self.spans.last_mut() {
+            if last.end == start && last.activity == activity {
+                last.end = end;
+                return;
+            }
+        }
+        self.spans.push(Span {
+            start,
+            end,
+            activity,
+        });
+    }
+
+    /// All recorded spans, in time order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Slices the interval `[from, to)` across the recorded spans and sums
+    /// the overlap per activity class. Portions of the interval not covered
+    /// by any span count as idle (the device had not started / had shut
+    /// down).
+    pub fn attribute(&self, from: SimTime, to: SimTime) -> Attribution {
+        let mut out = Attribution::default();
+        if to <= from {
+            return out;
+        }
+        // First span that could overlap: the last span with start <= from,
+        // found via partition point.
+        let idx = self.spans.partition_point(|s| s.end <= from);
+        let mut covered = SimDuration::ZERO;
+        for span in &self.spans[idx..] {
+            if span.start >= to {
+                break;
+            }
+            let lo = span.start.max(from);
+            let hi = span.end.min(to);
+            if hi <= lo {
+                continue;
+            }
+            let dur = hi.since(lo);
+            covered += dur;
+            match span.activity {
+                Activity::Switching => out.switching += dur,
+                Activity::Transferring { .. } => out.transfer += dur,
+                Activity::Idle => out.idle += dur,
+            }
+        }
+        out.idle += to.since(from).saturating_sub(covered);
+        out
+    }
+
+    /// Total time spent in [`Activity::Switching`] over the whole trace.
+    pub fn total_switching(&self) -> SimDuration {
+        self.spans
+            .iter()
+            .filter(|s| s.activity == Activity::Switching)
+            .map(|s| s.end.since(s.start))
+            .sum()
+    }
+
+    /// Number of distinct switching spans (= number of group switches).
+    pub fn switch_count(&self) -> usize {
+        self.spans
+            .iter()
+            .filter(|s| s.activity == Activity::Switching)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn sample_trace() -> ActivityTrace {
+        let mut tr = ActivityTrace::new();
+        tr.record(t(0), t(10), Activity::Switching);
+        tr.record(t(10), t(15), Activity::Transferring { client: 0 });
+        tr.record(t(15), t(25), Activity::Switching);
+        tr.record(t(25), t(30), Activity::Transferring { client: 1 });
+        tr.record(t(30), t(32), Activity::Idle);
+        tr
+    }
+
+    #[test]
+    fn attributes_full_interval() {
+        let tr = sample_trace();
+        let a = tr.attribute(t(0), t(32));
+        assert_eq!(a.switching, d(20));
+        assert_eq!(a.transfer, d(10));
+        assert_eq!(a.idle, d(2));
+        assert_eq!(a.total(), d(32));
+    }
+
+    #[test]
+    fn attributes_partial_overlap() {
+        let tr = sample_trace();
+        // [5, 12): 5 s of the first switch + 2 s of the first transfer.
+        let a = tr.attribute(t(5), t(12));
+        assert_eq!(a.switching, d(5));
+        assert_eq!(a.transfer, d(2));
+        assert_eq!(a.idle, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn uncovered_time_counts_as_idle() {
+        let tr = sample_trace();
+        let a = tr.attribute(t(30), t(40));
+        assert_eq!(a.idle, d(10)); // 2 s recorded idle + 8 s uncovered
+        assert_eq!(a.switching, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        let tr = sample_trace();
+        assert_eq!(tr.attribute(t(5), t(5)), Attribution::default());
+        assert_eq!(tr.attribute(t(9), t(3)), Attribution::default());
+    }
+
+    #[test]
+    fn coalesces_adjacent_same_activity() {
+        let mut tr = ActivityTrace::new();
+        tr.record(t(0), t(5), Activity::Switching);
+        tr.record(t(5), t(9), Activity::Switching);
+        assert_eq!(tr.spans().len(), 1);
+        assert_eq!(tr.total_switching(), d(9));
+        assert_eq!(tr.switch_count(), 1);
+    }
+
+    #[test]
+    fn distinct_transfers_not_coalesced() {
+        let mut tr = ActivityTrace::new();
+        tr.record(t(0), t(5), Activity::Transferring { client: 0 });
+        tr.record(t(5), t(9), Activity::Transferring { client: 1 });
+        assert_eq!(tr.spans().len(), 2);
+    }
+
+    #[test]
+    fn zero_length_spans_dropped() {
+        let mut tr = ActivityTrace::new();
+        tr.record(t(3), t(3), Activity::Idle);
+        assert!(tr.spans().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_spans_rejected() {
+        let mut tr = ActivityTrace::new();
+        tr.record(t(0), t(5), Activity::Idle);
+        tr.record(t(4), t(6), Activity::Idle);
+    }
+
+    #[test]
+    fn switch_counting() {
+        let tr = sample_trace();
+        assert_eq!(tr.switch_count(), 2);
+        assert_eq!(tr.total_switching(), d(20));
+    }
+}

@@ -1,0 +1,50 @@
+//! Cold storage economics calculator (§2.1 / §3.1 of the paper).
+//!
+//! Prints the acquisition cost of a database under every storage
+//! configuration of Figure 2 and the savings from collapsing the
+//! capacity + archival tiers into a CSD-based cold storage tier
+//! (Figure 3), for a database size given on the command line (in TB,
+//! default 100).
+//!
+//! ```text
+//! cargo run --release --example cold_storage_costs -- 250
+//! ```
+
+use skipper::cost::model::{CsdTiering, StorageConfig};
+use skipper::cost::tiers::{DevicePricing, CSD_PRICE_POINTS};
+
+fn main() {
+    let tb: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100.0);
+    let gb = tb * 1024.0;
+    let pricing = DevicePricing::default();
+
+    println!("=== acquisition cost of a {tb:.0} TB database ===");
+    for config in StorageConfig::ALL {
+        println!(
+            "{:>9}: ${:>12.0}",
+            config.label(),
+            config.cost(&pricing, gb)
+        );
+    }
+
+    println!(
+        "\n=== replacing capacity + archival tiers with a CSD ===\n\
+         (break-even CSD price: ${:.2}/GB — cheaper than this and the CST wins)",
+        CsdTiering::break_even_price(&pricing)
+    );
+    for tiering in [CsdTiering::ThreeTier, CsdTiering::FourTier] {
+        let trad = tiering.traditional_cost(&pricing, gb);
+        println!("{} hierarchy (traditional: ${trad:.0}):", tiering.label());
+        for &price in &CSD_PRICE_POINTS {
+            let csd = tiering.csd_cost(&pricing, price, gb);
+            println!(
+                "  CSD at ${price:.2}/GB: ${csd:>12.0}  (saves ${:>12.0}, {:.2}x)",
+                trad - csd,
+                trad / csd
+            );
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! The paper's headline scenario (Figure 7): five tenant databases share
+//! one cold storage device, each running TPC-H Q12.
+//!
+//! Sweeps the client count from 1 to 5 and prints the three lines of the
+//! figure — pull-based PostgreSQL on the CSD, Skipper on the CSD, and the
+//! no-switch HDD ideal — plus the per-client stall anatomy at five
+//! clients (Figure 9's story).
+//!
+//! ```text
+//! cargo run --release --example multi_tenant_tpch
+//! ```
+
+use skipper::core::driver::{EngineKind, Scenario};
+use skipper::csd::LayoutPolicy;
+use skipper::datagen::{tpch, GenConfig};
+
+fn main() {
+    // SF-16 keeps the example fast while giving Q12 a 16+3-object
+    // working set; the bench harness runs the full SF-50 versions.
+    let data = tpch::dataset(&GenConfig::new(7, 16).with_phys_divisor(100_000));
+    let q12 = tpch::q12(&data);
+
+    println!("clients  vanilla(s)  skipper(s)  ideal(s)  vanilla/skipper");
+    let ideal = Scenario::new(data.clone())
+        .engine(EngineKind::Vanilla)
+        .layout(LayoutPolicy::AllInOne)
+        .repeat_query(q12.clone(), 1)
+        .run()
+        .mean_query_secs();
+    for clients in 1..=5 {
+        let vanilla = Scenario::new(data.clone())
+            .clients(clients)
+            .engine(EngineKind::Vanilla)
+            .repeat_query(q12.clone(), 1)
+            .run()
+            .mean_query_secs();
+        let skipper = Scenario::new(data.clone())
+            .clients(clients)
+            .engine(EngineKind::Skipper)
+            .cache_bytes(12 << 30)
+            .repeat_query(q12.clone(), 1)
+            .run()
+            .mean_query_secs();
+        println!(
+            "{clients:>7}  {vanilla:>10.0}  {skipper:>10.0}  {ideal:>8.0}  {:>15.2}x",
+            vanilla / skipper
+        );
+    }
+
+    // The Figure 9 story at five clients: where does the time go?
+    println!("\nstall anatomy at 5 clients:");
+    for kind in [EngineKind::Vanilla, EngineKind::Skipper] {
+        let res = Scenario::new(data.clone())
+            .clients(5)
+            .engine(kind)
+            .cache_bytes(12 << 30)
+            .repeat_query(q12.clone(), 1)
+            .run();
+        let (mut proc, mut sw, mut tr, mut total) = (0.0, 0.0, 0.0, 0.0);
+        for r in res.records() {
+            proc += r.processing.as_secs_f64();
+            sw += r.stalls.switching.as_secs_f64();
+            tr += r.stalls.transfer.as_secs_f64();
+            total += r.duration().as_secs_f64();
+        }
+        println!(
+            "  {:>8}: processing {:>4.1}%  switch {:>4.1}%  transfer {:>4.1}%",
+            kind.label(),
+            100.0 * proc / total,
+            100.0 * sw / total,
+            100.0 * tr / total
+        );
+    }
+}

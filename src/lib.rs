@@ -1,0 +1,56 @@
+//! # Skipper — cheap data analytics on cold storage devices
+//!
+//! A from-scratch reproduction of *"Cheap Data Analytics using Cold
+//! Storage Devices"* (Borovica-Gajić, Appuswamy, Ailamaki — PVLDB 9(12),
+//! 2016): a query-execution framework that makes multi-second MAID
+//! group-switch latencies disappear behind out-of-order, cache-aware
+//! multi-way join execution and query-aware device scheduling.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! * [`sim`] — deterministic discrete-event simulation substrate.
+//! * [`csd`] — the cold storage device model (groups, switches,
+//!   schedulers, layouts).
+//! * [`relational`] — the relational engine substrate (rows, expressions,
+//!   scans, hash joins, aggregation).
+//! * [`datagen`] — miniature TPC-H / SSB / MR-bench / NREF generators
+//!   with the paper's segment geometry.
+//! * [`cost`] — storage-tiering economics (Figures 2-3).
+//! * [`core`] — Skipper itself: the MJoin state manager, maximal-progress
+//!   cache, client proxy, and the multi-tenant scenario driver.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use skipper::core::driver::{EngineKind, Scenario};
+//! use skipper::datagen::{tpch, GenConfig};
+//!
+//! // A miniature TPC-H instance (SF-2) and its Q12.
+//! let data = tpch::dataset(&GenConfig::new(42, 2).with_phys_divisor(200_000));
+//! let q12 = tpch::q12(&data);
+//!
+//! // Three tenants sharing one CSD, each running Q12 through Skipper.
+//! let result = Scenario::new(data)
+//!     .clients(3)
+//!     .engine(EngineKind::Skipper)
+//!     .cache_bytes(10 << 30)
+//!     .repeat_query(q12, 1)
+//!     .run();
+//!
+//! assert_eq!(result.device.group_switches, 2); // one residency per tenant
+//! println!("mean query time: {:.0}s", result.mean_query_secs());
+//! ```
+//!
+//! Run `cargo run --release -p skipper-bench --bin all` to regenerate
+//! every table and figure of the paper; see `EXPERIMENTS.md` for the
+//! recorded paper-vs-measured comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use skipper_core as core;
+pub use skipper_cost as cost;
+pub use skipper_csd as csd;
+pub use skipper_datagen as datagen;
+pub use skipper_relational as relational;
+pub use skipper_sim as sim;

@@ -1,0 +1,157 @@
+//! Scheduler fairness and efficiency properties (§4.4, Figure 12).
+
+use proptest::prelude::*;
+
+use skipper::csd::sched::{Decision, GroupScheduler, PendingRequest, RankBased, Residency};
+use skipper::csd::{ObjectId, QueryId, SchedPolicy};
+use skipper::sim::SimTime;
+
+fn req(group: u32, tenant: u16, seq: u64) -> PendingRequest {
+    PendingRequest {
+        object: ObjectId::new(tenant, 0, seq as u32),
+        query: QueryId::new(tenant, 0),
+        client: tenant as usize,
+        group,
+        arrival: SimTime::ZERO,
+        seq,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Starvation bound: with K = 1, a group holding one query among
+    /// groups holding at most `n` queries each is served within `n + 1`
+    /// switches — the derivation behind the paper's "once every four
+    /// group switches" example.
+    #[test]
+    fn rank_based_serves_lone_group_within_bound(
+        popular_queries in 1u16..8,
+        popular_groups in 1u32..4,
+    ) {
+        let mut pending = Vec::new();
+        let mut seq = 0u64;
+        for g in 0..popular_groups {
+            for q in 0..popular_queries {
+                pending.push(req(g, (g * 100) as u16 + q, seq));
+                seq += 1;
+            }
+        }
+        let lone_group = popular_groups;
+        pending.push(req(lone_group, 999, seq));
+
+        let mut sched = RankBased::new();
+        let empty = Residency::new();
+        let mut switches = 0u32;
+        let bound = (popular_queries as u32 + 1) * popular_groups;
+        loop {
+            match sched.decide(&pending, None, &empty) {
+                Decision::SwitchTo(g) => {
+                    switches += 1;
+                    sched.on_switch_complete(&pending, g);
+                    if g == lone_group {
+                        break;
+                    }
+                    // Popular queries are a steady stream: their requests
+                    // never drain.
+                    prop_assert!(
+                        switches <= bound,
+                        "lone group starved for {switches} switches (bound {bound})"
+                    );
+                }
+                other => prop_assert!(false, "unexpected decision {other:?}"),
+            }
+        }
+        prop_assert!(switches <= bound);
+    }
+
+    /// With K = 0 the rank degenerates to Max-Queries: the same group is
+    /// picked every time regardless of waiting.
+    #[test]
+    fn rank_with_zero_k_matches_max_queries(switch_rounds in 1u32..20) {
+        let pending = vec![
+            req(0, 0, 0),
+            req(0, 1, 1),
+            req(1, 2, 2),
+        ];
+        let mut rank0 = RankBased::with_k(0.0);
+        let mut maxq = SchedPolicy::MaxQueries.build();
+        let empty = Residency::new();
+        for _ in 0..switch_rounds {
+            let a = rank0.decide(&pending, None, &empty);
+            let b = maxq.decide(&pending, None, &empty);
+            prop_assert_eq!(a, b);
+            if let Decision::SwitchTo(g) = a {
+                rank0.on_switch_complete(&pending, g);
+                maxq.on_switch_complete(&pending, g);
+            }
+        }
+    }
+
+    /// Waiting times reset exactly for the queries on the loaded group
+    /// and grow by one elsewhere (the W_q definition).
+    #[test]
+    fn waiting_time_bookkeeping(loads in proptest::collection::vec(0u32..3, 1..12)) {
+        let pending = vec![req(0, 0, 0), req(1, 1, 1), req(2, 2, 2)];
+        let mut sched = RankBased::new();
+        let mut expected = [0u64; 3];
+        for g in loads {
+            sched.on_switch_complete(&pending, g);
+            for (q, e) in expected.iter_mut().enumerate() {
+                if q as u32 == g {
+                    *e = 0;
+                } else {
+                    *e += 1;
+                }
+            }
+            for (q, &e) in expected.iter().enumerate() {
+                prop_assert_eq!(sched.waiting_of(QueryId::new(q as u16, 0)), e);
+            }
+        }
+    }
+}
+
+/// The three Figure 12 policies order as the paper reports on a skewed
+/// layout: Max-Queries worst max-stretch, FCFS worst cumulative time,
+/// ranking in between on both axes.
+#[test]
+fn figure12_ordering_holds() {
+    use skipper::core::driver::{EngineKind, Scenario};
+    use skipper::csd::LayoutPolicy;
+    use skipper::datagen::{tpch, GenConfig};
+    use skipper::sim::stats::max_stretch;
+    use skipper::sim::SimDuration;
+
+    let ds = tpch::dataset(&GenConfig::new(12, 8).with_phys_divisor(200_000));
+    let q12 = tpch::q12(&ds);
+    let ideal = Scenario::new(ds.clone())
+        .engine(EngineKind::Skipper)
+        .cache_bytes(8 << 30)
+        .repeat_query(q12.clone(), 1)
+        .run()
+        .mean_query_secs();
+    let run = |policy| {
+        let res = Scenario::new(ds.clone())
+            .clients(5)
+            .engine(EngineKind::Skipper)
+            .cache_bytes(8 << 30)
+            .layout(LayoutPolicy::TwoClientsPerGroup)
+            .scheduler(policy)
+            .repeat_query(q12.clone(), 4)
+            .run();
+        let stretches = res.stretches(SimDuration::from_secs_f64(ideal));
+        (max_stretch(&stretches), res.cumulative_secs())
+    };
+    let (fcfs_max, fcfs_cum) = run(SchedPolicy::FcfsQuery);
+    let (mq_max, mq_cum) = run(SchedPolicy::MaxQueries);
+    let (rank_max, rank_cum) = run(SchedPolicy::RankBased);
+
+    assert!(
+        mq_max > rank_max && mq_max > fcfs_max,
+        "Max-Queries must starve hardest: mq={mq_max:.1} rank={rank_max:.1} fcfs={fcfs_max:.1}"
+    );
+    assert!(
+        mq_cum <= rank_cum && rank_cum <= fcfs_cum * 1.01,
+        "efficiency order violated: mq={mq_cum:.0} rank={rank_cum:.0} fcfs={fcfs_cum:.0}"
+    );
+}
