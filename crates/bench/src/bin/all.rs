@@ -22,6 +22,7 @@ fn main() {
     section("table2", &mut |_| table2::table2());
     section("fig7", &mut skipper_exp::fig7);
     section("fig8", &mut mixed::fig8);
+    section("mixed-fleet", &mut mixed::mixed_fleet);
     section("fig9", &mut skipper_exp::fig9);
     section("table3", &mut skipper_exp::table3);
     section("fig10", &mut skipper_exp::fig10);
@@ -33,5 +34,8 @@ fn main() {
     section("outlook", &mut outlook::outlook);
     section("suite", &mut suite::suite);
     section("power", &mut power_exp::power);
-    eprintln!("[all experiments in {:.1}s]", started.elapsed().as_secs_f64());
+    eprintln!(
+        "[all experiments in {:.1}s]",
+        started.elapsed().as_secs_f64()
+    );
 }

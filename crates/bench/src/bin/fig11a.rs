@@ -2,5 +2,8 @@
 use skipper_bench::Ctx;
 fn main() {
     let mut ctx = Ctx::new();
-    println!("{}", skipper_bench::experiments::layout_exp::fig11a(&mut ctx));
+    println!(
+        "{}",
+        skipper_bench::experiments::layout_exp::fig11a(&mut ctx)
+    );
 }

@@ -2,5 +2,8 @@
 use skipper_bench::Ctx;
 fn main() {
     let mut ctx = Ctx::new();
-    println!("{}", skipper_bench::experiments::cache_exp::fig11c(&mut ctx));
+    println!(
+        "{}",
+        skipper_bench::experiments::cache_exp::fig11c(&mut ctx)
+    );
 }

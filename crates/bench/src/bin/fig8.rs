@@ -1,6 +1,12 @@
-//! Regenerates Figure 8 (mixed workload cumulative execution time).
+//! Regenerates Figure 8 (mixed workload cumulative execution time) and
+//! the heterogeneous-fleet extension (Skipper + PostgreSQL tenants in
+//! one scenario).
 use skipper_bench::Ctx;
 fn main() {
     let mut ctx = Ctx::new();
     println!("{}", skipper_bench::experiments::mixed::fig8(&mut ctx));
+    println!(
+        "{}",
+        skipper_bench::experiments::mixed::mixed_fleet(&mut ctx)
+    );
 }

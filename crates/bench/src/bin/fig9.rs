@@ -2,5 +2,8 @@
 use skipper_bench::Ctx;
 fn main() {
     let mut ctx = Ctx::new();
-    println!("{}", skipper_bench::experiments::skipper_exp::fig9(&mut ctx));
+    println!(
+        "{}",
+        skipper_bench::experiments::skipper_exp::fig9(&mut ctx)
+    );
 }

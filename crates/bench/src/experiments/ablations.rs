@@ -152,7 +152,13 @@ pub fn pruning_rows(ctx: &mut Ctx) -> Vec<AblationRow> {
 pub fn ablations(ctx: &mut Ctx) -> Table {
     let mut t = Table::new(
         "Ablations: Skipper design choices (5 clients)",
-        &["dimension", "variant", "avg exec (s)", "GETs/client", "subplans/client"],
+        &[
+            "dimension",
+            "variant",
+            "avg exec (s)",
+            "GETs/client",
+            "subplans/client",
+        ],
     );
     let mut rows = eviction_rows(ctx);
     rows.extend(ordering_rows(ctx));
@@ -190,7 +196,9 @@ mod tests {
         let without = run(false);
         let with = run(true);
         let sub = |res: &skipper_core::driver::RunResult| {
-            res.records().map(|r| r.stats.subplans_executed).sum::<u64>()
+            res.records()
+                .map(|r| r.stats.subplans_executed)
+                .sum::<u64>()
         };
         assert!(
             sub(&with) < sub(&without),

@@ -19,7 +19,10 @@ use crate::report::{secs, Table};
 /// array's 1.2 GB/s aggregate is not bandwidth-bound at five streams),
 /// which is why the paper's ideal line in Figure 4 stays flat as clients
 /// are added. Modelled as an uncontended single-client run.
-pub fn ideal_hdd_secs(ds: &skipper_datagen::Dataset, q: &skipper_relational::query::QuerySpec) -> f64 {
+pub fn ideal_hdd_secs(
+    ds: &skipper_datagen::Dataset,
+    q: &skipper_relational::query::QuerySpec,
+) -> f64 {
     Scenario::new(ds.clone())
         .engine(EngineKind::Vanilla)
         .layout(LayoutPolicy::AllInOne)

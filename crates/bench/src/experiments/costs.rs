@@ -10,7 +10,14 @@ pub fn table1() -> Table {
     let p = DevicePricing::default();
     let mut t = Table::new(
         "Table 1: acquisition cost ($/GB) and data placement per tiering strategy",
-        &["strategy", "SSD", "15k-HDD", "7.2k-HDD", "tape", "$/GB blended"],
+        &[
+            "strategy",
+            "SSD",
+            "15k-HDD",
+            "7.2k-HDD",
+            "tape",
+            "$/GB blended",
+        ],
     );
     t.push_row(vec![
         "cost $/GB".into(),
@@ -76,7 +83,13 @@ pub fn fig3_rows() -> Vec<(&'static str, f64, f64, f64, f64)> {
 pub fn fig3() -> Table {
     let mut t = Table::new(
         "Figure 3: CSD-based cold storage tier vs traditional hierarchy (100 TB, k$)",
-        &["hierarchy", "CSD $/GB", "traditional", "with CST", "savings"],
+        &[
+            "hierarchy",
+            "CSD $/GB",
+            "traditional",
+            "with CST",
+            "savings",
+        ],
     );
     for (label, price, trad, csd, save) in fig3_rows() {
         t.push_row(vec![

@@ -1,13 +1,19 @@
-//! Figure 8: cumulative execution time under a mixed workload.
+//! Figure 8: cumulative execution time under a mixed workload — plus
+//! the mixed-*engine* fleet the layered runtime unlocks.
 //!
 //! Four tenants share the CSD, each running a different benchmark five
 //! times: TPC-H Q12, the MR-bench JoinTask, the NREF protein-count query,
 //! and SSB Q1.1 — the paper's demonstration that Skipper's benefit is not
-//! TPC-H-specific.
+//! TPC-H-specific. The paper compares two homogeneous fleets (all
+//! PostgreSQL vs all Skipper); [`mixed_fleet_rows`] additionally runs a
+//! *heterogeneous* fleet — Skipper and Vanilla tenants side by side in
+//! one scenario — which the seed's single-global-engine driver could not
+//! express.
 
 use std::sync::Arc;
 
 use skipper_core::driver::{EngineKind, Scenario};
+use skipper_core::runtime::{SkipperFactory, VanillaFactory, Workload};
 use skipper_datagen::{mrbench, nref, ssb, tpch, Dataset};
 use skipper_relational::query::QuerySpec;
 
@@ -48,22 +54,19 @@ pub fn tenants(ctx: &mut Ctx) -> Vec<(&'static str, Arc<Dataset>, QuerySpec)> {
 pub fn fig8_rows(ctx: &mut Ctx, reps: usize) -> Vec<Fig8Row> {
     let tenants = tenants(ctx);
     let run = |engine: EngineKind| {
-        let clients: Vec<(Arc<Dataset>, Vec<QuerySpec>)> = tenants
+        let workloads: Vec<Workload> = tenants
             .iter()
             .map(|(_, ds, q)| {
-                (
-                    Arc::clone(ds),
-                    std::iter::repeat_with(|| q.clone()).take(reps).collect(),
-                )
+                let w = Workload::new(Arc::clone(ds)).repeat_query(q.clone(), reps);
+                match engine {
+                    EngineKind::Skipper => {
+                        w.engine(SkipperFactory::default().cache_bytes(30 * GIB))
+                    }
+                    EngineKind::Vanilla => w.engine(VanillaFactory),
+                }
             })
             .collect();
-        // Base dataset is unused once custom clients are set; reuse the
-        // first tenant's.
-        Scenario::new((*tenants[0].1).clone())
-            .custom_clients(clients)
-            .engine(engine)
-            .cache_bytes(30 * GIB)
-            .run()
+        Scenario::from_workloads(workloads).run()
     };
     let vanilla = run(EngineKind::Vanilla);
     let skipper = run(EngineKind::Skipper);
@@ -103,6 +106,70 @@ pub fn fig8(ctx: &mut Ctx) -> Table {
     t
 }
 
+/// One tenant's outcome in the heterogeneous fleet.
+#[derive(Clone, Debug)]
+pub struct MixedFleetRow {
+    /// Benchmark label.
+    pub benchmark: &'static str,
+    /// Engine the tenant ran ("skipper"/"vanilla").
+    pub engine: &'static str,
+    /// Cumulative execution time over `reps` runs.
+    pub cumulative_secs: f64,
+    /// GETs in the tenant's first upfront batch (whole working set for
+    /// Skipper, 1 for the pull-based baseline).
+    pub upfront_gets: u64,
+}
+
+/// The mixed-engine migration scenario: TPC-H and NREF tenants have
+/// upgraded to Skipper while MR-bench and SSB still run pull-based
+/// PostgreSQL — all four against one shared device in a single run.
+pub fn mixed_fleet_rows(ctx: &mut Ctx, reps: usize) -> Vec<MixedFleetRow> {
+    let tenants = tenants(ctx);
+    let workloads: Vec<Workload> = tenants
+        .iter()
+        .enumerate()
+        .map(|(i, (_, ds, q))| {
+            let w = Workload::new(Arc::clone(ds)).repeat_query(q.clone(), reps);
+            if i % 2 == 0 {
+                w.engine(SkipperFactory::default().cache_bytes(30 * GIB))
+            } else {
+                w.engine(VanillaFactory)
+            }
+        })
+        .collect();
+    let res = Scenario::from_workloads(workloads).run();
+    tenants
+        .iter()
+        .enumerate()
+        .map(|(c, (label, _, _))| MixedFleetRow {
+            benchmark: label,
+            engine: res.clients[c][0].engine,
+            cumulative_secs: res.clients[c]
+                .iter()
+                .map(|r| r.duration().as_secs_f64())
+                .sum(),
+            upfront_gets: res.clients[c][0].upfront_gets,
+        })
+        .collect()
+}
+
+/// The mixed-engine fleet as a printable table.
+pub fn mixed_fleet(ctx: &mut Ctx) -> Table {
+    let mut t = Table::new(
+        "Mixed-engine fleet: Skipper and PostgreSQL tenants sharing one CSD (5 runs each, s)",
+        &["benchmark", "engine", "cumulative(s)", "upfront GETs"],
+    );
+    for r in mixed_fleet_rows(ctx, 5) {
+        t.push_row(vec![
+            r.benchmark.into(),
+            r.engine.into(),
+            secs(r.cumulative_secs),
+            r.upfront_gets.to_string(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +202,27 @@ mod tests {
         }
         // The TPC-H tenant's result is non-trivial.
         assert!(!s.clients[0][0].result.is_empty());
+    }
+
+    #[test]
+    fn mixed_fleet_is_truly_heterogeneous() {
+        let mut ctx = Ctx::new();
+        let tpch_ds = ctx.tpch(2, 200_000);
+        let mr_ds = ctx.mrbench(2, 200_000);
+        let workloads = vec![
+            Workload::new(Arc::clone(&tpch_ds))
+                .repeat_query(tpch::q12(&tpch_ds), 1)
+                .engine(SkipperFactory::default().cache_bytes(20 * GIB)),
+            Workload::new(Arc::clone(&mr_ds))
+                .repeat_query(mrbench::join_task(&mr_ds), 1)
+                .engine(VanillaFactory),
+        ];
+        let res = Scenario::from_workloads(workloads).run();
+        assert_eq!(res.clients[0][0].engine, "skipper");
+        assert_eq!(res.clients[1][0].engine, "vanilla");
+        // Skipper issues its working set upfront; vanilla pulls one
+        // object at a time.
+        assert!(res.clients[0][0].upfront_gets > 1);
+        assert_eq!(res.clients[1][0].upfront_gets, 1);
     }
 }

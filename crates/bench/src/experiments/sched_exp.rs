@@ -80,7 +80,12 @@ pub fn fig12_rows(ctx: &mut Ctx, reps: usize) -> Vec<Fig12Row> {
 pub fn fig12(ctx: &mut Ctx) -> Table {
     let mut t = Table::new(
         "Figure 12: fairness vs efficiency (5 clients × Q12 × 10, skewed layout)",
-        &["scheduler", "L2-norm stretch", "max stretch", "cumulative (s)"],
+        &[
+            "scheduler",
+            "L2-norm stretch",
+            "max stretch",
+            "cumulative (s)",
+        ],
     );
     for r in fig12_rows(ctx, 10) {
         t.push_row(vec![

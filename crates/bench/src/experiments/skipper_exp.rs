@@ -130,7 +130,13 @@ pub fn fig9_rows(ctx: &mut Ctx) -> Vec<Fig9Row> {
 pub fn fig9(ctx: &mut Ctx) -> Table {
     let mut t = Table::new(
         "Figure 9: avg execution-time breakdown, 5 clients (fractions of total)",
-        &["engine", "processing", "switch stall", "transfer stall", "device idle"],
+        &[
+            "engine",
+            "processing",
+            "switch stall",
+            "transfer stall",
+            "device idle",
+        ],
     );
     for r in fig9_rows(ctx) {
         t.push_row(vec![
@@ -277,7 +283,11 @@ pub fn table3(ctx: &mut Ctx) -> Table {
             sv.map(|x| pct(x / st)).unwrap_or_else(|| "/".into()),
         ]);
     };
-    push("Query execution", v.query_exec_secs, Some(s.query_exec_secs));
+    push(
+        "Query execution",
+        v.query_exec_secs,
+        Some(s.query_exec_secs),
+    );
     push("FUSE file system", v.fuse_secs, None);
     push("Network access", v.network_secs, Some(s.network_secs));
     t

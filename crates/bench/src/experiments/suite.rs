@@ -76,7 +76,14 @@ pub fn suite_rows(ctx: &mut Ctx) -> Vec<SuiteRow> {
 pub fn suite(ctx: &mut Ctx) -> Table {
     let mut t = Table::new(
         "Bonus: extended TPC-H suite (SF-50, 5 clients, S=10s, avg exec s)",
-        &["query", "objects", "PostgreSQL", "Skipper", "speedup", "rows"],
+        &[
+            "query",
+            "objects",
+            "PostgreSQL",
+            "Skipper",
+            "speedup",
+            "rows",
+        ],
     );
     for r in suite_rows(ctx) {
         t.push_row(vec![

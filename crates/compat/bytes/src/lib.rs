@@ -1,0 +1,291 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the exact subset of the `bytes` 1.x API the segment wire codec uses:
+//! [`Bytes`] (an immutable, sliceable byte view with big-endian `get_*`
+//! cursor reads via [`Buf`]) and [`BytesMut`] (an appendable buffer with
+//! big-endian `put_*` writes via [`BufMut`]).
+//!
+//! The real crate's zero-copy `Arc`-backed representation is replaced by
+//! an `Arc<[u8]> + range` view — semantically identical for codec use,
+//! including cheap `clone`/`slice`/`split_to`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// Read access with a consuming cursor (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads the next `n` bytes.
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` bytes remain.
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    /// True when at least one byte remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one `u8`.
+    fn get_u8(&mut self) -> u8 {
+        self.take_bytes(1)[0]
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_bytes(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads a big-endian `i32`.
+    fn get_i32(&mut self) -> i32 {
+        i32::from_be_bytes(self.take_bytes(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_bytes(8).try_into().expect("8 bytes"))
+    }
+
+    /// Reads a big-endian `i64`.
+    fn get_i64(&mut self) -> i64 {
+        i64::from_be_bytes(self.take_bytes(8).try_into().expect("8 bytes"))
+    }
+
+    /// Reads a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.take_bytes(8).try_into().expect("8 bytes"))
+    }
+}
+
+/// Append access (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one `u8`.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `i32`.
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `i64`.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// An immutable, cheaply cloneable byte view.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Length of the (remaining) view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the view into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// A sub-view of `range` (indices relative to this view).
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the view.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {lo}..{hi} out of range"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Splits off and returns the first `n` bytes, advancing this view
+    /// past them.
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` bytes remain.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to({n}) beyond {}", self.len());
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        head
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "read of {n} bytes, {} remain", self.len());
+        self.start += n;
+        &self.data[self.start - n..self.start]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+/// An appendable byte buffer; freeze into [`Bytes`] when done.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// A buffer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(0xAB);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_i32(-7);
+        buf.put_u64(1 << 40);
+        buf.put_i64(-(1 << 40));
+        buf.put_f64(2.5);
+        buf.put_slice(b"xyz");
+        let mut b = buf.freeze();
+        assert_eq!(b.len(), 1 + 4 + 4 + 8 + 8 + 8 + 3);
+        assert_eq!(b.get_u8(), 0xAB);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_i32(), -7);
+        assert_eq!(b.get_u64(), 1 << 40);
+        assert_eq!(b.get_i64(), -(1 << 40));
+        assert_eq!(b.get_f64(), 2.5);
+        assert_eq!(b.split_to(3).to_vec(), b"xyz");
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn slice_and_split_are_views() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        assert_eq!(b.slice(..3).to_vec(), vec![1, 2, 3]);
+        assert_eq!(b.slice(1..=3).to_vec(), vec![2, 3, 4]);
+        let mut c = b.clone();
+        let head = c.split_to(2);
+        assert_eq!(head.to_vec(), vec![1, 2]);
+        assert_eq!(c.to_vec(), vec![3, 4, 5]);
+        assert_eq!(b.len(), 5, "original untouched");
+        assert_eq!(&b[..2], &[1, 2], "deref to slice");
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn split_past_end_panics() {
+        Bytes::from(vec![1]).split_to(2);
+    }
+}

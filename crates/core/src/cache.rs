@@ -238,11 +238,7 @@ mod tests {
     use skipper_relational::segment::Segment;
 
     fn slot(bytes: u64) -> CacheSlot {
-        let seg = Segment::new(
-            Schema::of(&[("k", DataType::Int)]),
-            vec![row![1i64]],
-        )
-        .unwrap();
+        let seg = Segment::new(Schema::of(&[("k", DataType::Int)]), vec![row![1i64]]).unwrap();
         CacheSlot {
             index: SegmentIndex::build(&seg, None, &[0]),
             bytes,

@@ -1,829 +1,17 @@
-//! Multi-tenant simulation driver.
+//! Backward-compatible facade over the layered runtime.
 //!
-//! Wires N client engines (one database VM each) to one shared CSD
-//! through the deterministic event loop, reproducing the paper's testbed
-//! topology: every client owns a full copy of its benchmark dataset,
-//! striped over the device per the configured [`LayoutPolicy`]; clients
-//! run their query sequences; the device schedules group switches per the
-//! configured policy. The driver records, per query: start/end times,
-//! charged processing time, blocked-time attribution against the device's
-//! activity trace (switch vs transfer stalls — Figure 9), GET counts
-//! (Figures 11b/11c), and the actual query results (cross-checked against
-//! the reference executor in the test suite).
+//! The seed repository exposed the whole execution stack through one
+//! monolithic `driver` module. That stack now lives in [`crate::runtime`],
+//! split into workload / engine / driver layers; this module re-exports
+//! the original names (`Scenario`, `EngineKind`, `RunResult`,
+//! `QueryRecord`) so existing experiments, examples, and tests keep
+//! compiling unchanged.
+//!
+//! New code should prefer `skipper_core::runtime`, which additionally
+//! offers per-tenant [`Workload`]s, pluggable
+//! [`EngineFactory`](crate::runtime::EngineFactory)s, and open arrival
+//! processes.
+//!
+//! [`Workload`]: crate::runtime::Workload
 
-use std::collections::VecDeque;
-use std::sync::Arc;
-
-use skipper_csd::{
-    CsdConfig, CsdDevice, IntraGroupOrder, Layout, LayoutPolicy, ObjectId, ObjectStore, QueryId,
-    SchedPolicy,
-};
-use skipper_csd::metrics::DeviceMetrics;
-use skipper_datagen::Dataset;
-use skipper_relational::query::QuerySpec;
-use skipper_relational::segment::Segment;
-use skipper_relational::tuple::Row;
-use skipper_relational::value::Value;
-use skipper_sim::trace::Span;
-use skipper_sim::{ActivityTrace, Attribution, EventQueue, SimDuration, SimTime};
-
-use crate::cache::EvictionPolicy;
-use crate::config::CostModel;
-use crate::engine::{EngineStats, QueryEngine};
-use crate::state_manager::SkipperEngine;
-use crate::vanilla::VanillaEngine;
-
-/// Which execution engine the clients run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum EngineKind {
-    /// Pull-based baseline (vanilla PostgreSQL).
-    Vanilla,
-    /// Skipper's cache-aware MJoin.
-    Skipper,
-}
-
-impl EngineKind {
-    /// Report label.
-    pub fn label(self) -> &'static str {
-        match self {
-            EngineKind::Vanilla => "vanilla",
-            EngineKind::Skipper => "skipper",
-        }
-    }
-}
-
-/// A complete experiment description; build with the fluent setters and
-/// [`Scenario::run`].
-pub struct Scenario {
-    base: Arc<Dataset>,
-    n_clients: usize,
-    shared_queries: Vec<QuerySpec>,
-    custom_clients: Option<Vec<(Arc<Dataset>, Vec<QuerySpec>)>>,
-    engine: EngineKind,
-    sched: Option<SchedPolicy>,
-    intra: IntraGroupOrder,
-    layout: LayoutPolicy,
-    switch_latency: SimDuration,
-    bandwidth: f64,
-    cache_bytes: u64,
-    eviction: EvictionPolicy,
-    cost: CostModel,
-    prune_empty: bool,
-    parallel_streams: u32,
-    stagger: SimDuration,
-}
-
-impl Scenario {
-    /// Starts a scenario over a shared dataset with paper-default knobs:
-    /// one client, Skipper engine, rank-based scheduling, semantic
-    /// intra-group ordering, one-group-per-client layout, 10 s switches,
-    /// ~110 MB/s transfers, 30 GiB cache, maximal-progress eviction.
-    pub fn new(dataset: Dataset) -> Self {
-        Scenario {
-            base: Arc::new(dataset),
-            n_clients: 1,
-            shared_queries: Vec::new(),
-            custom_clients: None,
-            engine: EngineKind::Skipper,
-            sched: None,
-            intra: IntraGroupOrder::SemanticRoundRobin,
-            layout: LayoutPolicy::OneClientPerGroup,
-            switch_latency: SimDuration::from_secs(10),
-            bandwidth: 110.0 * 1024.0 * 1024.0,
-            cache_bytes: 30 << 30,
-            eviction: EvictionPolicy::MaximalProgress,
-            cost: CostModel::paper_calibrated(),
-            prune_empty: false,
-            parallel_streams: 1,
-            stagger: SimDuration::ZERO,
-        }
-    }
-
-    /// Number of identical clients (each gets its own copy of the
-    /// dataset on the device, like the paper's per-VM databases).
-    pub fn clients(mut self, n: usize) -> Self {
-        assert!(n > 0, "at least one client");
-        self.n_clients = n;
-        self
-    }
-
-    /// Every client runs `query` `times` times, back to back.
-    pub fn repeat_query(mut self, query: QuerySpec, times: usize) -> Self {
-        self.shared_queries = std::iter::repeat_with(|| query.clone()).take(times).collect();
-        self
-    }
-
-    /// Every client runs this query sequence.
-    pub fn queries(mut self, queries: Vec<QuerySpec>) -> Self {
-        self.shared_queries = queries;
-        self
-    }
-
-    /// Heterogeneous tenants: explicit `(dataset, query sequence)` per
-    /// client (the Figure 8 mixed workload). Overrides
-    /// [`Scenario::clients`]/[`Scenario::queries`].
-    pub fn custom_clients(mut self, clients: Vec<(Arc<Dataset>, Vec<QuerySpec>)>) -> Self {
-        assert!(!clients.is_empty());
-        self.custom_clients = Some(clients);
-        self
-    }
-
-    /// Execution engine.
-    pub fn engine(mut self, kind: EngineKind) -> Self {
-        self.engine = kind;
-        self
-    }
-
-    /// CSD group-switch scheduling policy. When not set, the device
-    /// defaults to the engine-appropriate policy: stock CSDs schedule
-    /// object-FCFS (what vanilla PostgreSQL runs against, §4.4), while
-    /// Skipper deploys its rank-based query-aware scheduler.
-    pub fn scheduler(mut self, p: SchedPolicy) -> Self {
-        self.sched = Some(p);
-        self
-    }
-
-    /// Intra-group request ordering.
-    pub fn intra_order(mut self, o: IntraGroupOrder) -> Self {
-        self.intra = o;
-        self
-    }
-
-    /// Data placement across disk groups.
-    pub fn layout(mut self, l: LayoutPolicy) -> Self {
-        self.layout = l;
-        self
-    }
-
-    /// Group-switch latency `S`.
-    pub fn switch_latency(mut self, s: SimDuration) -> Self {
-        self.switch_latency = s;
-        self
-    }
-
-    /// Object streaming bandwidth in bytes/s (≤ 0 ⇒ free transfers).
-    pub fn bandwidth(mut self, bytes_per_sec: f64) -> Self {
-        self.bandwidth = bytes_per_sec;
-        self
-    }
-
-    /// MJoin buffer-cache capacity in bytes.
-    pub fn cache_bytes(mut self, bytes: u64) -> Self {
-        self.cache_bytes = bytes;
-        self
-    }
-
-    /// MJoin cache-eviction policy.
-    pub fn eviction(mut self, p: EvictionPolicy) -> Self {
-        self.eviction = p;
-        self
-    }
-
-    /// CPU cost model.
-    pub fn cost(mut self, c: CostModel) -> Self {
-        self.cost = c;
-        self
-    }
-
-    /// Enables the §5.2.4 subplan-pruning optimization.
-    pub fn prune_empty_objects(mut self, on: bool) -> Self {
-        self.prune_empty = on;
-        self
-    }
-
-    /// Concurrent transfer streams while a group is loaded (default 1,
-    /// the paper's serializing middleware; >1 models the §5.2.1
-    /// "parallelize servicing within a group" improvement).
-    pub fn parallel_streams(mut self, n: u32) -> Self {
-        assert!(n >= 1);
-        self.parallel_streams = n;
-        self
-    }
-
-    /// Staggers client start times: client `i` submits its first query at
-    /// `i × delay` (default: everyone at t = 0). This is the arrival-gap
-    /// setup of the §4.4 `K` derivation, where query sets arrive `s`
-    /// switches apart.
-    pub fn stagger(mut self, delay: SimDuration) -> Self {
-        self.stagger = delay;
-        self
-    }
-
-    /// Executes the scenario to completion, returning all measurements.
-    pub fn run(self) -> RunResult {
-        let clients: Vec<(Arc<Dataset>, Vec<QuerySpec>)> = match self.custom_clients {
-            Some(c) => c,
-            None => (0..self.n_clients)
-                .map(|_| (Arc::clone(&self.base), self.shared_queries.clone()))
-                .collect(),
-        };
-        assert!(
-            clients.iter().all(|(_, qs)| !qs.is_empty()),
-            "every client needs at least one query"
-        );
-
-        // Place every tenant's full dataset on the device.
-        let tenant_objects: Vec<Vec<ObjectId>> = clients
-            .iter()
-            .enumerate()
-            .map(|(tenant, (ds, _))| {
-                (0..ds.catalog.len())
-                    .flat_map(|t| {
-                        (0..ds.catalog.table(t).segment_count)
-                            .map(move |s| ObjectId::new(tenant as u16, t as u16, s))
-                    })
-                    .collect()
-            })
-            .collect();
-        let layout = Layout::build(self.layout, &tenant_objects);
-        let mut store: ObjectStore<Arc<Segment>> = ObjectStore::new();
-        for (tenant, (ds, _)) in clients.iter().enumerate() {
-            for t in 0..ds.catalog.len() {
-                let def = ds.catalog.table(t);
-                for s in 0..def.segment_count {
-                    let id = ObjectId::new(tenant as u16, t as u16, s);
-                    store.put_with_layout(
-                        id,
-                        def.logical_bytes_per_segment,
-                        &layout,
-                        Arc::clone(&ds.segments[t][s as usize]),
-                    );
-                }
-            }
-        }
-        let sched = self.sched.unwrap_or(match self.engine {
-            EngineKind::Vanilla => SchedPolicy::FcfsObject,
-            EngineKind::Skipper => SchedPolicy::RankBased,
-        });
-        let device = CsdDevice::new(
-            CsdConfig {
-                switch_latency: self.switch_latency,
-                bandwidth_bytes_per_sec: self.bandwidth,
-                initial_load_free: true,
-                parallel_streams: self.parallel_streams,
-            },
-            store,
-            sched.build(),
-            self.intra,
-        );
-
-        let driver = Driver {
-            device,
-            clients: clients
-                .into_iter()
-                .map(|(dataset, queries)| ClientState {
-                    dataset,
-                    remaining: queries.into(),
-                    engine: None,
-                    qseq: 0,
-                    inbox: VecDeque::new(),
-                    busy: false,
-                    pending_after: None,
-                    draft: RecordDraft::default(),
-                    records: Vec::new(),
-                })
-                .collect(),
-            events: EventQueue::new(),
-            device_event_pending: false,
-            engine_kind: self.engine,
-            cache_bytes: self.cache_bytes,
-            eviction: self.eviction,
-            cost: self.cost,
-            prune_empty: self.prune_empty,
-            stagger: self.stagger,
-        };
-        driver.run()
-    }
-}
-
-/// One query's measurements.
-#[derive(Clone, Debug)]
-pub struct QueryRecord {
-    /// Query name.
-    pub query: String,
-    /// Client index.
-    pub client: usize,
-    /// Per-client query sequence number.
-    pub seq: u32,
-    /// Query start (submission of the first GET batch).
-    pub start: SimTime,
-    /// Query completion (final processing finished).
-    pub end: SimTime,
-    /// Charged CPU (processing) time.
-    pub processing: SimDuration,
-    /// Blocked time attributed against the device trace: switch stalls,
-    /// transfer stalls, device-idle waits.
-    pub stalls: Attribution,
-    /// Engine work counters (GETs, reissues, tuples, subplans).
-    pub stats: EngineStats,
-    /// The query result, sorted by group key.
-    pub result: Vec<(Row, Vec<Value>)>,
-}
-
-impl QueryRecord {
-    /// End-to-end execution time.
-    pub fn duration(&self) -> SimDuration {
-        self.end.since(self.start)
-    }
-}
-
-/// Everything measured by one [`Scenario::run`].
-pub struct RunResult {
-    /// Per-client query records, in execution order.
-    pub clients: Vec<Vec<QueryRecord>>,
-    /// Device counters (switches, objects served, bytes).
-    pub device: DeviceMetrics,
-    /// The device's activity spans (switches/transfers), in time order.
-    pub device_spans: Vec<Span>,
-    /// Virtual time at which the last event fired.
-    pub makespan: SimTime,
-    /// Scheduler label used.
-    pub scheduler: &'static str,
-}
-
-impl RunResult {
-    /// Iterator over every query record.
-    pub fn records(&self) -> impl Iterator<Item = &QueryRecord> {
-        self.clients.iter().flatten()
-    }
-
-    /// Mean per-query execution time in seconds (the paper's
-    /// "average execution time" y-axis).
-    pub fn mean_query_secs(&self) -> f64 {
-        let (mut total, mut n) = (0.0, 0u32);
-        for r in self.records() {
-            total += r.duration().as_secs_f64();
-            n += 1;
-        }
-        if n == 0 {
-            0.0
-        } else {
-            total / n as f64
-        }
-    }
-
-    /// Sum of all query execution times in seconds ("cumulative
-    /// execution time").
-    pub fn cumulative_secs(&self) -> f64 {
-        self.records().map(|r| r.duration().as_secs_f64()).sum()
-    }
-
-    /// Total GETs issued across all queries (the Figure 11 right axis).
-    pub fn total_gets(&self) -> u64 {
-        self.records().map(|r| r.stats.gets_issued).sum()
-    }
-
-    /// Per-query stretches against an ideal (single-tenant) time.
-    pub fn stretches(&self, ideal: SimDuration) -> Vec<f64> {
-        self.records()
-            .map(|r| skipper_sim::stats::stretch(r.duration(), ideal))
-            .collect()
-    }
-
-    /// An ASCII Gantt strip of the device's activity over the whole run:
-    /// `S` = group switch, digits = transfer to that client, `.` = idle.
-    pub fn timeline(&self, width: usize) -> String {
-        let trace = ActivityTrace::from_spans(self.device_spans.iter().copied());
-        skipper_sim::timeline::render(&trace, SimTime::ZERO, self.makespan, width)
-    }
-}
-
-#[derive(Default)]
-struct RecordDraft {
-    query_name: String,
-    start: SimTime,
-    processing: SimDuration,
-    blocked_from: Option<SimTime>,
-    blocked: Vec<(SimTime, SimTime)>,
-}
-
-struct ClientState {
-    dataset: Arc<Dataset>,
-    remaining: VecDeque<QuerySpec>,
-    engine: Option<Box<dyn QueryEngine>>,
-    qseq: u32,
-    inbox: VecDeque<(ObjectId, Arc<Segment>)>,
-    busy: bool,
-    /// Requests + finished flag from the in-flight `on_object`, applied
-    /// when processing completes.
-    pending_after: Option<(Vec<ObjectId>, bool)>,
-    draft: RecordDraft,
-    records: Vec<PendingRecord>,
-}
-
-#[derive(Clone, Copy, Debug)]
-enum Event {
-    Device,
-    ClientReady(usize),
-    ClientStart(usize),
-}
-
-struct Driver {
-    device: CsdDevice<Arc<Segment>>,
-    clients: Vec<ClientState>,
-    events: EventQueue<Event>,
-    device_event_pending: bool,
-    engine_kind: EngineKind,
-    cache_bytes: u64,
-    eviction: EvictionPolicy,
-    cost: CostModel,
-    prune_empty: bool,
-    stagger: SimDuration,
-}
-
-impl Driver {
-    fn run(mut self) -> RunResult {
-        let now = SimTime::ZERO;
-        for c in 0..self.clients.len() {
-            if self.stagger.is_zero() {
-                self.start_next_query(c, now);
-            } else {
-                self.events
-                    .schedule(now + self.stagger * c as u64, Event::ClientStart(c));
-            }
-        }
-        self.kick_device(now);
-
-        while let Some((t, ev)) = self.events.pop() {
-            match ev {
-                Event::Device => {
-                    self.device_event_pending = false;
-                    if let Some(delivery) = self.device.complete(t) {
-                        self.route_delivery(t, delivery.client, delivery.query, delivery.object, delivery.payload);
-                    }
-                    self.kick_device(t);
-                }
-                Event::ClientReady(c) => self.client_ready(c, t),
-                Event::ClientStart(c) => {
-                    self.start_next_query(c, t);
-                    self.kick_device(t);
-                }
-            }
-        }
-
-        let makespan = self.events.now();
-        for (idx, client) in self.clients.iter().enumerate() {
-            assert!(
-                client.remaining.is_empty() && client.engine.is_none(),
-                "client {idx} did not finish its workload (simulation deadlock)"
-            );
-        }
-        // Post-hoc stall attribution against the device trace.
-        let trace = self.device.trace();
-        let mut clients_out = Vec::with_capacity(self.clients.len());
-        for client in &mut self.clients {
-            for rec in &mut client.records {
-                let mut attr = Attribution::default();
-                for &(a, b) in &rec.blocked_intervals {
-                    attr.merge(trace.attribute(a, b));
-                }
-                rec.record.stalls = attr;
-            }
-            clients_out.push(
-                client
-                    .records
-                    .drain(..)
-                    .map(|r| r.record)
-                    .collect::<Vec<_>>(),
-            );
-        }
-        RunResult {
-            clients: clients_out,
-            device: self.device.metrics().clone(),
-            device_spans: self.device.trace().spans().to_vec(),
-            makespan,
-            scheduler: self.device.scheduler_name(),
-        }
-    }
-
-    fn build_engine(&self, c: usize, spec: QuerySpec) -> Box<dyn QueryEngine> {
-        let ds = &self.clients[c].dataset;
-        match self.engine_kind {
-            EngineKind::Vanilla => Box::new(VanillaEngine::new(c as u16, ds, spec, self.cost)),
-            EngineKind::Skipper => Box::new(SkipperEngine::new(
-                c as u16,
-                ds,
-                spec,
-                self.cache_bytes,
-                self.eviction,
-                self.cost,
-                self.prune_empty,
-            )),
-        }
-    }
-
-    fn start_next_query(&mut self, c: usize, now: SimTime) {
-        let Some(spec) = self.clients[c].remaining.pop_front() else {
-            return;
-        };
-        let query_name = spec.name.clone();
-        let mut engine = self.build_engine(c, spec);
-        let requests = engine.start();
-        let client = &mut self.clients[c];
-        client.engine = Some(engine);
-        client.draft = RecordDraft {
-            query_name,
-            start: now,
-            processing: SimDuration::ZERO,
-            blocked_from: Some(now),
-            blocked: Vec::new(),
-        };
-        let qid = QueryId::new(c as u16, client.qseq);
-        self.device.submit(now, c, qid, &requests);
-    }
-
-    fn kick_device(&mut self, now: SimTime) {
-        if self.device_event_pending {
-            return;
-        }
-        if let Some(t) = self.device.kick(now) {
-            self.events.schedule(t, Event::Device);
-            self.device_event_pending = true;
-        }
-    }
-
-    fn route_delivery(
-        &mut self,
-        now: SimTime,
-        c: usize,
-        query: QueryId,
-        object: ObjectId,
-        payload: Arc<Segment>,
-    ) {
-        let client = &mut self.clients[c];
-        let current = client
-            .engine
-            .as_ref()
-            .map(|e| !e.is_finished() && query.seq == client.qseq)
-            .unwrap_or(false);
-        if !current {
-            return; // stale delivery for a completed query
-        }
-        client.inbox.push_back((object, payload));
-        self.try_process(c, now);
-    }
-
-    fn try_process(&mut self, c: usize, now: SimTime) {
-        let client = &mut self.clients[c];
-        if client.busy || client.engine.is_none() {
-            return;
-        }
-        let Some((object, payload)) = client.inbox.pop_front() else {
-            return;
-        };
-        if let Some(from) = client.draft.blocked_from.take() {
-            if now > from {
-                client.draft.blocked.push((from, now));
-            }
-        }
-        let reaction = client
-            .engine
-            .as_mut()
-            .expect("engine present")
-            .on_object(object, &payload);
-        client.draft.processing += reaction.processing;
-        client.busy = true;
-        client.pending_after = Some((reaction.requests, reaction.finished));
-        self.events
-            .schedule(now + reaction.processing, Event::ClientReady(c));
-    }
-
-    fn client_ready(&mut self, c: usize, now: SimTime) {
-        let (requests, finished) = self.clients[c]
-            .pending_after
-            .take()
-            .expect("client_ready without reaction");
-        self.clients[c].busy = false;
-        if !requests.is_empty() {
-            let qid = QueryId::new(c as u16, self.clients[c].qseq);
-            self.device.submit(now, c, qid, &requests);
-            self.kick_device(now);
-        }
-        if finished {
-            self.finish_query(c, now);
-        } else {
-            let client = &mut self.clients[c];
-            if client.inbox.is_empty() {
-                client.draft.blocked_from = Some(now);
-            } else {
-                self.try_process(c, now);
-            }
-        }
-    }
-
-    fn finish_query(&mut self, c: usize, now: SimTime) {
-        let client = &mut self.clients[c];
-        let engine = client.engine.take().expect("finishing without engine");
-        let draft = std::mem::take(&mut client.draft);
-        client.records.push(PendingRecord {
-            record: QueryRecord {
-                query: draft.query_name.clone(),
-                client: c,
-                seq: client.qseq,
-                start: draft.start,
-                end: now,
-                processing: draft.processing,
-                stalls: Attribution::default(),
-                stats: engine.stats(),
-                result: engine.result(),
-            },
-            blocked_intervals: draft.blocked,
-        });
-        client.inbox.clear();
-        client.qseq += 1;
-        self.start_next_query(c, now);
-        self.kick_device(now);
-    }
-}
-
-struct PendingRecord {
-    record: QueryRecord,
-    blocked_intervals: Vec<(SimTime, SimTime)>,
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use skipper_datagen::{tpch, GenConfig};
-    use skipper_relational::ops::reference;
-    use skipper_relational::query::results_approx_eq;
-
-    /// SF-4 TPC-H: lineitem 4 + orders 1 = 5 objects per Q12 client.
-    fn mini_dataset() -> Dataset {
-        tpch::dataset(&GenConfig::new(21, 4).with_phys_divisor(100_000))
-    }
-
-    fn gib(n: u64) -> u64 {
-        n << 30
-    }
-
-    #[test]
-    fn single_skipper_client_no_switches() {
-        let ds = mini_dataset();
-        let q = tpch::q12(&ds);
-        let res = Scenario::new(ds)
-            .engine(EngineKind::Skipper)
-            .repeat_query(q, 1)
-            .cache_bytes(gib(10))
-            .run();
-        assert_eq!(res.device.group_switches, 0);
-        assert_eq!(res.clients.len(), 1);
-        let rec = &res.clients[0][0];
-        assert!(rec.duration().as_secs_f64() > 0.0);
-        assert!(rec.stalls.switching.is_zero());
-    }
-
-    #[test]
-    fn results_match_reference_for_both_engines() {
-        let ds = mini_dataset();
-        let q = tpch::q12(&ds);
-        let tables = ds.materialize_query_tables(&q);
-        let slices: Vec<&[Segment]> = tables.iter().map(|t| t.as_slice()).collect();
-        let expected = reference::execute(&q, &slices);
-
-        for kind in [EngineKind::Vanilla, EngineKind::Skipper] {
-            let res = Scenario::new(ds.clone())
-                .clients(2)
-                .engine(kind)
-                .repeat_query(q.clone(), 1)
-                .cache_bytes(gib(10))
-                .run();
-            for rec in res.records() {
-                assert!(
-                    results_approx_eq(&rec.result, &expected, 1e-9),
-                    "{} produced a wrong result",
-                    kind.label()
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn vanilla_switch_count_scales_with_clients_times_objects() {
-        // §3.2: "two consecutive requests from any PostgreSQL client are
-        // separated by five group switches" — with C clients on private
-        // groups, vanilla forces ≈ C×D switches.
-        let ds = mini_dataset();
-        let q = tpch::q12(&ds);
-        let objects = ds.objects_for_query(&q) as u64; // 5
-        let res = Scenario::new(ds)
-            .clients(3)
-            .engine(EngineKind::Vanilla)
-            .repeat_query(q, 1)
-            .run();
-        let switches = res.device.group_switches;
-        // Ideal batching would need ~C switches; vanilla needs ~C×D.
-        assert!(
-            switches >= 2 * objects,
-            "expected ping-pong switching, got {switches}"
-        );
-    }
-
-    #[test]
-    fn skipper_switch_count_is_one_per_client_round() {
-        let ds = mini_dataset();
-        let q = tpch::q12(&ds);
-        let res = Scenario::new(ds)
-            .clients(3)
-            .engine(EngineKind::Skipper)
-            .cache_bytes(gib(10))
-            .repeat_query(q, 1)
-            .run();
-        // All of a client's data is batched per residency: C-1 paid
-        // switches for C clients (first load is free).
-        assert_eq!(res.device.group_switches, 2);
-    }
-
-    #[test]
-    fn skipper_beats_vanilla_with_multiple_clients() {
-        let ds = mini_dataset();
-        let q = tpch::q12(&ds);
-        let vanilla = Scenario::new(ds.clone())
-            .clients(3)
-            .engine(EngineKind::Vanilla)
-            .repeat_query(q.clone(), 1)
-            .run();
-        let skipper = Scenario::new(ds)
-            .clients(3)
-            .engine(EngineKind::Skipper)
-            .cache_bytes(gib(10))
-            .repeat_query(q, 1)
-            .run();
-        assert!(
-            skipper.mean_query_secs() < vanilla.mean_query_secs(),
-            "skipper {:.0}s !< vanilla {:.0}s",
-            skipper.mean_query_secs(),
-            vanilla.mean_query_secs()
-        );
-    }
-
-    #[test]
-    fn all_in_one_layout_eliminates_switches() {
-        let ds = mini_dataset();
-        let q = tpch::q12(&ds);
-        let res = Scenario::new(ds)
-            .clients(3)
-            .engine(EngineKind::Vanilla)
-            .layout(LayoutPolicy::AllInOne)
-            .repeat_query(q, 1)
-            .run();
-        assert_eq!(res.device.group_switches, 0);
-    }
-
-    #[test]
-    fn breakdown_covers_execution_time() {
-        let ds = mini_dataset();
-        let q = tpch::q12(&ds);
-        let res = Scenario::new(ds)
-            .clients(2)
-            .engine(EngineKind::Vanilla)
-            .repeat_query(q, 1)
-            .run();
-        for rec in res.records() {
-            let total = rec.duration();
-            let accounted = rec.processing + rec.stalls.total();
-            let diff = total.as_secs_f64() - accounted.as_secs_f64();
-            assert!(
-                diff.abs() < 1e-3,
-                "breakdown mismatch: total {total}, accounted {accounted}"
-            );
-        }
-    }
-
-    #[test]
-    fn query_sequences_run_back_to_back() {
-        let ds = mini_dataset();
-        let q = tpch::q12(&ds);
-        let res = Scenario::new(ds)
-            .engine(EngineKind::Skipper)
-            .cache_bytes(gib(10))
-            .repeat_query(q, 3)
-            .run();
-        let recs = &res.clients[0];
-        assert_eq!(recs.len(), 3);
-        assert!(recs[0].end <= recs[1].start);
-        assert!(recs[1].end <= recs[2].start);
-        assert_eq!(recs[2].seq, 2);
-    }
-
-    #[test]
-    fn deterministic_across_runs() {
-        let build = || {
-            let ds = mini_dataset();
-            let q = tpch::q12(&ds);
-            Scenario::new(ds)
-                .clients(3)
-                .engine(EngineKind::Skipper)
-                .cache_bytes(gib(10))
-                .repeat_query(q, 1)
-                .run()
-        };
-        let a = build();
-        let b = build();
-        assert_eq!(a.makespan, b.makespan);
-        assert_eq!(a.device.group_switches, b.device.group_switches);
-        let ta: Vec<_> = a.records().map(|r| (r.start, r.end)).collect();
-        let tb: Vec<_> = b.records().map(|r| (r.start, r.end)).collect();
-        assert_eq!(ta, tb);
-    }
-}
+pub use crate::runtime::{EngineKind, QueryRecord, RunResult, Scenario};

@@ -23,11 +23,20 @@
 //!   virtual time (Table 3 anchors).
 //! * [`analysis`] — the §5.2.4 closed-form reissue model and a cache
 //!   advisor derived from it.
-//! * [`driver`] — the multi-tenant discrete-event driver wiring N client
-//!   engines to one shared CSD, producing the per-query timings, stall
+//! * [`runtime`] — the layered multi-tenant runtime: a **workload
+//!   layer** ([`runtime::Workload`]: dataset + query mix + engine +
+//!   arrival process, including staggered starts and fixed-seed Poisson
+//!   open arrivals), an **engine layer**
+//!   ([`runtime::EngineFactory`]: per-tenant boxed engine builders, so
+//!   one scenario mixes Skipper and Vanilla tenants), and a **driver
+//!   layer** (client state machine, device pump, event loop, and
+//!   record collector) producing the per-query timings, stall
 //!   breakdowns, and GET counts behind every figure in §5.
+//! * [`driver`] — thin backward-compatible re-exports of the runtime's
+//!   public names for seed-era call sites.
 //!
-//! The typical entry point is [`driver::Scenario`]:
+//! The typical entry point is [`runtime::Scenario`]. The one-knob path
+//! is unchanged from the seed:
 //!
 //! ```no_run
 //! use skipper_core::driver::{Scenario, EngineKind};
@@ -42,6 +51,33 @@
 //!     .run();
 //! println!("mean exec time: {:.0}s", result.mean_query_secs());
 //! ```
+//!
+//! while the workload path composes heterogeneous fleets:
+//!
+//! ```no_run
+//! use skipper_core::runtime::{ArrivalProcess, Scenario, SkipperFactory, VanillaFactory, Workload};
+//! use skipper_datagen::{tpch, GenConfig};
+//! use skipper_sim::SimDuration;
+//!
+//! let data = tpch::dataset(&GenConfig::new(42, 50));
+//! let q12 = tpch::q12(&data);
+//! let result = Scenario::from_workloads(vec![
+//!     // An interactive Skipper tenant with a private 10 GiB cache...
+//!     Workload::new(data.clone())
+//!         .repeat_query(q12.clone(), 3)
+//!         .engine(SkipperFactory::default().cache_bytes(10 << 30)),
+//!     // ...sharing the device with a legacy pull-based tenant...
+//!     Workload::new(data.clone())
+//!         .repeat_query(q12.clone(), 3)
+//!         .engine(VanillaFactory),
+//!     // ...and an open-arrival tenant issuing a query every ~10 min.
+//!     Workload::new(data)
+//!         .repeat_query(q12, 8)
+//!         .arrival(ArrivalProcess::Poisson { mean: SimDuration::from_secs(600), seed: 1 }),
+//! ])
+//! .run();
+//! println!("makespan: {:.0}s", result.makespan.as_secs_f64());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,6 +88,7 @@ pub mod config;
 pub mod driver;
 pub mod engine;
 pub mod proxy;
+pub mod runtime;
 pub mod state_manager;
 pub mod subplan;
 pub mod vanilla;
@@ -59,7 +96,10 @@ pub mod vanilla;
 pub use analysis::{CacheAdvisor, ReissueModel};
 pub use cache::{BufferCache, EvictionPolicy};
 pub use config::CostModel;
-pub use driver::{EngineKind, QueryRecord, RunResult, Scenario};
+pub use runtime::{
+    ArrivalProcess, EngineFactory, EngineKind, QueryRecord, RunResult, Scenario, SkipperFactory,
+    VanillaFactory, Workload,
+};
 pub use state_manager::SkipperEngine;
 pub use subplan::SubplanTracker;
 pub use vanilla::VanillaEngine;

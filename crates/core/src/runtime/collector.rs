@@ -1,0 +1,233 @@
+//! The record/metrics collector: per-query measurement drafts, finished
+//! records, and the [`RunResult`] returned by every scenario.
+//!
+//! During the run each client accumulates a [`RecordDraft`] (start time,
+//! charged processing, blocked intervals); when a query finishes the
+//! draft becomes a [`PendingRecord`]. Stall attribution is post-hoc:
+//! once the run is over, every blocked interval is matched against the
+//! device's activity trace to split waiting into switch vs transfer vs
+//! idle stalls (the Figure 9 breakdown).
+
+use skipper_csd::metrics::DeviceMetrics;
+use skipper_relational::tuple::Row;
+use skipper_relational::value::Value;
+use skipper_sim::trace::Span;
+use skipper_sim::{ActivityTrace, Attribution, SimDuration, SimTime};
+
+use crate::engine::EngineStats;
+
+/// One query's measurements.
+#[derive(Clone, Debug)]
+pub struct QueryRecord {
+    /// Query name.
+    pub query: String,
+    /// Client index.
+    pub client: usize,
+    /// Per-client query sequence number.
+    pub seq: u32,
+    /// Engine label ("skipper" / "vanilla" / custom factory label).
+    pub engine: &'static str,
+    /// Query start (submission of the first GET batch).
+    pub start: SimTime,
+    /// Query completion (final processing finished).
+    pub end: SimTime,
+    /// Charged CPU (processing) time.
+    pub processing: SimDuration,
+    /// GETs in the initial batch issued at query start — the whole
+    /// working set for Skipper's issue-everything-upfront strategy, one
+    /// for a pull-based engine.
+    pub upfront_gets: u64,
+    /// Blocked time attributed against the device trace: switch stalls,
+    /// transfer stalls, device-idle waits.
+    pub stalls: Attribution,
+    /// Engine work counters (GETs, reissues, tuples, subplans).
+    pub stats: EngineStats,
+    /// The query result, sorted by group key.
+    pub result: Vec<(Row, Vec<Value>)>,
+}
+
+impl QueryRecord {
+    /// End-to-end execution time.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// In-flight measurement state for one query.
+#[derive(Default)]
+pub struct RecordDraft {
+    /// Query name.
+    pub query_name: String,
+    /// Submission instant.
+    pub start: SimTime,
+    /// Charged processing so far.
+    pub processing: SimDuration,
+    /// Size of the initial GET batch.
+    pub upfront_gets: u64,
+    /// Start of the current blocked interval, if blocked.
+    pub blocked_from: Option<SimTime>,
+    /// Completed blocked intervals.
+    pub blocked: Vec<(SimTime, SimTime)>,
+}
+
+impl RecordDraft {
+    /// Opens a draft at query submission.
+    pub fn begin(query_name: String, now: SimTime) -> Self {
+        RecordDraft {
+            query_name,
+            start: now,
+            processing: SimDuration::ZERO,
+            upfront_gets: 0,
+            blocked_from: Some(now),
+            blocked: Vec::new(),
+        }
+    }
+
+    /// Closes the current blocked interval (delivery arrived).
+    pub fn unblock(&mut self, now: SimTime) {
+        if let Some(from) = self.blocked_from.take() {
+            if now > from {
+                self.blocked.push((from, now));
+            }
+        }
+    }
+}
+
+/// A finished record awaiting post-hoc stall attribution.
+pub struct PendingRecord {
+    /// The record (with `stalls` still zeroed).
+    pub record: QueryRecord,
+    /// The raw blocked intervals to attribute.
+    pub blocked_intervals: Vec<(SimTime, SimTime)>,
+}
+
+/// Attributes every blocked interval of `records` against the device
+/// trace and returns the finished records.
+pub fn attribute_stalls(trace: &ActivityTrace, records: Vec<PendingRecord>) -> Vec<QueryRecord> {
+    records
+        .into_iter()
+        .map(|mut rec| {
+            let mut attr = Attribution::default();
+            for &(a, b) in &rec.blocked_intervals {
+                attr.merge(trace.attribute(a, b));
+            }
+            rec.record.stalls = attr;
+            rec.record
+        })
+        .collect()
+}
+
+/// Everything measured by one scenario run.
+pub struct RunResult {
+    /// Per-client query records, in execution order.
+    pub clients: Vec<Vec<QueryRecord>>,
+    /// Device counters (switches, objects served, bytes).
+    pub device: DeviceMetrics,
+    /// The device's activity spans (switches/transfers), in time order.
+    pub device_spans: Vec<Span>,
+    /// Virtual time at which the last event fired.
+    pub makespan: SimTime,
+    /// Scheduler label used.
+    pub scheduler: &'static str,
+}
+
+impl RunResult {
+    /// Iterator over every query record.
+    pub fn records(&self) -> impl Iterator<Item = &QueryRecord> {
+        self.clients.iter().flatten()
+    }
+
+    /// Mean per-query execution time in seconds (the paper's
+    /// "average execution time" y-axis).
+    pub fn mean_query_secs(&self) -> f64 {
+        let (mut total, mut n) = (0.0, 0u32);
+        for r in self.records() {
+            total += r.duration().as_secs_f64();
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+
+    /// Sum of all query execution times in seconds ("cumulative
+    /// execution time").
+    pub fn cumulative_secs(&self) -> f64 {
+        self.records().map(|r| r.duration().as_secs_f64()).sum()
+    }
+
+    /// Total GETs issued across all queries (the Figure 11 right axis).
+    pub fn total_gets(&self) -> u64 {
+        self.records().map(|r| r.stats.gets_issued).sum()
+    }
+
+    /// Per-query stretches against an ideal (single-tenant) time.
+    pub fn stretches(&self, ideal: SimDuration) -> Vec<f64> {
+        self.records()
+            .map(|r| skipper_sim::stats::stretch(r.duration(), ideal))
+            .collect()
+    }
+
+    /// An ASCII Gantt strip of the device's activity over the whole run:
+    /// `S` = group switch, digits = transfer to that client, `.` = idle.
+    pub fn timeline(&self, width: usize) -> String {
+        let trace = ActivityTrace::from_spans(self.device_spans.iter().copied());
+        skipper_sim::timeline::render(&trace, SimTime::ZERO, self.makespan, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipper_sim::Activity;
+
+    #[test]
+    fn draft_tracks_blocked_intervals() {
+        let mut d = RecordDraft::begin("q".into(), SimTime::from_secs(5));
+        assert_eq!(d.start, SimTime::from_secs(5));
+        d.unblock(SimTime::from_secs(8));
+        assert_eq!(
+            d.blocked,
+            vec![(SimTime::from_secs(5), SimTime::from_secs(8))]
+        );
+        // Zero-length blocks are dropped.
+        d.blocked_from = Some(SimTime::from_secs(9));
+        d.unblock(SimTime::from_secs(9));
+        assert_eq!(d.blocked.len(), 1);
+        // Unblocking while not blocked is a no-op.
+        d.unblock(SimTime::from_secs(10));
+        assert_eq!(d.blocked.len(), 1);
+    }
+
+    #[test]
+    fn attribution_splits_by_trace() {
+        let mut trace = ActivityTrace::new();
+        trace.record(SimTime::ZERO, SimTime::from_secs(10), Activity::Switching);
+        trace.record(
+            SimTime::from_secs(10),
+            SimTime::from_secs(14),
+            Activity::Transferring { client: 0 },
+        );
+        let rec = PendingRecord {
+            record: QueryRecord {
+                query: "q".into(),
+                client: 0,
+                seq: 0,
+                engine: "skipper",
+                start: SimTime::ZERO,
+                end: SimTime::from_secs(14),
+                processing: SimDuration::ZERO,
+                upfront_gets: 1,
+                stalls: Attribution::default(),
+                stats: EngineStats::default(),
+                result: Vec::new(),
+            },
+            blocked_intervals: vec![(SimTime::ZERO, SimTime::from_secs(14))],
+        };
+        let out = attribute_stalls(&trace, vec![rec]);
+        assert_eq!(out[0].stalls.switching, SimDuration::from_secs(10));
+        assert_eq!(out[0].stalls.transfer, SimDuration::from_secs(4));
+    }
+}

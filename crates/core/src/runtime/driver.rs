@@ -1,0 +1,194 @@
+//! The driver layer: the discrete-event loop wiring clients to the
+//! shared device.
+//!
+//! The [`Runtime`] owns the assembled parts — a [`DevicePump`], the
+//! per-tenant [`ClientState`]s, and the event queue — and advances
+//! virtual time until every tenant has drained its plan. It reproduces
+//! the paper's testbed loop exactly: deliveries wake clients, charged
+//! processing blocks them, follow-up GETs go back to the device, and
+//! every transition is timestamped for the collector.
+
+use skipper_csd::QueryId;
+use skipper_sim::{EventQueue, SimTime};
+
+use crate::config::CostModel;
+
+use super::client::ClientState;
+use super::collector::{attribute_stalls, RunResult};
+use super::pump::DevicePump;
+
+/// Event payloads of the runtime loop.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// The device finishes its in-flight operation.
+    Device,
+    /// Client `c` finishes its charged processing.
+    ClientReady(usize),
+    /// The arrival process releases client `c`'s next query.
+    Release(usize),
+}
+
+/// The assembled multi-tenant runtime; consumed by [`Runtime::run`].
+pub struct Runtime {
+    pump: DevicePump,
+    clients: Vec<ClientState>,
+    events: EventQueue<Event>,
+    cost: CostModel,
+}
+
+impl Runtime {
+    /// Wires the parts together.
+    pub fn new(pump: DevicePump, clients: Vec<ClientState>, cost: CostModel) -> Self {
+        Runtime {
+            pump,
+            clients,
+            events: EventQueue::new(),
+            cost,
+        }
+    }
+
+    /// Executes to completion, returning all measurements.
+    ///
+    /// # Panics
+    /// Panics if any client fails to drain its plan (a simulation
+    /// deadlock — always a harness bug).
+    pub fn run(mut self) -> RunResult {
+        let now = SimTime::ZERO;
+        // Closed-loop queries with no release instant start immediately;
+        // scheduled releases (staggered starts, Poisson arrivals) are
+        // armed as events, in client order for deterministic ties.
+        for c in 0..self.clients.len() {
+            let releases: Vec<SimTime> = self.clients[c]
+                .plan
+                .iter()
+                .filter_map(|p| p.release)
+                .collect();
+            for at in releases {
+                self.events.schedule(at, Event::Release(c));
+            }
+            self.try_start(c, now);
+        }
+        self.poke_device(now);
+
+        while let Some((t, ev)) = self.events.pop() {
+            match ev {
+                Event::Device => {
+                    if let Some(d) = self.pump.on_wakeup(t) {
+                        self.route_delivery(t, d.client, d.query, d.object, d.payload);
+                    }
+                    self.poke_device(t);
+                }
+                Event::ClientReady(c) => self.client_ready(c, t),
+                Event::Release(c) => {
+                    self.try_start(c, t);
+                    self.poke_device(t);
+                }
+            }
+        }
+
+        let makespan = self.events.now();
+        for (idx, client) in self.clients.iter().enumerate() {
+            assert!(
+                client.plan.is_empty() && client.engine.is_none(),
+                "client {idx} did not finish its workload (simulation deadlock)"
+            );
+        }
+        // Post-hoc stall attribution against the device trace.
+        let trace = self.pump.device().trace();
+        let clients_out = self
+            .clients
+            .iter_mut()
+            .map(|client| attribute_stalls(trace, client.records.drain(..).collect()))
+            .collect();
+        RunResult {
+            clients: clients_out,
+            device: self.pump.device().metrics().clone(),
+            device_spans: self.pump.device().trace().spans().to_vec(),
+            makespan,
+            scheduler: self.pump.device().scheduler_name(),
+        }
+    }
+
+    /// Starts client `c`'s next query if its release has come and the
+    /// client is idle.
+    fn try_start(&mut self, c: usize, now: SimTime) {
+        if !self.clients[c].can_start(now) {
+            return;
+        }
+        let requests = self.clients[c].start_next(c as u16, self.cost, now);
+        self.clients[c].draft.upfront_gets = requests.len() as u64;
+        let qid = QueryId::new(c as u16, self.clients[c].qseq);
+        self.pump.submit(now, c, qid, &requests);
+    }
+
+    /// Arms the device wake-up if work is pending and none is armed.
+    fn poke_device(&mut self, now: SimTime) {
+        if let Some(at) = self.pump.poke(now) {
+            self.events.schedule(at, Event::Device);
+        }
+    }
+
+    /// Routes a finished transfer to its client, dropping stale
+    /// deliveries for already-completed queries (reissue races).
+    fn route_delivery(
+        &mut self,
+        now: SimTime,
+        c: usize,
+        query: QueryId,
+        object: skipper_csd::ObjectId,
+        payload: std::sync::Arc<skipper_relational::segment::Segment>,
+    ) {
+        let client = &mut self.clients[c];
+        if !client.is_current(query.seq) {
+            return; // stale delivery for a completed query
+        }
+        client.inbox.push_back((object, payload));
+        self.try_process(c, now);
+    }
+
+    /// Feeds the next buffered delivery to the engine and charges its
+    /// processing time.
+    fn try_process(&mut self, c: usize, now: SimTime) {
+        let client = &mut self.clients[c];
+        if client.busy || client.engine.is_none() {
+            return;
+        }
+        let Some((object, payload)) = client.inbox.pop_front() else {
+            return;
+        };
+        client.draft.unblock(now);
+        let reaction = client
+            .engine
+            .as_mut()
+            .expect("engine present")
+            .on_object(object, &payload);
+        client.charge(reaction.processing);
+        client.busy = true;
+        client.pending_after = Some((reaction.requests, reaction.finished));
+        self.events
+            .schedule(now + reaction.processing, Event::ClientReady(c));
+    }
+
+    /// Applies the reaction of the processing that just completed:
+    /// submit follow-up GETs, finish the query, or go back to waiting.
+    fn client_ready(&mut self, c: usize, now: SimTime) {
+        let (requests, finished) = self.clients[c]
+            .pending_after
+            .take()
+            .expect("client_ready without reaction");
+        self.clients[c].busy = false;
+        if !requests.is_empty() {
+            let qid = QueryId::new(c as u16, self.clients[c].qseq);
+            self.pump.submit(now, c, qid, &requests);
+            self.poke_device(now);
+        }
+        if finished {
+            self.clients[c].finish(c, now);
+            self.try_start(c, now);
+            self.poke_device(now);
+        } else {
+            self.clients[c].note_waiting(now);
+            self.try_process(c, now);
+        }
+    }
+}

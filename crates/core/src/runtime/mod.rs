@@ -1,0 +1,66 @@
+//! The layered multi-tenant runtime.
+//!
+//! This module is the execution stack of the reproduction, split into
+//! three explicit layers (replacing the seed's monolithic `driver.rs`):
+//!
+//! 1. **Workload layer** ([`workload`]) — [`Workload`] describes one
+//!    tenant: dataset, query mix, engine choice, and arrival process
+//!    (closed-loop, staggered starts, fixed-seed Poisson open
+//!    arrivals).
+//! 2. **Engine layer** ([`engines`]) — the per-tenant [`EngineFactory`]
+//!    replacing the old global `EngineKind` branch: one scenario can
+//!    mix Skipper and Vanilla tenants with per-tenant cache/eviction
+//!    configuration.
+//! 3. **Driver layer** ([`client`], [`pump`], [`driver`],
+//!    [`collector`]) — the client state machine, the device pump, the
+//!    discrete-event loop, and the record/metrics collector behind
+//!    every figure in §5 of the paper.
+//!
+//! [`Scenario`] ([`scenario`]) remains the one-stop facade over all
+//! three layers and is fully backward compatible with the seed API.
+//!
+//! # Mixed-engine fleets
+//!
+//! ```no_run
+//! use skipper_core::runtime::{ArrivalProcess, Scenario, SkipperFactory, VanillaFactory, Workload};
+//! use skipper_datagen::{tpch, GenConfig};
+//! use skipper_sim::SimDuration;
+//!
+//! let data = tpch::dataset(&GenConfig::new(42, 8).with_phys_divisor(100_000));
+//! let q12 = tpch::q12(&data);
+//! let result = Scenario::from_workloads(vec![
+//!     Workload::new(data.clone())
+//!         .repeat_query(q12.clone(), 2)
+//!         .engine(SkipperFactory::default().cache_bytes(10 << 30)),
+//!     Workload::new(data.clone())
+//!         .repeat_query(q12.clone(), 2)
+//!         .engine(VanillaFactory),
+//!     Workload::new(data)
+//!         .repeat_query(q12, 4)
+//!         .arrival(ArrivalProcess::Poisson {
+//!             mean: SimDuration::from_secs(300),
+//!             seed: 7,
+//!         }),
+//! ])
+//! .run();
+//! for rec in result.records() {
+//!     println!("client {} [{}] {}: {:.0}s", rec.client, rec.engine, rec.query,
+//!              rec.duration().as_secs_f64());
+//! }
+//! ```
+
+pub mod client;
+pub mod collector;
+pub mod driver;
+pub mod engines;
+pub mod pump;
+pub mod scenario;
+pub mod workload;
+
+pub use collector::{QueryRecord, RunResult};
+pub use engines::{EngineFactory, EngineKind, SkipperFactory, VanillaFactory};
+pub use scenario::Scenario;
+pub use workload::{ArrivalProcess, Workload};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,59 @@
+//! The device pump: keeps exactly one device wake-up event in flight.
+//!
+//! The CSD model is passive — it must be `kick`ed whenever it might
+//! have work and `complete`d exactly at the returned instant. The pump
+//! owns that protocol so the event loop cannot double-schedule or miss
+//! a wake-up: `poke` arms a wake-up if none is pending; `on_wakeup`
+//! completes the due operation and returns the delivery, if any.
+
+use std::sync::Arc;
+
+use skipper_csd::{CsdDevice, Delivery, ObjectId, QueryId};
+use skipper_relational::segment::Segment;
+use skipper_sim::SimTime;
+
+/// Wrapper pairing the device with its pending-wake-up flag.
+pub struct DevicePump {
+    device: CsdDevice<Arc<Segment>>,
+    wakeup_armed: bool,
+}
+
+impl DevicePump {
+    /// Wraps `device`.
+    pub fn new(device: CsdDevice<Arc<Segment>>) -> Self {
+        DevicePump {
+            device,
+            wakeup_armed: false,
+        }
+    }
+
+    /// Submits GET requests from `client` tagged with `query`.
+    pub fn submit(&mut self, now: SimTime, client: usize, query: QueryId, objects: &[ObjectId]) {
+        self.device.submit(now, client, query, objects);
+    }
+
+    /// Starts the next device operation if idle. Returns the wake-up
+    /// instant to schedule, or `None` when one is already armed (or the
+    /// device has nothing to do).
+    pub fn poke(&mut self, now: SimTime) -> Option<SimTime> {
+        if self.wakeup_armed {
+            return None;
+        }
+        let at = self.device.kick(now)?;
+        self.wakeup_armed = true;
+        Some(at)
+    }
+
+    /// Handles the armed wake-up firing at `now`: completes the due
+    /// operation and returns the finished transfer, if it was one.
+    /// Callers must [`DevicePump::poke`] again afterwards.
+    pub fn on_wakeup(&mut self, now: SimTime) -> Option<Delivery<Arc<Segment>>> {
+        self.wakeup_armed = false;
+        self.device.complete(now)
+    }
+
+    /// Read access to the wrapped device (metrics, trace, scheduler).
+    pub fn device(&self) -> &CsdDevice<Arc<Segment>> {
+        &self.device
+    }
+}

@@ -1,0 +1,331 @@
+//! The scenario facade: fluent experiment description + assembly.
+//!
+//! [`Scenario`] keeps the seed repository's one-stop builder API
+//! (global engine kind, shared queries, device knobs) and adds the
+//! multi-tenant workload path: [`Scenario::tenants`] accepts explicit
+//! [`Workload`]s so one run can mix Skipper and Vanilla tenants, each
+//! with its own cache configuration and arrival process. `run()`
+//! assembles the layers — placing datasets on the device, choosing the
+//! scheduler, planning arrivals — and hands off to [`Runtime`].
+
+use std::sync::Arc;
+
+use skipper_csd::{
+    CsdConfig, CsdDevice, IntraGroupOrder, Layout, LayoutPolicy, ObjectId, ObjectStore, SchedPolicy,
+};
+use skipper_datagen::Dataset;
+use skipper_relational::query::QuerySpec;
+use skipper_relational::segment::Segment;
+use skipper_sim::SimDuration;
+
+use crate::cache::EvictionPolicy;
+use crate::config::CostModel;
+
+use super::client::{ClientState, PlannedQuery};
+use super::collector::RunResult;
+use super::driver::Runtime;
+use super::engines::{factory_for, EngineKind};
+use super::pump::DevicePump;
+use super::workload::Workload;
+
+/// A complete experiment description; build with the fluent setters and
+/// [`Scenario::run`].
+pub struct Scenario {
+    base: Arc<Dataset>,
+    n_clients: usize,
+    shared_queries: Vec<QuerySpec>,
+    custom_clients: Option<Vec<(Arc<Dataset>, Vec<QuerySpec>)>>,
+    tenants: Option<Vec<Workload>>,
+    engine: EngineKind,
+    sched: Option<SchedPolicy>,
+    intra: IntraGroupOrder,
+    layout: LayoutPolicy,
+    switch_latency: SimDuration,
+    bandwidth: f64,
+    cache_bytes: u64,
+    eviction: EvictionPolicy,
+    cost: CostModel,
+    prune_empty: bool,
+    parallel_streams: u32,
+    stagger: SimDuration,
+}
+
+impl Scenario {
+    /// Starts a scenario over a shared dataset with paper-default knobs:
+    /// one client, Skipper engine, rank-based scheduling, semantic
+    /// intra-group ordering, one-group-per-client layout, 10 s switches,
+    /// ~110 MB/s transfers, 30 GiB cache, maximal-progress eviction.
+    pub fn new(dataset: Dataset) -> Self {
+        Self::with_base(Arc::new(dataset))
+    }
+
+    fn with_base(base: Arc<Dataset>) -> Self {
+        Scenario {
+            base,
+            n_clients: 1,
+            shared_queries: Vec::new(),
+            custom_clients: None,
+            tenants: None,
+            engine: EngineKind::Skipper,
+            sched: None,
+            intra: IntraGroupOrder::SemanticRoundRobin,
+            layout: LayoutPolicy::OneClientPerGroup,
+            switch_latency: SimDuration::from_secs(10),
+            bandwidth: 110.0 * 1024.0 * 1024.0,
+            cache_bytes: 30 << 30,
+            eviction: EvictionPolicy::MaximalProgress,
+            cost: CostModel::paper_calibrated(),
+            prune_empty: false,
+            parallel_streams: 1,
+            stagger: SimDuration::ZERO,
+        }
+    }
+
+    /// A scenario built directly from per-tenant [`Workload`]s (the
+    /// multi-tenant runtime path; engine and arrival process are per
+    /// workload). Device knobs keep their paper defaults and remain
+    /// settable.
+    pub fn from_workloads(tenants: Vec<Workload>) -> Self {
+        assert!(!tenants.is_empty(), "at least one workload");
+        let mut s = Scenario::with_base(Arc::clone(&tenants[0].dataset));
+        s.tenants = Some(tenants);
+        s
+    }
+
+    /// Number of identical clients (each gets its own copy of the
+    /// dataset on the device, like the paper's per-VM databases).
+    pub fn clients(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one client");
+        self.n_clients = n;
+        self
+    }
+
+    /// Every client runs `query` `times` times, back to back.
+    pub fn repeat_query(mut self, query: QuerySpec, times: usize) -> Self {
+        self.shared_queries = std::iter::repeat_with(|| query.clone())
+            .take(times)
+            .collect();
+        self
+    }
+
+    /// Every client runs this query sequence.
+    pub fn queries(mut self, queries: Vec<QuerySpec>) -> Self {
+        self.shared_queries = queries;
+        self
+    }
+
+    /// Heterogeneous tenants: explicit `(dataset, query sequence)` per
+    /// client (the Figure 8 mixed workload), all running the global
+    /// engine. Overrides [`Scenario::clients`]/[`Scenario::queries`];
+    /// for per-tenant engines use [`Scenario::tenants`].
+    pub fn custom_clients(mut self, clients: Vec<(Arc<Dataset>, Vec<QuerySpec>)>) -> Self {
+        assert!(!clients.is_empty());
+        self.custom_clients = Some(clients);
+        self
+    }
+
+    /// Fully heterogeneous tenants, each with its own dataset, queries,
+    /// engine factory, and arrival process. Overrides every other
+    /// client-construction setter.
+    pub fn tenants(mut self, tenants: Vec<Workload>) -> Self {
+        assert!(!tenants.is_empty());
+        self.tenants = Some(tenants);
+        self
+    }
+
+    /// Execution engine for clients built via the legacy setters
+    /// (ignored by [`Scenario::tenants`] workloads, which carry their
+    /// own factories).
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind;
+        self
+    }
+
+    /// CSD group-switch scheduling policy. When not set, the device
+    /// defaults to the fleet-appropriate policy: all-vanilla fleets get
+    /// the stock CSD's object-FCFS (§4.4), any Skipper tenant deploys
+    /// the rank-based query-aware scheduler.
+    pub fn scheduler(mut self, p: SchedPolicy) -> Self {
+        self.sched = Some(p);
+        self
+    }
+
+    /// Intra-group request ordering.
+    pub fn intra_order(mut self, o: IntraGroupOrder) -> Self {
+        self.intra = o;
+        self
+    }
+
+    /// Data placement across disk groups.
+    pub fn layout(mut self, l: LayoutPolicy) -> Self {
+        self.layout = l;
+        self
+    }
+
+    /// Group-switch latency `S`.
+    pub fn switch_latency(mut self, s: SimDuration) -> Self {
+        self.switch_latency = s;
+        self
+    }
+
+    /// Object streaming bandwidth in bytes/s (≤ 0 ⇒ free transfers).
+    pub fn bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        self.bandwidth = bytes_per_sec;
+        self
+    }
+
+    /// MJoin buffer-cache capacity in bytes (legacy global engine only).
+    pub fn cache_bytes(mut self, bytes: u64) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// MJoin cache-eviction policy (legacy global engine only).
+    pub fn eviction(mut self, p: EvictionPolicy) -> Self {
+        self.eviction = p;
+        self
+    }
+
+    /// CPU cost model.
+    pub fn cost(mut self, c: CostModel) -> Self {
+        self.cost = c;
+        self
+    }
+
+    /// Enables the §5.2.4 subplan-pruning optimization (legacy global
+    /// engine only).
+    pub fn prune_empty_objects(mut self, on: bool) -> Self {
+        self.prune_empty = on;
+        self
+    }
+
+    /// Concurrent transfer streams while a group is loaded (default 1,
+    /// the paper's serializing middleware; >1 models the §5.2.1
+    /// "parallelize servicing within a group" improvement).
+    pub fn parallel_streams(mut self, n: u32) -> Self {
+        assert!(n >= 1);
+        self.parallel_streams = n;
+        self
+    }
+
+    /// Staggers client start times: client `i` submits its first query at
+    /// `i × delay` (default: everyone at t = 0). This is the arrival-gap
+    /// setup of the §4.4 `K` derivation, where query sets arrive `s`
+    /// switches apart.
+    pub fn stagger(mut self, delay: SimDuration) -> Self {
+        self.stagger = delay;
+        self
+    }
+
+    /// Resolves the tenant list: explicit workloads win, then custom
+    /// clients, then `n_clients` copies of the shared sequence — legacy
+    /// paths materialize the global engine kind into per-tenant
+    /// factories.
+    fn resolve_workloads(&mut self) -> Vec<Workload> {
+        if let Some(tenants) = self.tenants.take() {
+            return tenants;
+        }
+        let factory = factory_for(
+            self.engine,
+            self.cache_bytes,
+            self.eviction,
+            self.prune_empty,
+        );
+        let clients: Vec<(Arc<Dataset>, Vec<QuerySpec>)> = match self.custom_clients.take() {
+            Some(c) => c,
+            None => (0..self.n_clients)
+                .map(|_| (Arc::clone(&self.base), self.shared_queries.clone()))
+                .collect(),
+        };
+        clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, (dataset, queries))| {
+                Workload::new(dataset)
+                    .queries(queries)
+                    .engine_arc(Arc::clone(&factory))
+                    .start_at(self.stagger * i as u64)
+            })
+            .collect()
+    }
+
+    /// Executes the scenario to completion, returning all measurements.
+    pub fn run(mut self) -> RunResult {
+        let workloads = self.resolve_workloads();
+        assert!(
+            workloads.iter().all(|w| !w.queries.is_empty()),
+            "every tenant needs at least one query"
+        );
+
+        // Place every tenant's full dataset on the device.
+        let tenant_objects: Vec<Vec<ObjectId>> = workloads
+            .iter()
+            .enumerate()
+            .map(|(tenant, w)| {
+                (0..w.dataset.catalog.len())
+                    .flat_map(|t| {
+                        (0..w.dataset.catalog.table(t).segment_count)
+                            .map(move |s| ObjectId::new(tenant as u16, t as u16, s))
+                    })
+                    .collect()
+            })
+            .collect();
+        let layout = Layout::build(self.layout, &tenant_objects);
+        let mut store: ObjectStore<Arc<Segment>> = ObjectStore::new();
+        for (tenant, w) in workloads.iter().enumerate() {
+            for t in 0..w.dataset.catalog.len() {
+                let def = w.dataset.catalog.table(t);
+                for s in 0..def.segment_count {
+                    let id = ObjectId::new(tenant as u16, t as u16, s);
+                    store.put_with_layout(
+                        id,
+                        def.logical_bytes_per_segment,
+                        &layout,
+                        Arc::clone(&w.dataset.segments[t][s as usize]),
+                    );
+                }
+            }
+        }
+
+        // Fleet-appropriate default scheduler: stock CSDs run
+        // object-FCFS; one Skipper tenant is enough to deploy the
+        // query-aware rank scheduler on the shared device.
+        let sched = self.sched.unwrap_or_else(|| {
+            if workloads
+                .iter()
+                .all(|w| w.engine.preferred_scheduler() == SchedPolicy::FcfsObject)
+            {
+                SchedPolicy::FcfsObject
+            } else {
+                SchedPolicy::RankBased
+            }
+        });
+        let device = CsdDevice::new(
+            CsdConfig {
+                switch_latency: self.switch_latency,
+                bandwidth_bytes_per_sec: self.bandwidth,
+                initial_load_free: true,
+                parallel_streams: self.parallel_streams,
+            },
+            store,
+            sched.build(),
+            self.intra,
+        );
+
+        let clients = workloads
+            .into_iter()
+            .enumerate()
+            .map(|(tenant, w)| {
+                let releases = w.release_times(tenant);
+                let plan = w
+                    .queries
+                    .into_iter()
+                    .zip(releases)
+                    .map(|(spec, release)| PlannedQuery { spec, release })
+                    .collect();
+                ClientState::new(w.dataset, w.engine, plan)
+            })
+            .collect();
+        Runtime::new(DevicePump::new(device), clients, self.cost).run()
+    }
+}

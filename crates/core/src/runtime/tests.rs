@@ -1,0 +1,270 @@
+//! Runtime unit tests (ported from the seed's `driver.rs` plus
+//! runtime-specific coverage).
+
+use super::*;
+use skipper_csd::LayoutPolicy;
+use skipper_datagen::{tpch, Dataset, GenConfig};
+use skipper_relational::ops::reference;
+use skipper_relational::query::results_approx_eq;
+use skipper_sim::SimDuration;
+
+/// SF-4 TPC-H: lineitem 4 + orders 1 = 5 objects per Q12 client.
+fn mini_dataset() -> Dataset {
+    tpch::dataset(&GenConfig::new(21, 4).with_phys_divisor(100_000))
+}
+
+fn gib(n: u64) -> u64 {
+    n << 30
+}
+
+#[test]
+fn single_skipper_client_no_switches() {
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let res = Scenario::new(ds)
+        .engine(EngineKind::Skipper)
+        .repeat_query(q, 1)
+        .cache_bytes(gib(10))
+        .run();
+    assert_eq!(res.device.group_switches, 0);
+    assert_eq!(res.clients.len(), 1);
+    let rec = &res.clients[0][0];
+    assert!(rec.duration().as_secs_f64() > 0.0);
+    assert!(rec.stalls.switching.is_zero());
+    assert_eq!(rec.engine, "skipper");
+}
+
+#[test]
+fn results_match_reference_for_both_engines() {
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let tables = ds.materialize_query_tables(&q);
+    let slices: Vec<&[skipper_relational::segment::Segment]> =
+        tables.iter().map(|t| t.as_slice()).collect();
+    let expected = reference::execute(&q, &slices);
+
+    for kind in [EngineKind::Vanilla, EngineKind::Skipper] {
+        let res = Scenario::new(ds.clone())
+            .clients(2)
+            .engine(kind)
+            .repeat_query(q.clone(), 1)
+            .cache_bytes(gib(10))
+            .run();
+        for rec in res.records() {
+            assert!(
+                results_approx_eq(&rec.result, &expected, 1e-9),
+                "{} produced a wrong result",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn vanilla_switch_count_scales_with_clients_times_objects() {
+    // §3.2: "two consecutive requests from any PostgreSQL client are
+    // separated by five group switches" — with C clients on private
+    // groups, vanilla forces ≈ C×D switches.
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let objects = ds.objects_for_query(&q) as u64; // 5
+    let res = Scenario::new(ds)
+        .clients(3)
+        .engine(EngineKind::Vanilla)
+        .repeat_query(q, 1)
+        .run();
+    let switches = res.device.group_switches;
+    // Ideal batching would need ~C switches; vanilla needs ~C×D.
+    assert!(
+        switches >= 2 * objects,
+        "expected ping-pong switching, got {switches}"
+    );
+}
+
+#[test]
+fn skipper_switch_count_is_one_per_client_round() {
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let res = Scenario::new(ds)
+        .clients(3)
+        .engine(EngineKind::Skipper)
+        .cache_bytes(gib(10))
+        .repeat_query(q, 1)
+        .run();
+    // All of a client's data is batched per residency: C-1 paid
+    // switches for C clients (first load is free).
+    assert_eq!(res.device.group_switches, 2);
+}
+
+#[test]
+fn skipper_beats_vanilla_with_multiple_clients() {
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let vanilla = Scenario::new(ds.clone())
+        .clients(3)
+        .engine(EngineKind::Vanilla)
+        .repeat_query(q.clone(), 1)
+        .run();
+    let skipper = Scenario::new(ds)
+        .clients(3)
+        .engine(EngineKind::Skipper)
+        .cache_bytes(gib(10))
+        .repeat_query(q, 1)
+        .run();
+    assert!(
+        skipper.mean_query_secs() < vanilla.mean_query_secs(),
+        "skipper {:.0}s !< vanilla {:.0}s",
+        skipper.mean_query_secs(),
+        vanilla.mean_query_secs()
+    );
+}
+
+#[test]
+fn all_in_one_layout_eliminates_switches() {
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let res = Scenario::new(ds)
+        .clients(3)
+        .engine(EngineKind::Vanilla)
+        .layout(LayoutPolicy::AllInOne)
+        .repeat_query(q, 1)
+        .run();
+    assert_eq!(res.device.group_switches, 0);
+}
+
+#[test]
+fn breakdown_covers_execution_time() {
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let res = Scenario::new(ds)
+        .clients(2)
+        .engine(EngineKind::Vanilla)
+        .repeat_query(q, 1)
+        .run();
+    for rec in res.records() {
+        let total = rec.duration();
+        let accounted = rec.processing + rec.stalls.total();
+        let diff = total.as_secs_f64() - accounted.as_secs_f64();
+        assert!(
+            diff.abs() < 1e-3,
+            "breakdown mismatch: total {total}, accounted {accounted}"
+        );
+    }
+}
+
+#[test]
+fn query_sequences_run_back_to_back() {
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let res = Scenario::new(ds)
+        .engine(EngineKind::Skipper)
+        .cache_bytes(gib(10))
+        .repeat_query(q, 3)
+        .run();
+    let recs = &res.clients[0];
+    assert_eq!(recs.len(), 3);
+    assert!(recs[0].end <= recs[1].start);
+    assert!(recs[1].end <= recs[2].start);
+    assert_eq!(recs[2].seq, 2);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let build = || {
+        let ds = mini_dataset();
+        let q = tpch::q12(&ds);
+        Scenario::new(ds)
+            .clients(3)
+            .engine(EngineKind::Skipper)
+            .cache_bytes(gib(10))
+            .repeat_query(q, 1)
+            .run()
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.device.group_switches, b.device.group_switches);
+    let ta: Vec<_> = a.records().map(|r| (r.start, r.end)).collect();
+    let tb: Vec<_> = b.records().map(|r| (r.start, r.end)).collect();
+    assert_eq!(ta, tb);
+}
+
+#[test]
+fn mixed_fleet_runs_both_engines_in_one_scenario() {
+    let ds = std::sync::Arc::new(mini_dataset());
+    let q = tpch::q12(&ds);
+    let res = Scenario::from_workloads(vec![
+        Workload::new(std::sync::Arc::clone(&ds))
+            .repeat_query(q.clone(), 1)
+            .engine(SkipperFactory::default().cache_bytes(gib(10))),
+        Workload::new(std::sync::Arc::clone(&ds))
+            .repeat_query(q, 1)
+            .engine(VanillaFactory),
+    ])
+    .run();
+    assert_eq!(res.clients[0][0].engine, "skipper");
+    assert_eq!(res.clients[1][0].engine, "vanilla");
+    // One shared device served both: the query-aware scheduler is
+    // deployed because a Skipper tenant is present.
+    assert_eq!(res.scheduler, "ranking");
+    // Results agree across the two engines.
+    assert_eq!(res.clients[0][0].result, res.clients[1][0].result);
+}
+
+#[test]
+fn all_vanilla_fleet_defaults_to_stock_fcfs_scheduler() {
+    let ds = std::sync::Arc::new(mini_dataset());
+    let q = tpch::q12(&ds);
+    let res = Scenario::from_workloads(vec![
+        Workload::new(std::sync::Arc::clone(&ds))
+            .repeat_query(q.clone(), 1)
+            .engine(VanillaFactory),
+        Workload::new(ds).repeat_query(q, 1).engine(VanillaFactory),
+    ])
+    .run();
+    assert!(
+        res.scheduler.contains("fcfs"),
+        "stock fleet got {}",
+        res.scheduler
+    );
+}
+
+#[test]
+fn poisson_arrivals_queue_behind_busy_tenant_and_complete() {
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    // Mean gap far below the query duration: arrivals pile up and the
+    // tenant drains them back-to-back.
+    let res = Scenario::from_workloads(vec![Workload::new(ds)
+        .repeat_query(q, 4)
+        .engine(SkipperFactory::default().cache_bytes(gib(10)))
+        .arrival(ArrivalProcess::Poisson {
+            mean: SimDuration::from_secs(1),
+            seed: 3,
+        })])
+    .run();
+    let recs = &res.clients[0];
+    assert_eq!(recs.len(), 4);
+    for pair in recs.windows(2) {
+        assert!(pair[0].end <= pair[1].start, "queries overlapped");
+    }
+    // First arrival is an open release: the tenant starts strictly
+    // after t = 0.
+    assert!(recs[0].start.as_micros() > 0);
+}
+
+#[test]
+fn staggered_workload_offsets_shift_first_submissions() {
+    let ds = std::sync::Arc::new(mini_dataset());
+    let q = tpch::q12(&ds);
+    let mk = |offset_secs: u64| {
+        Workload::new(std::sync::Arc::clone(&ds))
+            .repeat_query(q.clone(), 1)
+            .engine(SkipperFactory::default().cache_bytes(gib(10)))
+            .start_at(SimDuration::from_secs(offset_secs))
+    };
+    let res = Scenario::from_workloads(vec![mk(0), mk(500), mk(1000)]).run();
+    for (c, recs) in res.clients.iter().enumerate() {
+        assert_eq!(recs[0].start.as_micros(), c as u64 * 500_000_000);
+    }
+}

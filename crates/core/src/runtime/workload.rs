@@ -1,0 +1,215 @@
+//! The workload layer: what each tenant runs and when.
+//!
+//! A [`Workload`] describes one tenant end to end — its dataset, its
+//! query sequence, which engine executes it (via a per-tenant
+//! [`EngineFactory`]), and the *arrival process* releasing its queries
+//! onto the device:
+//!
+//! * [`ArrivalProcess::Closed`] — the paper's closed loop: the next
+//!   query is submitted the instant the previous one completes.
+//! * A start offset ([`Workload::start_at`]) — staggered fleets, the
+//!   arrival-gap setup of the §4.4 `K` derivation.
+//! * [`ArrivalProcess::Poisson`] — fixed-seed open arrivals: query `k`
+//!   is released at the `k`-th event of a Poisson process; a release
+//!   while the tenant is still busy queues behind the running query.
+//!
+//! All randomness is sampled at scenario-assembly time from a seed, so
+//! runs stay bit-for-bit reproducible.
+
+use std::sync::Arc;
+
+use skipper_datagen::Dataset;
+use skipper_relational::query::QuerySpec;
+use skipper_sim::rng::{derive_seed, splitmix64};
+use skipper_sim::{SimDuration, SimTime};
+
+use super::engines::{EngineFactory, SkipperFactory};
+
+/// How a tenant's queries are released over time.
+#[derive(Clone, Copy, Debug)]
+pub enum ArrivalProcess {
+    /// Closed loop: each query starts when the previous finishes (the
+    /// first at the workload's start offset).
+    Closed,
+    /// Open arrivals: queries are released at the events of a Poisson
+    /// process with the given mean inter-arrival time, sampled
+    /// deterministically from `seed`. Releases that land while the
+    /// tenant is busy queue up and run back-to-back.
+    Poisson {
+        /// Mean inter-arrival gap (1/λ).
+        mean: SimDuration,
+        /// Stream seed; fixed seed ⇒ fixed arrival times, forever.
+        seed: u64,
+    },
+}
+
+/// One tenant: dataset + query mix + engine + arrival process.
+#[derive(Clone)]
+pub struct Workload {
+    /// The tenant's dataset (its private copy on the device).
+    pub dataset: Arc<Dataset>,
+    /// The query sequence.
+    pub queries: Vec<QuerySpec>,
+    /// Engine builder for this tenant.
+    pub engine: Arc<dyn EngineFactory>,
+    /// Query release process.
+    pub arrival: ArrivalProcess,
+    /// Offset of the tenant's first release (staggered starts).
+    pub start: SimDuration,
+}
+
+impl Workload {
+    /// A workload over `dataset` with paper defaults: Skipper engine
+    /// (30 GiB cache), closed-loop arrivals, start at t = 0, no queries
+    /// yet.
+    pub fn new(dataset: impl Into<Arc<Dataset>>) -> Self {
+        Workload {
+            dataset: dataset.into(),
+            queries: Vec::new(),
+            engine: Arc::new(SkipperFactory::default()),
+            arrival: ArrivalProcess::Closed,
+            start: SimDuration::ZERO,
+        }
+    }
+
+    /// Sets the query sequence.
+    pub fn queries(mut self, queries: Vec<QuerySpec>) -> Self {
+        self.queries = queries;
+        self
+    }
+
+    /// Runs `query` `times` times.
+    pub fn repeat_query(mut self, query: QuerySpec, times: usize) -> Self {
+        self.queries = std::iter::repeat_with(|| query.clone())
+            .take(times)
+            .collect();
+        self
+    }
+
+    /// Sets the engine factory.
+    pub fn engine(mut self, factory: impl EngineFactory + 'static) -> Self {
+        self.engine = Arc::new(factory);
+        self
+    }
+
+    /// Sets a shared engine factory (avoids re-wrapping when several
+    /// tenants use one configuration).
+    pub fn engine_arc(mut self, factory: Arc<dyn EngineFactory>) -> Self {
+        self.engine = factory;
+        self
+    }
+
+    /// Sets the arrival process.
+    pub fn arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Sets the first-release offset (staggered starts).
+    pub fn start_at(mut self, offset: SimDuration) -> Self {
+        self.start = offset;
+        self
+    }
+
+    /// Expands the arrival process into one release instant per query
+    /// (`None` = closed-loop: start when the predecessor finishes).
+    ///
+    /// `tenant` salts the Poisson stream so identical workloads on
+    /// different tenants do not share arrival times.
+    pub fn release_times(&self, tenant: usize) -> Vec<Option<SimTime>> {
+        match self.arrival {
+            ArrivalProcess::Closed => {
+                let mut out = vec![None; self.queries.len()];
+                if let (Some(first), false) = (out.first_mut(), self.start.is_zero()) {
+                    *first = Some(SimTime::ZERO + self.start);
+                }
+                out
+            }
+            ArrivalProcess::Poisson { mean, seed } => {
+                let mut state = derive_seed(seed, &format!("poisson-arrivals/{tenant}"));
+                let mut at = SimTime::ZERO + self.start;
+                (0..self.queries.len())
+                    .map(|_| {
+                        at += exponential_gap(&mut state, mean);
+                        Some(at)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// One exponential inter-arrival gap with the given mean, drawn from a
+/// SplitMix64 stream (inverse-CDF method).
+fn exponential_gap(state: &mut u64, mean: SimDuration) -> SimDuration {
+    // 53 uniform mantissa bits in [0, 1).
+    let u = (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    SimDuration::from_secs_f64(-mean.as_secs_f64() * (1.0 - u).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipper_datagen::{tpch, GenConfig};
+
+    fn ds() -> Dataset {
+        tpch::dataset(&GenConfig::new(21, 4).with_phys_divisor(100_000))
+    }
+
+    #[test]
+    fn closed_releases_are_all_none_at_zero_offset() {
+        let d = ds();
+        let q = tpch::q12(&d);
+        let w = Workload::new(d).repeat_query(q, 3);
+        assert_eq!(w.release_times(0), vec![None, None, None]);
+    }
+
+    #[test]
+    fn start_offset_pins_only_the_first_release() {
+        let d = ds();
+        let q = tpch::q12(&d);
+        let w = Workload::new(d)
+            .repeat_query(q, 3)
+            .start_at(SimDuration::from_secs(500));
+        let rel = w.release_times(2);
+        assert_eq!(rel[0], Some(SimTime::from_secs(500)));
+        assert_eq!(&rel[1..], &[None, None]);
+    }
+
+    #[test]
+    fn poisson_releases_are_deterministic_increasing_and_tenant_salted() {
+        let d = ds();
+        let q = tpch::q12(&d);
+        let w = Workload::new(d)
+            .repeat_query(q, 8)
+            .arrival(ArrivalProcess::Poisson {
+                mean: SimDuration::from_secs(100),
+                seed: 7,
+            });
+        let a = w.release_times(0);
+        let b = w.release_times(0);
+        assert_eq!(a, b, "fixed seed must fix the arrival times");
+        let times: Vec<SimTime> = a.iter().map(|t| t.unwrap()).collect();
+        assert!(
+            times.windows(2).all(|p| p[0] <= p[1]),
+            "non-monotone arrivals"
+        );
+        let other = w.release_times(1);
+        assert_ne!(a, other, "tenants must not share a Poisson stream");
+        // Mean gap lands in the right ballpark (8 samples, loose bound).
+        let span = times.last().unwrap().as_secs_f64();
+        assert!(span > 50.0 && span < 4000.0, "total span {span}s");
+    }
+
+    #[test]
+    fn exponential_gaps_have_the_requested_mean() {
+        let mut state = 42u64;
+        let mean = SimDuration::from_secs(20);
+        let n = 4000;
+        let total: f64 = (0..n)
+            .map(|_| exponential_gap(&mut state, mean).as_secs_f64())
+            .sum();
+        let avg = total / n as f64;
+        assert!((15.0..25.0).contains(&avg), "mean gap {avg}s");
+    }
+}

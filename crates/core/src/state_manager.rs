@@ -184,12 +184,14 @@ impl SkipperEngine {
         let arrived_scale = self.scales[arrived.0];
         self.stats.probe_ops += work.probes as u64;
         self.stats.emitted_rows += work.emitted as u64;
-        *processing += self
-            .cost
-            .scaled(work.probes as u64, arrived_scale, self.cost.probe_ns_per_op)
-            + self
-                .cost
-                .scaled(work.emitted as u64, arrived_scale, self.cost.emit_ns_per_row);
+        *processing +=
+            self.cost
+                .scaled(work.probes as u64, arrived_scale, self.cost.probe_ns_per_op)
+                + self.cost.scaled(
+                    work.emitted as u64,
+                    arrived_scale,
+                    self.cost.emit_ns_per_row,
+                );
         for combo in runnable {
             let first = self.tracker.mark_executed(&combo);
             debug_assert!(first, "subplan executed twice: {combo:?}");
@@ -245,15 +247,14 @@ impl QueryEngine for SkipperEngine {
             let scale = self.scales[rel];
             self.stats.scanned_tuples += index.stats().scanned as u64;
             self.stats.built_tuples += index.entries() as u64;
-            processing += self.cost.scaled(
-                index.stats().scanned as u64,
-                scale,
-                self.cost.scan_ns_per_tuple,
-            ) + self.cost.scaled(
-                index.entries() as u64,
-                scale,
-                self.cost.build_ns_per_tuple,
-            );
+            processing +=
+                self.cost.scaled(
+                    index.stats().scanned as u64,
+                    scale,
+                    self.cost.scan_ns_per_tuple,
+                ) + self
+                    .cost
+                    .scaled(index.entries() as u64, scale, self.cost.build_ns_per_tuple);
 
             if self.prune_empty && index.is_empty() {
                 // §5.2.4: no tuple of this object can contribute to the
@@ -276,7 +277,9 @@ impl QueryEngine for SkipperEngine {
                             .collect()
                     })
                     .unwrap_or_default();
-                let victims = self.cache.select_victims(&self.tracker, obj, bytes, &pinned);
+                let victims = self
+                    .cache
+                    .select_victims(&self.tracker, obj, bytes, &pinned);
                 for v in victims {
                     self.cache.remove(v);
                 }
@@ -329,7 +332,9 @@ impl QueryEngine for SkipperEngine {
             } else {
                 use std::hash::{Hash, Hasher};
                 let mut h = std::collections::hash_map::DefaultHasher::new();
-                self.cache.cached_by_rel(self.tracker.num_relations()).hash(&mut h);
+                self.cache
+                    .cached_by_rel(self.tracker.num_relations())
+                    .hash(&mut h);
                 needed.hash(&mut h);
                 assert!(
                     self.stalled_states.insert(h.finish()),

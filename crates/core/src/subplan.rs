@@ -85,7 +85,9 @@ impl SubplanTracker {
 
     /// Unpacks a key into a combination of `n` segment indices.
     pub fn unpack(key: SubplanKey, n: usize) -> Vec<u32> {
-        (0..n).map(|r| ((key >> (16 * r)) & 0xFFFF) as u32).collect()
+        (0..n)
+            .map(|r| ((key >> (16 * r)) & 0xFFFF) as u32)
+            .collect()
     }
 
     /// Number of relations.
@@ -320,7 +322,11 @@ impl SubplanTracker {
         }
         let mut cursor = vec![0usize; n];
         loop {
-            let combo: Vec<u32> = cursor.iter().enumerate().map(|(r, &i)| live[r][i]).collect();
+            let combo: Vec<u32> = cursor
+                .iter()
+                .enumerate()
+                .map(|(r, &i)| live[r][i])
+                .collect();
             if !self.is_executed(&combo) {
                 return Some(combo);
             }
@@ -402,7 +408,7 @@ mod tests {
         let mut t = table2_tracker();
         t.mark_executed(&[0, 0, 1]); // <A.1, B.1, C.3>
         t.mark_executed(&[1, 0, 1]); // <A.2, B.1, C.3>
-        // "we get 4 for C.1, 3 for A.1 and A.2, and 2 for each B.1 and C.3"
+                                     // "we get 4 for C.1, 3 for A.1 and A.2, and 2 for each B.1 and C.3"
         assert_eq!(t.pending_count((2, 0)), 4); // C.1
         assert_eq!(t.pending_count((0, 0)), 3); // A.1
         assert_eq!(t.pending_count((0, 1)), 3); // A.2

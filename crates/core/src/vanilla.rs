@@ -15,12 +15,12 @@
 use std::sync::Arc;
 
 use skipper_csd::ObjectId;
+use skipper_datagen::Dataset;
 use skipper_relational::ops::{binary, scan};
 use skipper_relational::query::QuerySpec;
 use skipper_relational::segment::Segment;
 use skipper_relational::tuple::Row;
 use skipper_relational::value::Value;
-use skipper_datagen::Dataset;
 
 use crate::config::CostModel;
 use crate::engine::{EngineStats, QueryEngine, Reaction};
@@ -182,9 +182,9 @@ impl QueryEngine for VanillaEngine {
 mod tests {
     use super::*;
     use skipper_datagen::{tpch, GenConfig};
-    use skipper_sim::SimDuration;
     use skipper_relational::ops::reference;
     use skipper_relational::query::results_approx_eq;
+    use skipper_sim::SimDuration;
 
     fn mini() -> (Dataset, QuerySpec) {
         let cfg = GenConfig::new(9, 4).with_phys_divisor(100_000);

@@ -1,14 +1,12 @@
 //! Configuration-level cost model (Figures 2 and 3).
 
-use serde::{Deserialize, Serialize};
-
 use crate::tiers::{AllOn, DevicePricing, TierFractions};
 
 /// Gigabytes in the paper's reference database (100 TB).
 pub const REFERENCE_DB_GB: f64 = 102_400.0;
 
 /// The seven storage configurations of Figure 2.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StorageConfig {
     /// Everything on SSD.
     AllSsd,
@@ -73,7 +71,7 @@ impl StorageConfig {
 /// The Figure 3 comparison: a traditional 3-/4-tier hierarchy vs the same
 /// hierarchy with capacity + archival collapsed into a CSD-based cold
 /// storage tier.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CsdTiering {
     /// 3-tier baseline: 15 % 15k-HDD performance + 85 % CST.
     ThreeTier,

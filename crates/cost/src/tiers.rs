@@ -1,10 +1,8 @@
 //! Device pricing and tier fractions (the paper's Table 1).
 
-use serde::{Deserialize, Serialize};
-
 /// Acquisition cost per GB for each device class, as reported by the
 /// "Tiered Storage Takes Center Stage" analyst study the paper cites.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DevicePricing {
     /// SSD (performance tier): $75/GB.
     pub ssd: f64,
@@ -29,7 +27,7 @@ impl Default for DevicePricing {
 
 /// Fraction of the database resident on each device class for a given
 /// tiering strategy (each row of Table 1; fractions sum to 1).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TierFractions {
     /// On SSD.
     pub ssd: f64,

@@ -98,13 +98,19 @@ impl IntraGroupOrder {
                 let r = &pending[i];
                 match self {
                     // Segment-major: (seg, table) walks A.1,B.1,C.1,A.2,...
-                    IntraGroupOrder::SemanticRoundRobin => {
-                        (r.object.segment, r.object.table as u32, r.object.tenant as u32, r.seq)
-                    }
+                    IntraGroupOrder::SemanticRoundRobin => (
+                        r.object.segment,
+                        r.object.table as u32,
+                        r.object.tenant as u32,
+                        r.seq,
+                    ),
                     // Table-major: (table, seg) drains A entirely first.
-                    IntraGroupOrder::TableOrder => {
-                        (r.object.table as u32, r.object.segment, r.object.tenant as u32, r.seq)
-                    }
+                    IntraGroupOrder::TableOrder => (
+                        r.object.table as u32,
+                        r.object.segment,
+                        r.object.tenant as u32,
+                        r.seq,
+                    ),
                     IntraGroupOrder::ArrivalOrder => (0, 0, 0, r.seq),
                 }
             })
@@ -128,8 +134,14 @@ pub struct Delivery<P> {
 /// The in-flight operation.
 #[derive(Clone, Debug)]
 enum Op {
-    Switch { target: GroupId, until: SimTime },
-    Transfer { request: PendingRequest, until: SimTime },
+    Switch {
+        target: GroupId,
+        until: SimTime,
+    },
+    Transfer {
+        request: PendingRequest,
+        until: SimTime,
+    },
 }
 
 /// The cold storage device: request queue + MAID state machine.
@@ -245,8 +257,8 @@ impl<P: Clone> CsdDevice<P> {
                         .expect("submitted object exists")
                         .logical_bytes;
                     let streams = self.config.parallel_streams.max(1) as f64;
-                    let until = now
-                        + transfer_time(bytes, self.config.bandwidth_bytes_per_sec * streams);
+                    let until =
+                        now + transfer_time(bytes, self.config.bandwidth_bytes_per_sec * streams);
                     self.trace.record(
                         now,
                         until,
@@ -291,7 +303,10 @@ impl<P: Clone> CsdDevice<P> {
     /// Panics if no operation is in flight or the completion time does not
     /// match — the event loop must be in lock-step with the device.
     pub fn complete(&mut self, now: SimTime) -> Option<Delivery<P>> {
-        let op = self.op.take().expect("complete() with no operation in flight");
+        let op = self
+            .op
+            .take()
+            .expect("complete() with no operation in flight");
         match op {
             Op::Switch { target, until } => {
                 assert_eq!(until, now, "switch completion out of step");
@@ -409,7 +424,12 @@ mod tests {
     fn single_client_sees_no_switches() {
         let mut dev = device(SchedPolicy::RankBased);
         let q = QueryId::new(0, 0);
-        dev.submit(t(0), 0, q, &[ObjectId::new(0, 0, 0), ObjectId::new(0, 0, 1)]);
+        dev.submit(
+            t(0),
+            0,
+            q,
+            &[ObjectId::new(0, 0, 0), ObjectId::new(0, 0, 1)],
+        );
         // Initial load is free → first op is a 1 s transfer.
         let done = dev.kick(t(0)).unwrap();
         assert_eq!(done, t(1));
@@ -430,8 +450,18 @@ mod tests {
     #[test]
     fn two_clients_force_one_switch_with_batching() {
         let mut dev = device(SchedPolicy::RankBased);
-        dev.submit(t(0), 0, QueryId::new(0, 0), &[ObjectId::new(0, 0, 0), ObjectId::new(0, 0, 1)]);
-        dev.submit(t(0), 1, QueryId::new(1, 0), &[ObjectId::new(1, 0, 0), ObjectId::new(1, 0, 1)]);
+        dev.submit(
+            t(0),
+            0,
+            QueryId::new(0, 0),
+            &[ObjectId::new(0, 0, 0), ObjectId::new(0, 0, 1)],
+        );
+        dev.submit(
+            t(0),
+            1,
+            QueryId::new(1, 0),
+            &[ObjectId::new(1, 0, 0), ObjectId::new(1, 0, 1)],
+        );
         let mut now = t(0);
         let mut deliveries = Vec::new();
         while let Some(until) = dev.kick(now) {

@@ -124,11 +124,7 @@ mod tests {
     #[test]
     fn quiet_run_saves_close_to_the_idle_ratio() {
         let m = PowerModel::default();
-        let report = m.estimate(
-            SimDuration::from_secs(3_600),
-            SimDuration::from_secs(60),
-            2,
-        );
+        let report = m.estimate(SimDuration::from_secs(3_600), SimDuration::from_secs(60), 2);
         let savings = report.savings();
         assert!(
             (0.70..0.90).contains(&savings),
@@ -149,11 +145,7 @@ mod tests {
     fn busy_transfer_time_charged_at_busy_rate() {
         let m = PowerModel::default();
         let idle = m.estimate(SimDuration::from_secs(100), SimDuration::ZERO, 0);
-        let busy = m.estimate(
-            SimDuration::from_secs(100),
-            SimDuration::from_secs(100),
-            0,
-        );
+        let busy = m.estimate(SimDuration::from_secs(100), SimDuration::from_secs(100), 0);
         assert!(busy.maid_wh > idle.maid_wh);
         // Fully-busy group: 96 disks × 100 s × (8−5) W extra = 8.3 Wh.
         let extra = busy.maid_wh - idle.maid_wh;

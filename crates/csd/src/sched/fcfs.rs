@@ -208,7 +208,10 @@ mod tests {
 
     #[test]
     fn idle_when_empty() {
-        assert_eq!(FcfsObject::new().decide(&[], Some(0), &all()), Decision::Idle);
+        assert_eq!(
+            FcfsObject::new().decide(&[], Some(0), &all()),
+            Decision::Idle
+        );
         assert_eq!(FcfsQuery::new().decide(&[], None, &all()), Decision::Idle);
         assert!(FcfsQuery::new().serve_scope(&[], 0, &all()).is_empty());
     }

@@ -131,13 +131,20 @@ mod tests {
 
     #[test]
     fn idle_when_empty() {
-        assert_eq!(MaxQueries::new().decide(&[], Some(3), &all()), Decision::Idle);
+        assert_eq!(
+            MaxQueries::new().decide(&[], Some(3), &all()),
+            Decision::Idle
+        );
     }
 
     #[test]
     fn whole_group_scope() {
         let p = MaxQueries::new();
-        let pending = vec![req(1, 0, 0, 0, 0, 0), req(1, 1, 0, 0, 0, 1), req(2, 2, 0, 0, 0, 2)];
+        let pending = vec![
+            req(1, 0, 0, 0, 0, 0),
+            req(1, 1, 0, 0, 0, 1),
+            req(2, 2, 0, 0, 0, 2),
+        ];
         assert_eq!(p.serve_scope(&pending, 1, &all()), vec![0, 1]);
     }
 }

@@ -129,7 +129,8 @@ pub struct GroupStats {
 /// Groups the pending queue by disk group, collecting per-group stats.
 /// Returned pairs are sorted by group id for determinism.
 pub fn group_stats(pending: &[PendingRequest]) -> Vec<(GroupId, GroupStats)> {
-    let mut map: std::collections::BTreeMap<GroupId, GroupStats> = std::collections::BTreeMap::new();
+    let mut map: std::collections::BTreeMap<GroupId, GroupStats> =
+        std::collections::BTreeMap::new();
     for r in pending {
         let stats = map.entry(r.group).or_default();
         if !stats.queries.contains(&r.query) {
@@ -192,7 +193,14 @@ pub(crate) mod testutil {
     use super::*;
 
     /// Builds a pending request with compact syntax for scheduler tests.
-    pub fn req(group: GroupId, tenant: u16, qseq: u32, seg: u32, arrival_s: u64, seq: u64) -> PendingRequest {
+    pub fn req(
+        group: GroupId,
+        tenant: u16,
+        qseq: u32,
+        seg: u32,
+        arrival_s: u64,
+        seq: u64,
+    ) -> PendingRequest {
         PendingRequest {
             object: ObjectId::new(tenant, 0, seg),
             query: QueryId::new(tenant, qseq),
@@ -246,7 +254,11 @@ mod tests {
                 Decision::Idle
             }
         }
-        let pending = vec![req(1, 0, 0, 0, 0, 0), req(2, 0, 0, 1, 0, 1), req(1, 1, 0, 0, 0, 2)];
+        let pending = vec![
+            req(1, 0, 0, 0, 0, 0),
+            req(2, 0, 0, 1, 0, 1),
+            req(1, 1, 0, 0, 0, 2),
+        ];
         // Residency holds seqs 0 and 1 only: request seq 2 (also on group
         // 1) arrived after the snapshot and is out of scope.
         let residency: Residency = [0u64, 1].into_iter().collect();

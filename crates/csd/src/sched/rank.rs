@@ -214,9 +214,7 @@ mod tests {
         // group gets served after at most N switches.
         let n_other = 7u16;
         let mut p = RankBased::new();
-        let mut pending: Vec<_> = (0..n_other)
-            .map(|t| req(1, t, 0, 0, 0, t as u64))
-            .collect();
+        let mut pending: Vec<_> = (0..n_other).map(|t| req(1, t, 0, 0, 0, t as u64)).collect();
         pending.push(req(2, 99, 0, 0, 0, 99));
         let mut switches = 0;
         loop {
@@ -240,7 +238,11 @@ mod tests {
     #[test]
     fn non_preemptive_on_active_group() {
         let mut p = RankBased::new();
-        let pending = vec![req(1, 0, 0, 0, 0, 0), req(2, 1, 0, 0, 0, 1), req(2, 2, 0, 0, 0, 2)];
+        let pending = vec![
+            req(1, 0, 0, 0, 0, 0),
+            req(2, 1, 0, 0, 0, 1),
+            req(2, 2, 0, 0, 0, 2),
+        ];
         assert_eq!(p.decide(&pending, Some(1), &all()), Decision::ServeActive);
     }
 

@@ -166,7 +166,12 @@ mod tests {
             let mut now = SimTime::ZERO;
             for s in 0..3u32 {
                 for t in 0..2u16 {
-                    dev.submit(now, t as usize, QueryId::new(t, 0), &[ObjectId::new(t, 0, s)]);
+                    dev.submit(
+                        now,
+                        t as usize,
+                        QueryId::new(t, 0),
+                        &[ObjectId::new(t, 0, s)],
+                    );
                 }
             }
             while let Some(until) = dev.kick(now) {

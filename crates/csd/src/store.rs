@@ -40,7 +40,13 @@ impl<P> ObjectStore<P> {
     ///
     /// # Panics
     /// Panics if the layout does not place `id`.
-    pub fn put_with_layout(&mut self, id: ObjectId, logical_bytes: u64, layout: &Layout, payload: P) {
+    pub fn put_with_layout(
+        &mut self,
+        id: ObjectId,
+        logical_bytes: u64,
+        layout: &Layout,
+        payload: P,
+    ) {
         self.put(id, logical_bytes, layout.group_of(id), payload);
     }
 

@@ -1,6 +1,12 @@
-//! Property tests for the CSD device model.
+//! Randomized-but-deterministic property tests for the CSD device model.
+//!
+//! Originally written with `proptest`; this offline workspace replaces
+//! the strategy machinery with seeded sweeps over the same input space —
+//! every case is a pure function of the loop index, so failures
+//! reproduce exactly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use skipper_csd::{
     CsdConfig, CsdDevice, IntraGroupOrder, Layout, LayoutPolicy, ObjectId, ObjectStore, QueryId,
@@ -14,74 +20,77 @@ fn tenant_objects(tenants: u16, per_tenant: u32) -> Vec<Vec<ObjectId>> {
         .collect()
 }
 
-proptest! {
-    /// Every layout policy places every object exactly once, and the
-    /// policy-specific structure holds.
-    #[test]
-    fn layouts_place_everything(
-        tenants in 1u16..6,
-        per_tenant in 1u32..10,
-        policy_idx in 0usize..4,
-    ) {
-        let policies = [
-            LayoutPolicy::AllInOne,
-            LayoutPolicy::TwoClientsPerGroup,
-            LayoutPolicy::OneClientPerGroup,
-            LayoutPolicy::Incremental,
-        ];
-        let objs = tenant_objects(tenants, per_tenant);
-        let layout = Layout::build(policies[policy_idx], &objs);
-        prop_assert_eq!(layout.len(), (tenants as u32 * per_tenant) as usize);
-        for tenant in &objs {
-            for &o in tenant {
-                prop_assert!(layout.contains(o));
-            }
-        }
-        match policies[policy_idx] {
-            LayoutPolicy::AllInOne => prop_assert_eq!(layout.num_groups(), 1),
-            LayoutPolicy::OneClientPerGroup => {
-                prop_assert_eq!(layout.num_groups(), tenants as u32)
-            }
-            LayoutPolicy::TwoClientsPerGroup => {
-                prop_assert_eq!(layout.num_groups(), tenants.div_ceil(2) as u32)
-            }
-            LayoutPolicy::Incremental => {
-                // Each tenant's data touches at most two groups.
-                for (t, tenant) in objs.iter().enumerate() {
-                    let mut groups: Vec<u32> =
-                        tenant.iter().map(|&o| layout.group_of(o)).collect();
-                    groups.sort_unstable();
-                    groups.dedup();
-                    prop_assert!(groups.len() <= 2, "tenant {t} spans {groups:?}");
+/// Every layout policy places every object exactly once, and the
+/// policy-specific structure holds.
+#[test]
+fn layouts_place_everything() {
+    let policies = [
+        LayoutPolicy::AllInOne,
+        LayoutPolicy::TwoClientsPerGroup,
+        LayoutPolicy::OneClientPerGroup,
+        LayoutPolicy::Incremental,
+    ];
+    for tenants in 1u16..6 {
+        for per_tenant in 1u32..10 {
+            for policy in policies {
+                let objs = tenant_objects(tenants, per_tenant);
+                let layout = Layout::build(policy, &objs);
+                assert_eq!(layout.len(), (tenants as u32 * per_tenant) as usize);
+                for tenant in &objs {
+                    for &o in tenant {
+                        assert!(layout.contains(o));
+                    }
+                }
+                match policy {
+                    LayoutPolicy::AllInOne => assert_eq!(layout.num_groups(), 1),
+                    LayoutPolicy::OneClientPerGroup => {
+                        assert_eq!(layout.num_groups(), tenants as u32)
+                    }
+                    LayoutPolicy::TwoClientsPerGroup => {
+                        assert_eq!(layout.num_groups(), tenants.div_ceil(2) as u32)
+                    }
+                    LayoutPolicy::Incremental => {
+                        // Each tenant's data touches at most two groups.
+                        for (t, tenant) in objs.iter().enumerate() {
+                            let mut groups: Vec<u32> =
+                                tenant.iter().map(|&o| layout.group_of(o)).collect();
+                            groups.sort_unstable();
+                            groups.dedup();
+                            assert!(groups.len() <= 2, "tenant {t} spans {groups:?}");
+                        }
+                    }
                 }
             }
         }
     }
+}
 
-    /// Conservation: the device serves every submitted request exactly
-    /// once, under any scheduler and intra-group ordering, and virtual
-    /// time only moves forward.
-    #[test]
-    fn device_serves_every_request_once(
-        tenants in 1u16..5,
-        per_tenant in 1u32..8,
-        policy_idx in 0usize..5,
-        intra_idx in 0usize..3,
-        switch_secs in 0u64..30,
-        split_batches in any::<bool>(),
-    ) {
-        let policies = [
-            SchedPolicy::FcfsObject,
-            SchedPolicy::FcfsQuery,
-            SchedPolicy::MaxQueries,
-            SchedPolicy::RankBased,
-            SchedPolicy::FcfsSlack(8),
-        ];
-        let intras = [
-            IntraGroupOrder::SemanticRoundRobin,
-            IntraGroupOrder::TableOrder,
-            IntraGroupOrder::ArrivalOrder,
-        ];
+/// Conservation: the device serves every submitted request exactly once,
+/// under any scheduler and intra-group ordering, and virtual time only
+/// moves forward.
+#[test]
+fn device_serves_every_request_once() {
+    let policies = [
+        SchedPolicy::FcfsObject,
+        SchedPolicy::FcfsQuery,
+        SchedPolicy::MaxQueries,
+        SchedPolicy::RankBased,
+        SchedPolicy::FcfsSlack(8),
+    ];
+    let intras = [
+        IntraGroupOrder::SemanticRoundRobin,
+        IntraGroupOrder::TableOrder,
+        IntraGroupOrder::ArrivalOrder,
+    ];
+    let mut rng = StdRng::seed_from_u64(0xC5D0);
+    for case in 0..120 {
+        let tenants = rng.gen_range(1u16..5);
+        let per_tenant = rng.gen_range(1u32..8);
+        let policy = policies[rng.gen_range(0..policies.len())];
+        let intra = intras[rng.gen_range(0..intras.len())];
+        let switch_secs = rng.gen_range(0u64..30);
+        let split_batches = rng.gen_bool(0.5);
+
         let mut store = ObjectStore::new();
         let objs = tenant_objects(tenants, per_tenant);
         for tenant in &objs {
@@ -97,8 +106,8 @@ proptest! {
                 parallel_streams: 1,
             },
             store,
-            policies[policy_idx].build(),
-            intras[intra_idx],
+            policy.build(),
+            intra,
         );
         let mut now = SimTime::ZERO;
         let mut expected = 0u64;
@@ -115,62 +124,68 @@ proptest! {
         let mut served = Vec::new();
         let mut last = now;
         while let Some(until) = dev.kick(now) {
-            prop_assert!(until >= last, "time went backwards");
+            assert!(until >= last, "case {case}: time went backwards");
             last = until;
             now = until;
             if let Some(d) = dev.complete(now) {
                 served.push(d.object);
             }
         }
-        prop_assert!(dev.is_quiescent());
-        prop_assert_eq!(served.len() as u64, expected);
+        assert!(dev.is_quiescent());
+        assert_eq!(served.len() as u64, expected, "case {case}");
         served.sort_unstable();
         served.dedup();
-        prop_assert_eq!(served.len() as u64, expected, "duplicate delivery");
-        prop_assert_eq!(dev.metrics().objects_served, expected);
+        assert_eq!(
+            served.len() as u64,
+            expected,
+            "case {case}: duplicate delivery"
+        );
+        assert_eq!(dev.metrics().objects_served, expected);
         // Switches are bounded by the number of service operations.
-        prop_assert!(dev.metrics().group_switches <= expected * 3);
+        assert!(dev.metrics().group_switches <= expected * 3);
     }
+}
 
-    /// With all data in one group no scheduler ever pays a switch.
-    #[test]
-    fn single_group_never_switches(
-        tenants in 1u16..5,
-        per_tenant in 1u32..6,
-        policy_idx in 0usize..4,
-    ) {
-        let policies = [
-            SchedPolicy::FcfsObject,
-            SchedPolicy::FcfsQuery,
-            SchedPolicy::MaxQueries,
-            SchedPolicy::RankBased,
-        ];
-        let mut store = ObjectStore::new();
-        let objs = tenant_objects(tenants, per_tenant);
-        for tenant in &objs {
-            for &o in tenant {
-                store.put(o, 1 << 20, 0, ());
+/// With all data in one group no scheduler ever pays a switch.
+#[test]
+fn single_group_never_switches() {
+    let policies = [
+        SchedPolicy::FcfsObject,
+        SchedPolicy::FcfsQuery,
+        SchedPolicy::MaxQueries,
+        SchedPolicy::RankBased,
+    ];
+    for tenants in 1u16..5 {
+        for per_tenant in 1u32..6 {
+            for policy in policies {
+                let mut store = ObjectStore::new();
+                let objs = tenant_objects(tenants, per_tenant);
+                for tenant in &objs {
+                    for &o in tenant {
+                        store.put(o, 1 << 20, 0, ());
+                    }
+                }
+                let mut dev = CsdDevice::new(
+                    CsdConfig {
+                        switch_latency: SimDuration::from_secs(10),
+                        bandwidth_bytes_per_sec: (1 << 20) as f64,
+                        initial_load_free: true,
+                        parallel_streams: 1,
+                    },
+                    store,
+                    policy.build(),
+                    IntraGroupOrder::SemanticRoundRobin,
+                );
+                let mut now = SimTime::ZERO;
+                for (t, tenant) in objs.iter().enumerate() {
+                    dev.submit(now, t, QueryId::new(t as u16, 0), tenant);
+                }
+                while let Some(until) = dev.kick(now) {
+                    now = until;
+                    dev.complete(now);
+                }
+                assert_eq!(dev.metrics().group_switches, 0);
             }
         }
-        let mut dev = CsdDevice::new(
-            CsdConfig {
-                switch_latency: SimDuration::from_secs(10),
-                bandwidth_bytes_per_sec: (1 << 20) as f64,
-                initial_load_free: true,
-                parallel_streams: 1,
-            },
-            store,
-            policies[policy_idx].build(),
-            IntraGroupOrder::SemanticRoundRobin,
-        );
-        let mut now = SimTime::ZERO;
-        for (t, tenant) in objs.iter().enumerate() {
-            dev.submit(now, t, QueryId::new(t as u16, 0), tenant);
-        }
-        while let Some(until) = dev.kick(now) {
-            now = until;
-            dev.complete(now);
-        }
-        prop_assert_eq!(dev.metrics().group_switches, 0);
     }
 }

@@ -32,8 +32,9 @@ pub fn geometry(cfg: &GenConfig) -> Vec<TableSpec> {
     let scale = cfg.sf as f64 / 50.0;
     let mk = |name: &'static str, gb: f64, rows: u64| {
         let segments = segments_for(gb * scale, 1);
-        let logical_rows_per_segment =
-            ((rows as f64 * scale) as u64).max(1).div_ceil(segments as u64);
+        let logical_rows_per_segment = ((rows as f64 * scale) as u64)
+            .max(1)
+            .div_ceil(segments as u64);
         TableSpec {
             name,
             segments,
@@ -118,10 +119,7 @@ pub fn join_task(dataset: &Dataset) -> QuerySpec {
         tables: vec!["rankings".into(), "uservisits".into()],
         filters: vec![
             None,
-            Some(
-                Expr::col(uservisits.col("visitdate"))
-                    .between(Value::Date(lo), Value::Date(hi)),
-            ),
+            Some(Expr::col(uservisits.col("visitdate")).between(Value::Date(lo), Value::Date(hi))),
         ],
         joins: vec![JoinCond::new(
             1,
@@ -182,6 +180,10 @@ mod tests {
         assert!(!out.is_empty());
         assert!(out.len() <= 100);
         let (bin, _) = binary::execute_left_deep(&spec, &slices);
-        assert!(skipper_relational::query::results_approx_eq(&out, &bin.finish(), 1e-9));
+        assert!(skipper_relational::query::results_approx_eq(
+            &out,
+            &bin.finish(),
+            1e-9
+        ));
     }
 }

@@ -50,8 +50,9 @@ pub fn geometry(cfg: &GenConfig) -> Vec<TableSpec> {
     let scale = cfg.sf as f64 / 50.0;
     let mk = |name: &'static str, gb: f64, rows: u64| {
         let segments = segments_for(gb * scale, 1);
-        let logical_rows_per_segment =
-            ((rows as f64 * scale) as u64).max(1).div_ceil(segments as u64);
+        let logical_rows_per_segment = ((rows as f64 * scale) as u64)
+            .max(1)
+            .div_ceil(segments as u64);
         TableSpec {
             name,
             segments,
@@ -93,12 +94,7 @@ pub fn dataset(cfg: &GenConfig) -> Dataset {
     b.add_table(
         &geo[1],
         Schema::of(&[("taxon_id", DataType::Int), ("kingdom", DataType::Str)]),
-        |rng, rid| {
-            row![
-                rid as i64 + 1,
-                KINGDOMS[rng.gen_range(0..KINGDOMS.len())]
-            ]
-        },
+        |rng, rid| row![rid as i64 + 1, KINGDOMS[rng.gen_range(0..KINGDOMS.len())]],
     );
     b.add_table(
         &geo[2],
@@ -169,10 +165,10 @@ pub fn protein_count(dataset: &Dataset) -> QuerySpec {
             Some(Expr::col(source.col("curated")).eq(Expr::lit(true))),
             Some(Expr::col(organism.col("kingdom")).eq(Expr::lit("Bacteria"))),
             Some(Expr::col(protein.col("seq_length")).between(200i64, 1000i64)),
-            Some(Expr::col(annotation.col("keyword")).in_list(vec![
-                Value::str("kinase"),
-                Value::str("transferase"),
-            ])),
+            Some(
+                Expr::col(annotation.col("keyword"))
+                    .in_list(vec![Value::str("kinase"), Value::str("transferase")]),
+            ),
         ],
         joins: vec![
             JoinCond::new(A, annotation.col("nref_id"), P, protein.col("nref_id")),
@@ -192,10 +188,7 @@ pub fn protein_count(dataset: &Dataset) -> QuerySpec {
 }
 
 fn schema(dataset: &Dataset, table: &str) -> Schema {
-    let idx = dataset
-        .catalog
-        .index_of(table)
-        .expect("NREF table present");
+    let idx = dataset.catalog.index_of(table).expect("NREF table present");
     dataset.catalog.table(idx).schema.clone()
 }
 

@@ -230,7 +230,7 @@ mod tests {
     fn q1_flight_narrows_monotonically() {
         // Q1.1 ⊇ Q1.2-ish ⊇ Q1.3 in selectivity: revenue shrinks down the
         // flight (filters tighten), and all flights agree across engines.
-        let ds = dataset(&GenConfig::new(11, 4).with_phys_divisor(20_000));
+        let ds = dataset(&GenConfig::new(11, 4).with_phys_divisor(5_000));
         let revenue = |spec: &skipper_relational::QuerySpec| {
             spec.validate();
             let tables = ds.materialize_query_tables(spec);
@@ -243,9 +243,7 @@ mod tests {
                 &bin.finish(),
                 1e-9
             ));
-            out.first()
-                .and_then(|(_, v)| v[0].as_f64())
-                .unwrap_or(0.0)
+            out.first().and_then(|(_, v)| v[0].as_f64()).unwrap_or(0.0)
         };
         let r11 = revenue(&q1(&ds));
         let r12 = revenue(&q1_2(&ds));

@@ -11,9 +11,7 @@
 
 use rand::Rng;
 use skipper_relational::expr::Expr;
-use skipper_relational::query::{
-    AggFunc, AggSpec, JoinCond, JoinExpr, QualifiedCol, QuerySpec,
-};
+use skipper_relational::query::{AggFunc, AggSpec, JoinCond, JoinExpr, QualifiedCol, QuerySpec};
 use skipper_relational::row;
 use skipper_relational::schema::{DataType, Schema};
 use skipper_relational::value::Value;
@@ -61,16 +59,16 @@ pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE E
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 /// Order priorities (Q12 counts 1-URGENT/2-HIGH as "high").
-pub const PRIORITIES: [&str; 5] = [
-    "1-URGENT",
-    "2-HIGH",
-    "3-MEDIUM",
-    "4-NOT SPECIFIED",
-    "5-LOW",
-];
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// Market segments (Q3 selects BUILDING).
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 /// Part types (Q14 counts the PROMO ones).
 pub const PART_TYPES: [&str; 10] = [
@@ -531,7 +529,6 @@ pub fn q3(dataset: &Dataset) -> QuerySpec {
     }
 }
 
-
 /// TPC-H Q1 ("pricing summary report"): the canonical single-relation
 /// scan-and-aggregate — for MJoin the degenerate case where every segment
 /// is its own subplan and out-of-order service is free.
@@ -774,7 +771,7 @@ mod tests {
 
     fn small_cfg() -> GenConfig {
         // SF-2 keeps generation fast while exercising multi-segment tables.
-        GenConfig::new(42, 2).with_phys_divisor(20_000)
+        GenConfig::new(42, 2).with_phys_divisor(5_000)
     }
 
     #[test]
@@ -963,7 +960,10 @@ mod tests {
         let out = reference::execute(&spec, &slices);
         let promo = out[0].1[0].as_f64().unwrap();
         let total = out[0].1[1].as_f64().unwrap();
-        assert!(promo >= 0.0 && promo <= total, "promo {promo} total {total}");
+        assert!(
+            promo >= 0.0 && promo <= total,
+            "promo {promo} total {total}"
+        );
         // Two of ten part types are PROMO: expect roughly a fifth.
         let share = promo / total;
         assert!((0.02..0.6).contains(&share), "promo share {share}");

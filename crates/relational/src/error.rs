@@ -75,8 +75,6 @@ mod tests {
     #[test]
     fn implements_std_error() {
         fn takes_err(_: &dyn Error) {}
-        takes_err(&RelationalError::Codec {
-            detail: "x".into(),
-        });
+        takes_err(&RelationalError::Codec { detail: "x".into() });
     }
 }

@@ -313,9 +313,7 @@ mod tests {
         assert!(Expr::col(0)
             .in_list(vec![Value::str("MAIL"), Value::str("SHIP")])
             .matches(&r));
-        assert!(!Expr::col(0)
-            .in_list(vec![Value::str("AIR")])
-            .matches(&r));
+        assert!(!Expr::col(0).in_list(vec![Value::str("AIR")]).matches(&r));
         assert!(Expr::col(1).between(10i64, 20i64).matches(&r));
         assert!(Expr::col(1).between(15i64, 15i64).matches(&r));
         assert!(!Expr::col(1).between(16i64, 20i64).matches(&r));
@@ -324,11 +322,7 @@ mod tests {
     #[test]
     fn arithmetic() {
         let r = row![3i64, 4.0f64];
-        let e = Expr::Arith(
-            ArithOp::Mul,
-            Box::new(Expr::col(0)),
-            Box::new(Expr::col(1)),
-        );
+        let e = Expr::Arith(ArithOp::Mul, Box::new(Expr::col(0)), Box::new(Expr::col(1)));
         assert_eq!(e.eval(&r), Value::Float(12.0));
         let e = Expr::Arith(
             ArithOp::Sub,

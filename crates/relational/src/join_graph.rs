@@ -132,11 +132,7 @@ mod tests {
     use super::*;
     use crate::query::{AggSpec, JoinCond, QuerySpec};
 
-    fn spec_with(
-        n: usize,
-        joins: Vec<JoinCond>,
-        driver: usize,
-    ) -> QuerySpec {
+    fn spec_with(n: usize, joins: Vec<JoinCond>, driver: usize) -> QuerySpec {
         QuerySpec {
             name: "test".into(),
             tables: (0..n).map(|i| format!("t{i}")).collect(),

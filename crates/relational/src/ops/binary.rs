@@ -48,8 +48,7 @@ pub fn execute_left_deep(spec: &QuerySpec, relations: &[&[Segment]]) -> (Aggrega
     for (rel, segs) in relations.iter().enumerate() {
         let mut rows = Vec::new();
         for seg in segs.iter() {
-            let (mut r, stats) =
-                crate::ops::scan::scan_filter(seg, spec.filters[rel].as_ref());
+            let (mut r, stats) = crate::ops::scan::scan_filter(seg, spec.filters[rel].as_ref());
             work.scanned += stats.scanned;
             work.kept += stats.kept;
             rows.append(&mut r);
@@ -187,7 +186,10 @@ mod tests {
 
     #[test]
     fn two_way_count() {
-        let a = seg(&[("k", DataType::Int)], vec![row![1i64], row![2i64], row![2i64]]);
+        let a = seg(
+            &[("k", DataType::Int)],
+            vec![row![1i64], row![2i64], row![2i64]],
+        );
         let b = seg(&[("k", DataType::Int)], vec![row![2i64], row![3i64]]);
         let spec = count_spec(2, vec![JoinCond::new(0, 0, 1, 0)], vec![1, 0]);
         let (agg, work) = execute_left_deep(&spec, &[&[a], &[b]]);
@@ -198,8 +200,14 @@ mod tests {
 
     #[test]
     fn filters_apply_at_scan() {
-        let a = seg(&[("k", DataType::Int)], (0..10i64).map(|i| row![i]).collect());
-        let b = seg(&[("k", DataType::Int)], (0..10i64).map(|i| row![i]).collect());
+        let a = seg(
+            &[("k", DataType::Int)],
+            (0..10i64).map(|i| row![i]).collect(),
+        );
+        let b = seg(
+            &[("k", DataType::Int)],
+            (0..10i64).map(|i| row![i]).collect(),
+        );
         let mut spec = count_spec(2, vec![JoinCond::new(0, 0, 1, 0)], vec![1, 0]);
         spec.filters[0] = Some(Expr::col(0).lt(Expr::lit(3i64)));
         let (agg, work) = execute_left_deep(&spec, &[&[a], &[b]]);
@@ -246,8 +254,14 @@ mod tests {
 
     #[test]
     fn null_join_keys_never_match() {
-        let a = seg(&[("k", DataType::Int)], vec![Row::new(vec![Value::Null]), row![1i64]]);
-        let b = seg(&[("k", DataType::Int)], vec![Row::new(vec![Value::Null]), row![1i64]]);
+        let a = seg(
+            &[("k", DataType::Int)],
+            vec![Row::new(vec![Value::Null]), row![1i64]],
+        );
+        let b = seg(
+            &[("k", DataType::Int)],
+            vec![Row::new(vec![Value::Null]), row![1i64]],
+        );
         let spec = count_spec(2, vec![JoinCond::new(0, 0, 1, 0)], vec![1, 0]);
         let (agg, _) = execute_left_deep(&spec, &[&[a], &[b]]);
         assert_eq!(result_count(&agg), 1);

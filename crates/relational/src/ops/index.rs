@@ -160,11 +160,7 @@ mod tests {
     #[test]
     fn null_keys_not_indexed() {
         let schema = Schema::of(&[("k", DataType::Int)]);
-        let seg = Segment::new(
-            schema,
-            vec![Row::new(vec![Value::Null]), row![1i64]],
-        )
-        .unwrap();
+        let seg = Segment::new(schema, vec![Row::new(vec![Value::Null]), row![1i64]]).unwrap();
         let idx = SegmentIndex::build(&seg, None, &[0]);
         assert_eq!(idx.len(), 2);
         assert!(idx.probe(0, &Value::Null).is_empty());

@@ -382,12 +382,9 @@ mod tests {
         // Pretend combination {a seg 0, b seg 5} already ran in an
         // earlier reissue cycle.
         let mut rows = 0;
-        let work = execute_rooted(
-            &rooted,
-            &candidates,
-            &|combo| combo[0] == 0,
-            &mut |_| rows += 1,
-        );
+        let work = execute_rooted(&rooted, &candidates, &|combo| combo[0] == 0, &mut |_| {
+            rows += 1
+        });
         assert_eq!(rows, 1, "only the a2 combination may emit");
         assert_eq!(work.emitted, 1);
     }

@@ -54,18 +54,20 @@ mod tests {
 
     fn seg() -> Segment {
         let schema = Schema::of(&[("k", DataType::Int)]);
-        Segment::new(
-            schema,
-            (0..10i64).map(|i| row![i]).collect(),
-        )
-        .unwrap()
+        Segment::new(schema, (0..10i64).map(|i| row![i]).collect()).unwrap()
     }
 
     #[test]
     fn unfiltered_scan_keeps_all() {
         let (rows, stats) = scan_filter(&seg(), None);
         assert_eq!(rows.len(), 10);
-        assert_eq!(stats, ScanStats { scanned: 10, kept: 10 });
+        assert_eq!(
+            stats,
+            ScanStats {
+                scanned: 10,
+                kept: 10
+            }
+        );
     }
 
     #[test]

@@ -436,11 +436,7 @@ impl Aggregator {
 /// integer aggregates but tolerating relative error `tol` on floats —
 /// different execution strategies legitimately sum floats in different
 /// orders.
-pub fn results_approx_eq(
-    a: &[(Row, Vec<Value>)],
-    b: &[(Row, Vec<Value>)],
-    tol: f64,
-) -> bool {
+pub fn results_approx_eq(a: &[(Row, Vec<Value>)], b: &[(Row, Vec<Value>)], tol: f64) -> bool {
     if a.len() != b.len() {
         return false;
     }
@@ -525,10 +521,7 @@ mod tests {
         let b = row![1i64, 10.0f64];
         let rows = [&a, &b];
         assert_eq!(JoinExpr::col(1, 1).eval(&rows), Value::Float(10.0));
-        let revenue = JoinExpr::Mul(
-            Box::new(JoinExpr::col(0, 1)),
-            Box::new(JoinExpr::col(1, 1)),
-        );
+        let revenue = JoinExpr::Mul(Box::new(JoinExpr::col(0, 1)), Box::new(JoinExpr::col(1, 1)));
         assert_eq!(revenue.eval(&rows), Value::Float(20.0));
         let case = JoinExpr::CaseInList {
             probe: QualifiedCol::new(0, 0),

@@ -1,6 +1,13 @@
-//! Property tests for the relational substrate.
+//! Randomized-but-deterministic property tests for the relational
+//! substrate.
+//!
+//! Originally written with `proptest`; this offline workspace replaces
+//! the strategy machinery with a seeded value sampler over the same
+//! domain (all six `Value` variants, including NULLs, negative floats,
+//! and non-ASCII strings), so every case reproduces exactly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use skipper_relational::expr::{CmpOp, Expr};
 use skipper_relational::schema::{DataType, Schema};
@@ -8,106 +15,158 @@ use skipper_relational::segment::Segment;
 use skipper_relational::tuple::Row;
 use skipper_relational::value::Value;
 
-/// Arbitrary scalar values (join-key-compatible subset).
-fn value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        (-1e12f64..1e12).prop_map(Value::Float),
-        "[a-zA-Z0-9 ]{0,12}".prop_map(|s| Value::str(&s)),
-        any::<i32>().prop_map(Value::Date),
-    ]
+/// Draws one arbitrary scalar (join-key-compatible subset, matching the
+/// old proptest strategy).
+fn arb_value(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0..6u32) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Int(rng.gen::<i64>()),
+        3 => Value::Float(rng.gen_range(-1e12f64..1e12)),
+        4 => Value::str(&arb_string(rng, 12)),
+        _ => Value::Date(rng.gen::<i32>()),
+    }
 }
 
-proptest! {
-    /// The value ordering is a total order: antisymmetric, transitive,
-    /// and Eq-consistent (required for BTreeMap keys and sort stability).
-    #[test]
-    fn value_total_order_laws(a in value(), b in value(), c in value()) {
-        use std::cmp::Ordering;
+/// A 0..=max_len string mixing ASCII and multi-byte code points.
+fn arb_string(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| match rng.gen_range(0..4u32) {
+            0 => rng.gen_range('a'..='z'),
+            1 => rng.gen_range('A'..='Z'),
+            2 => rng.gen_range('0'..='9'),
+            _ => ['é', 'ß', '中', '🦀', ' ', '-'][rng.gen_range(0..6usize)],
+        })
+        .collect()
+}
+
+/// The value ordering is a total order: antisymmetric, transitive, and
+/// Eq-consistent (required for BTreeMap keys and sort stability).
+#[test]
+fn value_total_order_laws() {
+    use std::cmp::Ordering;
+    let mut rng = StdRng::seed_from_u64(0x0101);
+    for _ in 0..2000 {
+        let (a, b, c) = (
+            arb_value(&mut rng),
+            arb_value(&mut rng),
+            arb_value(&mut rng),
+        );
         // Antisymmetry.
         match a.cmp(&b) {
-            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
-            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Less => assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => assert_eq!(b.cmp(&a), Ordering::Less),
             Ordering::Equal => {
-                prop_assert_eq!(b.cmp(&a), Ordering::Equal);
-                prop_assert_eq!(&a, &b);
+                assert_eq!(b.cmp(&a), Ordering::Equal);
+                assert_eq!(&a, &b);
             }
         }
         // Transitivity (≤).
         if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
-            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+            assert_ne!(a.cmp(&c), Ordering::Greater, "{a:?} ≤ {b:?} ≤ {c:?}");
         }
     }
+}
 
-    /// Hash/Eq consistency: equal values hash identically (spot-checked
-    /// through a real map).
-    #[test]
-    fn equal_values_collide_in_maps(v in value()) {
-        use skipper_relational::hash::FxHashMap;
+/// Hash/Eq consistency: equal values hash identically (spot-checked
+/// through a real map).
+#[test]
+fn equal_values_collide_in_maps() {
+    use skipper_relational::hash::FxHashMap;
+    let mut rng = StdRng::seed_from_u64(0x0202);
+    for _ in 0..500 {
+        let v = arb_value(&mut rng);
         let mut m: FxHashMap<Value, u8> = FxHashMap::default();
         m.insert(v.clone(), 1);
-        prop_assert_eq!(m.get(&v), Some(&1));
+        assert_eq!(m.get(&v), Some(&1));
     }
+}
 
-    /// The segment codec round-trips arbitrary well-typed rows.
-    #[test]
-    fn codec_roundtrips_arbitrary_rows(
-        ints in proptest::collection::vec(any::<i64>(), 0..40),
-        strs in proptest::collection::vec("[\\PC]{0,24}", 0..40),
-    ) {
-        let n = ints.len().min(strs.len());
+/// The segment codec round-trips arbitrary well-typed rows.
+#[test]
+fn codec_roundtrips_arbitrary_rows() {
+    let mut rng = StdRng::seed_from_u64(0x0303);
+    for _ in 0..200 {
+        let n = rng.gen_range(0..40usize);
         let schema = Schema::of(&[("i", DataType::Int), ("s", DataType::Str)]);
         let rows: Vec<Row> = (0..n)
-            .map(|k| Row::new(vec![Value::Int(ints[k]), Value::str(&strs[k])]))
+            .map(|_| {
+                Row::new(vec![
+                    Value::Int(rng.gen::<i64>()),
+                    Value::str(&arb_string(&mut rng, 24)),
+                ])
+            })
             .collect();
         let seg = Segment::new(schema.clone(), rows).unwrap();
         let back = Segment::decode(&schema, seg.encode()).unwrap();
-        prop_assert_eq!(seg, back);
+        assert_eq!(seg, back);
     }
+}
 
-    /// Comparison operators agree with the value ordering, and NULL
-    /// comparisons are always false (SQL semantics).
-    #[test]
-    fn cmp_ops_agree_with_ordering(a in value(), b in value()) {
+/// Comparison operators agree with the value ordering, and NULL
+/// comparisons are always false (SQL semantics).
+#[test]
+fn cmp_ops_agree_with_ordering() {
+    let mut rng = StdRng::seed_from_u64(0x0404);
+    for _ in 0..2000 {
+        let (a, b) = (arb_value(&mut rng), arb_value(&mut rng));
         let row = Row::new(vec![a.clone(), b.clone()]);
-        let test = |op: CmpOp| {
-            Expr::Cmp(op, Box::new(Expr::col(0)), Box::new(Expr::col(1))).matches(&row)
-        };
+        let test =
+            |op: CmpOp| Expr::Cmp(op, Box::new(Expr::col(0)), Box::new(Expr::col(1))).matches(&row);
         if a.is_null() || b.is_null() {
-            for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
-                prop_assert!(!test(op), "NULL comparison must be false");
+            for op in [
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ] {
+                assert!(!test(op), "NULL comparison must be false");
             }
         } else {
-            prop_assert_eq!(test(CmpOp::Eq), a == b);
-            prop_assert_eq!(test(CmpOp::Ne), a != b);
-            prop_assert_eq!(test(CmpOp::Lt), a < b);
-            prop_assert_eq!(test(CmpOp::Le), a <= b);
-            prop_assert_eq!(test(CmpOp::Gt), a > b);
-            prop_assert_eq!(test(CmpOp::Ge), a >= b);
+            assert_eq!(test(CmpOp::Eq), a == b);
+            assert_eq!(test(CmpOp::Ne), a != b);
+            assert_eq!(test(CmpOp::Lt), a < b);
+            assert_eq!(test(CmpOp::Le), a <= b);
+            assert_eq!(test(CmpOp::Gt), a > b);
+            assert_eq!(test(CmpOp::Ge), a >= b);
         }
     }
+}
 
-    /// De Morgan: NOT(a AND b) == (NOT a) OR (NOT b) for boolean columns.
-    #[test]
-    fn boolean_de_morgan(a in any::<bool>(), b in any::<bool>()) {
-        let row = Row::new(vec![Value::Bool(a), Value::Bool(b)]);
-        let ca = || Expr::col(0);
-        let cb = || Expr::col(1);
-        let lhs = Expr::Not(Box::new(ca().and(cb())));
-        let rhs = Expr::Or(vec![Expr::Not(Box::new(ca())), Expr::Not(Box::new(cb()))]);
-        prop_assert_eq!(lhs.matches(&row), rhs.matches(&row));
+/// De Morgan: NOT(a AND b) == (NOT a) OR (NOT b) for boolean columns.
+#[test]
+fn boolean_de_morgan() {
+    for a in [false, true] {
+        for b in [false, true] {
+            let row = Row::new(vec![Value::Bool(a), Value::Bool(b)]);
+            let ca = || Expr::col(0);
+            let cb = || Expr::col(1);
+            let lhs = Expr::Not(Box::new(ca().and(cb())));
+            let rhs = Expr::Or(vec![Expr::Not(Box::new(ca())), Expr::Not(Box::new(cb()))]);
+            assert_eq!(lhs.matches(&row), rhs.matches(&row));
+        }
     }
+}
 
-    /// IN-list membership matches naive scanning.
-    #[test]
-    fn in_list_matches_linear_scan(
-        needle in any::<i64>(),
-        list in proptest::collection::vec(any::<i64>(), 0..16),
-    ) {
+/// IN-list membership matches naive scanning.
+#[test]
+fn in_list_matches_linear_scan() {
+    let mut rng = StdRng::seed_from_u64(0x0505);
+    for _ in 0..500 {
+        // A small key domain makes hits common; occasional full-domain
+        // needles exercise the miss path.
+        let needle = if rng.gen_bool(0.8) {
+            rng.gen_range(-8..8i64)
+        } else {
+            rng.gen::<i64>()
+        };
+        let n = rng.gen_range(0..16usize);
+        let list: Vec<i64> = (0..n).map(|_| rng.gen_range(-8..8i64)).collect();
         let row = Row::new(vec![Value::Int(needle)]);
         let expr = Expr::col(0).in_list(list.iter().map(|&v| Value::Int(v)).collect());
-        prop_assert_eq!(expr.matches(&row), list.contains(&needle));
+        assert_eq!(expr.matches(&row), list.contains(&needle));
     }
 }

@@ -4,13 +4,18 @@
 //! Sweeps the client count from 1 to 5 and prints the three lines of the
 //! figure — pull-based PostgreSQL on the CSD, Skipper on the CSD, and the
 //! no-switch HDD ideal — plus the per-client stall anatomy at five
-//! clients (Figure 9's story).
+//! clients (Figure 9's story), plus the runtime's mixed-engine twist:
+//! a half-migrated fleet where Skipper and PostgreSQL tenants share the
+//! device in a single scenario.
 //!
 //! ```text
 //! cargo run --release --example multi_tenant_tpch
 //! ```
 
+use std::sync::Arc;
+
 use skipper::core::driver::{EngineKind, Scenario};
+use skipper::core::runtime::{SkipperFactory, VanillaFactory, Workload};
 use skipper::csd::LayoutPolicy;
 use skipper::datagen::{tpch, GenConfig};
 
@@ -71,4 +76,34 @@ fn main() {
             100.0 * tr / total
         );
     }
+
+    // A half-migrated fleet: tenants 0/2/4 upgraded to Skipper, 1/3
+    // still pull-based — one scenario, one shared device, per-tenant
+    // engines (impossible with the seed's single global EngineKind).
+    println!("\nmixed fleet (3 skipper + 2 vanilla tenants):");
+    let shared = Arc::new(data);
+    let fleet: Vec<Workload> = (0..5)
+        .map(|i| {
+            let w = Workload::new(Arc::clone(&shared)).repeat_query(q12.clone(), 1);
+            if i % 2 == 0 {
+                w.engine(SkipperFactory::default().cache_bytes(12 << 30))
+            } else {
+                w.engine(VanillaFactory)
+            }
+        })
+        .collect();
+    let res = Scenario::from_workloads(fleet).run();
+    for (c, recs) in res.clients.iter().enumerate() {
+        let r = &recs[0];
+        println!(
+            "  tenant {c} [{:>7}]: {:>6.0}s  (upfront GETs: {})",
+            r.engine,
+            r.duration().as_secs_f64(),
+            r.upfront_gets
+        );
+    }
+    println!(
+        "  device: {} switches under the {} scheduler",
+        res.device.group_switches, res.scheduler
+    );
 }

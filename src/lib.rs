@@ -17,9 +17,15 @@
 //!   with the paper's segment geometry.
 //! * [`cost`] — storage-tiering economics (Figures 2-3).
 //! * [`core`] — Skipper itself: the MJoin state manager, maximal-progress
-//!   cache, client proxy, and the multi-tenant scenario driver.
+//!   cache, client proxy, and the **layered multi-tenant runtime**
+//!   (`core::runtime`): per-tenant workloads, pluggable engine
+//!   factories, and closed-loop / staggered / Poisson arrival
+//!   processes.
 //!
 //! ## Quickstart
+//!
+//! The classic homogeneous fleet (three Skipper tenants, one shared
+//! device):
 //!
 //! ```
 //! use skipper::core::driver::{EngineKind, Scenario};
@@ -39,6 +45,51 @@
 //!
 //! assert_eq!(result.device.group_switches, 2); // one residency per tenant
 //! println!("mean query time: {:.0}s", result.mean_query_secs());
+//! ```
+//!
+//! ## Mixed-engine fleets and open arrivals
+//!
+//! The runtime's workload layer composes heterogeneous tenants — a
+//! half-migrated fleet where Skipper and pull-based PostgreSQL tenants
+//! share the device, with per-tenant caches and arrival processes:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use skipper::core::runtime::{
+//!     ArrivalProcess, Scenario, SkipperFactory, VanillaFactory, Workload,
+//! };
+//! use skipper::datagen::{tpch, GenConfig};
+//! use skipper::sim::SimDuration;
+//!
+//! let data = Arc::new(tpch::dataset(&GenConfig::new(42, 2).with_phys_divisor(200_000)));
+//! let q12 = tpch::q12(&data);
+//!
+//! let result = Scenario::from_workloads(vec![
+//!     // Upgraded tenant: Skipper with a private 10 GiB MJoin cache.
+//!     Workload::new(Arc::clone(&data))
+//!         .repeat_query(q12.clone(), 1)
+//!         .engine(SkipperFactory::default().cache_bytes(10 << 30)),
+//!     // Legacy tenant: pull-based, one GET at a time.
+//!     Workload::new(Arc::clone(&data))
+//!         .repeat_query(q12.clone(), 1)
+//!         .engine(VanillaFactory),
+//!     // Open-arrival tenant: Poisson releases, fixed seed, exactly
+//!     // reproducible.
+//!     Workload::new(data)
+//!         .repeat_query(q12, 2)
+//!         .engine(SkipperFactory::default().cache_bytes(10 << 30))
+//!         .arrival(ArrivalProcess::Poisson {
+//!             mean: SimDuration::from_secs(600),
+//!             seed: 7,
+//!         }),
+//! ])
+//! .run();
+//!
+//! // Skipper issues its working set upfront; vanilla pulls one object
+//! // at a time — in the same run.
+//! assert!(result.clients[0][0].upfront_gets > 1);
+//! assert_eq!(result.clients[1][0].upfront_gets, 1);
+//! assert_eq!(result.scheduler, "ranking"); // query-aware device scheduling
 //! ```
 //!
 //! Run `cargo run --release -p skipper-bench --bin all` to regenerate

@@ -21,7 +21,10 @@ fn mixed_tenants_complete_with_correct_results() {
     let mr_ds = Arc::new(mrbench::dataset(&big));
     let nref_ds = Arc::new(nref::dataset(&big));
     let clients = vec![
-        (Arc::clone(&tpch_ds), vec![tpch::q12(&tpch_ds), tpch::q3(&tpch_ds)]),
+        (
+            Arc::clone(&tpch_ds),
+            vec![tpch::q12(&tpch_ds), tpch::q3(&tpch_ds)],
+        ),
         (Arc::clone(&ssb_ds), vec![ssb::q1(&ssb_ds)]),
         (Arc::clone(&mr_ds), vec![mrbench::join_task(&mr_ds)]),
         (Arc::clone(&nref_ds), vec![nref::protein_count(&nref_ds)]),

@@ -2,8 +2,13 @@
 //! MJoin must produce byte-identical results to the blocking binary
 //! baseline and the reference executor on every workload, under any
 //! layout, scheduler, cache size, and arrival order.
+//!
+//! The randomized cases were originally proptest strategies; this
+//! offline workspace draws them from a seeded RNG instead, so every
+//! combination is deterministic and reproducible by case index.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use skipper::core::cache::EvictionPolicy;
 use skipper::core::driver::{EngineKind, Scenario};
@@ -28,7 +33,6 @@ fn random_workload(
     rows_per_seg: u64,
     key_range: i64,
 ) -> (Dataset, QuerySpec) {
-    use rand::Rng;
     let mut b = DatasetBuilder::new(&format!("prop-{seed}"), seed);
     let spec = |name, segs, rows| TableSpec {
         name,
@@ -89,84 +93,99 @@ fn reference_result(
     reference::execute(q, &slices)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// The headline invariant: for random data, random placement, random
+/// scheduling, and cache pressure, Skipper's result equals the
+/// reference join.
+#[test]
+fn skipper_matches_reference_under_randomized_conditions() {
+    let layouts = [
+        LayoutPolicy::AllInOne,
+        LayoutPolicy::TwoClientsPerGroup,
+        LayoutPolicy::OneClientPerGroup,
+        LayoutPolicy::Incremental,
+    ];
+    let scheds = [
+        SchedPolicy::FcfsObject,
+        SchedPolicy::FcfsQuery,
+        SchedPolicy::MaxQueries,
+        SchedPolicy::RankBased,
+    ];
+    let intras = [
+        IntraGroupOrder::SemanticRoundRobin,
+        IntraGroupOrder::TableOrder,
+    ];
+    let mut rng = StdRng::seed_from_u64(0xA97E);
+    for case in 0..24 {
+        let seed = rng.gen_range(0u64..1000);
+        let fact_segs = rng.gen_range(1u32..5);
+        let dim_segs = rng.gen_range(1u32..3);
+        let key_range = rng.gen_range(1i64..60);
+        let cache_objects = rng.gen_range(3u64..8);
+        let layout = layouts[rng.gen_range(0..layouts.len())];
+        let sched = scheds[rng.gen_range(0..scheds.len())];
+        let intra = intras[rng.gen_range(0..intras.len())];
+        let clients = rng.gen_range(1usize..3);
 
-    /// The headline invariant: for random data, random placement, random
-    /// scheduling, and cache pressure, Skipper's result equals the
-    /// reference join.
-    #[test]
-    fn skipper_matches_reference_under_randomized_conditions(
-        seed in 0u64..1000,
-        fact_segs in 1u32..5,
-        dim_segs in 1u32..3,
-        key_range in 1i64..60,
-        cache_objects in 3u64..8,
-        layout_idx in 0usize..4,
-        sched_idx in 0usize..4,
-        intra_idx in 0usize..2,
-        clients in 1usize..3,
-    ) {
         let (ds, q) = random_workload(seed, fact_segs, dim_segs, 25, key_range);
         let expected = reference_result(&ds, &q);
-        let layouts = [
-            LayoutPolicy::AllInOne,
-            LayoutPolicy::TwoClientsPerGroup,
-            LayoutPolicy::OneClientPerGroup,
-            LayoutPolicy::Incremental,
-        ];
-        let scheds = [
-            SchedPolicy::FcfsObject,
-            SchedPolicy::FcfsQuery,
-            SchedPolicy::MaxQueries,
-            SchedPolicy::RankBased,
-        ];
-        let intras = [IntraGroupOrder::SemanticRoundRobin, IntraGroupOrder::TableOrder];
         let res = Scenario::new(ds)
             .clients(clients)
             .engine(EngineKind::Skipper)
             .cache_bytes(cache_objects * GIB)
-            .layout(layouts[layout_idx])
-            .scheduler(scheds[sched_idx])
-            .intra_order(intras[intra_idx])
+            .layout(layout)
+            .scheduler(sched)
+            .intra_order(intra)
             .repeat_query(q, 1)
             .run();
         for rec in res.records() {
-            prop_assert!(
+            assert!(
                 results_approx_eq(&rec.result, &expected, 1e-9),
-                "skipper diverged: {:?} vs {:?}",
+                "case {case}: skipper diverged: {:?} vs {:?}",
                 rec.result,
                 expected
             );
         }
     }
+}
 
-    /// Both eviction policies stay correct under cache thrash.
-    #[test]
-    fn eviction_policies_preserve_correctness(
-        seed in 0u64..500,
-        cache_objects in 3u64..6,
-        policy_idx in 0usize..2,
-    ) {
+/// Both eviction policies stay correct under cache thrash.
+#[test]
+fn eviction_policies_preserve_correctness() {
+    let policies = [
+        EvictionPolicy::MaximalProgress,
+        EvictionPolicy::MaxPendingSubplans,
+    ];
+    let mut rng = StdRng::seed_from_u64(0xE71C);
+    for case in 0..12 {
+        let seed = rng.gen_range(0u64..500);
+        let cache_objects = rng.gen_range(3u64..6);
+        let policy = policies[rng.gen_range(0..policies.len())];
         let (ds, q) = random_workload(seed, 4, 2, 25, 40);
         let expected = reference_result(&ds, &q);
-        let policies = [EvictionPolicy::MaximalProgress, EvictionPolicy::MaxPendingSubplans];
         let res = Scenario::new(ds)
             .engine(EngineKind::Skipper)
             .cache_bytes(cache_objects * GIB)
-            .eviction(policies[policy_idx])
+            .eviction(policy)
             .repeat_query(q, 1)
             .run();
         let rec = &res.clients[0][0];
-        prop_assert!(results_approx_eq(&rec.result, &expected, 1e-9));
+        assert!(
+            results_approx_eq(&rec.result, &expected, 1e-9),
+            "case {case} diverged"
+        );
     }
+}
 
-    /// Subplan pruning never changes results, only work.
-    #[test]
-    fn pruning_preserves_results(seed in 0u64..500, cache_objects in 3u64..6) {
+/// Subplan pruning never changes results, only work.
+#[test]
+fn pruning_preserves_results() {
+    use skipper::relational::Expr;
+    let mut rng = StdRng::seed_from_u64(0x9123);
+    for case in 0..12 {
+        let seed = rng.gen_range(0u64..500);
+        let cache_objects = rng.gen_range(3u64..6);
         // Keys clustered per segment (partition-ordered ids) + a range
         // filter make some fact segments empty.
-        use skipper::relational::Expr;
         let (ds, mut q) = random_workload(seed, 4, 2, 25, 50);
         q.filters[2] = Some(Expr::col(2).lt(Expr::lit(30i64)));
         let expected = reference_result(&ds, &q);
@@ -180,8 +199,14 @@ proptest! {
         };
         let with = run(true);
         let without = run(false);
-        prop_assert!(results_approx_eq(&with.clients[0][0].result, &expected, 1e-9));
-        prop_assert!(results_approx_eq(&without.clients[0][0].result, &expected, 1e-9));
+        assert!(
+            results_approx_eq(&with.clients[0][0].result, &expected, 1e-9),
+            "case {case} (pruned) diverged"
+        );
+        assert!(
+            results_approx_eq(&without.clients[0][0].result, &expected, 1e-9),
+            "case {case} (unpruned) diverged"
+        );
     }
 }
 

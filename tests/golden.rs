@@ -65,9 +65,12 @@ fn golden_skipper_tight_cache_same_outcome() {
 fn golden_query_results() {
     // Both engines, exact aggregate values (integer-valued sums of the
     // CASE counters; float representation is exact for small integers).
+    // Regenerated 2026-07: the offline rand stand-in changed the
+    // generator streams (see crates/compat/rand), which shifts the
+    // per-group CASE counter sums.
     let expected = vec![
-        (row!["MAIL"], vec![Value::Float(1.0), Value::Float(3.0)]),
-        (row!["SHIP"], vec![Value::Float(1.0), Value::Float(3.0)]),
+        (row!["MAIL"], vec![Value::Float(1.0), Value::Float(5.0)]),
+        (row!["SHIP"], vec![Value::Float(1.0), Value::Float(1.0)]),
     ];
     for engine in [EngineKind::Vanilla, EngineKind::Skipper] {
         let res = run(engine, 8);

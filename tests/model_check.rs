@@ -1,7 +1,12 @@
 //! Model-checking property tests: core data structures against
 //! brute-force reference models.
+//!
+//! Randomized scripts are drawn from a seeded RNG (deterministic
+//! stand-in for the original proptest strategies), so every case is
+//! reproducible by its loop index.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 use skipper::core::analysis::{CacheAdvisor, ReissueModel};
@@ -53,10 +58,7 @@ impl BruteForce {
         if self.pruned.contains(&obj) {
             return 0;
         }
-        self.pending()
-            .iter()
-            .filter(|c| c[obj.0] == obj.1)
-            .count() as u64
+        self.pending().iter().filter(|c| c[obj.0] == obj.1).count() as u64
     }
 
     fn prune(&mut self, obj: (usize, u32)) -> u64 {
@@ -70,21 +72,23 @@ impl BruteForce {
     }
 }
 
-/// Generates a small geometry plus a random action script.
-fn geometry() -> impl Strategy<Value = Vec<u32>> {
-    proptest::collection::vec(1u32..4, 2..4)
+/// A small random geometry: 2-3 relations of 1-3 segments each.
+fn geometry(rng: &mut StdRng) -> Vec<u32> {
+    let n = rng.gen_range(2usize..4);
+    (0..n).map(|_| rng.gen_range(1u32..4)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Tracker counts equal the brute-force model's under random
-    /// execute/prune interleavings.
-    #[test]
-    fn tracker_matches_brute_force(
-        seg_counts in geometry(),
-        script in proptest::collection::vec((proptest::bool::ANY, 0usize..64), 0..40),
-    ) {
+/// Tracker counts equal the brute-force model's under random
+/// execute/prune interleavings.
+#[test]
+fn tracker_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0x7AC8);
+    for case in 0..96 {
+        let seg_counts = geometry(&mut rng);
+        let script_len = rng.gen_range(0usize..40);
+        let script: Vec<(bool, usize)> = (0..script_len)
+            .map(|_| (rng.gen_bool(0.5), rng.gen_range(0usize..64)))
+            .collect();
         let mut tracker = SubplanTracker::new(&seg_counts);
         let mut model = BruteForce::new(&seg_counts);
         for (is_prune, pick) in script {
@@ -103,7 +107,7 @@ proptest! {
                 }
                 let a = tracker.prune((rel, seg));
                 let b = model.prune((rel, seg));
-                prop_assert_eq!(a, b, "prune count mismatch");
+                assert_eq!(a, b, "case {case}: prune count mismatch");
             } else {
                 // Execute a pseudo-random pending combo.
                 let pending = model.pending();
@@ -111,17 +115,17 @@ proptest! {
                     continue;
                 }
                 let combo = pending[pick % pending.len()].clone();
-                prop_assert!(tracker.mark_executed(&combo));
+                assert!(tracker.mark_executed(&combo));
                 model.executed.insert(combo);
             }
             // Invariants after every step.
-            prop_assert_eq!(tracker.pending_total(), model.pending().len() as u64);
+            assert_eq!(tracker.pending_total(), model.pending().len() as u64);
             for (r, &count) in seg_counts.iter().enumerate() {
                 for s in 0..count {
-                    prop_assert_eq!(
+                    assert_eq!(
                         tracker.pending_count((r, s)),
                         model.pending_count((r, s)),
-                        "pending_count({}, {})", r, s
+                        "case {case}: pending_count({r}, {s})"
                     );
                 }
             }
@@ -132,30 +136,32 @@ proptest! {
                 .filter(|&o| model.pending_count(o) > 0)
                 .collect();
             model_pending.sort_unstable();
-            prop_assert_eq!(tracker_pending, model_pending);
+            assert_eq!(tracker_pending, model_pending);
             // first_pending agrees with the model's lexicographic minimum.
             let mut model_first = model.pending();
             model_first.sort();
-            prop_assert_eq!(tracker.first_pending(), model_first.first().cloned());
+            assert_eq!(tracker.first_pending(), model_first.first().cloned());
         }
     }
+}
 
-    /// `runnable_with` returns exactly the unexecuted cache-resident
-    /// combos containing the fixed object.
-    #[test]
-    fn runnable_with_matches_brute_force(
-        seg_counts in geometry(),
-        executed_picks in proptest::collection::vec(0usize..64, 0..12),
-        cache_bits in 0u64..4096,
-    ) {
+/// `runnable_with` returns exactly the unexecuted cache-resident
+/// combos containing the fixed object.
+#[test]
+fn runnable_with_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0x2BF5);
+    for case in 0..96 {
+        let seg_counts = geometry(&mut rng);
+        let n_exec = rng.gen_range(0usize..12);
+        let cache_bits = rng.gen_range(0u64..4096);
         let mut tracker = SubplanTracker::new(&seg_counts);
         let mut model = BruteForce::new(&seg_counts);
-        for pick in executed_picks {
+        for _ in 0..n_exec {
             let pending = model.pending();
             if pending.is_empty() {
                 break;
             }
-            let combo = pending[pick % pending.len()].clone();
+            let combo = pending[rng.gen_range(0usize..64) % pending.len()].clone();
             tracker.mark_executed(&combo);
             model.executed.insert(combo);
         }
@@ -189,46 +195,51 @@ proptest! {
                         .all(|(r, &s)| cached[r].contains(&s))
             })
             .collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}");
     }
+}
 
-    /// The §5.2.4 closed form is monotone and the advisor inverts it for
-    /// arbitrary query shapes.
-    #[test]
-    fn analysis_model_laws(
-        counts in proptest::collection::vec(1u32..100, 1..7),
-        factor in 1.0f64..50.0,
-    ) {
+/// The §5.2.4 closed form is monotone and the advisor inverts it for
+/// arbitrary query shapes.
+#[test]
+fn analysis_model_laws() {
+    let mut rng = StdRng::seed_from_u64(0x51D4);
+    for _ in 0..96 {
+        let n = rng.gen_range(1usize..7);
+        let counts: Vec<u32> = (0..n).map(|_| rng.gen_range(1u32..100)).collect();
+        let factor = rng.gen_range(1.0f64..50.0);
         let model = ReissueModel::from_segment_counts(&counts);
         // Monotone non-increasing in cache size.
         let mut prev = f64::INFINITY;
         for c in (model.min_capacity() as u64)..=(model.total_objects) {
             let f = model.reissue_factor(c);
-            prop_assert!(f <= prev + 1e-9);
-            prop_assert!(f >= 1.0);
+            assert!(f <= prev + 1e-9);
+            assert!(f >= 1.0);
             prev = f;
         }
         // Advisor produces a capacity meeting the target.
         let advisor = CacheAdvisor::new(model);
         let c = advisor.capacity_for_factor(factor);
-        prop_assert!(model.reissue_factor(c) <= factor + 1e-6);
+        assert!(model.reissue_factor(c) <= factor + 1e-6);
         // No reissues at the derived hash-join-equivalence capacity.
         let c0 = advisor.capacity_for_no_reissues();
-        prop_assert!(model.reissue_factor(c0) <= 1.0 + 1e-9);
+        assert!(model.reissue_factor(c0) <= 1.0 + 1e-9);
     }
+}
 
-    /// Activity-trace attribution always conserves time: any interval's
-    /// switch + transfer + idle sums exactly to its length.
-    #[test]
-    fn trace_attribution_conserves_time(
-        spans in proptest::collection::vec((1u64..50, 0usize..3), 1..20),
-        query in (0u64..500, 1u64..200),
-    ) {
-        use skipper::sim::{Activity, ActivityTrace, SimTime};
+/// Activity-trace attribution always conserves time: any interval's
+/// switch + transfer + idle sums exactly to its length.
+#[test]
+fn trace_attribution_conserves_time() {
+    use skipper::sim::{Activity, ActivityTrace, SimTime};
+    let mut rng = StdRng::seed_from_u64(0x7123);
+    for _ in 0..96 {
+        let n_spans = rng.gen_range(1usize..20);
         let mut trace = ActivityTrace::new();
         let mut t = 0u64;
-        for (len, kind) in spans {
-            let activity = match kind {
+        for _ in 0..n_spans {
+            let len = rng.gen_range(1u64..50);
+            let activity = match rng.gen_range(0usize..3) {
                 0 => Activity::Switching,
                 1 => Activity::Transferring { client: 0 },
                 _ => Activity::Idle,
@@ -236,10 +247,11 @@ proptest! {
             trace.record(SimTime::from_secs(t), SimTime::from_secs(t + len), activity);
             t += len;
         }
-        let (from, len) = query;
+        let from = rng.gen_range(0u64..500);
+        let len = rng.gen_range(1u64..200);
         let a = SimTime::from_secs(from);
         let b = SimTime::from_secs(from + len);
         let attr = trace.attribute(a, b);
-        prop_assert_eq!(attr.total().as_micros(), b.since(a).as_micros());
+        assert_eq!(attr.total().as_micros(), b.since(a).as_micros());
     }
 }

@@ -1,6 +1,10 @@
 //! Scheduler fairness and efficiency properties (§4.4, Figure 12).
+//!
+//! Randomized cases are drawn from a seeded RNG (deterministic stand-in
+//! for the original proptest strategies).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use skipper::csd::sched::{Decision, GroupScheduler, PendingRequest, RankBased, Residency};
 use skipper::csd::{ObjectId, QueryId, SchedPolicy};
@@ -17,81 +21,79 @@ fn req(group: u32, tenant: u16, seq: u64) -> PendingRequest {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Starvation bound: with K = 1, a group holding one query among
-    /// groups holding at most `n` queries each is served within `n + 1`
-    /// switches — the derivation behind the paper's "once every four
-    /// group switches" example.
-    #[test]
-    fn rank_based_serves_lone_group_within_bound(
-        popular_queries in 1u16..8,
-        popular_groups in 1u32..4,
-    ) {
-        let mut pending = Vec::new();
-        let mut seq = 0u64;
-        for g in 0..popular_groups {
-            for q in 0..popular_queries {
-                pending.push(req(g, (g * 100) as u16 + q, seq));
-                seq += 1;
-            }
-        }
-        let lone_group = popular_groups;
-        pending.push(req(lone_group, 999, seq));
-
-        let mut sched = RankBased::new();
-        let empty = Residency::new();
-        let mut switches = 0u32;
-        let bound = (popular_queries as u32 + 1) * popular_groups;
-        loop {
-            match sched.decide(&pending, None, &empty) {
-                Decision::SwitchTo(g) => {
-                    switches += 1;
-                    sched.on_switch_complete(&pending, g);
-                    if g == lone_group {
-                        break;
-                    }
-                    // Popular queries are a steady stream: their requests
-                    // never drain.
-                    prop_assert!(
-                        switches <= bound,
-                        "lone group starved for {switches} switches (bound {bound})"
-                    );
+/// Starvation bound: with K = 1, a group holding one query among
+/// groups holding at most `n` queries each is served within `n + 1`
+/// switches — the derivation behind the paper's "once every four
+/// group switches" example.
+#[test]
+fn rank_based_serves_lone_group_within_bound() {
+    for popular_queries in 1u16..8 {
+        for popular_groups in 1u32..4 {
+            let mut pending = Vec::new();
+            let mut seq = 0u64;
+            for g in 0..popular_groups {
+                for q in 0..popular_queries {
+                    pending.push(req(g, (g * 100) as u16 + q, seq));
+                    seq += 1;
                 }
-                other => prop_assert!(false, "unexpected decision {other:?}"),
             }
-        }
-        prop_assert!(switches <= bound);
-    }
+            let lone_group = popular_groups;
+            pending.push(req(lone_group, 999, seq));
 
-    /// With K = 0 the rank degenerates to Max-Queries: the same group is
-    /// picked every time regardless of waiting.
-    #[test]
-    fn rank_with_zero_k_matches_max_queries(switch_rounds in 1u32..20) {
-        let pending = vec![
-            req(0, 0, 0),
-            req(0, 1, 1),
-            req(1, 2, 2),
-        ];
-        let mut rank0 = RankBased::with_k(0.0);
-        let mut maxq = SchedPolicy::MaxQueries.build();
-        let empty = Residency::new();
-        for _ in 0..switch_rounds {
-            let a = rank0.decide(&pending, None, &empty);
-            let b = maxq.decide(&pending, None, &empty);
-            prop_assert_eq!(a, b);
-            if let Decision::SwitchTo(g) = a {
-                rank0.on_switch_complete(&pending, g);
-                maxq.on_switch_complete(&pending, g);
+            let mut sched = RankBased::new();
+            let empty = Residency::new();
+            let mut switches = 0u32;
+            let bound = (popular_queries as u32 + 1) * popular_groups;
+            loop {
+                match sched.decide(&pending, None, &empty) {
+                    Decision::SwitchTo(g) => {
+                        switches += 1;
+                        sched.on_switch_complete(&pending, g);
+                        if g == lone_group {
+                            break;
+                        }
+                        // Popular queries are a steady stream: their
+                        // requests never drain.
+                        assert!(
+                            switches <= bound,
+                            "lone group starved for {switches} switches (bound {bound})"
+                        );
+                    }
+                    other => panic!("unexpected decision {other:?}"),
+                }
             }
+            assert!(switches <= bound);
         }
     }
+}
 
-    /// Waiting times reset exactly for the queries on the loaded group
-    /// and grow by one elsewhere (the W_q definition).
-    #[test]
-    fn waiting_time_bookkeeping(loads in proptest::collection::vec(0u32..3, 1..12)) {
+/// With K = 0 the rank degenerates to Max-Queries: the same group is
+/// picked every time regardless of waiting.
+#[test]
+fn rank_with_zero_k_matches_max_queries() {
+    let pending = vec![req(0, 0, 0), req(0, 1, 1), req(1, 2, 2)];
+    let mut rank0 = RankBased::with_k(0.0);
+    let mut maxq = SchedPolicy::MaxQueries.build();
+    let empty = Residency::new();
+    for _ in 0..20 {
+        let a = rank0.decide(&pending, None, &empty);
+        let b = maxq.decide(&pending, None, &empty);
+        assert_eq!(a, b);
+        if let Decision::SwitchTo(g) = a {
+            rank0.on_switch_complete(&pending, g);
+            maxq.on_switch_complete(&pending, g);
+        }
+    }
+}
+
+/// Waiting times reset exactly for the queries on the loaded group
+/// and grow by one elsewhere (the W_q definition).
+#[test]
+fn waiting_time_bookkeeping() {
+    let mut rng = StdRng::seed_from_u64(0xFA17);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..12);
+        let loads: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..3)).collect();
         let pending = vec![req(0, 0, 0), req(1, 1, 1), req(2, 2, 2)];
         let mut sched = RankBased::new();
         let mut expected = [0u64; 3];
@@ -105,7 +107,7 @@ proptest! {
                 }
             }
             for (q, &e) in expected.iter().enumerate() {
-                prop_assert_eq!(sched.waiting_of(QueryId::new(q as u16, 0)), e);
+                assert_eq!(sched.waiting_of(QueryId::new(q as u16, 0)), e);
             }
         }
     }
