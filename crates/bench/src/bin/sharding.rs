@@ -1,0 +1,10 @@
+//! Regenerates the fleet scale-out sweep: the mixed-tenant fleet on
+//! 1-8 CSD shards under round-robin and hash placement.
+use skipper_bench::Ctx;
+fn main() {
+    let mut ctx = Ctx::new();
+    println!(
+        "{}",
+        skipper_bench::experiments::sharding::sharding(&mut ctx)
+    );
+}

@@ -9,6 +9,7 @@ pub mod mixed;
 pub mod outlook;
 pub mod power_exp;
 pub mod sched_exp;
+pub mod sharding;
 pub mod skipper_exp;
 pub mod suite;
 pub mod table2;

@@ -23,6 +23,7 @@
 //! | `fig11b` | Figure 11b     | cache sweep, TPC-H SF-50 Q5 (+ GET counts) |
 //! | `fig11c` | Figure 11c     | cache sweep, TPC-H SF-100 Q5 (+ GET counts) |
 //! | `fig12`  | Figure 12      | scheduler fairness vs efficiency |
+//! | `sharding` | beyond the paper | mixed-tenant fleet on 1-8 CSD shards |
 //! | `ablations` | §4.2/§4.4/§5.2.4 design choices | eviction / ordering / pruning A-Bs |
 
 #![forbid(unsafe_code)]

@@ -9,10 +9,11 @@
 //! idle stalls (the Figure 9 breakdown).
 
 use skipper_csd::metrics::DeviceMetrics;
+use skipper_csd::{ObjectId, QueryId};
 use skipper_relational::tuple::Row;
 use skipper_relational::value::Value;
 use skipper_sim::trace::Span;
-use skipper_sim::{ActivityTrace, Attribution, SimDuration, SimTime};
+use skipper_sim::{attribute_union, ActivityTrace, Attribution, SimDuration, SimTime};
 
 use crate::engine::EngineStats;
 
@@ -104,12 +105,23 @@ pub struct PendingRecord {
 /// Attributes every blocked interval of `records` against the device
 /// trace and returns the finished records.
 pub fn attribute_stalls(trace: &ActivityTrace, records: Vec<PendingRecord>) -> Vec<QueryRecord> {
+    attribute_stalls_fleet(&[trace], records)
+}
+
+/// Fleet-aware stall attribution: blocked intervals are sliced against
+/// the *union* of every shard's activity trace (transfer beats switch
+/// beats idle at each instant), so the Figure 9 breakdown stays exact —
+/// `processing + stalls == duration` — on any shard count.
+pub fn attribute_stalls_fleet(
+    traces: &[&ActivityTrace],
+    records: Vec<PendingRecord>,
+) -> Vec<QueryRecord> {
     records
         .into_iter()
         .map(|mut rec| {
             let mut attr = Attribution::default();
             for &(a, b) in &rec.blocked_intervals {
-                attr.merge(trace.attribute(a, b));
+                attr.merge(attribute_union(traces, a, b));
             }
             rec.record.stalls = attr;
             rec.record
@@ -117,17 +129,37 @@ pub fn attribute_stalls(trace: &ActivityTrace, records: Vec<PendingRecord>) -> V
         .collect()
 }
 
+/// One CSD shard's share of a run: its own counters, activity spans,
+/// scheduler, and delivery ledger.
+#[derive(Clone, Debug)]
+pub struct ShardResult {
+    /// Shard index within the fleet.
+    pub shard: usize,
+    /// This shard's device counters.
+    pub metrics: DeviceMetrics,
+    /// This shard's activity spans (switches/transfers), in time order.
+    pub spans: Vec<Span>,
+    /// Scheduler deployed on this shard.
+    pub scheduler: &'static str,
+    /// Completed transfers in service order: `(client, query, object)`.
+    pub deliveries: Vec<(usize, QueryId, ObjectId)>,
+}
+
 /// Everything measured by one scenario run.
 pub struct RunResult {
     /// Per-client query records, in execution order.
     pub clients: Vec<Vec<QueryRecord>>,
-    /// Device counters (switches, objects served, bytes).
+    /// Device counters, rolled up across every shard of the fleet
+    /// (identical to shard 0's counters for a single-device run).
     pub device: DeviceMetrics,
-    /// The device's activity spans (switches/transfers), in time order.
+    /// Shard 0's activity spans (the whole device's spans for a
+    /// single-device run; see [`RunResult::shards`] for the rest).
     pub device_spans: Vec<Span>,
+    /// Per-shard breakdowns, in shard order (length = fleet size).
+    pub shards: Vec<ShardResult>,
     /// Virtual time at which the last event fired.
     pub makespan: SimTime,
-    /// Scheduler label used.
+    /// Scheduler label used (shard 0's scheduler for a fleet).
     pub scheduler: &'static str,
 }
 
@@ -170,11 +202,32 @@ impl RunResult {
             .collect()
     }
 
-    /// An ASCII Gantt strip of the device's activity over the whole run:
+    /// An ASCII Gantt strip of shard 0's activity over the whole run:
     /// `S` = group switch, digits = transfer to that client, `.` = idle.
+    /// For fleets, see [`RunResult::shard_timeline`].
     pub fn timeline(&self, width: usize) -> String {
         let trace = ActivityTrace::from_spans(self.device_spans.iter().copied());
         skipper_sim::timeline::render(&trace, SimTime::ZERO, self.makespan, width)
+    }
+
+    /// The ASCII Gantt strip of one shard's activity.
+    pub fn shard_timeline(&self, shard: usize, width: usize) -> String {
+        let trace = ActivityTrace::from_spans(self.shards[shard].spans.iter().copied());
+        skipper_sim::timeline::render(&trace, SimTime::ZERO, self.makespan, width)
+    }
+
+    /// The fleet's delivery ledger as a sorted multiset of
+    /// `(client, query, object)` triples: the work-conservation
+    /// invariant — a sharded run must produce exactly the multiset of
+    /// the equivalent 1-shard run.
+    pub fn delivery_multiset(&self) -> Vec<(usize, QueryId, ObjectId)> {
+        let mut all: Vec<(usize, QueryId, ObjectId)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.deliveries.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all
     }
 }
 

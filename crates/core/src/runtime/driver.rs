@@ -1,27 +1,34 @@
 //! The driver layer: the discrete-event loop wiring clients to the
-//! shared device.
+//! device fleet.
 //!
-//! The [`Runtime`] owns the assembled parts — a [`DevicePump`], the
+//! The [`Runtime`] owns the assembled parts — a [`DeviceFleet`], the
 //! per-tenant [`ClientState`]s, and the event queue — and advances
 //! virtual time until every tenant has drained its plan. It reproduces
 //! the paper's testbed loop exactly: deliveries wake clients, charged
-//! processing blocks them, follow-up GETs go back to the device, and
-//! every transition is timestamped for the collector.
+//! processing blocks them, follow-up GETs go back to the owning shard,
+//! and every transition is timestamped for the collector.
+//!
+//! Multi-shard wake-ups interleave deterministically: each shard keeps
+//! its own armed-wake-up protocol, the event queue breaks simultaneous
+//! events by insertion order, and shards are always poked in shard
+//! order — so a fleet run is exactly reproducible, and a 1-shard fleet
+//! replays the single-device event schedule unchanged.
 
+use skipper_csd::metrics::DeviceMetrics;
 use skipper_csd::QueryId;
-use skipper_sim::{EventQueue, SimTime};
+use skipper_sim::{ActivityTrace, EventQueue, SimTime};
 
 use crate::config::CostModel;
 
 use super::client::ClientState;
-use super::collector::{attribute_stalls, RunResult};
-use super::pump::DevicePump;
+use super::collector::{attribute_stalls_fleet, RunResult, ShardResult};
+use super::fleet::DeviceFleet;
 
 /// Event payloads of the runtime loop.
 #[derive(Clone, Copy, Debug)]
 enum Event {
-    /// The device finishes its in-flight operation.
-    Device,
+    /// Shard `s` finishes its in-flight operation.
+    Device(usize),
     /// Client `c` finishes its charged processing.
     ClientReady(usize),
     /// The arrival process releases client `c`'s next query.
@@ -30,7 +37,7 @@ enum Event {
 
 /// The assembled multi-tenant runtime; consumed by [`Runtime::run`].
 pub struct Runtime {
-    pump: DevicePump,
+    fleet: DeviceFleet,
     clients: Vec<ClientState>,
     events: EventQueue<Event>,
     cost: CostModel,
@@ -38,9 +45,9 @@ pub struct Runtime {
 
 impl Runtime {
     /// Wires the parts together.
-    pub fn new(pump: DevicePump, clients: Vec<ClientState>, cost: CostModel) -> Self {
+    pub fn new(fleet: DeviceFleet, clients: Vec<ClientState>, cost: CostModel) -> Self {
         Runtime {
-            pump,
+            fleet,
             clients,
             events: EventQueue::new(),
             cost,
@@ -68,20 +75,20 @@ impl Runtime {
             }
             self.try_start(c, now);
         }
-        self.poke_device(now);
+        self.poke_fleet(now);
 
         while let Some((t, ev)) = self.events.pop() {
             match ev {
-                Event::Device => {
-                    if let Some(d) = self.pump.on_wakeup(t) {
+                Event::Device(shard) => {
+                    if let Some(d) = self.fleet.on_wakeup(shard, t) {
                         self.route_delivery(t, d.client, d.query, d.object, d.payload);
                     }
-                    self.poke_device(t);
+                    self.poke_fleet(t);
                 }
                 Event::ClientReady(c) => self.client_ready(c, t),
                 Event::Release(c) => {
                     self.try_start(c, t);
-                    self.poke_device(t);
+                    self.poke_fleet(t);
                 }
             }
         }
@@ -93,19 +100,45 @@ impl Runtime {
                 "client {idx} did not finish its workload (simulation deadlock)"
             );
         }
-        // Post-hoc stall attribution against the device trace.
-        let trace = self.pump.device().trace();
+        assert!(
+            self.fleet.is_quiescent(),
+            "fleet still has queued work after the event queue drained"
+        );
+        // Post-hoc stall attribution against the union of shard traces.
+        let traces: Vec<&ActivityTrace> = self
+            .fleet
+            .pumps()
+            .iter()
+            .map(|p| p.device().trace())
+            .collect();
         let clients_out = self
             .clients
             .iter_mut()
-            .map(|client| attribute_stalls(trace, client.records.drain(..).collect()))
+            .map(|client| attribute_stalls_fleet(&traces, client.records.drain(..).collect()))
+            .collect();
+        let shards: Vec<ShardResult> = self
+            .fleet
+            .pumps()
+            .iter()
+            .enumerate()
+            .map(|(shard, pump)| {
+                let dev = pump.device();
+                ShardResult {
+                    shard,
+                    metrics: dev.metrics().clone(),
+                    spans: dev.trace().spans().to_vec(),
+                    scheduler: dev.scheduler_name(),
+                    deliveries: dev.served_log().to_vec(),
+                }
+            })
             .collect();
         RunResult {
             clients: clients_out,
-            device: self.pump.device().metrics().clone(),
-            device_spans: self.pump.device().trace().spans().to_vec(),
+            device: DeviceMetrics::rolled_up(shards.iter().map(|s| &s.metrics)),
+            device_spans: shards[0].spans.clone(),
+            scheduler: shards[0].scheduler,
+            shards,
             makespan,
-            scheduler: self.pump.device().scheduler_name(),
         }
     }
 
@@ -118,14 +151,14 @@ impl Runtime {
         let requests = self.clients[c].start_next(c as u16, self.cost, now);
         self.clients[c].draft.upfront_gets = requests.len() as u64;
         let qid = QueryId::new(c as u16, self.clients[c].qseq);
-        self.pump.submit(now, c, qid, &requests);
+        self.fleet.submit(now, c, qid, &requests);
     }
 
-    /// Arms the device wake-up if work is pending and none is armed.
-    fn poke_device(&mut self, now: SimTime) {
-        if let Some(at) = self.pump.poke(now) {
-            self.events.schedule(at, Event::Device);
-        }
+    /// Arms wake-ups on every shard with pending work and none armed.
+    fn poke_fleet(&mut self, now: SimTime) {
+        let events = &mut self.events;
+        self.fleet
+            .poke_all(now, |shard, at| events.schedule(at, Event::Device(shard)));
     }
 
     /// Routes a finished transfer to its client, dropping stale
@@ -179,13 +212,13 @@ impl Runtime {
         self.clients[c].busy = false;
         if !requests.is_empty() {
             let qid = QueryId::new(c as u16, self.clients[c].qseq);
-            self.pump.submit(now, c, qid, &requests);
-            self.poke_device(now);
+            self.fleet.submit(now, c, qid, &requests);
+            self.poke_fleet(now);
         }
         if finished {
             self.clients[c].finish(c, now);
             self.try_start(c, now);
-            self.poke_device(now);
+            self.poke_fleet(now);
         } else {
             self.clients[c].note_waiting(now);
             self.try_process(c, now);

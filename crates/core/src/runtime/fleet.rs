@@ -1,0 +1,113 @@
+//! The device fleet: N pumps over N independently configured CSDs.
+//!
+//! One cold storage device tops out at a rack; the production path is a
+//! *fleet* of CSD shards behind a single scenario. [`DeviceFleet`] owns
+//! one [`DevicePump`] per shard plus the object → shard map fixed at
+//! layout time by a
+//! [`PlacementPolicy`](skipper_csd::PlacementPolicy): `submit` fans a
+//! GET batch out to the owning shards (preserving relative order within
+//! each shard), and each shard keeps its own wake-up protocol, so the
+//! event loop interleaves devices deterministically — shard index breaks
+//! every tie.
+//!
+//! A 1-shard fleet is byte-for-byte the old single-device runtime: the
+//! whole batch goes to pump 0 in submission order and the event
+//! schedule is unchanged.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use skipper_csd::{CsdDevice, Delivery, ObjectId, QueryId};
+use skipper_relational::segment::Segment;
+use skipper_sim::SimTime;
+
+use super::pump::DevicePump;
+
+/// N device pumps + the object → shard map.
+pub struct DeviceFleet {
+    pumps: Vec<DevicePump>,
+    shard_of: HashMap<ObjectId, usize>,
+}
+
+impl DeviceFleet {
+    /// Assembles a fleet from per-shard devices and the placement map.
+    ///
+    /// # Panics
+    /// Panics on an empty fleet or a map entry pointing outside it.
+    pub fn new(devices: Vec<CsdDevice<Arc<Segment>>>, shard_of: HashMap<ObjectId, usize>) -> Self {
+        assert!(!devices.is_empty(), "a fleet needs at least one device");
+        assert!(
+            shard_of.values().all(|&s| s < devices.len()),
+            "placement map points outside the fleet"
+        );
+        DeviceFleet {
+            pumps: devices.into_iter().map(DevicePump::new).collect(),
+            shard_of,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.pumps.len()
+    }
+
+    /// The shard storing `object` (shard 0 when the fleet has one
+    /// device and no explicit map).
+    ///
+    /// # Panics
+    /// Panics for objects never placed on a multi-shard fleet.
+    pub fn shard_for(&self, object: ObjectId) -> usize {
+        if self.pumps.len() == 1 {
+            return 0;
+        }
+        *self
+            .shard_of
+            .get(&object)
+            .unwrap_or_else(|| panic!("object {object} was never placed on any shard"))
+    }
+
+    /// Fans GET requests out to the owning shards. Objects keep their
+    /// relative order within each shard's batch; shards are submitted in
+    /// shard order for determinism.
+    pub fn submit(&mut self, now: SimTime, client: usize, query: QueryId, objects: &[ObjectId]) {
+        if self.pumps.len() == 1 {
+            self.pumps[0].submit(now, client, query, objects);
+            return;
+        }
+        let mut per_shard: Vec<Vec<ObjectId>> = vec![Vec::new(); self.pumps.len()];
+        for &obj in objects {
+            per_shard[self.shard_for(obj)].push(obj);
+        }
+        for (shard, batch) in per_shard.iter().enumerate() {
+            if !batch.is_empty() {
+                self.pumps[shard].submit(now, client, query, batch);
+            }
+        }
+    }
+
+    /// Pokes every shard in shard order, invoking `armed` with
+    /// `(shard, wake-up)` for each newly armed wake-up. Allocation-free:
+    /// this runs once per event on the loop's hot path.
+    pub fn poke_all(&mut self, now: SimTime, mut armed: impl FnMut(usize, SimTime)) {
+        for (shard, pump) in self.pumps.iter_mut().enumerate() {
+            if let Some(at) = pump.poke(now) {
+                armed(shard, at);
+            }
+        }
+    }
+
+    /// Handles shard `shard`'s armed wake-up firing at `now`.
+    pub fn on_wakeup(&mut self, shard: usize, now: SimTime) -> Option<Delivery<Arc<Segment>>> {
+        self.pumps[shard].on_wakeup(now)
+    }
+
+    /// Read access to every pump, in shard order.
+    pub fn pumps(&self) -> &[DevicePump] {
+        &self.pumps
+    }
+
+    /// True when every shard is idle with an empty queue.
+    pub fn is_quiescent(&self) -> bool {
+        self.pumps.iter().all(|p| p.device().is_quiescent())
+    }
+}

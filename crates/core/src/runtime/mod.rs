@@ -11,13 +11,46 @@
 //!    replacing the old global `EngineKind` branch: one scenario can
 //!    mix Skipper and Vanilla tenants with per-tenant cache/eviction
 //!    configuration.
-//! 3. **Driver layer** ([`client`], [`pump`], [`driver`],
+//! 3. **Driver layer** ([`client`], [`pump`], [`fleet`], [`driver`],
 //!    [`collector`]) — the client state machine, the device pump, the
-//!    discrete-event loop, and the record/metrics collector behind
-//!    every figure in §5 of the paper.
+//!    sharded device fleet, the discrete-event loop, and the
+//!    record/metrics collector behind every figure in §5 of the paper.
 //!
 //! [`Scenario`] ([`scenario`]) remains the one-stop facade over all
 //! three layers and is fully backward compatible with the seed API.
+//!
+//! # Fleet layering
+//!
+//! The execution stack, top to bottom — one box per layer, one device
+//! pump per CSD shard:
+//!
+//! ```text
+//!   ┌────────────────────────────────────────────────────────────┐
+//!   │ workload   Workload × N tenants                            │
+//!   │            dataset + query mix + arrival process           │
+//!   ├────────────────────────────────────────────────────────────┤
+//!   │ engine     EngineFactory per tenant                        │
+//!   │            Skipper (upfront batch) / Vanilla (pull)        │
+//!   ├────────────────────────────────────────────────────────────┤
+//!   │ driver     Runtime: event loop + ClientState machines      │
+//!   │            deliveries ⇢ processing ⇢ follow-up GETs        │
+//!   ├────────────────────────────────────────────────────────────┤
+//!   │ fleet      DeviceFleet: PlacementPolicy → shard map        │
+//!   │   ┌──────────────┬──────────────┬──────────────┐           │
+//!   │   │ DevicePump 0 │ DevicePump 1 │ DevicePump … │ per shard │
+//!   │   │ CsdDevice 0  │ CsdDevice 1  │ CsdDevice …  │           │
+//!   │   └──────────────┴──────────────┴──────────────┘           │
+//!   │   own scheduler · bandwidth · switch latency · groups      │
+//!   └────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! GET batches fan out through the shard map fixed at layout time;
+//! each shard's wake-ups interleave deterministically in the one event
+//! queue (insertion order breaks ties, shards are poked in shard
+//! order). A 1-shard fleet replays the seed's single-device schedule
+//! microsecond-exactly; `Scenario::shards(n)` scales the device layer
+//! out with per-shard config overrides and per-shard result
+//! breakdowns ([`collector::ShardResult`]).
 //!
 //! # Mixed-engine fleets
 //!
@@ -53,13 +86,16 @@ pub mod client;
 pub mod collector;
 pub mod driver;
 pub mod engines;
+pub mod fleet;
 pub mod pump;
 pub mod scenario;
 pub mod workload;
 
-pub use collector::{QueryRecord, RunResult};
+pub use collector::{QueryRecord, RunResult, ShardResult};
 pub use engines::{EngineFactory, EngineKind, SkipperFactory, VanillaFactory};
+pub use fleet::DeviceFleet;
 pub use scenario::Scenario;
+pub use skipper_csd::PlacementPolicy;
 pub use workload::{ArrivalProcess, Workload};
 
 #[cfg(test)]

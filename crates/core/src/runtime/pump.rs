@@ -5,6 +5,10 @@
 //! owns that protocol so the event loop cannot double-schedule or miss
 //! a wake-up: `poke` arms a wake-up if none is pending; `on_wakeup`
 //! completes the due operation and returns the delivery, if any.
+//!
+//! The pump is the per-shard unit of the
+//! [`DeviceFleet`](super::fleet::DeviceFleet): a fleet is N pumps, each
+//! running this protocol independently against its own device.
 
 use std::sync::Arc;
 

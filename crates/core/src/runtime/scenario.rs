@@ -5,13 +5,23 @@
 //! multi-tenant workload path: [`Scenario::tenants`] accepts explicit
 //! [`Workload`]s so one run can mix Skipper and Vanilla tenants, each
 //! with its own cache configuration and arrival process. `run()`
-//! assembles the layers — placing datasets on the device, choosing the
-//! scheduler, planning arrivals — and hands off to [`Runtime`].
+//! assembles the layers — sharding datasets across the device fleet,
+//! placing each shard's objects into disk groups, choosing schedulers,
+//! planning arrivals — and hands off to [`Runtime`].
+//!
+//! The device layer scales out through [`Scenario::shards`] /
+//! [`Scenario::placement`]: N independently configured CSD shards
+//! behind one scenario, with optional per-shard overrides
+//! ([`Scenario::shard_scheduler`], [`Scenario::shard_bandwidth`],
+//! [`Scenario::shard_switch_latency`]). The default single shard
+//! reproduces the seed's exact microsecond-level outputs.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use skipper_csd::{
-    CsdConfig, CsdDevice, IntraGroupOrder, Layout, LayoutPolicy, ObjectId, ObjectStore, SchedPolicy,
+    CsdConfig, CsdDevice, IntraGroupOrder, Layout, LayoutPolicy, ObjectId, ObjectStore,
+    PlacementPolicy, SchedPolicy,
 };
 use skipper_datagen::Dataset;
 use skipper_relational::query::QuerySpec;
@@ -25,8 +35,16 @@ use super::client::{ClientState, PlannedQuery};
 use super::collector::RunResult;
 use super::driver::Runtime;
 use super::engines::{factory_for, EngineKind};
-use super::pump::DevicePump;
+use super::fleet::DeviceFleet;
 use super::workload::Workload;
+
+/// Per-shard deviations from the scenario-wide device knobs.
+#[derive(Clone, Copy, Debug, Default)]
+struct ShardOverride {
+    sched: Option<SchedPolicy>,
+    bandwidth: Option<f64>,
+    switch_latency: Option<SimDuration>,
+}
 
 /// A complete experiment description; build with the fluent setters and
 /// [`Scenario::run`].
@@ -48,6 +66,9 @@ pub struct Scenario {
     prune_empty: bool,
     parallel_streams: u32,
     stagger: SimDuration,
+    shards: usize,
+    placement: PlacementPolicy,
+    shard_overrides: BTreeMap<usize, ShardOverride>,
 }
 
 impl Scenario {
@@ -78,6 +99,9 @@ impl Scenario {
             prune_empty: false,
             parallel_streams: 1,
             stagger: SimDuration::ZERO,
+            shards: 1,
+            placement: PlacementPolicy::RoundRobin,
+            shard_overrides: BTreeMap::new(),
         }
     }
 
@@ -217,6 +241,46 @@ impl Scenario {
         self
     }
 
+    /// Number of CSD shards behind the scenario (default 1: the paper's
+    /// single device, reproduced exactly). Each shard is a fully
+    /// independent device — own disk groups, scheduler, bandwidth, and
+    /// switch state — and the [`Scenario::placement`] policy decides
+    /// which shard stores each object.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n > 0, "a fleet needs at least one shard");
+        self.shards = n;
+        self
+    }
+
+    /// Object → shard placement policy (default round-robin; irrelevant
+    /// with one shard).
+    pub fn placement(mut self, p: PlacementPolicy) -> Self {
+        self.placement = p;
+        self
+    }
+
+    /// Overrides the scheduling policy on one shard (heterogeneous
+    /// fleets: e.g. a stock FCFS shard next to rank-based shards).
+    pub fn shard_scheduler(mut self, shard: usize, p: SchedPolicy) -> Self {
+        self.shard_overrides.entry(shard).or_default().sched = Some(p);
+        self
+    }
+
+    /// Overrides the streaming bandwidth of one shard (bytes/s).
+    pub fn shard_bandwidth(mut self, shard: usize, bytes_per_sec: f64) -> Self {
+        self.shard_overrides.entry(shard).or_default().bandwidth = Some(bytes_per_sec);
+        self
+    }
+
+    /// Overrides the group-switch latency of one shard.
+    pub fn shard_switch_latency(mut self, shard: usize, s: SimDuration) -> Self {
+        self.shard_overrides
+            .entry(shard)
+            .or_default()
+            .switch_latency = Some(s);
+        self
+    }
+
     /// Resolves the tenant list: explicit workloads win, then custom
     /// clients, then `n_clients` copies of the shared sequence — legacy
     /// paths materialize the global engine kind into per-tenant
@@ -256,8 +320,14 @@ impl Scenario {
             workloads.iter().all(|w| !w.queries.is_empty()),
             "every tenant needs at least one query"
         );
+        assert!(
+            self.shard_overrides.keys().all(|&s| s < self.shards),
+            "shard override index outside the fleet (shards = {})",
+            self.shards
+        );
 
-        // Place every tenant's full dataset on the device.
+        // Shard every tenant's dataset across the fleet at layout time,
+        // then build each shard's group layout over the objects it owns.
         let tenant_objects: Vec<Vec<ObjectId>> = workloads
             .iter()
             .enumerate()
@@ -270,26 +340,11 @@ impl Scenario {
                     .collect()
             })
             .collect();
-        let layout = Layout::build(self.layout, &tenant_objects);
-        let mut store: ObjectStore<Arc<Segment>> = ObjectStore::new();
-        for (tenant, w) in workloads.iter().enumerate() {
-            for t in 0..w.dataset.catalog.len() {
-                let def = w.dataset.catalog.table(t);
-                for s in 0..def.segment_count {
-                    let id = ObjectId::new(tenant as u16, t as u16, s);
-                    store.put_with_layout(
-                        id,
-                        def.logical_bytes_per_segment,
-                        &layout,
-                        Arc::clone(&w.dataset.segments[t][s as usize]),
-                    );
-                }
-            }
-        }
+        let shard_of = self.placement.assign(&tenant_objects, self.shards);
 
         // Fleet-appropriate default scheduler: stock CSDs run
         // object-FCFS; one Skipper tenant is enough to deploy the
-        // query-aware rank scheduler on the shared device.
+        // query-aware rank scheduler on every shared device.
         let sched = self.sched.unwrap_or_else(|| {
             if workloads
                 .iter()
@@ -300,17 +355,50 @@ impl Scenario {
                 SchedPolicy::RankBased
             }
         });
-        let device = CsdDevice::new(
-            CsdConfig {
-                switch_latency: self.switch_latency,
-                bandwidth_bytes_per_sec: self.bandwidth,
-                initial_load_free: true,
-                parallel_streams: self.parallel_streams,
-            },
-            store,
-            sched.build(),
-            self.intra,
-        );
+
+        let devices: Vec<CsdDevice<Arc<Segment>>> = (0..self.shards)
+            .map(|shard| {
+                // This shard's slice of every tenant's storage order.
+                let shard_tenant_objects: Vec<Vec<ObjectId>> = tenant_objects
+                    .iter()
+                    .map(|objs| {
+                        objs.iter()
+                            .filter(|o| shard_of[o] == shard)
+                            .copied()
+                            .collect()
+                    })
+                    .collect();
+                let layout = Layout::build(self.layout, &shard_tenant_objects);
+                let mut store: ObjectStore<Arc<Segment>> = ObjectStore::new();
+                for (tenant, w) in workloads.iter().enumerate() {
+                    for &id in &shard_tenant_objects[tenant] {
+                        let table = id.table as usize;
+                        store.put_with_layout(
+                            id,
+                            w.dataset.catalog.table(table).logical_bytes_per_segment,
+                            &layout,
+                            Arc::clone(&w.dataset.segments[table][id.segment as usize]),
+                        );
+                    }
+                }
+                let ov = self
+                    .shard_overrides
+                    .get(&shard)
+                    .copied()
+                    .unwrap_or_default();
+                CsdDevice::new(
+                    CsdConfig {
+                        switch_latency: ov.switch_latency.unwrap_or(self.switch_latency),
+                        bandwidth_bytes_per_sec: ov.bandwidth.unwrap_or(self.bandwidth),
+                        initial_load_free: true,
+                        parallel_streams: self.parallel_streams,
+                    },
+                    store,
+                    ov.sched.unwrap_or(sched).build(),
+                    self.intra,
+                )
+            })
+            .collect();
 
         let clients = workloads
             .into_iter()
@@ -326,6 +414,6 @@ impl Scenario {
                 ClientState::new(w.dataset, w.engine, plan)
             })
             .collect();
-        Runtime::new(DevicePump::new(device), clients, self.cost).run()
+        Runtime::new(DeviceFleet::new(devices, shard_of), clients, self.cost).run()
     }
 }

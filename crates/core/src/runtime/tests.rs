@@ -1,12 +1,21 @@
 //! Runtime unit tests (ported from the seed's `driver.rs` plus
-//! runtime-specific coverage).
+//! runtime-specific coverage: the pump wake-up protocol and the
+//! sharded device fleet).
 
+use std::sync::Arc;
+
+use super::fleet::DeviceFleet;
+use super::pump::DevicePump;
 use super::*;
-use skipper_csd::LayoutPolicy;
+use skipper_csd::{
+    CsdConfig, CsdDevice, IntraGroupOrder, LayoutPolicy, ObjectId, ObjectStore, QueryId,
+    SchedPolicy,
+};
 use skipper_datagen::{tpch, Dataset, GenConfig};
 use skipper_relational::ops::reference;
 use skipper_relational::query::results_approx_eq;
-use skipper_sim::SimDuration;
+use skipper_relational::segment::Segment;
+use skipper_sim::{SimDuration, SimTime};
 
 /// SF-4 TPC-H: lineitem 4 + orders 1 = 5 objects per Q12 client.
 fn mini_dataset() -> Dataset {
@@ -251,6 +260,207 @@ fn poisson_arrivals_queue_behind_busy_tenant_and_complete() {
     // First arrival is an open release: the tenant starts strictly
     // after t = 0.
     assert!(recs[0].start.as_micros() > 0);
+}
+
+/// Two 1 GiB objects on different groups, 1 GiB/s bandwidth (1 s per
+/// transfer), 10 s switches, free initial load — wrapped in a pump.
+fn mini_pump() -> DevicePump {
+    let ds = mini_dataset();
+    let payload: Arc<Segment> = Arc::clone(&ds.segments[0][0]);
+    let mut store: ObjectStore<Arc<Segment>> = ObjectStore::new();
+    store.put(ObjectId::new(0, 0, 0), 1 << 30, 0, Arc::clone(&payload));
+    store.put(ObjectId::new(0, 0, 1), 1 << 30, 1, payload);
+    DevicePump::new(CsdDevice::new(
+        CsdConfig {
+            switch_latency: SimDuration::from_secs(10),
+            bandwidth_bytes_per_sec: (1u64 << 30) as f64,
+            initial_load_free: true,
+            parallel_streams: 1,
+        },
+        store,
+        SchedPolicy::RankBased.build(),
+        IntraGroupOrder::SemanticRoundRobin,
+    ))
+}
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+#[test]
+fn pump_poke_with_quiescent_device_stays_unarmed() {
+    let mut pump = mini_pump();
+    // Nothing submitted: poke must not arm anything, ever.
+    assert_eq!(pump.poke(t(0)), None);
+    assert_eq!(pump.poke(t(5)), None);
+    assert!(pump.device().is_quiescent());
+}
+
+#[test]
+fn pump_double_poke_while_armed_is_a_no_op() {
+    let mut pump = mini_pump();
+    pump.submit(t(0), 0, QueryId::new(0, 0), &[ObjectId::new(0, 0, 0)]);
+    let at = pump.poke(t(0)).expect("first poke arms the wake-up");
+    assert_eq!(at, t(1));
+    // Re-poking while armed must not double-schedule — even later in
+    // virtual time, and even after more work arrives.
+    assert_eq!(pump.poke(t(0)), None);
+    pump.submit(t(0), 0, QueryId::new(0, 0), &[ObjectId::new(0, 0, 1)]);
+    assert_eq!(pump.poke(t(0)), None);
+    // The armed wake-up still completes normally.
+    let d = pump.on_wakeup(t(1)).expect("transfer due");
+    assert_eq!(d.object, ObjectId::new(0, 0, 0));
+}
+
+#[test]
+fn pump_repoke_after_delivery_resumes_the_protocol() {
+    let mut pump = mini_pump();
+    pump.submit(
+        t(0),
+        0,
+        QueryId::new(0, 0),
+        &[ObjectId::new(0, 0, 0), ObjectId::new(0, 0, 1)],
+    );
+    // Transfer of object 0 (group 0 loads free).
+    assert_eq!(pump.poke(t(0)), Some(t(1)));
+    assert!(pump.on_wakeup(t(1)).is_some());
+    // Re-poke arms the paid switch to group 1; its wake-up completes the
+    // switch and delivers nothing.
+    assert_eq!(pump.poke(t(1)), Some(t(11)));
+    assert!(pump.on_wakeup(t(11)).is_none(), "switch is not a delivery");
+    // Re-poke after the non-delivery wake-up arms the final transfer.
+    assert_eq!(pump.poke(t(11)), Some(t(12)));
+    let d = pump.on_wakeup(t(12)).expect("final transfer");
+    assert_eq!(d.object, ObjectId::new(0, 0, 1));
+    // Drained: poke goes quiet again.
+    assert_eq!(pump.poke(t(12)), None);
+    assert!(pump.device().is_quiescent());
+}
+
+#[test]
+#[should_panic(expected = "no operation in flight")]
+fn pump_wakeup_without_armed_operation_panics() {
+    let mut pump = mini_pump();
+    // No poke ever armed a wake-up: firing one is a protocol violation.
+    pump.on_wakeup(t(0));
+}
+
+#[test]
+fn fleet_routes_submissions_by_shard_map_and_interleaves() {
+    // Two single-object shards; one batch touching both.
+    let ds = mini_dataset();
+    let payload: Arc<Segment> = Arc::clone(&ds.segments[0][0]);
+    let mk_dev = |obj: ObjectId| {
+        let mut store: ObjectStore<Arc<Segment>> = ObjectStore::new();
+        store.put(obj, 1 << 30, 0, Arc::clone(&payload));
+        CsdDevice::new(
+            CsdConfig {
+                switch_latency: SimDuration::from_secs(10),
+                bandwidth_bytes_per_sec: (1u64 << 30) as f64,
+                initial_load_free: true,
+                parallel_streams: 1,
+            },
+            store,
+            SchedPolicy::RankBased.build(),
+            IntraGroupOrder::SemanticRoundRobin,
+        )
+    };
+    let a = ObjectId::new(0, 0, 0);
+    let b = ObjectId::new(0, 0, 1);
+    let mut fleet = DeviceFleet::new(
+        vec![mk_dev(a), mk_dev(b)],
+        [(a, 0), (b, 1)].into_iter().collect(),
+    );
+    assert_eq!(fleet.shard_count(), 2);
+    assert_eq!(fleet.shard_for(a), 0);
+    assert_eq!(fleet.shard_for(b), 1);
+    fleet.submit(t(0), 0, QueryId::new(0, 0), &[b, a]);
+    // Both shards arm independently and serve in parallel virtual time.
+    let mut armed = Vec::new();
+    fleet.poke_all(t(0), |s, at| armed.push((s, at)));
+    assert_eq!(armed, vec![(0, t(1)), (1, t(1))]);
+    // Nothing re-arms while both are armed.
+    let mut rearmed = Vec::new();
+    fleet.poke_all(t(0), |s, at| rearmed.push((s, at)));
+    assert!(rearmed.is_empty());
+    let d0 = fleet.on_wakeup(0, t(1)).expect("shard 0 delivery");
+    let d1 = fleet.on_wakeup(1, t(1)).expect("shard 1 delivery");
+    assert_eq!(d0.object, a);
+    assert_eq!(d1.object, b);
+    assert!(fleet.is_quiescent());
+}
+
+#[test]
+#[should_panic(expected = "never placed on any shard")]
+fn fleet_rejects_unplaced_objects() {
+    let mk_dev = || {
+        CsdDevice::<Arc<Segment>>::new(
+            CsdConfig::default(),
+            ObjectStore::new(),
+            SchedPolicy::RankBased.build(),
+            IntraGroupOrder::SemanticRoundRobin,
+        )
+    };
+    // Two shards, empty placement map: any submission must panic loudly
+    // instead of silently dropping the request.
+    let mut fleet = DeviceFleet::new(vec![mk_dev(), mk_dev()], Default::default());
+    fleet.submit(t(0), 0, QueryId::new(0, 0), &[ObjectId::new(0, 0, 0)]);
+}
+
+#[test]
+fn sharded_scenario_reports_per_shard_breakdowns() {
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let res = Scenario::new(ds)
+        .clients(3)
+        .engine(EngineKind::Skipper)
+        .cache_bytes(gib(10))
+        .shards(2)
+        .placement(PlacementPolicy::RoundRobin)
+        .repeat_query(q, 1)
+        .run();
+    assert_eq!(res.shards.len(), 2);
+    // The roll-up equals the per-shard sum.
+    let total: u64 = res.shards.iter().map(|s| s.metrics.objects_served).sum();
+    assert_eq!(res.device.objects_served, total);
+    assert!(total > 0);
+    // Every shard actually served something under round-robin.
+    for s in &res.shards {
+        assert!(s.metrics.objects_served > 0, "shard {} idle", s.shard);
+        assert_eq!(s.deliveries.len() as u64, s.metrics.objects_served);
+    }
+    // device_spans mirrors shard 0.
+    assert_eq!(res.device_spans, res.shards[0].spans);
+    // Per-query breakdowns stay exact on a fleet.
+    for rec in res.records() {
+        let accounted = rec.processing + rec.stalls.total();
+        assert_eq!(accounted.as_micros(), rec.duration().as_micros());
+    }
+}
+
+#[test]
+fn heterogeneous_shard_overrides_change_only_their_shard() {
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let run = |slow_shard_1: bool| {
+        let mut s = Scenario::new(ds.clone())
+            .clients(2)
+            .engine(EngineKind::Skipper)
+            .cache_bytes(gib(10))
+            .shards(2)
+            .repeat_query(q.clone(), 1);
+        if slow_shard_1 {
+            s = s.shard_switch_latency(1, SimDuration::from_secs(40));
+        }
+        s.run()
+    };
+    let base = run(false);
+    let slow = run(true);
+    // Slowing shard 1's switches cannot speed the run up.
+    assert!(slow.makespan >= base.makespan);
+    // Both shards ran their own scheduler instance.
+    assert_eq!(base.shards.len(), 2);
+    assert_eq!(base.shards[0].scheduler, base.shards[1].scheduler);
 }
 
 #[test]

@@ -160,6 +160,7 @@ pub struct CsdDevice<P> {
     next_seq: u64,
     trace: ActivityTrace,
     metrics: DeviceMetrics,
+    served_log: Vec<(usize, QueryId, ObjectId)>,
 }
 
 impl<P: Clone> CsdDevice<P> {
@@ -183,6 +184,7 @@ impl<P: Clone> CsdDevice<P> {
             next_seq: 0,
             trace: ActivityTrace::new(),
             metrics: DeviceMetrics::default(),
+            served_log: Vec::new(),
         }
     }
 
@@ -325,6 +327,8 @@ impl<P: Clone> CsdDevice<P> {
                     .served_per_client
                     .entry(request.client)
                     .or_default() += 1;
+                self.served_log
+                    .push((request.client, request.query, request.object));
                 let payload = self
                     .store
                     .get(request.object)
@@ -369,6 +373,14 @@ impl<P: Clone> CsdDevice<P> {
     /// Run counters.
     pub fn metrics(&self) -> &DeviceMetrics {
         &self.metrics
+    }
+
+    /// Every completed transfer in service order: `(client, query,
+    /// object)`. The multiset of entries is the device's work-conservation
+    /// ledger — sharded fleets must deliver exactly the same multiset as
+    /// a single device would.
+    pub fn served_log(&self) -> &[(usize, QueryId, ObjectId)] {
+        &self.served_log
     }
 
     /// The activity trace (switch/transfer spans) for stall attribution.
@@ -651,5 +663,28 @@ mod tests {
         assert_eq!(dev.metrics().requests_submitted, 2);
         assert_eq!(dev.metrics().objects_served, 2);
         assert_eq!(dev.metrics().served_to(0), 2);
+    }
+
+    #[test]
+    fn served_log_records_every_transfer_in_order() {
+        let mut dev = device(SchedPolicy::RankBased);
+        dev.submit(
+            t(0),
+            0,
+            QueryId::new(0, 0),
+            &[ObjectId::new(0, 0, 0), ObjectId::new(0, 0, 1)],
+        );
+        let mut now = t(0);
+        while let Some(until) = dev.kick(now) {
+            now = until;
+            dev.complete(now);
+        }
+        assert_eq!(
+            dev.served_log(),
+            &[
+                (0, QueryId::new(0, 0), ObjectId::new(0, 0, 0)),
+                (0, QueryId::new(0, 0), ObjectId::new(0, 0, 1)),
+            ]
+        );
     }
 }

@@ -1,12 +1,19 @@
-//! Data placement across disk groups.
+//! Data placement across disk groups — and across devices.
 //!
 //! The database has no control over where a shared CSD places its data
 //! (§3.2): the device may spread a tenant — or even a single relation —
 //! across disk groups for load balancing, failure recovery or incremental
 //! arrival. The experiments in §5.2.3 probe exactly this dimension with
 //! four canned layouts, reproduced here, plus arbitrary custom maps.
+//!
+//! A production archive outgrows one CSD: [`PlacementPolicy`] is the
+//! device-level analogue of [`LayoutPolicy`], deciding which *shard*
+//! (device) of a fleet stores each object before the per-device group
+//! layout is built.
 
 use std::collections::HashMap;
+
+use skipper_sim::rng::splitmix64;
 
 use crate::object::{GroupId, ObjectId};
 
@@ -38,6 +45,79 @@ impl LayoutPolicy {
             LayoutPolicy::OneClientPerGroup => "1perG",
             LayoutPolicy::Incremental => "Increm.",
         }
+    }
+}
+
+/// How a fleet of CSD shards divides objects among devices.
+///
+/// Placement happens at layout time — before any request is issued — so
+/// the shard map is a pure function of the stored object set, never of
+/// runtime state. Every policy is deterministic: the same objects and
+/// shard count always produce the same map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Objects of each tenant alternate across shards in storage order
+    /// (object `i` of a tenant lands on shard `i mod n`): spreads every
+    /// tenant's working set over the whole fleet.
+    RoundRobin,
+    /// Shard chosen by a deterministic hash of the full object id:
+    /// statistically balanced, placement-stable under object additions.
+    HashObject,
+    /// All segments of one `(tenant, table)` pair stay on one shard
+    /// (range/table affinity): a tenant's scan touches few devices, at
+    /// the price of coarser balance.
+    TableAffinity,
+}
+
+impl PlacementPolicy {
+    /// Human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::RoundRobin => "round-robin",
+            PlacementPolicy::HashObject => "hash-object",
+            PlacementPolicy::TableAffinity => "table-affinity",
+        }
+    }
+
+    /// The shard storing `obj`, where `ordinal` is the object's position
+    /// in its tenant's storage order (used by [`PlacementPolicy::RoundRobin`]).
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero.
+    pub fn shard_of(self, obj: ObjectId, ordinal: usize, shards: usize) -> usize {
+        assert!(shards > 0, "a fleet needs at least one shard");
+        match self {
+            PlacementPolicy::RoundRobin => ordinal % shards,
+            PlacementPolicy::HashObject => {
+                // SplitMix64 over the packed id: deterministic forever,
+                // independent of std's hasher keys.
+                let mut key =
+                    ((obj.tenant as u64) << 48) | ((obj.table as u64) << 32) | obj.segment as u64;
+                (splitmix64(&mut key) % shards as u64) as usize
+            }
+            PlacementPolicy::TableAffinity => {
+                let mut key = ((obj.tenant as u64) << 16) | obj.table as u64;
+                (splitmix64(&mut key) % shards as u64) as usize
+            }
+        }
+    }
+
+    /// Builds the full object → shard map for `tenant_objects` (indexed
+    /// as in [`Layout::build`]: `tenant_objects[t]` lists tenant `t`'s
+    /// objects in storage order).
+    pub fn assign(
+        self,
+        tenant_objects: &[Vec<ObjectId>],
+        shards: usize,
+    ) -> HashMap<ObjectId, usize> {
+        tenant_objects
+            .iter()
+            .flat_map(|objs| {
+                objs.iter()
+                    .enumerate()
+                    .map(move |(i, &obj)| (obj, self.shard_of(obj, i, shards)))
+            })
+            .collect()
     }
 }
 
@@ -215,6 +295,88 @@ mod tests {
     #[should_panic(expected = "never placed")]
     fn unknown_object_panics() {
         Layout::default().group_of(ObjectId::new(0, 0, 0));
+    }
+
+    #[test]
+    fn placement_covers_all_objects_exactly_once() {
+        let objs = tenant_objects(3, 4);
+        for policy in [
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::HashObject,
+            PlacementPolicy::TableAffinity,
+        ] {
+            for shards in 1..=5 {
+                let map = policy.assign(&objs, shards);
+                assert_eq!(map.len(), 12, "{policy:?} lost objects");
+                assert!(
+                    map.values().all(|&s| s < shards),
+                    "{policy:?} placed outside the fleet"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_placement_is_trivial() {
+        let objs = tenant_objects(2, 4);
+        for policy in [
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::HashObject,
+            PlacementPolicy::TableAffinity,
+        ] {
+            assert!(policy.assign(&objs, 1).values().all(|&s| s == 0));
+        }
+    }
+
+    #[test]
+    fn round_robin_alternates_within_each_tenant() {
+        let objs = tenant_objects(2, 4);
+        let map = PlacementPolicy::RoundRobin.assign(&objs, 2);
+        for tenant_objs in &objs {
+            for (i, obj) in tenant_objs.iter().enumerate() {
+                assert_eq!(map[obj], i % 2);
+            }
+        }
+    }
+
+    #[test]
+    fn table_affinity_keeps_tables_whole() {
+        let objs = tenant_objects(4, 4);
+        let map = PlacementPolicy::TableAffinity.assign(&objs, 3);
+        for tenant_objs in &objs {
+            for pair in tenant_objs.windows(2) {
+                if pair[0].table == pair[1].table {
+                    assert_eq!(map[&pair[0]], map[&pair[1]], "table split across shards");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_placement_is_deterministic_and_ordinal_free() {
+        let objs = tenant_objects(3, 4);
+        let a = PlacementPolicy::HashObject.assign(&objs, 4);
+        let b = PlacementPolicy::HashObject.assign(&objs, 4);
+        assert_eq!(a, b);
+        // Ordinal is irrelevant for hashing: shard_of agrees regardless.
+        let o = ObjectId::new(1, 0, 1);
+        assert_eq!(
+            PlacementPolicy::HashObject.shard_of(o, 0, 4),
+            PlacementPolicy::HashObject.shard_of(o, 99, 4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        PlacementPolicy::RoundRobin.shard_of(ObjectId::new(0, 0, 0), 0, 0);
+    }
+
+    #[test]
+    fn placement_labels() {
+        assert_eq!(PlacementPolicy::RoundRobin.label(), "round-robin");
+        assert_eq!(PlacementPolicy::HashObject.label(), "hash-object");
+        assert_eq!(PlacementPolicy::TableAffinity.label(), "table-affinity");
     }
 
     #[test]

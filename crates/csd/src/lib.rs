@@ -15,7 +15,9 @@
 //!   logical size, group placement).
 //! * [`layout`] — data-placement policies across groups, including the
 //!   four layouts of §5.2.3 (all-in-one, two-clients-per-group,
-//!   one-client-per-group, incremental).
+//!   one-client-per-group, incremental), plus the device-level
+//!   [`PlacementPolicy`] dividing objects across the shards of a
+//!   multi-CSD fleet.
 //! * [`store`] — the object store holding real segment payloads behind a
 //!   GET interface.
 //! * [`sched`] — group-switch scheduling policies: object-FCFS,
@@ -41,7 +43,7 @@ pub mod sched;
 pub mod store;
 
 pub use device::{CsdConfig, CsdDevice, Delivery, IntraGroupOrder};
-pub use layout::{Layout, LayoutPolicy};
+pub use layout::{Layout, LayoutPolicy, PlacementPolicy};
 pub use object::{GroupId, ObjectId, ObjectMeta, QueryId};
 pub use power::{EnergyReport, PowerModel};
 pub use sched::{

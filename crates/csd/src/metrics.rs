@@ -27,6 +27,28 @@ impl DeviceMetrics {
     pub fn served_to(&self, client: usize) -> u64 {
         self.served_per_client.get(&client).copied().unwrap_or(0)
     }
+
+    /// Adds another device's counters into this one (the fleet roll-up:
+    /// per-shard metrics sum into one device-layer aggregate).
+    pub fn absorb(&mut self, other: &DeviceMetrics) {
+        self.group_switches += other.group_switches;
+        self.initial_loads += other.initial_loads;
+        self.requests_submitted += other.requests_submitted;
+        self.objects_served += other.objects_served;
+        self.logical_bytes_served += other.logical_bytes_served;
+        for (&client, &n) in &other.served_per_client {
+            *self.served_per_client.entry(client).or_default() += n;
+        }
+    }
+
+    /// Rolls up per-shard metrics into one aggregate.
+    pub fn rolled_up<'a>(shards: impl IntoIterator<Item = &'a DeviceMetrics>) -> DeviceMetrics {
+        let mut total = DeviceMetrics::default();
+        for m in shards {
+            total.absorb(m);
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -44,5 +66,34 @@ mod tests {
         let mut m = DeviceMetrics::default();
         *m.served_per_client.entry(1).or_default() += 2;
         assert_eq!(m.served_to(1), 2);
+    }
+
+    #[test]
+    fn roll_up_sums_counters_and_client_maps() {
+        let mut a = DeviceMetrics {
+            group_switches: 2,
+            initial_loads: 1,
+            requests_submitted: 5,
+            objects_served: 5,
+            logical_bytes_served: 500,
+            ..Default::default()
+        };
+        *a.served_per_client.entry(0).or_default() += 3;
+        let mut b = DeviceMetrics {
+            group_switches: 1,
+            objects_served: 2,
+            ..Default::default()
+        };
+        *b.served_per_client.entry(0).or_default() += 1;
+        *b.served_per_client.entry(1).or_default() += 1;
+        let total = DeviceMetrics::rolled_up([&a, &b]);
+        assert_eq!(total.group_switches, 3);
+        assert_eq!(total.initial_loads, 1);
+        assert_eq!(total.objects_served, 7);
+        assert_eq!(total.logical_bytes_served, 500);
+        assert_eq!(total.served_to(0), 4);
+        assert_eq!(total.served_to(1), 1);
+        // Rolling up one shard reproduces it exactly.
+        assert_eq!(DeviceMetrics::rolled_up([&a]), a);
     }
 }

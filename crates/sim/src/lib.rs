@@ -36,4 +36,4 @@ pub mod trace;
 
 pub use event::EventQueue;
 pub use time::{SimDuration, SimTime};
-pub use trace::{Activity, ActivityTrace, Attribution};
+pub use trace::{attribute_union, Activity, ActivityTrace, Attribution};

@@ -175,6 +175,82 @@ impl ActivityTrace {
     }
 }
 
+/// Attributes the interval `[from, to)` against the *union* of several
+/// device traces (a sharded fleet): at each instant the classification is
+/// the most-progressing activity any device shows — transfer beats
+/// switching beats idle — so a client blocked on a busy fleet is never
+/// charged idle time just because one shard was quiet.
+///
+/// With a single trace this reduces exactly to
+/// [`ActivityTrace::attribute`]. The result always totals `to - from`.
+pub fn attribute_union(traces: &[&ActivityTrace], from: SimTime, to: SimTime) -> Attribution {
+    if traces.len() == 1 {
+        return traces[0].attribute(from, to);
+    }
+    let mut out = Attribution::default();
+    if to <= from || traces.is_empty() {
+        if to > from {
+            out.idle = to.since(from);
+        }
+        return out;
+    }
+    // Elementary intervals: every span boundary inside [from, to).
+    // Spans are time-sorted and non-overlapping per trace, so only the
+    // slice overlapping the interval needs scanning.
+    let mut cuts: Vec<SimTime> = vec![from, to];
+    for tr in traces {
+        let spans = tr.spans();
+        let idx = spans.partition_point(|s| s.end <= from);
+        for s in &spans[idx..] {
+            if s.start >= to {
+                break;
+            }
+            for t in [s.start, s.end] {
+                if t > from && t < to {
+                    cuts.push(t);
+                }
+            }
+        }
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    // One forward cursor per trace: each elementary interval lies within
+    // a single span (or gap) of every trace, so classification is O(1)
+    // amortized per (interval, trace).
+    let mut cursors: Vec<usize> = traces
+        .iter()
+        .map(|tr| tr.spans().partition_point(|s| s.end <= from))
+        .collect();
+    for pair in cuts.windows(2) {
+        let (lo, hi) = (pair[0], pair[1]);
+        let dur = hi.since(lo);
+        let mut any_transfer = false;
+        let mut any_switch = false;
+        for (tr, cursor) in traces.iter().zip(cursors.iter_mut()) {
+            let spans = tr.spans();
+            while *cursor < spans.len() && spans[*cursor].end <= lo {
+                *cursor += 1;
+            }
+            match spans.get(*cursor) {
+                Some(s) if s.start < hi => match s.activity {
+                    Activity::Transferring { .. } => any_transfer = true,
+                    Activity::Switching => any_switch = true,
+                    Activity::Idle => {}
+                },
+                _ => {}
+            }
+        }
+        if any_transfer {
+            out.transfer += dur;
+        } else if any_switch {
+            out.switching += dur;
+        } else {
+            out.idle += dur;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,5 +345,48 @@ mod tests {
         let tr = sample_trace();
         assert_eq!(tr.switch_count(), 2);
         assert_eq!(tr.total_switching(), d(20));
+    }
+
+    #[test]
+    fn union_of_one_trace_matches_plain_attribution() {
+        let tr = sample_trace();
+        assert_eq!(
+            attribute_union(&[&tr], t(0), t(32)),
+            tr.attribute(t(0), t(32))
+        );
+        assert_eq!(
+            attribute_union(&[&tr], t(5), t(12)),
+            tr.attribute(t(5), t(12))
+        );
+    }
+
+    #[test]
+    fn union_prefers_transfer_over_switch_over_idle() {
+        // Shard A switches [0,10); shard B transfers [4,8).
+        let mut a = ActivityTrace::new();
+        a.record(t(0), t(10), Activity::Switching);
+        let mut b = ActivityTrace::new();
+        b.record(t(4), t(8), Activity::Transferring { client: 1 });
+        let attr = attribute_union(&[&a, &b], t(0), t(12));
+        assert_eq!(attr.transfer, d(4)); // [4,8): B transferring wins
+        assert_eq!(attr.switching, d(6)); // [0,4) and [8,10)
+        assert_eq!(attr.idle, d(2)); // [10,12): both quiet
+        assert_eq!(attr.total(), d(12));
+    }
+
+    #[test]
+    fn union_of_no_traces_is_all_idle() {
+        let attr = attribute_union(&[], t(3), t(7));
+        assert_eq!(attr.idle, d(4));
+        assert_eq!(attr.total(), d(4));
+    }
+
+    #[test]
+    fn union_empty_interval_is_zero() {
+        let tr = sample_trace();
+        assert_eq!(
+            attribute_union(&[&tr, &tr], t(5), t(5)),
+            Attribution::default()
+        );
     }
 }

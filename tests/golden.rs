@@ -8,6 +8,7 @@
 //! so in the commit message.
 
 use skipper::core::driver::{EngineKind, RunResult, Scenario};
+use skipper::csd::PlacementPolicy;
 use skipper::datagen::{tpch, Dataset, GenConfig};
 use skipper::relational::row;
 use skipper::relational::value::Value;
@@ -78,6 +79,82 @@ fn golden_query_results() {
             assert_eq!(rec.result, expected, "{} result drifted", engine.label());
         }
     }
+}
+
+#[test]
+fn golden_one_shard_facade_matches_unsharded_run_exactly() {
+    // The fleet refactor's backward-compatibility contract: a scenario
+    // with no shard config — and one with an explicit 1-shard fleet
+    // under any placement policy — reproduces the pinned single-device
+    // goldens microsecond-exactly.
+    let implicit = run(EngineKind::Skipper, 8);
+    assert_eq!(implicit.makespan.as_micros(), 305_278_730);
+    assert_eq!(implicit.shards.len(), 1);
+    for placement in [
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::HashObject,
+        PlacementPolicy::TableAffinity,
+    ] {
+        let ds = dataset();
+        let q12 = tpch::q12(&ds);
+        let explicit = Scenario::new(ds)
+            .clients(3)
+            .engine(EngineKind::Skipper)
+            .cache_bytes(8 << 30)
+            .shards(1)
+            .placement(placement)
+            .repeat_query(q12, 1)
+            .run();
+        assert_eq!(explicit.makespan, implicit.makespan, "{placement:?}");
+        assert_eq!(
+            explicit.device.group_switches,
+            implicit.device.group_switches
+        );
+        assert_eq!(explicit.device_spans, implicit.device_spans);
+        assert_eq!(explicit.delivery_multiset(), implicit.delivery_multiset());
+        let a: Vec<_> = implicit.records().map(|r| (r.start, r.end)).collect();
+        let b: Vec<_> = explicit.records().map(|r| (r.start, r.end)).collect();
+        assert_eq!(a, b, "{placement:?} drifted from the unsharded run");
+        // The single shard's breakdown IS the device aggregate.
+        assert_eq!(explicit.shards[0].metrics, explicit.device);
+        assert_eq!(explicit.shards[0].spans, explicit.device_spans);
+    }
+}
+
+#[test]
+fn golden_four_shard_round_robin() {
+    // Pinned fleet golden: 3 Skipper clients × Q12 over a 4-shard
+    // round-robin fleet. Sharding spreads each tenant's working set
+    // over 4 devices: the 30 objects split 9/9/6/6, every shard pays
+    // 2 switches (one per non-first tenant residency), and the makespan
+    // drops from the 1-shard 305.3 s to 138.0 s. If a change is
+    // *supposed* to alter these numbers, regenerate them and say so.
+    let ds = dataset();
+    let q12 = tpch::q12(&ds);
+    let res = Scenario::new(ds)
+        .clients(3)
+        .engine(EngineKind::Skipper)
+        .cache_bytes(8 << 30)
+        .shards(4)
+        .placement(PlacementPolicy::RoundRobin)
+        .repeat_query(q12, 1)
+        .run();
+    assert_eq!(res.makespan.as_micros(), 138_038_455);
+    assert_eq!(res.device.group_switches, 8);
+    assert_eq!(res.device.objects_served, 30);
+    assert_eq!(res.total_gets(), 30);
+    let per_shard: Vec<(u64, u64)> = res
+        .shards
+        .iter()
+        .map(|s| (s.metrics.group_switches, s.metrics.objects_served))
+        .collect();
+    assert_eq!(per_shard, vec![(2, 9), (2, 9), (2, 6), (2, 6)]);
+    let rec = &res.clients[0][0];
+    assert_eq!(rec.duration().as_micros(), 76_202_091);
+    assert_eq!(rec.processing.as_micros(), 66_893_000);
+    // The fleet conserves work: same delivery multiset as one device.
+    let single = run(EngineKind::Skipper, 8);
+    assert_eq!(res.delivery_multiset(), single.delivery_multiset());
 }
 
 #[test]

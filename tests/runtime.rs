@@ -1,11 +1,12 @@
 //! Integration tests for the layered multi-tenant runtime: determinism
-//! of the full stack (including open arrivals) and the mixed-engine
-//! fleet regression the refactor exists to enable.
+//! of the full stack (including open arrivals and multi-shard device
+//! fleets) and the mixed-engine fleet regression the refactor exists to
+//! enable.
 
 use std::sync::Arc;
 
 use skipper::core::runtime::{
-    ArrivalProcess, RunResult, Scenario, SkipperFactory, VanillaFactory, Workload,
+    ArrivalProcess, PlacementPolicy, RunResult, Scenario, SkipperFactory, VanillaFactory, Workload,
 };
 use skipper::datagen::{mrbench, tpch, Dataset, GenConfig};
 use skipper::relational::ops::reference;
@@ -89,6 +90,48 @@ fn runtime_is_deterministic_across_runs() {
         .map(|r| r.start.as_micros())
         .collect();
     assert_ne!(same_shape_a, other_starts, "seed must matter");
+}
+
+/// Same seed + same fleet config ⇒ byte-identical `RunResult` across
+/// two runs — including the multi-shard event-interleaving order, which
+/// the per-shard delivery ledgers record transfer by transfer.
+#[test]
+fn sharded_runtime_is_deterministic_including_interleaving() {
+    let ds = tpch_ds();
+    let build = |placement| mixed_scenario(&ds).shards(3).placement(placement).run();
+    for placement in [
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::HashObject,
+        PlacementPolicy::TableAffinity,
+    ] {
+        let a = build(placement);
+        let b = build(placement);
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{placement:?}");
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.device.group_switches, b.device.group_switches);
+        assert_eq!(a.shards.len(), 3);
+        for (sa, sb) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(sa.metrics, sb.metrics, "{placement:?} shard {}", sa.shard);
+            // The full service order, not just the multiset: the event
+            // interleaving across shards must replay exactly.
+            assert_eq!(sa.deliveries, sb.deliveries);
+            assert_eq!(sa.spans, sb.spans);
+            assert_eq!(sa.scheduler, sb.scheduler);
+        }
+        // Stall breakdowns replay too (union attribution is pure).
+        let stalls = |r: &RunResult| -> Vec<(u64, u64, u64)> {
+            r.records()
+                .map(|q| {
+                    (
+                        q.stalls.switching.as_micros(),
+                        q.stalls.transfer.as_micros(),
+                        q.stalls.idle.as_micros(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(stalls(&a), stalls(&b));
+    }
 }
 
 /// The mixed-engine regression: in one scenario, Skipper tenants issue

@@ -1,0 +1,155 @@
+//! Property-style seeded sweep over the sharded device fleet.
+//!
+//! The fleet's contract is *work conservation*: sharding redistributes
+//! requests across devices but must neither lose, duplicate, nor invent
+//! any. For every scheduling policy × placement policy × shard count,
+//! a sharded run of the mixed-tenant fleet must deliver exactly the
+//! same multiset of `(client, query, object)` transfers as the 1-shard
+//! run — and every tenant must still produce the reference query
+//! result with an exact stall breakdown.
+
+use std::sync::Arc;
+
+use skipper::core::runtime::{
+    PlacementPolicy, RunResult, Scenario, SkipperFactory, VanillaFactory, Workload,
+};
+use skipper::csd::SchedPolicy;
+use skipper::datagen::{tpch, Dataset, GenConfig};
+use skipper::sim::SimDuration;
+
+const GIB: u64 = 1 << 30;
+
+fn dataset() -> Arc<Dataset> {
+    Arc::new(tpch::dataset(
+        &GenConfig::new(31, 4).with_phys_divisor(100_000),
+    ))
+}
+
+/// Three tenants — two Skipper (roomy caches: no reissues, so the GET
+/// multiset is exactly the working sets), one pull-based Vanilla, one
+/// staggered — the fleet workhorse of the sweep.
+fn fleet_scenario(ds: &Arc<Dataset>, sched: SchedPolicy) -> Scenario {
+    let q12 = tpch::q12(ds);
+    Scenario::from_workloads(vec![
+        Workload::new(Arc::clone(ds))
+            .repeat_query(q12.clone(), 2)
+            .engine(SkipperFactory::default().cache_bytes(30 * GIB)),
+        Workload::new(Arc::clone(ds))
+            .repeat_query(q12.clone(), 1)
+            .engine(VanillaFactory),
+        Workload::new(Arc::clone(ds))
+            .repeat_query(q12, 1)
+            .engine(SkipperFactory::default().cache_bytes(30 * GIB))
+            .start_at(SimDuration::from_secs(120)),
+    ])
+    .scheduler(sched)
+}
+
+const SCHEDULERS: [SchedPolicy; 5] = [
+    SchedPolicy::FcfsObject,
+    SchedPolicy::FcfsSlack(4),
+    SchedPolicy::FcfsQuery,
+    SchedPolicy::MaxQueries,
+    SchedPolicy::RankBased,
+];
+
+const PLACEMENTS: [PlacementPolicy; 3] = [
+    PlacementPolicy::RoundRobin,
+    PlacementPolicy::HashObject,
+    PlacementPolicy::TableAffinity,
+];
+
+fn check_invariants(res: &RunResult, label: &str) {
+    // No loss, no duplication, shard-local ledgers consistent.
+    let served: u64 = res.shards.iter().map(|s| s.metrics.objects_served).sum();
+    assert_eq!(
+        res.device.objects_served, served,
+        "{label}: roll-up drifted"
+    );
+    assert_eq!(res.delivery_multiset().len() as u64, served, "{label}");
+    // Every query's breakdown stays exact under union attribution.
+    for rec in res.records() {
+        let accounted = rec.processing + rec.stalls.total();
+        assert_eq!(
+            accounted.as_micros(),
+            rec.duration().as_micros(),
+            "{label}: breakdown mismatch for client {} seq {}",
+            rec.client,
+            rec.seq
+        );
+    }
+}
+
+/// The sweep: every scheduler × placement × shard count delivers the
+/// 1-shard multiset, exactly.
+#[test]
+fn sharded_runs_conserve_the_delivery_multiset() {
+    let ds = dataset();
+    for sched in SCHEDULERS {
+        for placement in PLACEMENTS {
+            let baseline = fleet_scenario(&ds, sched)
+                .shards(1)
+                .placement(placement)
+                .run();
+            check_invariants(&baseline, &format!("{sched:?}/{placement:?}/1"));
+            let expected = baseline.delivery_multiset();
+            assert!(!expected.is_empty());
+            for shards in [2, 4] {
+                let label = format!("{sched:?}/{placement:?}/{shards}");
+                let res = fleet_scenario(&ds, sched)
+                    .shards(shards)
+                    .placement(placement)
+                    .run();
+                check_invariants(&res, &label);
+                assert_eq!(
+                    res.delivery_multiset(),
+                    expected,
+                    "{label}: sharding lost or duplicated work"
+                );
+                assert_eq!(res.shards.len(), shards, "{label}");
+            }
+        }
+    }
+}
+
+/// Sharding never changes query *answers*: every tenant's result on a
+/// 4-shard hash-placed fleet matches the 1-shard run row for row.
+#[test]
+fn sharded_results_match_single_device_results() {
+    let ds = dataset();
+    let single = fleet_scenario(&ds, SchedPolicy::RankBased).run();
+    let sharded = fleet_scenario(&ds, SchedPolicy::RankBased)
+        .shards(4)
+        .placement(PlacementPolicy::HashObject)
+        .run();
+    assert_eq!(single.clients.len(), sharded.clients.len());
+    for (a, b) in single.records().zip(sharded.records()) {
+        assert_eq!(a.client, b.client);
+        assert_eq!(a.seq, b.seq);
+        assert_eq!(a.result, b.result, "client {} seq {}", a.client, a.seq);
+    }
+}
+
+/// More shards never serve fewer devices than objects allow: each shard
+/// with placed objects gets its own scheduler and serves only its own
+/// objects (tenant isolation of the ledger).
+#[test]
+fn shard_ledgers_partition_the_object_space() {
+    let ds = dataset();
+    let res = fleet_scenario(&ds, SchedPolicy::RankBased)
+        .shards(4)
+        .placement(PlacementPolicy::RoundRobin)
+        .run();
+    // An object may repeat within a shard (reissues/repeat queries) but
+    // must never appear on two different shards.
+    let mut owner: std::collections::HashMap<_, usize> = std::collections::HashMap::new();
+    for s in &res.shards {
+        for &(_, _, obj) in &s.deliveries {
+            let prev = owner.insert(obj, s.shard);
+            assert!(
+                prev.is_none() || prev == Some(s.shard),
+                "object {obj} served by two shards"
+            );
+        }
+    }
+}
