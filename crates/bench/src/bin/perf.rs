@@ -1,0 +1,102 @@
+//! Wall-clock perf harness for the device scheduling hot path.
+//!
+//! Drives a large synthetic closed-loop scenario against both queue
+//! implementations (the indexed `RequestQueue` and the pre-index
+//! `NaiveQueue` baseline), prints the throughput table, and writes
+//! `BENCH_perf.json` (schema `BENCH_perf/v1`).
+//!
+//! ```text
+//! cargo run --release -p skipper-bench --bin perf
+//! cargo run --release -p skipper-bench --bin perf -- \
+//!     --tenants 64 --rounds 16 --objects 100 --groups 16 \
+//!     --shards 1,2,4,8 --policy ranking --out BENCH_perf.json \
+//!     [--skip-naive] [--floor <min indexed events/sec>]
+//! ```
+//!
+//! With `--floor`, the binary exits non-zero when any indexed run falls
+//! below the given events/sec — the CI perf-smoke regression gate.
+
+use skipper_bench::experiments::perf::{perf_sweep, speedups, table, to_json, PerfScenario};
+use skipper_csd::SchedPolicy;
+
+fn parse_policy(s: &str) -> SchedPolicy {
+    match s {
+        "fcfs-object" => SchedPolicy::FcfsObject,
+        "fcfs-slack" => SchedPolicy::FcfsSlack(4),
+        "fairness" => SchedPolicy::FcfsQuery,
+        "maxquery" => SchedPolicy::MaxQueries,
+        "ranking" => SchedPolicy::RankBased,
+        other => panic!("unknown policy {other:?} (labels as in Figure 12)"),
+    }
+}
+
+fn main() {
+    let mut sc = PerfScenario::default();
+    let mut shard_counts: Vec<usize> = vec![1, 2, 4, 8];
+    let mut out_path = String::from("BENCH_perf.json");
+    let mut skip_naive = false;
+    let mut floor: Option<f64> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> &str {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| panic!("missing value for {}", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--tenants" => sc.tenants = value(&mut i).parse().expect("--tenants"),
+            "--rounds" => sc.rounds = value(&mut i).parse().expect("--rounds"),
+            "--objects" => sc.objects_per_round = value(&mut i).parse().expect("--objects"),
+            "--groups" => sc.groups = value(&mut i).parse().expect("--groups"),
+            "--policy" => sc.policy = parse_policy(value(&mut i)),
+            "--shards" => {
+                shard_counts = value(&mut i)
+                    .split(',')
+                    .map(|s| s.parse().expect("--shards"))
+                    .collect()
+            }
+            "--out" => out_path = value(&mut i).to_string(),
+            "--skip-naive" => skip_naive = true,
+            "--floor" => floor = Some(value(&mut i).parse().expect("--floor")),
+            other => panic!("unknown flag {other:?}"),
+        }
+        i += 1;
+    }
+    assert!(
+        !shard_counts.is_empty(),
+        "--shards needs at least one count"
+    );
+
+    eprintln!(
+        "driving {} requests ({} tenants x {} rounds x {} objects) on {:?} shard fleets...",
+        sc.total_requests(),
+        sc.tenants,
+        sc.rounds,
+        sc.objects_per_round,
+        shard_counts
+    );
+    let samples = perf_sweep(&sc, &shard_counts, skip_naive);
+    println!("{}", table(&sc, &samples));
+    for (shards, x) in speedups(&samples) {
+        println!("speedup @ {shards} shard(s): {x:.1}x (naive wall / indexed wall)");
+    }
+
+    let json = to_json(&sc, &samples);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if let Some(floor) = floor {
+        let worst = samples
+            .iter()
+            .filter(|s| s.queue == "indexed")
+            .map(|s| s.events_per_sec)
+            .fold(f64::INFINITY, f64::min);
+        if worst < floor {
+            eprintln!("PERF REGRESSION: indexed events/sec {worst:.0} below floor {floor:.0}");
+            std::process::exit(1);
+        }
+        println!("perf floor ok: min indexed events/sec {worst:.0} >= {floor:.0}");
+    }
+}

@@ -7,6 +7,7 @@ pub mod costs;
 pub mod layout_exp;
 pub mod mixed;
 pub mod outlook;
+pub mod perf;
 pub mod power_exp;
 pub mod sched_exp;
 pub mod sharding;

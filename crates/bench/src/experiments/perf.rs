@@ -1,0 +1,394 @@
+//! Wall-clock performance of the device scheduling hot path.
+//!
+//! Everything else in this harness measures *virtual* time; this
+//! experiment measures *simulator throughput* — the wall-clock cost of
+//! driving the CSD scheduling loop — because simulator speed bounds how
+//! many scenarios the suite can sweep. It drives a large synthetic
+//! closed-loop scenario (default: 64 tenants × 12 rounds × 150 objects
+//! = 115 200 requests, ~9 600 of them pending at any instant, over a
+//! 1→8-shard fleet) twice, once per queue implementation:
+//!
+//! * **indexed** — the production [`RequestQueue`]: O(log n) per
+//!   submit/serve.
+//! * **naive** — the pre-index [`NaiveQueue`] reference: O(n) rescans
+//!   per decision, O(n²) per run.
+//!
+//! Both runs must deliver the identical multiset (asserted); the
+//! reported events/sec and speedup quantify the indexed queue's win.
+//! `skipper-bench --bin perf` emits the results as `BENCH_perf.json`
+//! and the recorded baseline lives in `EXPERIMENTS.md`.
+//!
+//! No engines, caches, or relational work participate: tenants are
+//! synthetic closed-loop clients that resubmit their next round the
+//! moment the previous one fully arrives, keeping the pending queue
+//! deep (tenants × objects-per-round outstanding requests) — exactly
+//! the regime the ROADMAP's millions-of-users north star lives in.
+
+use std::time::Instant;
+
+use skipper_csd::sched::{NaiveQueue, RequestIndex, RequestQueue};
+use skipper_csd::{
+    CsdConfig, CsdDevice, IntraGroupOrder, ObjectId, ObjectStore, QueryId, SchedPolicy,
+};
+use skipper_sim::{SimDuration, SimTime};
+
+use crate::report::Table;
+
+const MB: u64 = 1 << 20;
+
+/// The synthetic closed-loop scenario driven against both queues.
+#[derive(Clone, Debug)]
+pub struct PerfScenario {
+    /// Closed-loop synthetic tenants.
+    pub tenants: usize,
+    /// Rounds ("queries") per tenant; a tenant resubmits the next round
+    /// when the previous one is fully delivered.
+    pub rounds: usize,
+    /// GET requests per round.
+    pub objects_per_round: u32,
+    /// Disk groups per shard (tenant `t` lives in group `t % groups`).
+    pub groups: u32,
+    /// Scheduling policy under test.
+    pub policy: SchedPolicy,
+}
+
+impl Default for PerfScenario {
+    fn default() -> Self {
+        PerfScenario {
+            tenants: 64,
+            rounds: 12,
+            objects_per_round: 150,
+            groups: 16,
+            policy: SchedPolicy::RankBased,
+        }
+    }
+}
+
+impl PerfScenario {
+    /// Total GET requests the scenario issues.
+    pub fn total_requests(&self) -> u64 {
+        self.tenants as u64 * self.rounds as u64 * self.objects_per_round as u64
+    }
+}
+
+/// One timed run of the scenario on one queue implementation.
+#[derive(Clone, Debug)]
+pub struct PerfSample {
+    /// Queue implementation label: `"indexed"` or `"naive"`.
+    pub queue: &'static str,
+    /// Fleet size.
+    pub shards: usize,
+    /// Requests submitted (= objects delivered).
+    pub requests: u64,
+    /// Device events processed (transfer + switch completions).
+    pub events: u64,
+    /// Wall-clock seconds for the drive loop.
+    pub wall_secs: f64,
+    /// Device events per wall-clock second — the headline throughput.
+    pub events_per_sec: f64,
+    /// Virtual makespan of the run (identical across queues).
+    pub makespan_secs: f64,
+    /// Total paid group switches (identical across queues).
+    pub switches: u64,
+}
+
+/// Outcome invariants used to cross-check the two queue runs.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    deliveries: Vec<(usize, QueryId, ObjectId)>,
+    makespan: SimTime,
+    switches: u64,
+}
+
+/// Builds the per-shard devices: tenant `t`'s `rounds × objects` GETs
+/// target objects `0..rounds*objects` in group `t % groups`, spread
+/// round-robin by segment over the shards.
+fn build_devices<Q: RequestIndex>(sc: &PerfScenario, shards: usize) -> Vec<CsdDevice<(), Q>> {
+    let per_tenant = sc.rounds as u32 * sc.objects_per_round;
+    (0..shards)
+        .map(|shard| {
+            let mut store = ObjectStore::new();
+            for t in 0..sc.tenants {
+                for seg in 0..per_tenant {
+                    if seg as usize % shards == shard {
+                        store.put(
+                            ObjectId::new(t as u16, 0, seg),
+                            100 * MB,
+                            t as u32 % sc.groups,
+                            (),
+                        );
+                    }
+                }
+            }
+            CsdDevice::new(
+                CsdConfig {
+                    switch_latency: SimDuration::from_secs(10),
+                    bandwidth_bytes_per_sec: (100 * MB) as f64,
+                    initial_load_free: true,
+                    parallel_streams: 1,
+                },
+                store,
+                sc.policy.build(),
+                IntraGroupOrder::SemanticRoundRobin,
+            )
+        })
+        .collect()
+}
+
+/// Drives the closed loop to completion on queue `Q`, timing the loop.
+fn drive<Q: RequestIndex>(
+    sc: &PerfScenario,
+    shards: usize,
+    queue_label: &'static str,
+) -> (PerfSample, Fingerprint) {
+    let mut devices = build_devices::<Q>(sc, shards);
+    // Per-tenant closed-loop state.
+    let mut round = vec![0usize; sc.tenants];
+    let mut outstanding = vec![0u32; sc.tenants];
+    let mut deliveries = Vec::with_capacity(sc.total_requests() as usize);
+    let mut events = 0u64;
+
+    let submit_round = |devices: &mut Vec<CsdDevice<(), Q>>, now: SimTime, t: usize, r: usize| {
+        let query = QueryId::new(t as u16, r as u32);
+        let base = r as u32 * sc.objects_per_round;
+        for seg in base..base + sc.objects_per_round {
+            devices[seg as usize % shards].submit(
+                now,
+                t,
+                query,
+                &[ObjectId::new(t as u16, 0, seg)],
+            );
+        }
+    };
+
+    let start = Instant::now();
+    for (t, out) in outstanding.iter_mut().enumerate() {
+        submit_round(&mut devices, SimTime::ZERO, t, 0);
+        *out = sc.objects_per_round;
+    }
+    let mut next: Vec<Option<SimTime>> = (0..shards)
+        .map(|s| devices[s].kick(SimTime::ZERO))
+        .collect();
+    let mut makespan = SimTime::ZERO;
+    while let Some((now, s)) = next
+        .iter()
+        .enumerate()
+        .filter_map(|(s, t)| t.map(|t| (t, s)))
+        .min()
+    {
+        makespan = now;
+        events += 1;
+        if let Some(d) = devices[s].complete(now) {
+            deliveries.push((d.client, d.query, d.object));
+            let t = d.client;
+            outstanding[t] -= 1;
+            if outstanding[t] == 0 {
+                round[t] += 1;
+                if round[t] < sc.rounds {
+                    submit_round(&mut devices, now, t, round[t]);
+                    outstanding[t] = sc.objects_per_round;
+                    // A round spans every shard: wake any idle ones.
+                    for (o, slot) in next.iter_mut().enumerate() {
+                        if o != s && slot.is_none() {
+                            *slot = devices[o].kick(now);
+                        }
+                    }
+                }
+            }
+        }
+        next[s] = devices[s].kick(now);
+    }
+    let wall = start.elapsed().as_secs_f64();
+
+    assert!(
+        devices.iter().all(|d| d.is_quiescent()),
+        "perf drive loop left work behind"
+    );
+    let switches: u64 = devices.iter().map(|d| d.metrics().group_switches).sum();
+    let requests = deliveries.len() as u64;
+    assert_eq!(requests, sc.total_requests(), "lost deliveries");
+    let mut sorted = deliveries;
+    sorted.sort_unstable();
+    (
+        PerfSample {
+            queue: queue_label,
+            shards,
+            requests,
+            events,
+            wall_secs: wall,
+            events_per_sec: if wall > 0.0 {
+                events as f64 / wall
+            } else {
+                0.0
+            },
+            makespan_secs: makespan.as_secs_f64(),
+            switches,
+        },
+        Fingerprint {
+            deliveries: sorted,
+            makespan,
+            switches,
+        },
+    )
+}
+
+/// Runs the scenario on both queue implementations for every shard
+/// count, asserting the runs are observationally identical, and
+/// returns all samples (indexed first per shard count). With
+/// `skip_naive`, only the indexed queue runs (CI smoke mode).
+pub fn perf_sweep(sc: &PerfScenario, shard_counts: &[usize], skip_naive: bool) -> Vec<PerfSample> {
+    let mut samples = Vec::new();
+    for &shards in shard_counts {
+        let (indexed, fp_indexed) = drive::<RequestQueue>(sc, shards, "indexed");
+        samples.push(indexed);
+        if !skip_naive {
+            let (naive, fp_naive) = drive::<NaiveQueue>(sc, shards, "naive");
+            assert_eq!(
+                fp_indexed, fp_naive,
+                "queue implementations diverged at {shards} shards"
+            );
+            samples.push(naive);
+        }
+    }
+    samples
+}
+
+/// The per-shard-count `naive wall / indexed wall` speedups.
+pub fn speedups(samples: &[PerfSample]) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    for s in samples.iter().filter(|s| s.queue == "indexed") {
+        if let Some(n) = samples
+            .iter()
+            .find(|n| n.queue == "naive" && n.shards == s.shards)
+        {
+            if s.wall_secs > 0.0 {
+                out.push((s.shards, n.wall_secs / s.wall_secs));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the sweep as a printable table.
+pub fn table(sc: &PerfScenario, samples: &[PerfSample]) -> Table {
+    let mut t = Table::new(
+        &format!(
+            "Scheduling hot path: {} tenants x {} rounds x {} objects ({} requests, {} groups, {})",
+            sc.tenants,
+            sc.rounds,
+            sc.objects_per_round,
+            sc.total_requests(),
+            sc.groups,
+            sc.policy.label(),
+        ),
+        &[
+            "shards",
+            "queue",
+            "wall(s)",
+            "events",
+            "events/sec",
+            "makespan(s)",
+            "switches",
+        ],
+    );
+    for s in samples {
+        t.push_row(vec![
+            s.shards.to_string(),
+            s.queue.into(),
+            format!("{:.3}", s.wall_secs),
+            s.events.to_string(),
+            format!("{:.0}", s.events_per_sec),
+            format!("{:.0}", s.makespan_secs),
+            s.switches.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Serializes the sweep as the `BENCH_perf.json` document (schema
+/// `BENCH_perf/v1`); hand-rolled JSON, no serde in this workspace.
+pub fn to_json(sc: &PerfScenario, samples: &[PerfSample]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"BENCH_perf/v1\",\n");
+    out.push_str(&format!(
+        "  \"scenario\": {{\"tenants\": {}, \"rounds\": {}, \"objects_per_round\": {}, \"groups\": {}, \"requests\": {}, \"policy\": \"{}\"}},\n",
+        sc.tenants,
+        sc.rounds,
+        sc.objects_per_round,
+        sc.groups,
+        sc.total_requests(),
+        sc.policy.label(),
+    ));
+    out.push_str("  \"samples\": [\n");
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"queue\": \"{}\", \"shards\": {}, \"requests\": {}, \"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \"makespan_secs\": {:.3}, \"switches\": {}}}",
+                s.queue,
+                s.shards,
+                s.requests,
+                s.events,
+                s.wall_secs,
+                s.events_per_sec,
+                s.makespan_secs,
+                s.switches,
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n");
+    let sp: Vec<String> = speedups(samples)
+        .into_iter()
+        .map(|(shards, x)| format!("    {{\"shards\": {shards}, \"speedup\": {x:.2}}}"))
+        .collect();
+    out.push_str("  \"speedup\": [\n");
+    out.push_str(&sp.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_agrees_and_reports() {
+        let sc = PerfScenario {
+            tenants: 4,
+            rounds: 2,
+            objects_per_round: 6,
+            groups: 2,
+            policy: SchedPolicy::RankBased,
+        };
+        let samples = perf_sweep(&sc, &[1, 2], false);
+        assert_eq!(samples.len(), 4);
+        // Virtual outcomes are queue-independent.
+        for pair in samples.chunks(2) {
+            assert_eq!(pair[0].makespan_secs, pair[1].makespan_secs);
+            assert_eq!(pair[0].switches, pair[1].switches);
+            assert_eq!(pair[0].events, pair[1].events);
+        }
+        assert_eq!(samples[0].requests, sc.total_requests());
+        let json = to_json(&sc, &samples);
+        assert!(json.contains("\"schema\": \"BENCH_perf/v1\""));
+        assert!(json.contains("\"queue\": \"naive\""));
+        assert_eq!(speedups(&samples).len(), 2);
+        assert_eq!(table(&sc, &samples).rows.len(), 4);
+    }
+
+    #[test]
+    fn skip_naive_runs_indexed_only() {
+        let sc = PerfScenario {
+            tenants: 2,
+            rounds: 1,
+            objects_per_round: 4,
+            groups: 2,
+            policy: SchedPolicy::MaxQueries,
+        };
+        let samples = perf_sweep(&sc, &[1], true);
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].queue, "indexed");
+        assert!(speedups(&samples).is_empty());
+    }
+}

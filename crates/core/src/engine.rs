@@ -21,7 +21,10 @@ pub struct Reaction {
     /// Virtual CPU time consumed processing the delivery. The client is
     /// busy for this long; follow-up requests go out when it ends.
     pub processing: SimDuration,
-    /// GET requests to submit after processing completes.
+    /// GET requests to submit after processing completes. Must be empty
+    /// when `finished` is set — a finished query has nothing left to
+    /// fetch, and the runtime's single fleet poke per reaction relies
+    /// on it (enforced by the driver).
     pub requests: Vec<ObjectId>,
     /// True when the query finished with this delivery.
     pub finished: bool,

@@ -152,9 +152,6 @@ pub struct RunResult {
     /// Device counters, rolled up across every shard of the fleet
     /// (identical to shard 0's counters for a single-device run).
     pub device: DeviceMetrics,
-    /// Shard 0's activity spans (the whole device's spans for a
-    /// single-device run; see [`RunResult::shards`] for the rest).
-    pub device_spans: Vec<Span>,
     /// Per-shard breakdowns, in shard order (length = fleet size).
     pub shards: Vec<ShardResult>,
     /// Virtual time at which the last event fired.
@@ -167,6 +164,13 @@ impl RunResult {
     /// Iterator over every query record.
     pub fn records(&self) -> impl Iterator<Item = &QueryRecord> {
         self.clients.iter().flatten()
+    }
+
+    /// Shard 0's activity spans (the whole device's spans for a
+    /// single-device run; see [`RunResult::shards`] for the rest).
+    /// Borrows the shard breakdown instead of keeping a duplicate copy.
+    pub fn device_spans(&self) -> &[Span] {
+        &self.shards[0].spans
     }
 
     /// Mean per-query execution time in seconds (the paper's
@@ -206,7 +210,7 @@ impl RunResult {
     /// `S` = group switch, digits = transfer to that client, `.` = idle.
     /// For fleets, see [`RunResult::shard_timeline`].
     pub fn timeline(&self, width: usize) -> String {
-        let trace = ActivityTrace::from_spans(self.device_spans.iter().copied());
+        let trace = ActivityTrace::from_spans(self.device_spans().iter().copied());
         skipper_sim::timeline::render(&trace, SimTime::ZERO, self.makespan, width)
     }
 

@@ -61,18 +61,17 @@ impl Runtime {
     /// deadlock — always a harness bug).
     pub fn run(mut self) -> RunResult {
         let now = SimTime::ZERO;
-        // Closed-loop queries with no release instant start immediately;
-        // scheduled releases (staggered starts, Poisson arrivals) are
-        // armed as events, in client order for deterministic ties.
-        for c in 0..self.clients.len() {
-            let releases: Vec<SimTime> = self.clients[c]
-                .plan
-                .iter()
-                .filter_map(|p| p.release)
-                .collect();
-            for at in releases {
+        // Scheduled releases (staggered starts, Poisson arrivals) are
+        // armed as events, in client order for deterministic ties;
+        // closed-loop queries with no release instant start immediately.
+        // Starting a client never schedules events, so arming all
+        // releases first preserves the historical event order.
+        for (c, client) in self.clients.iter().enumerate() {
+            for at in client.plan.iter().filter_map(|p| p.release) {
                 self.events.schedule(at, Event::Release(c));
             }
+        }
+        for c in 0..self.clients.len() {
             self.try_start(c, now);
         }
         self.poke_fleet(now);
@@ -105,37 +104,39 @@ impl Runtime {
             "fleet still has queued work after the event queue drained"
         );
         // Post-hoc stall attribution against the union of shard traces.
-        let traces: Vec<&ActivityTrace> = self
-            .fleet
-            .pumps()
-            .iter()
-            .map(|p| p.device().trace())
-            .collect();
-        let clients_out = self
-            .clients
-            .iter_mut()
-            .map(|client| attribute_stalls_fleet(&traces, client.records.drain(..).collect()))
-            .collect();
+        let clients_out = {
+            let traces: Vec<&ActivityTrace> = self
+                .fleet
+                .pumps()
+                .iter()
+                .map(|p| p.device().trace())
+                .collect();
+            self.clients
+                .iter_mut()
+                .map(|client| attribute_stalls_fleet(&traces, client.records.drain(..).collect()))
+                .collect()
+        };
+        // `run` consumed the runtime, so each shard's spans and delivery
+        // ledger move into its ShardResult instead of being cloned.
         let shards: Vec<ShardResult> = self
             .fleet
-            .pumps()
-            .iter()
+            .into_pumps()
+            .into_iter()
             .enumerate()
             .map(|(shard, pump)| {
-                let dev = pump.device();
+                let mut dev = pump.into_device();
                 ShardResult {
                     shard,
-                    metrics: dev.metrics().clone(),
-                    spans: dev.trace().spans().to_vec(),
                     scheduler: dev.scheduler_name(),
-                    deliveries: dev.served_log().to_vec(),
+                    metrics: dev.take_metrics(),
+                    spans: dev.take_spans(),
+                    deliveries: dev.take_served_log(),
                 }
             })
             .collect();
         RunResult {
             clients: clients_out,
             device: DeviceMetrics::rolled_up(shards.iter().map(|s| &s.metrics)),
-            device_spans: shards[0].spans.clone(),
             scheduler: shards[0].scheduler,
             shards,
             makespan,
@@ -210,16 +211,29 @@ impl Runtime {
             .take()
             .expect("client_ready without reaction");
         self.clients[c].busy = false;
-        if !requests.is_empty() {
+        let submitted = !requests.is_empty();
+        // Reaction contract: a finished query has nothing left to fetch.
+        // The single poke below would otherwise let a next-query batch
+        // change the device decision the follow-ups should have seen.
+        debug_assert!(
+            !(submitted && finished),
+            "engine finished a query while issuing follow-up GETs"
+        );
+        if submitted {
             let qid = QueryId::new(c as u16, self.clients[c].qseq);
             self.fleet.submit(now, c, qid, &requests);
-            self.poke_fleet(now);
         }
         if finished {
+            // Engines never finish with follow-up GETs in flight, so the
+            // next query's upfront batch and the (empty) follow-up set
+            // share one poke below instead of the historical two.
             self.clients[c].finish(c, now);
             self.try_start(c, now);
+        }
+        if submitted || finished {
             self.poke_fleet(now);
-        } else {
+        }
+        if !finished {
             self.clients[c].note_waiting(now);
             self.try_process(c, now);
         }

@@ -106,6 +106,12 @@ impl DeviceFleet {
         &self.pumps
     }
 
+    /// Consumes the fleet into its pumps, in shard order (end-of-run
+    /// result assembly).
+    pub fn into_pumps(self) -> Vec<DevicePump> {
+        self.pumps
+    }
+
     /// True when every shard is idle with an empty queue.
     pub fn is_quiescent(&self) -> bool {
         self.pumps.iter().all(|p| p.device().is_quiescent())

@@ -52,6 +52,22 @@
 //! out with per-shard config overrides and per-shard result
 //! breakdowns ([`collector::ShardResult`]).
 //!
+//! # Scheduling hot-path complexity
+//!
+//! Each device's pending queue is the incrementally-indexed
+//! `skipper_csd::sched::RequestQueue`: submits, serves, and residency
+//! snapshots are O(log n) in queue depth, and scheduler decisions read
+//! maintained per-group aggregates instead of rescanning the queue —
+//! so a run costs O(events · log depth), not O(events · depth). The
+//! contract is pinned three ways: the differential suite
+//! (`crates/csd/tests/equivalence.rs`) diffs the indexed queue against
+//! the preserved full-rescan `NaiveQueue` reference across every
+//! policy × intra order × shard count, the goldens stay
+//! microsecond-exact, and `skipper-bench --bin perf` records the
+//! wall-clock ratio (`EXPERIMENTS.md`). End-of-run result assembly
+//! moves spans, ledgers, and counters out of the devices (`Runtime::run`
+//! consumes the fleet) instead of cloning them.
+//!
 //! # Mixed-engine fleets
 //!
 //! ```no_run

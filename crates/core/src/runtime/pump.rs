@@ -60,4 +60,10 @@ impl DevicePump {
     pub fn device(&self) -> &CsdDevice<Arc<Segment>> {
         &self.device
     }
+
+    /// Unwraps the device (end-of-run result assembly: the runtime takes
+    /// spans and ledgers by move instead of cloning).
+    pub fn into_device(self) -> CsdDevice<Arc<Segment>> {
+        self.device
+    }
 }

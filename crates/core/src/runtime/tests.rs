@@ -430,7 +430,7 @@ fn sharded_scenario_reports_per_shard_breakdowns() {
         assert_eq!(s.deliveries.len() as u64, s.metrics.objects_served);
     }
     // device_spans mirrors shard 0.
-    assert_eq!(res.device_spans, res.shards[0].spans);
+    assert_eq!(res.device_spans().to_vec(), res.shards[0].spans);
     // Per-query breakdowns stay exact on a fleet.
     for rec in res.records() {
         let accounted = rec.processing + rec.stalls.total();

@@ -11,7 +11,8 @@
 //! ```text
 //! kick(now) ──► scheduler.decide()
 //!    │               │
-//!    │          ServeActive ──► pick request via IntraGroupOrder,
+//!    │          ServeActive ──► resolve the policy's ServeScope + the
+//!    │               │          device's IntraGroupOrder in the queue,
 //!    │               │          start Transfer, complete at now + bytes/BW
 //!    │          SwitchTo(g) ──► start Switch, complete at now + S
 //!    │               │          (first load of an idle array is free)
@@ -24,13 +25,20 @@
 //! Serving never preempts: once a transfer starts it finishes; group
 //! residency policy is entirely the scheduler's business via
 //! [`GroupScheduler::serve_scope`].
+//!
+//! The pending queue is pluggable: the device is generic over
+//! [`RequestIndex`] and defaults to the incrementally-indexed
+//! [`RequestQueue`] (O(log n) per decision). The full-rescan
+//! [`NaiveQueue`](crate::sched::NaiveQueue) plugs into the same slot for
+//! differential testing and as the `skipper-bench --bin perf` baseline.
 
 use skipper_sim::{Activity, ActivityTrace, SimDuration, SimTime};
 
 use crate::metrics::DeviceMetrics;
 use crate::object::{GroupId, ObjectId, QueryId};
-use crate::sched::{Decision, GroupScheduler, PendingRequest, Residency};
+use crate::sched::{Decision, GroupScheduler, PendingRequest, RequestIndex, RequestQueue};
 use crate::store::{transfer_time, ObjectStore};
+use skipper_sim::trace::Span;
 
 /// Device parameters.
 #[derive(Clone, Copy, Debug)]
@@ -85,6 +93,31 @@ pub enum IntraGroupOrder {
 }
 
 impl IntraGroupOrder {
+    /// The total service-order key of one request: the policy's sort
+    /// components followed by the arrival sequence number, so keys are
+    /// unique and ties always break FIFO. The indexed
+    /// [`RequestQueue`](crate::sched::RequestQueue) keeps its per-group
+    /// sub-queues sorted by exactly this key.
+    pub fn key(self, r: &PendingRequest) -> (u32, u32, u32, u64) {
+        match self {
+            // Segment-major: (seg, table) walks A.1,B.1,C.1,A.2,...
+            IntraGroupOrder::SemanticRoundRobin => (
+                r.object.segment,
+                r.object.table as u32,
+                r.object.tenant as u32,
+                r.seq,
+            ),
+            // Table-major: (table, seg) drains A entirely first.
+            IntraGroupOrder::TableOrder => (
+                r.object.table as u32,
+                r.object.segment,
+                r.object.tenant as u32,
+                r.seq,
+            ),
+            IntraGroupOrder::ArrivalOrder => (0, 0, 0, r.seq),
+        }
+    }
+
     /// Picks which of the in-scope pending requests to serve next.
     ///
     /// # Panics
@@ -94,26 +127,7 @@ impl IntraGroupOrder {
         assert!(!scope.is_empty(), "intra-group selection over empty scope");
         *scope
             .iter()
-            .min_by_key(|&&i| {
-                let r = &pending[i];
-                match self {
-                    // Segment-major: (seg, table) walks A.1,B.1,C.1,A.2,...
-                    IntraGroupOrder::SemanticRoundRobin => (
-                        r.object.segment,
-                        r.object.table as u32,
-                        r.object.tenant as u32,
-                        r.seq,
-                    ),
-                    // Table-major: (table, seg) drains A entirely first.
-                    IntraGroupOrder::TableOrder => (
-                        r.object.table as u32,
-                        r.object.segment,
-                        r.object.tenant as u32,
-                        r.seq,
-                    ),
-                    IntraGroupOrder::ArrivalOrder => (0, 0, 0, r.seq),
-                }
-            })
+            .min_by_key(|&&i| self.key(&pending[i]))
             .expect("non-empty scope")
     }
 }
@@ -145,17 +159,15 @@ enum Op {
 }
 
 /// The cold storage device: request queue + MAID state machine.
-pub struct CsdDevice<P> {
+///
+/// Generic over the pending-queue implementation `Q` (default: the
+/// indexed [`RequestQueue`]).
+pub struct CsdDevice<P, Q: RequestIndex = RequestQueue> {
     config: CsdConfig,
     store: ObjectStore<P>,
     scheduler: Box<dyn GroupScheduler>,
-    intra: IntraGroupOrder,
-    pending: Vec<PendingRequest>,
+    queue: Q,
     active_group: Option<GroupId>,
-    /// Snapshot of request seqs present when the active group was loaded
-    /// (or re-picked): the §4.4 non-preemption scope. Requests arriving
-    /// mid-residency wait for the next scheduling decision.
-    residency: Residency,
     op: Option<Op>,
     next_seq: u64,
     trace: ActivityTrace,
@@ -163,7 +175,7 @@ pub struct CsdDevice<P> {
     served_log: Vec<(usize, QueryId, ObjectId)>,
 }
 
-impl<P: Clone> CsdDevice<P> {
+impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
     /// Creates a device over `store` with the given scheduler and
     /// intra-group ordering.
     pub fn new(
@@ -176,10 +188,8 @@ impl<P: Clone> CsdDevice<P> {
             config,
             store,
             scheduler,
-            intra,
-            pending: Vec::new(),
+            queue: Q::new(intra),
             active_group: None,
-            residency: Residency::new(),
             op: None,
             next_seq: 0,
             trace: ActivityTrace::new(),
@@ -200,7 +210,7 @@ impl<P: Clone> CsdDevice<P> {
                 .store
                 .meta(object)
                 .unwrap_or_else(|| panic!("GET for unknown object {object}"));
-            self.pending.push(PendingRequest {
+            self.queue.insert(PendingRequest {
                 object,
                 query,
                 client,
@@ -224,34 +234,30 @@ impl<P: Clone> CsdDevice<P> {
             });
         }
         loop {
-            match self
-                .scheduler
-                .decide(&self.pending, self.active_group, &self.residency)
-            {
+            match self.scheduler.decide(&self.queue, self.active_group) {
                 Decision::Idle => return None,
                 Decision::ServeActive => {
                     let active = self
                         .active_group
                         .expect("ServeActive requires a loaded group");
-                    let mut scope =
-                        self.scheduler
-                            .serve_scope(&self.pending, active, &self.residency);
-                    if scope.is_empty() {
-                        // The residency drained but the scheduler re-picked
-                        // this group: start a fresh residency over the
-                        // current queue without paying a switch.
-                        self.arm_residency(active);
-                        scope = self
-                            .scheduler
-                            .serve_scope(&self.pending, active, &self.residency);
-                    }
-                    assert!(
-                        !scope.is_empty(),
-                        "scheduler {} returned ServeActive with empty scope",
-                        self.scheduler.name()
-                    );
-                    let idx = self.intra.select(&self.pending, &scope);
-                    let request = self.pending.swap_remove(idx);
+                    let scope = self.scheduler.serve_scope();
+                    let seq = match self.queue.select(scope, active) {
+                        Some(seq) => seq,
+                        None => {
+                            // The residency drained but the scheduler
+                            // re-picked this group: start a fresh
+                            // residency over the current queue without
+                            // paying a switch.
+                            self.queue.arm_residency(active);
+                            self.queue.select(scope, active).unwrap_or_else(|| {
+                                panic!(
+                                    "scheduler {} returned ServeActive with empty scope",
+                                    self.scheduler.name()
+                                )
+                            })
+                        }
+                    };
+                    let request = self.queue.remove(seq);
                     debug_assert_eq!(request.group, active, "serving off-group request");
                     let bytes = self
                         .store
@@ -283,8 +289,8 @@ impl<P: Clone> CsdDevice<P> {
                         // the first load as free and re-decide.
                         self.active_group = Some(target);
                         self.metrics.initial_loads += 1;
-                        self.scheduler.on_switch_complete(&self.pending, target);
-                        self.arm_residency(target);
+                        self.scheduler.on_switch_complete(&self.queue, target);
+                        self.queue.arm_residency(target);
                         continue;
                     }
                     let until = now + self.config.switch_latency;
@@ -313,8 +319,8 @@ impl<P: Clone> CsdDevice<P> {
             Op::Switch { target, until } => {
                 assert_eq!(until, now, "switch completion out of step");
                 self.active_group = Some(target);
-                self.scheduler.on_switch_complete(&self.pending, target);
-                self.arm_residency(target);
+                self.scheduler.on_switch_complete(&self.queue, target);
+                self.queue.arm_residency(target);
                 None
             }
             Op::Transfer { request, until } => {
@@ -344,25 +350,14 @@ impl<P: Clone> CsdDevice<P> {
         }
     }
 
-    /// Captures the residency snapshot: every currently pending request
-    /// on `group`.
-    fn arm_residency(&mut self, group: GroupId) {
-        self.residency = self
-            .pending
-            .iter()
-            .filter(|r| r.group == group)
-            .map(|r| r.seq)
-            .collect();
-    }
-
     /// True when no operation is in flight and the queue is empty.
     pub fn is_quiescent(&self) -> bool {
-        self.op.is_none() && self.pending.is_empty()
+        self.op.is_none() && self.queue.is_empty()
     }
 
     /// Number of queued (not yet served) requests.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.queue.len()
     }
 
     /// The currently loaded group.
@@ -375,6 +370,11 @@ impl<P: Clone> CsdDevice<P> {
         &self.metrics
     }
 
+    /// Takes the run counters out of the device (end-of-run assembly).
+    pub fn take_metrics(&mut self) -> DeviceMetrics {
+        std::mem::take(&mut self.metrics)
+    }
+
     /// Every completed transfer in service order: `(client, query,
     /// object)`. The multiset of entries is the device's work-conservation
     /// ledger — sharded fleets must deliver exactly the same multiset as
@@ -383,9 +383,20 @@ impl<P: Clone> CsdDevice<P> {
         &self.served_log
     }
 
+    /// Takes the delivery ledger out of the device (end-of-run assembly).
+    pub fn take_served_log(&mut self) -> Vec<(usize, QueryId, ObjectId)> {
+        std::mem::take(&mut self.served_log)
+    }
+
     /// The activity trace (switch/transfer spans) for stall attribution.
     pub fn trace(&self) -> &ActivityTrace {
         &self.trace
+    }
+
+    /// Takes the recorded activity spans out of the device (end-of-run
+    /// assembly).
+    pub fn take_spans(&mut self) -> Vec<Span> {
+        self.trace.take_spans()
     }
 
     /// The scheduler's report name.
@@ -592,7 +603,7 @@ mod tests {
         for s in 0..4u32 {
             store.put(ObjectId::new(0, 0, s), 100 * MB, 0, "seg");
         }
-        let mut dev = CsdDevice::new(
+        let mut dev: CsdDevice<&'static str> = CsdDevice::new(
             CsdConfig {
                 switch_latency: SimDuration::from_secs(10),
                 bandwidth_bytes_per_sec: (100 * MB) as f64,

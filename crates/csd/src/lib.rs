@@ -22,7 +22,11 @@
 //!   GET interface.
 //! * [`sched`] — group-switch scheduling policies: object-FCFS,
 //!   query-FCFS, Max-Queries, and the paper's rank-based algorithm
-//!   `R(g) = N_g + K·ΣW_q(g)` with `K = 1` (§4.4).
+//!   `R(g) = N_g + K·ΣW_q(g)` with `K = 1` (§4.4) — all deciding over
+//!   the incrementally-indexed request queue
+//!   ([`sched::queue::RequestQueue`], O(log n) per submit/serve; the
+//!   pre-index full-rescan [`sched::naive::NaiveQueue`] survives as the
+//!   differential-test reference and perf baseline).
 //! * [`device`] — the device state machine: request queue → pick group →
 //!   switch (latency S) → serve every pending request on the group
 //!   (no preemption) → repeat; with semantically-smart intra-group
@@ -47,6 +51,7 @@ pub use layout::{Layout, LayoutPolicy, PlacementPolicy};
 pub use object::{GroupId, ObjectId, ObjectMeta, QueryId};
 pub use power::{EnergyReport, PowerModel};
 pub use sched::{
-    FcfsObject, FcfsQuery, FcfsSlack, GroupScheduler, MaxQueries, RankBased, SchedPolicy,
+    FcfsObject, FcfsQuery, FcfsSlack, GroupScheduler, MaxQueries, NaiveQueue, QueueView, RankBased,
+    RequestIndex, RequestQueue, SchedPolicy, ServeScope,
 };
 pub use store::ObjectStore;

@@ -13,7 +13,7 @@
 //! queries, so it still switches more than necessary.
 
 use crate::object::GroupId;
-use crate::sched::{Decision, GroupScheduler, PendingRequest, Residency};
+use crate::sched::{Decision, GroupScheduler, QueueView, ServeScope};
 
 /// Strict object-level FCFS.
 #[derive(Debug, Default)]
@@ -24,10 +24,6 @@ impl FcfsObject {
     pub fn new() -> Self {
         FcfsObject
     }
-
-    fn oldest(pending: &[PendingRequest]) -> Option<&PendingRequest> {
-        pending.iter().min_by_key(|r| r.seq)
-    }
 }
 
 impl GroupScheduler for FcfsObject {
@@ -35,13 +31,8 @@ impl GroupScheduler for FcfsObject {
         "fcfs-object"
     }
 
-    fn decide(
-        &mut self,
-        pending: &[PendingRequest],
-        active: Option<GroupId>,
-        _residency: &Residency,
-    ) -> Decision {
-        match Self::oldest(pending) {
+    fn decide(&mut self, queue: &dyn QueueView, active: Option<GroupId>) -> Decision {
+        match queue.oldest() {
             None => Decision::Idle,
             Some(r) if Some(r.group) == active => Decision::ServeActive,
             Some(r) => Decision::SwitchTo(r.group),
@@ -50,25 +41,8 @@ impl GroupScheduler for FcfsObject {
 
     /// Only the globally oldest request may be served — strict arrival
     /// order, re-evaluated after every service.
-    fn serve_scope(
-        &self,
-        pending: &[PendingRequest],
-        active: GroupId,
-        _residency: &Residency,
-    ) -> Vec<usize> {
-        let Some(oldest_idx) = pending
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, r)| r.seq)
-            .map(|(i, _)| i)
-        else {
-            return Vec::new();
-        };
-        if pending[oldest_idx].group == active {
-            vec![oldest_idx]
-        } else {
-            Vec::new()
-        }
+    fn serve_scope(&self) -> ServeScope {
+        ServeScope::OldestObject
     }
 }
 
@@ -81,12 +55,6 @@ impl FcfsQuery {
     pub fn new() -> Self {
         FcfsQuery
     }
-
-    /// The query whose earliest request arrived first (by sequence
-    /// number, which encodes arrival order exactly).
-    fn oldest_query(pending: &[PendingRequest]) -> Option<crate::object::QueryId> {
-        pending.iter().min_by_key(|r| r.seq).map(|r| r.query)
-    }
 }
 
 impl GroupScheduler for FcfsQuery {
@@ -94,31 +62,25 @@ impl GroupScheduler for FcfsQuery {
         "fairness"
     }
 
-    fn decide(
-        &mut self,
-        pending: &[PendingRequest],
-        active: Option<GroupId>,
-        _residency: &Residency,
-    ) -> Decision {
-        let Some(q) = Self::oldest_query(pending) else {
+    fn decide(&mut self, queue: &dyn QueueView, active: Option<GroupId>) -> Decision {
+        // The oldest query is the one whose earliest request arrived
+        // first (by sequence number, which encodes arrival order).
+        let Some(oldest) = queue.oldest() else {
             return Decision::Idle;
         };
-        // Serve the oldest query's requests; prefer its data on the active
-        // group to avoid gratuitous switches, otherwise go to the group
-        // holding its oldest request.
-        let on_active = active.is_some()
-            && pending
-                .iter()
-                .any(|r| r.query == q && Some(r.group) == active);
-        if on_active {
-            return Decision::ServeActive;
+        let q = oldest.query;
+        // Serve the oldest query's requests; prefer its data on the
+        // active group to avoid gratuitous switches, otherwise go to the
+        // group holding its oldest request.
+        if let Some(g) = active {
+            if queue.group_has_query(g, q) {
+                return Decision::ServeActive;
+            }
         }
-        let target = pending
-            .iter()
-            .filter(|r| r.query == q)
-            .min_by_key(|r| r.seq)
-            .map(|r| r.group)
-            .expect("oldest query has requests");
+        let target = queue
+            .oldest_of_query(q)
+            .expect("oldest query has requests")
+            .group;
         if Some(target) == active {
             Decision::ServeActive
         } else {
@@ -128,44 +90,28 @@ impl GroupScheduler for FcfsQuery {
 
     /// Only the oldest query's requests on the loaded group are in scope —
     /// no request merging across queries.
-    fn serve_scope(
-        &self,
-        pending: &[PendingRequest],
-        active: GroupId,
-        _residency: &Residency,
-    ) -> Vec<usize> {
-        let Some(q) = Self::oldest_query(pending) else {
-            return Vec::new();
-        };
-        pending
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.query == q && r.group == active)
-            .map(|(i, _)| i)
-            .collect()
+    fn serve_scope(&self) -> ServeScope {
+        ServeScope::OldestQuery
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sched::testutil::req;
-
-    fn all() -> Residency {
-        (0..100u64).collect()
-    }
+    use crate::sched::testutil::{queue_of, req};
+    use crate::sched::RequestIndex;
 
     #[test]
     fn object_fcfs_follows_arrival_order() {
         let mut p = FcfsObject::new();
-        let pending = vec![req(2, 0, 0, 0, 0, 5), req(1, 1, 0, 0, 0, 2)];
+        let q = queue_of(&[req(2, 0, 0, 0, 0, 5), req(1, 1, 0, 0, 0, 2)]);
         // Oldest (seq 2) is on group 1.
-        assert_eq!(p.decide(&pending, None, &all()), Decision::SwitchTo(1));
-        assert_eq!(p.decide(&pending, Some(1), &all()), Decision::ServeActive);
-        assert_eq!(p.serve_scope(&pending, 1, &all()), vec![1]);
-        // Even though group 1 might hold more data later, only the oldest
+        assert_eq!(p.decide(&q, None), Decision::SwitchTo(1));
+        assert_eq!(p.decide(&q, Some(1)), Decision::ServeActive);
+        assert_eq!(q.select(p.serve_scope(), 1), Some(2));
+        // Even though group 2 might hold more data later, only the oldest
         // request is in scope.
-        assert_eq!(p.serve_scope(&pending, 2, &all()), Vec::<usize>::new());
+        assert_eq!(q.select(p.serve_scope(), 2), None);
     }
 
     #[test]
@@ -173,8 +119,8 @@ mod tests {
         // Active group 1 still has a request (seq 7), but the oldest
         // pending (seq 3) is on group 2: strict FCFS must switch.
         let mut p = FcfsObject::new();
-        let pending = vec![req(1, 0, 0, 0, 0, 7), req(2, 1, 0, 0, 0, 3)];
-        assert_eq!(p.decide(&pending, Some(1), &all()), Decision::SwitchTo(2));
+        let q = queue_of(&[req(1, 0, 0, 0, 0, 7), req(2, 1, 0, 0, 0, 3)]);
+        assert_eq!(p.decide(&q, Some(1)), Decision::SwitchTo(2));
     }
 
     #[test]
@@ -182,17 +128,17 @@ mod tests {
         let mut p = FcfsQuery::new();
         // Query (0,0) arrived first, spanning groups 1 and 2; query (1,0)
         // is younger on group 1.
-        let pending = vec![
+        let q = queue_of(&[
             req(1, 0, 0, 0, 0, 0),
             req(2, 0, 0, 1, 0, 1),
             req(1, 1, 0, 0, 0, 2),
-        ];
-        assert_eq!(p.decide(&pending, None, &all()), Decision::SwitchTo(1));
+        ]);
+        assert_eq!(p.decide(&q, None), Decision::SwitchTo(1));
         // On group 1 only query (0,0)'s request is in scope, not (1,0)'s.
-        assert_eq!(p.serve_scope(&pending, 1, &all()), vec![0]);
+        assert_eq!(q.select(p.serve_scope(), 1), Some(0));
         // After group 1 is done for query 0, its remaining data is on 2.
-        let rest = vec![req(2, 0, 0, 1, 0, 1), req(1, 1, 0, 0, 0, 2)];
-        assert_eq!(p.decide(&rest, Some(1), &all()), Decision::SwitchTo(2));
+        let rest = queue_of(&[req(2, 0, 0, 1, 0, 1), req(1, 1, 0, 0, 0, 2)]);
+        assert_eq!(p.decide(&rest, Some(1)), Decision::SwitchTo(2));
     }
 
     #[test]
@@ -201,18 +147,16 @@ mod tests {
         // Oldest query has data on groups 1 and 2; active is 2 → serve 2
         // first (no gratuitous switch), even though its oldest request is
         // on group 1.
-        let pending = vec![req(1, 0, 0, 0, 0, 0), req(2, 0, 0, 1, 0, 1)];
-        assert_eq!(p.decide(&pending, Some(2), &all()), Decision::ServeActive);
-        assert_eq!(p.serve_scope(&pending, 2, &all()), vec![1]);
+        let q = queue_of(&[req(1, 0, 0, 0, 0, 0), req(2, 0, 0, 1, 0, 1)]);
+        assert_eq!(p.decide(&q, Some(2)), Decision::ServeActive);
+        assert_eq!(q.select(p.serve_scope(), 2), Some(1));
     }
 
     #[test]
     fn idle_when_empty() {
-        assert_eq!(
-            FcfsObject::new().decide(&[], Some(0), &all()),
-            Decision::Idle
-        );
-        assert_eq!(FcfsQuery::new().decide(&[], None, &all()), Decision::Idle);
-        assert!(FcfsQuery::new().serve_scope(&[], 0, &all()).is_empty());
+        let empty = queue_of(&[]);
+        assert_eq!(FcfsObject::new().decide(&empty, Some(0)), Decision::Idle);
+        assert_eq!(FcfsQuery::new().decide(&empty, None), Decision::Idle);
+        assert_eq!(empty.select(FcfsQuery::new().serve_scope(), 0), None);
     }
 }

@@ -10,7 +10,7 @@
 //! indefinitely, which is exactly what the rank-based policy fixes.
 
 use crate::object::GroupId;
-use crate::sched::{group_stats, Decision, GroupScheduler, PendingRequest, Residency};
+use crate::sched::{Decision, GroupScheduler, QueueView};
 
 /// Most-pending-queries-first group selection.
 #[derive(Debug, Default)]
@@ -22,10 +22,12 @@ impl MaxQueries {
         MaxQueries
     }
 
-    fn best_group(pending: &[PendingRequest]) -> Option<GroupId> {
-        // Max query count; ties broken by oldest request (then group id
-        // implicitly, since group_stats is sorted by group).
-        group_stats(pending)
+    fn best_group(queue: &dyn QueueView) -> Option<GroupId> {
+        // Max query count over the per-group aggregates (maintained
+        // incrementally by the queue, sorted by group id); ties broken
+        // by oldest request, then group id.
+        queue
+            .group_aggregates()
             .into_iter()
             .max_by(|(ga, a), (gb, b)| {
                 a.queries
@@ -43,23 +45,15 @@ impl GroupScheduler for MaxQueries {
         "maxquery"
     }
 
-    fn decide(
-        &mut self,
-        pending: &[PendingRequest],
-        active: Option<GroupId>,
-        residency: &Residency,
-    ) -> Decision {
+    fn decide(&mut self, queue: &dyn QueueView, active: Option<GroupId>) -> Decision {
         // Non-preemptive: drain the residency snapshot before
         // reconsidering (new arrivals wait for the next decision point).
         if let Some(g) = active {
-            if pending
-                .iter()
-                .any(|r| r.group == g && residency.contains(&r.seq))
-            {
+            if queue.resident_len(g) > 0 {
                 return Decision::ServeActive;
             }
         }
-        match Self::best_group(pending) {
+        match Self::best_group(queue) {
             None => Decision::Idle,
             Some(g) if Some(g) == active => Decision::ServeActive,
             Some(g) => Decision::SwitchTo(g),
@@ -70,24 +64,21 @@ impl GroupScheduler for MaxQueries {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sched::testutil::req;
-
-    fn all() -> Residency {
-        (0..100u64).collect()
-    }
+    use crate::sched::testutil::{armed_queue, queue_of, req};
+    use crate::sched::{RequestIndex, ServeScope};
 
     #[test]
     fn picks_group_with_most_queries() {
         let mut p = MaxQueries::new();
         // Group 1: two queries; group 2: one query with three requests.
-        let pending = vec![
+        let q = queue_of(&[
             req(1, 0, 0, 0, 0, 0),
             req(1, 1, 0, 0, 0, 1),
             req(2, 2, 0, 0, 0, 2),
             req(2, 2, 0, 1, 0, 3),
             req(2, 2, 0, 2, 0, 4),
-        ];
-        assert_eq!(p.decide(&pending, None, &all()), Decision::SwitchTo(1));
+        ]);
+        assert_eq!(p.decide(&q, None), Decision::SwitchTo(1));
     }
 
     #[test]
@@ -95,56 +86,68 @@ mod tests {
         let mut p = MaxQueries::new();
         // Queries, not requests, drive the choice (a single query's many
         // objects count once).
-        let pending = vec![
+        let q = queue_of(&[
             req(5, 0, 0, 0, 0, 0),
             req(5, 0, 0, 1, 0, 1),
             req(5, 0, 0, 2, 0, 2),
             req(6, 1, 0, 0, 0, 3),
             req(6, 2, 0, 0, 0, 4),
-        ];
-        assert_eq!(p.decide(&pending, None, &all()), Decision::SwitchTo(6));
+        ]);
+        assert_eq!(p.decide(&q, None), Decision::SwitchTo(6));
     }
 
     #[test]
     fn non_preemptive_drains_active_group() {
         let mut p = MaxQueries::new();
-        // Group 2 has more queries, but group 1 is loaded and non-empty:
-        // finish it first (the "when to switch" rule of §4.4).
-        let pending = vec![
-            req(1, 0, 0, 0, 0, 0),
-            req(2, 1, 0, 0, 0, 1),
-            req(2, 2, 0, 0, 0, 2),
-        ];
-        assert_eq!(p.decide(&pending, Some(1), &all()), Decision::ServeActive);
+        // Group 2 has more queries, but group 1 is loaded with an armed
+        // residency that still holds work: finish it first (the "when to
+        // switch" rule of §4.4).
+        let mut q = armed_queue(
+            &[
+                req(1, 0, 0, 0, 0, 0),
+                req(2, 1, 0, 0, 0, 1),
+                req(2, 2, 0, 0, 0, 2),
+            ],
+            1,
+        );
+        assert_eq!(p.decide(&q, Some(1)), Decision::ServeActive);
         // Once group 1 drains, switch.
-        let rest = &pending[1..];
-        assert_eq!(p.decide(rest, Some(1), &all()), Decision::SwitchTo(2));
+        q.remove(0);
+        assert_eq!(p.decide(&q, Some(1)), Decision::SwitchTo(2));
     }
 
     #[test]
     fn tie_broken_by_oldest_request() {
         let mut p = MaxQueries::new();
-        let pending = vec![req(3, 0, 0, 0, 9, 9), req(2, 1, 0, 0, 1, 1)];
+        let q = queue_of(&[req(3, 0, 0, 0, 9, 9), req(2, 1, 0, 0, 1, 1)]);
         // Both groups have one query; group 2's request is older.
-        assert_eq!(p.decide(&pending, None, &all()), Decision::SwitchTo(2));
+        assert_eq!(p.decide(&q, None), Decision::SwitchTo(2));
     }
 
     #[test]
     fn idle_when_empty() {
         assert_eq!(
-            MaxQueries::new().decide(&[], Some(3), &all()),
+            MaxQueries::new().decide(&queue_of(&[]), Some(3)),
             Decision::Idle
         );
     }
 
     #[test]
-    fn whole_group_scope() {
+    fn whole_residency_in_scope() {
         let p = MaxQueries::new();
-        let pending = vec![
-            req(1, 0, 0, 0, 0, 0),
-            req(1, 1, 0, 0, 0, 1),
-            req(2, 2, 0, 0, 0, 2),
-        ];
-        assert_eq!(p.serve_scope(&pending, 1, &all()), vec![0, 1]);
+        let mut q = armed_queue(
+            &[
+                req(1, 0, 0, 0, 0, 0),
+                req(1, 1, 0, 0, 0, 1),
+                req(2, 2, 0, 0, 0, 2),
+            ],
+            1,
+        );
+        assert_eq!(p.serve_scope(), ServeScope::Residency);
+        assert_eq!(q.select(p.serve_scope(), 1), Some(0));
+        q.remove(0);
+        assert_eq!(q.select(p.serve_scope(), 1), Some(1));
+        q.remove(1);
+        assert_eq!(q.select(p.serve_scope(), 1), None);
     }
 }

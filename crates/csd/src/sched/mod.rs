@@ -18,14 +18,35 @@
 //! The scheduler is a pure decision function over the pending-request
 //! queue plus whatever internal fairness state it keeps (the rank-based
 //! policy tracks per-query waiting times, measured in group switches).
+//!
+//! # The queue view
+//!
+//! Policies do not scan the raw request list. They consume a
+//! [`QueueView`]: per-group aggregates ([`GroupStats`]), ordered lookups
+//! (globally-oldest request, a query's oldest request, the *k*-oldest
+//! window) and the residency snapshot — all maintained incrementally by
+//! the production [`RequestQueue`](queue::RequestQueue) in O(log n) per
+//! submit/serve. The pre-indexing full-rescan semantics survive as
+//! [`NaiveQueue`](naive::NaiveQueue), the reference implementation the
+//! differential tests and the `skipper-bench --bin perf` baseline run
+//! against.
+//!
+//! Instead of returning request indices, a policy describes *which*
+//! requests may be served during the current residency as a declarative
+//! [`ServeScope`]; the queue resolves the scope plus the device's
+//! intra-group order to a concrete request without rescanning.
 
 mod fcfs;
 mod max_queries;
+pub mod naive;
+pub mod queue;
 mod rank;
 mod slack;
 
 pub use fcfs::{FcfsObject, FcfsQuery};
 pub use max_queries::MaxQueries;
+pub use naive::NaiveQueue;
+pub use queue::{RequestIndex, RequestQueue};
 pub use rank::RankBased;
 pub use slack::FcfsSlack;
 
@@ -40,6 +61,11 @@ use crate::object::{GroupId, ObjectId, QueryId};
 /// *residency snapshot* before re-deciding — the §4.4 non-preemption rule
 /// applied to "the set of active requests", so a steady stream of new
 /// arrivals cannot pin the device to one group forever.
+///
+/// The production [`RequestQueue`](queue::RequestQueue) tracks residency
+/// as per-group membership sets updated O(log n) per request; this alias
+/// survives for the [`NaiveQueue`](naive::NaiveQueue) reference
+/// implementation, which still probes a flat seq set per request.
 pub type Residency = HashSet<u64>;
 
 /// One queued GET request as seen by the scheduler.
@@ -62,10 +88,9 @@ pub struct PendingRequest {
 /// A scheduling decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Decision {
-    /// Serve the pending request at this index (must be on the active
-    /// group); the device still applies intra-group ordering *within* the
-    /// scope the scheduler granted, so policies return a representative
-    /// index via [`GroupScheduler::serve_scope`] semantics.
+    /// Serve a request on the active group; the device resolves the
+    /// policy's [`ServeScope`] plus its intra-group ordering to the
+    /// concrete request.
     ServeActive,
     /// Spin down the active group and load this one.
     SwitchTo(GroupId),
@@ -73,50 +98,98 @@ pub enum Decision {
     Idle,
 }
 
+/// Which pending requests on the active group may be served during the
+/// current residency. Policies return a declarative scope; the request
+/// queue resolves it — together with the device's
+/// [`IntraGroupOrder`](crate::device::IntraGroupOrder) — to a single
+/// request in O(log n) instead of materializing index lists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeScope {
+    /// Every request of the residency snapshot still pending on the
+    /// active group (the default group-centric, non-preemptive scope).
+    Residency,
+    /// Only the globally-oldest request — strict object-level FCFS.
+    OldestObject,
+    /// The oldest query's requests on the active group — query-level
+    /// FCFS, no merging across queries.
+    OldestQuery,
+    /// Requests on the active group among the `k` oldest pending
+    /// requests — FCFS with a reordering window.
+    Window(usize),
+}
+
+/// Read access to the pending-request queue: per-group aggregates plus
+/// the ordered lookups the policies decide over.
+///
+/// Two implementations exist: the incrementally-indexed
+/// [`RequestQueue`](queue::RequestQueue) (production, O(log n) updates)
+/// and the full-rescan [`NaiveQueue`](naive::NaiveQueue) (the pre-index
+/// reference the differential suite diffs against).
+pub trait QueueView {
+    /// Number of pending requests.
+    fn len(&self) -> usize;
+
+    /// True when nothing is pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The pending request with the smallest arrival sequence number.
+    fn oldest(&self) -> Option<PendingRequest>;
+
+    /// Query `q`'s pending request with the smallest sequence number.
+    fn oldest_of_query(&self, q: QueryId) -> Option<PendingRequest>;
+
+    /// True when query `q` has at least one pending request on `g`.
+    fn group_has_query(&self, g: GroupId, q: QueryId) -> bool;
+
+    /// Number of requests of the current residency snapshot still
+    /// pending on `g`. Only meaningful for the group the snapshot was
+    /// armed on (the active group).
+    fn resident_len(&self, g: GroupId) -> usize;
+
+    /// Per-group aggregates, sorted by group id; groups with no pending
+    /// requests are absent.
+    fn group_aggregates(&self) -> Vec<(GroupId, GroupStats)>;
+
+    /// The `k` oldest pending requests by arrival sequence, oldest
+    /// first.
+    fn window(&self, k: usize) -> Vec<PendingRequest>;
+
+    /// Every distinct query with pending data, each flagged with
+    /// whether it has data on group `on`. Order is unspecified.
+    fn queries_with_presence(&self, on: GroupId) -> Vec<(QueryId, bool)>;
+}
+
 /// A group-switch scheduling policy.
 pub trait GroupScheduler {
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 
-    /// Decides the next action given the pending queue, the currently
-    /// loaded group (`None` before the first load), and the residency
-    /// snapshot. Returning [`Decision::ServeActive`] for the already
-    /// loaded group after its residency drained makes the device re-arm a
-    /// fresh snapshot without paying a switch.
-    fn decide(
-        &mut self,
-        pending: &[PendingRequest],
-        active: Option<GroupId>,
-        residency: &Residency,
-    ) -> Decision;
+    /// Decides the next action given the queue view and the currently
+    /// loaded group (`None` before the first load). Returning
+    /// [`Decision::ServeActive`] for the already loaded group after its
+    /// residency drained makes the device re-arm a fresh snapshot
+    /// without paying a switch.
+    fn decide(&mut self, queue: &dyn QueueView, active: Option<GroupId>) -> Decision;
 
-    /// Restricts which pending requests on the active group may be served
-    /// during the current residency. Returns the indices of serveable
-    /// requests. The default (group-centric, non-preemptive) scope is
-    /// every request of the residency snapshot still pending.
-    fn serve_scope(
-        &self,
-        pending: &[PendingRequest],
-        active: GroupId,
-        residency: &Residency,
-    ) -> Vec<usize> {
-        pending
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.group == active && residency.contains(&r.seq))
-            .map(|(i, _)| i)
-            .collect()
+    /// Which requests on the active group may be served during the
+    /// current residency. The default (group-centric, non-preemptive)
+    /// scope is every request of the residency snapshot still pending.
+    fn serve_scope(&self) -> ServeScope {
+        ServeScope::Residency
     }
 
     /// Notifies the policy that a switch to `loaded` completed; fairness
     /// state (waiting counters) updates here.
-    fn on_switch_complete(&mut self, _pending: &[PendingRequest], _loaded: GroupId) {}
+    fn on_switch_complete(&mut self, _queue: &dyn QueueView, _loaded: GroupId) {}
 }
 
 /// Per-group aggregate view used by the group-centric policies.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct GroupStats {
-    /// Distinct queries with pending data on this group.
+    /// Distinct queries with pending data on this group, sorted by
+    /// query id.
     pub queries: Vec<QueryId>,
     /// Pending request count.
     pub requests: usize,
@@ -128,24 +201,19 @@ pub struct GroupStats {
 
 /// Groups the pending queue by disk group, collecting per-group stats.
 /// Returned pairs are sorted by group id for determinism.
+///
+/// This is a thin adapter over the indexed
+/// [`RequestQueue`](queue::RequestQueue) kept so external callers and
+/// tests that hold a flat request slice stay source-compatible; the
+/// device itself maintains the aggregates incrementally and never calls
+/// this. Requests must carry distinct sequence numbers.
 pub fn group_stats(pending: &[PendingRequest]) -> Vec<(GroupId, GroupStats)> {
-    let mut map: std::collections::BTreeMap<GroupId, GroupStats> =
-        std::collections::BTreeMap::new();
-    for r in pending {
-        let stats = map.entry(r.group).or_default();
-        if !stats.queries.contains(&r.query) {
-            stats.queries.push(r.query);
-        }
-        stats.requests += 1;
-        stats.oldest_arrival = Some(match stats.oldest_arrival {
-            None => r.arrival,
-            Some(t) => t.min(r.arrival),
-        });
-        if stats.requests == 1 || r.seq < stats.oldest_seq {
-            stats.oldest_seq = r.seq;
-        }
+    use crate::device::IntraGroupOrder;
+    let mut queue = queue::RequestQueue::new(IntraGroupOrder::ArrivalOrder);
+    for &r in pending {
+        queue.insert(r);
     }
-    map.into_iter().collect()
+    queue.group_aggregates()
 }
 
 /// The canned policies, for configuration plumbing.
@@ -186,11 +254,23 @@ impl SchedPolicy {
             SchedPolicy::RankBased => "ranking",
         }
     }
+
+    /// Every canned policy (slack window 4), for sweeps.
+    pub fn all() -> [SchedPolicy; 5] {
+        [
+            SchedPolicy::FcfsObject,
+            SchedPolicy::FcfsSlack(4),
+            SchedPolicy::FcfsQuery,
+            SchedPolicy::MaxQueries,
+            SchedPolicy::RankBased,
+        ]
+    }
 }
 
 #[cfg(test)]
 pub(crate) mod testutil {
     use super::*;
+    use crate::device::IntraGroupOrder;
 
     /// Builds a pending request with compact syntax for scheduler tests.
     pub fn req(
@@ -209,6 +289,29 @@ pub(crate) mod testutil {
             arrival: SimTime::from_secs(arrival_s),
             seq,
         }
+    }
+
+    /// An indexed queue over `pending`, arrival-ordered intra-group.
+    pub fn queue_of(pending: &[PendingRequest]) -> queue::RequestQueue {
+        queue_with(IntraGroupOrder::ArrivalOrder, pending)
+    }
+
+    /// An indexed queue over `pending` with the given intra order.
+    pub fn queue_with(intra: IntraGroupOrder, pending: &[PendingRequest]) -> queue::RequestQueue {
+        let mut q = queue::RequestQueue::new(intra);
+        for &r in pending {
+            q.insert(r);
+        }
+        q
+    }
+
+    /// A queue whose current contents are all resident on `group` —
+    /// the "everything in scope" setup the old slice-based tests
+    /// modelled with a saturated seq set.
+    pub fn armed_queue(pending: &[PendingRequest], group: GroupId) -> queue::RequestQueue {
+        let mut q = queue_of(pending);
+        q.arm_residency(group);
+        q
     }
 }
 
@@ -239,31 +342,17 @@ mod tests {
     }
 
     #[test]
-    fn default_serve_scope_is_residency_on_group() {
+    fn default_serve_scope_is_residency() {
         struct Dummy;
         impl GroupScheduler for Dummy {
             fn name(&self) -> &'static str {
                 "dummy"
             }
-            fn decide(
-                &mut self,
-                _: &[PendingRequest],
-                _: Option<GroupId>,
-                _: &Residency,
-            ) -> Decision {
+            fn decide(&mut self, _: &dyn QueueView, _: Option<GroupId>) -> Decision {
                 Decision::Idle
             }
         }
-        let pending = vec![
-            req(1, 0, 0, 0, 0, 0),
-            req(2, 0, 0, 1, 0, 1),
-            req(1, 1, 0, 0, 0, 2),
-        ];
-        // Residency holds seqs 0 and 1 only: request seq 2 (also on group
-        // 1) arrived after the snapshot and is out of scope.
-        let residency: Residency = [0u64, 1].into_iter().collect();
-        let scope = Dummy.serve_scope(&pending, 1, &residency);
-        assert_eq!(scope, vec![0]);
+        assert_eq!(Dummy.serve_scope(), ServeScope::Residency);
     }
 
     #[test]

@@ -1,0 +1,399 @@
+//! The incrementally-indexed pending-request queue.
+//!
+//! The scheduling hot path used to re-derive every decision from flat
+//! `Vec<PendingRequest>` rescans — O(n) per served object, O(n²) per
+//! run. [`RequestQueue`] maintains every fact the policies consult as a
+//! persistent index updated in O(log n) on submit/serve:
+//!
+//! * a **global FIFO index** (`by_seq`) answering "oldest request" and
+//!   the *k*-oldest slack window;
+//! * **per-group sub-queues** ordered by the device's intra-group
+//!   service key, split into the *resident* snapshot (the §4.4
+//!   non-preemption scope) and *fresh* post-snapshot arrivals — so
+//!   intra-group selection is a `first()` on an ordered set instead of
+//!   a `min_by_key` scan, and residency membership is set membership
+//!   instead of a per-request seq-set probe;
+//! * **per-group aggregates** (distinct-query refcounts, request
+//!   counts, oldest seq/arrival) kept exact on every mutation instead
+//!   of rebuilt per decision;
+//! * a **per-query index** answering "this query's oldest request" and
+//!   "which queries are present" for query-FCFS and the rank policy's
+//!   waiting-time bookkeeping.
+//!
+//! Complexity contract: `insert` and `remove` are O(log n);
+//! `arm_residency` is amortized O(log n) per request (each request
+//! moves from *fresh* to *resident* at most once per residency it is
+//! served under); every [`QueueView`] scalar lookup is O(log n) or
+//! better; [`QueueView::group_aggregates`] is O(groups + pending
+//! queries), paid only at switch decision points.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use skipper_sim::SimTime;
+
+use crate::device::IntraGroupOrder;
+use crate::object::{GroupId, QueryId};
+use crate::sched::{GroupStats, PendingRequest, QueueView, ServeScope};
+
+/// The intra-group service key: the device's [`IntraGroupOrder`]
+/// components followed by the arrival sequence number, so keys are
+/// unique and ties break exactly like the historical `min_by_key` scan.
+type OrderKey = (u32, u32, u32, u64);
+
+fn seq_of(key: &OrderKey) -> u64 {
+    key.3
+}
+
+/// One disk group's sub-queue and aggregates.
+#[derive(Debug, Default)]
+struct GroupQueue {
+    /// Requests of the current residency snapshot, intra-order sorted.
+    /// Only the active group's set is ever consulted; sets of other
+    /// groups may hold leftovers from an earlier residency, which the
+    /// next [`RequestQueue::arm_residency`] folds back in.
+    resident: BTreeSet<OrderKey>,
+    /// Requests that arrived after the snapshot, intra-order sorted.
+    fresh: BTreeSet<OrderKey>,
+    /// Every pending seq on this group (oldest-seq aggregate, counts).
+    seqs: BTreeSet<u64>,
+    /// Every pending `(arrival, seq)` (oldest-arrival aggregate).
+    arrivals: BTreeSet<(SimTime, u64)>,
+    /// Per-query sub-queues, intra-order sorted (distinct-query
+    /// refcounts and the query-FCFS serve scope).
+    by_query: BTreeMap<QueryId, BTreeSet<OrderKey>>,
+}
+
+/// The mutating half of the queue abstraction: what the device needs on
+/// top of [`QueueView`] to run its submit/serve/switch lifecycle.
+///
+/// Implemented by [`RequestQueue`] (indexed, production) and
+/// [`NaiveQueue`](super::naive::NaiveQueue) (full rescans, the pre-index
+/// reference kept for differential tests and the perf baseline).
+pub trait RequestIndex: QueueView {
+    /// An empty queue resolving intra-group ties with `intra`.
+    fn new(intra: IntraGroupOrder) -> Self
+    where
+        Self: Sized;
+
+    /// Enqueues a request. Sequence numbers must be distinct and
+    /// monotonically assigned by the device.
+    fn insert(&mut self, request: PendingRequest);
+
+    /// Dequeues the request with sequence number `seq`.
+    ///
+    /// # Panics
+    /// Panics if no such request is pending.
+    fn remove(&mut self, seq: u64) -> PendingRequest;
+
+    /// Captures the residency snapshot: every currently pending request
+    /// on `group` becomes resident.
+    fn arm_residency(&mut self, group: GroupId);
+
+    /// Resolves a [`ServeScope`] on the active group to the request the
+    /// device should serve next under its intra-group order, or `None`
+    /// when the scope is empty.
+    fn select(&self, scope: ServeScope, active: GroupId) -> Option<u64>;
+}
+
+/// The production indexed queue. See the module docs for the index
+/// layout and the complexity contract.
+#[derive(Debug)]
+pub struct RequestQueue {
+    intra: IntraGroupOrder,
+    /// Global FIFO index: seq → request.
+    by_seq: BTreeMap<u64, PendingRequest>,
+    /// Per-group sub-queues, sorted by group id.
+    groups: BTreeMap<GroupId, GroupQueue>,
+    /// Per-query pending seqs (oldest-of-query, query presence).
+    query_seqs: BTreeMap<QueryId, BTreeSet<u64>>,
+}
+
+impl RequestQueue {
+    /// An indexed queue pre-loaded with `pending` (testing/adapters; the
+    /// device inserts incrementally).
+    pub fn from_requests(
+        intra: IntraGroupOrder,
+        pending: impl IntoIterator<Item = PendingRequest>,
+    ) -> Self {
+        let mut q = <Self as RequestIndex>::new(intra);
+        for r in pending {
+            q.insert(r);
+        }
+        q
+    }
+
+    fn key(&self, r: &PendingRequest) -> OrderKey {
+        self.intra.key(r)
+    }
+}
+
+impl RequestIndex for RequestQueue {
+    fn new(intra: IntraGroupOrder) -> Self {
+        RequestQueue {
+            intra,
+            by_seq: BTreeMap::new(),
+            groups: BTreeMap::new(),
+            query_seqs: BTreeMap::new(),
+        }
+    }
+
+    fn insert(&mut self, request: PendingRequest) {
+        let key = self.key(&request);
+        let prev = self.by_seq.insert(request.seq, request);
+        // Hard assert: a duplicate seq would silently corrupt every
+        // set-based index (the old flat Vec tolerated duplicates).
+        assert!(prev.is_none(), "duplicate request seq {}", request.seq);
+        let group = self.groups.entry(request.group).or_default();
+        group.fresh.insert(key);
+        group.seqs.insert(request.seq);
+        group.arrivals.insert((request.arrival, request.seq));
+        group.by_query.entry(request.query).or_default().insert(key);
+        self.query_seqs
+            .entry(request.query)
+            .or_default()
+            .insert(request.seq);
+    }
+
+    fn remove(&mut self, seq: u64) -> PendingRequest {
+        let request = self
+            .by_seq
+            .remove(&seq)
+            .unwrap_or_else(|| panic!("removing unknown request seq {seq}"));
+        let key = self.intra.key(&request);
+        let group = self
+            .groups
+            .get_mut(&request.group)
+            .expect("group index out of sync");
+        if !group.resident.remove(&key) {
+            group.fresh.remove(&key);
+        }
+        group.seqs.remove(&seq);
+        group.arrivals.remove(&(request.arrival, seq));
+        if let Some(per_query) = group.by_query.get_mut(&request.query) {
+            per_query.remove(&key);
+            if per_query.is_empty() {
+                group.by_query.remove(&request.query);
+            }
+        }
+        if group.seqs.is_empty() {
+            self.groups.remove(&request.group);
+        }
+        if let Some(seqs) = self.query_seqs.get_mut(&request.query) {
+            seqs.remove(&seq);
+            if seqs.is_empty() {
+                self.query_seqs.remove(&request.query);
+            }
+        }
+        request
+    }
+
+    fn arm_residency(&mut self, group: GroupId) {
+        if let Some(g) = self.groups.get_mut(&group) {
+            let fresh = std::mem::take(&mut g.fresh);
+            g.resident.extend(fresh);
+        }
+    }
+
+    fn select(&self, scope: ServeScope, active: GroupId) -> Option<u64> {
+        match scope {
+            ServeScope::Residency => self.groups.get(&active)?.resident.first().map(seq_of),
+            ServeScope::OldestObject => {
+                let (&seq, r) = self.by_seq.first_key_value()?;
+                (r.group == active).then_some(seq)
+            }
+            ServeScope::OldestQuery => {
+                let oldest_query = self.by_seq.first_key_value()?.1.query;
+                self.groups
+                    .get(&active)?
+                    .by_query
+                    .get(&oldest_query)?
+                    .first()
+                    .map(seq_of)
+            }
+            ServeScope::Window(k) => self
+                .by_seq
+                .values()
+                .take(k)
+                .filter(|r| r.group == active)
+                .min_by_key(|r| self.key(r))
+                .map(|r| r.seq),
+        }
+    }
+}
+
+impl QueueView for RequestQueue {
+    fn len(&self) -> usize {
+        self.by_seq.len()
+    }
+
+    fn oldest(&self) -> Option<PendingRequest> {
+        self.by_seq.first_key_value().map(|(_, r)| *r)
+    }
+
+    fn oldest_of_query(&self, q: QueryId) -> Option<PendingRequest> {
+        let seq = self.query_seqs.get(&q)?.first()?;
+        self.by_seq.get(seq).copied()
+    }
+
+    fn group_has_query(&self, g: GroupId, q: QueryId) -> bool {
+        self.groups
+            .get(&g)
+            .is_some_and(|gq| gq.by_query.contains_key(&q))
+    }
+
+    fn resident_len(&self, g: GroupId) -> usize {
+        self.groups.get(&g).map_or(0, |gq| gq.resident.len())
+    }
+
+    fn group_aggregates(&self) -> Vec<(GroupId, GroupStats)> {
+        self.groups
+            .iter()
+            .map(|(&g, gq)| {
+                (
+                    g,
+                    GroupStats {
+                        queries: gq.by_query.keys().copied().collect(),
+                        requests: gq.seqs.len(),
+                        oldest_arrival: gq.arrivals.first().map(|&(t, _)| t),
+                        oldest_seq: gq.seqs.first().copied().unwrap_or(0),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn window(&self, k: usize) -> Vec<PendingRequest> {
+        self.by_seq.values().take(k).copied().collect()
+    }
+
+    fn queries_with_presence(&self, on: GroupId) -> Vec<(QueryId, bool)> {
+        self.query_seqs
+            .keys()
+            .map(|&q| (q, self.group_has_query(on, q)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::testutil::req;
+
+    fn queue(pending: &[PendingRequest]) -> RequestQueue {
+        RequestQueue::from_requests(IntraGroupOrder::SemanticRoundRobin, pending.iter().copied())
+    }
+
+    #[test]
+    fn indexes_track_insert_and_remove() {
+        let mut q = queue(&[
+            req(1, 0, 0, 2, 0, 0),
+            req(1, 1, 0, 1, 1, 1),
+            req(2, 2, 0, 0, 2, 2),
+        ]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.oldest().unwrap().seq, 0);
+        assert_eq!(q.oldest_of_query(QueryId::new(1, 0)).unwrap().seq, 1);
+        assert!(q.group_has_query(1, QueryId::new(0, 0)));
+        assert!(!q.group_has_query(2, QueryId::new(0, 0)));
+        let r = q.remove(0);
+        assert_eq!(r.object.segment, 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.oldest().unwrap().seq, 1);
+        assert!(!q.group_has_query(1, QueryId::new(0, 0)));
+        q.remove(1);
+        // Group 1 fully drained: no aggregate entry remains.
+        assert_eq!(q.group_aggregates().len(), 1);
+        assert_eq!(q.group_aggregates()[0].0, 2);
+    }
+
+    #[test]
+    fn residency_splits_snapshot_from_fresh_arrivals() {
+        let mut q = queue(&[req(1, 0, 0, 0, 0, 0), req(1, 0, 0, 1, 0, 1)]);
+        assert_eq!(q.resident_len(1), 0);
+        q.arm_residency(1);
+        assert_eq!(q.resident_len(1), 2);
+        // A post-snapshot arrival is not resident...
+        q.insert(req(1, 0, 0, 2, 1, 2));
+        assert_eq!(q.resident_len(1), 2);
+        assert_eq!(q.len(), 3);
+        // ...and select(Residency) never returns it.
+        assert_eq!(q.select(ServeScope::Residency, 1), Some(0));
+        q.remove(0);
+        assert_eq!(q.select(ServeScope::Residency, 1), Some(1));
+        q.remove(1);
+        assert_eq!(q.select(ServeScope::Residency, 1), None);
+        // Re-arming folds the fresh arrival in.
+        q.arm_residency(1);
+        assert_eq!(q.select(ServeScope::Residency, 1), Some(2));
+    }
+
+    #[test]
+    fn select_respects_intra_group_order() {
+        // Semantic order is segment-major: A.0, B.0, A.1 — not seq order.
+        let mut q = RequestQueue::from_requests(
+            IntraGroupOrder::SemanticRoundRobin,
+            [
+                req(1, 0, 0, 1, 0, 0), // table 0 seg 1
+                req(1, 0, 0, 0, 0, 1), // table 0 seg 0
+            ],
+        );
+        q.arm_residency(1);
+        assert_eq!(q.select(ServeScope::Residency, 1), Some(1));
+    }
+
+    #[test]
+    fn scope_lookups_match_their_definitions() {
+        let q = queue(&[
+            req(1, 0, 0, 0, 0, 0),
+            req(2, 1, 0, 0, 0, 1),
+            req(1, 1, 0, 1, 0, 2),
+            req(1, 0, 0, 1, 0, 3),
+        ]);
+        // Oldest object (seq 0) is on group 1 only.
+        assert_eq!(q.select(ServeScope::OldestObject, 1), Some(0));
+        assert_eq!(q.select(ServeScope::OldestObject, 2), None);
+        // Oldest query is (0,0); on group 1 its semantically-first
+        // request is seq 0 (segment 0).
+        assert_eq!(q.select(ServeScope::OldestQuery, 1), Some(0));
+        assert_eq!(q.select(ServeScope::OldestQuery, 2), None);
+        // A window of 2 only sees seqs {0, 1}.
+        assert_eq!(q.select(ServeScope::Window(2), 1), Some(0));
+        assert_eq!(q.select(ServeScope::Window(2), 2), Some(1));
+        assert_eq!(q.window(2).len(), 2);
+    }
+
+    #[test]
+    fn aggregates_match_slice_grouping() {
+        let pending = vec![
+            req(1, 0, 0, 0, 10, 3),
+            req(1, 0, 0, 1, 5, 1),
+            req(2, 1, 0, 0, 7, 2),
+            req(1, 2, 0, 0, 20, 4),
+        ];
+        let q = queue(&pending);
+        let agg = q.group_aggregates();
+        assert_eq!(agg, crate::sched::group_stats(&pending));
+        assert_eq!(agg[0].1.requests, 3);
+        assert_eq!(agg[0].1.oldest_seq, 1);
+        assert_eq!(agg[0].1.oldest_arrival, Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn queries_with_presence_flags_loaded_group() {
+        let q = queue(&[req(1, 0, 0, 0, 0, 0), req(2, 1, 0, 0, 0, 1)]);
+        let mut present = q.queries_with_presence(1);
+        present.sort_unstable();
+        assert_eq!(
+            present,
+            vec![(QueryId::new(0, 0), true), (QueryId::new(1, 0), false)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown request")]
+    fn removing_unknown_seq_panics() {
+        let mut q = queue(&[]);
+        q.remove(7);
+    }
+}

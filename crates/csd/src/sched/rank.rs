@@ -15,11 +15,17 @@
 //! fairness while preserving the efficiency tipping point (`K < 1/s`
 //! favours efficiency as the arrival gap `s → ∞`); `K` is configurable
 //! here for the ablation benchmarks.
+//!
+//! Rank maintenance is incremental: `N_g` and the per-group query sets
+//! come from the queue's aggregates (updated O(log n) per request), and
+//! the waiting counters update once per *switch* — O(distinct pending
+//! queries) at each switch point instead of a full queue rescan per
+//! decision.
 
 use std::collections::HashMap;
 
 use crate::object::{GroupId, QueryId};
-use crate::sched::{group_stats, Decision, GroupScheduler, PendingRequest, Residency};
+use crate::sched::{group_stats, Decision, GroupScheduler, GroupStats, PendingRequest, QueueView};
 
 /// Rank-based group selection balancing efficiency and fairness.
 #[derive(Debug)]
@@ -57,33 +63,36 @@ impl RankBased {
         self.waiting.get(&q).copied().unwrap_or(0)
     }
 
-    /// The rank `R(g) = N_g + K·ΣW_q(g)` of each group with pending data,
-    /// sorted by group id. Exposed for tests and the scheduling example
-    /// binaries.
+    /// `R(g) = N_g + K·ΣW_q(g)` for one group's aggregates.
+    fn rank_of(&self, stats: &GroupStats) -> f64 {
+        let n = stats.queries.len() as f64;
+        let w: u64 = stats.queries.iter().map(|&q| self.waiting_of(q)).sum();
+        n + self.k * w as f64
+    }
+
+    /// The rank `R(g)` of each group with pending data, sorted by group
+    /// id. Exposed for tests and the scheduling example binaries; takes
+    /// a flat request slice for convenience.
     pub fn ranks(&self, pending: &[PendingRequest]) -> Vec<(GroupId, f64)> {
         group_stats(pending)
             .into_iter()
-            .map(|(g, stats)| {
-                let n = stats.queries.len() as f64;
-                let w: u64 = stats.queries.iter().map(|&q| self.waiting_of(q)).sum();
-                (g, n + self.k * w as f64)
-            })
+            .map(|(g, stats)| (g, self.rank_of(&stats)))
             .collect()
     }
 
-    fn best_group(&self, pending: &[PendingRequest]) -> Option<GroupId> {
+    fn best_group(&self, queue: &dyn QueueView) -> Option<GroupId> {
         // Highest rank; ties broken by oldest pending request, then lowest
         // group id — all deterministic.
-        let stats = group_stats(pending);
-        self.ranks(pending)
+        queue
+            .group_aggregates()
             .into_iter()
-            .zip(stats)
-            .max_by(|((ga, ra), (_, sa)), ((gb, rb), (_, sb))| {
-                ra.total_cmp(rb)
+            .max_by(|(ga, sa), (gb, sb)| {
+                self.rank_of(sa)
+                    .total_cmp(&self.rank_of(sb))
                     .then_with(|| sb.oldest_seq.cmp(&sa.oldest_seq))
                     .then_with(|| gb.cmp(ga))
             })
-            .map(|((g, _), _)| g)
+            .map(|(g, _)| g)
     }
 }
 
@@ -92,37 +101,27 @@ impl GroupScheduler for RankBased {
         "ranking"
     }
 
-    fn decide(
-        &mut self,
-        pending: &[PendingRequest],
-        active: Option<GroupId>,
-        residency: &Residency,
-    ) -> Decision {
+    fn decide(&mut self, queue: &dyn QueueView, active: Option<GroupId>) -> Decision {
         // Non-preemptive: drain the residency snapshot first.
         if let Some(g) = active {
-            if pending
-                .iter()
-                .any(|r| r.group == g && residency.contains(&r.seq))
-            {
+            if queue.resident_len(g) > 0 {
                 return Decision::ServeActive;
             }
         }
-        match self.best_group(pending) {
+        match self.best_group(queue) {
             None => Decision::Idle,
             Some(g) if Some(g) == active => Decision::ServeActive,
             Some(g) => Decision::SwitchTo(g),
         }
     }
 
-    fn on_switch_complete(&mut self, pending: &[PendingRequest], loaded: GroupId) {
+    fn on_switch_complete(&mut self, queue: &dyn QueueView, loaded: GroupId) {
         // Queries serviced by the loaded group reset to 0; every other
         // waiting query ages by one switch. Queries that disappeared from
-        // the pending queue are garbage-collected.
-        let mut present: HashMap<QueryId, bool> = HashMap::new(); // query -> has data on loaded
-        for r in pending {
-            let on_loaded = present.entry(r.query).or_insert(false);
-            *on_loaded |= r.group == loaded;
-        }
+        // the pending queue are garbage-collected. One pass over the
+        // distinct pending queries per switch — not over the requests.
+        let present: HashMap<QueryId, bool> =
+            queue.queries_with_presence(loaded).into_iter().collect();
         self.waiting.retain(|q, _| present.contains_key(q));
         for (q, on_loaded) in present {
             let w = self.waiting.entry(q).or_insert(0);
@@ -138,26 +137,22 @@ impl GroupScheduler for RankBased {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sched::testutil::req;
-
-    fn all() -> Residency {
-        (0..200u64).collect()
-    }
+    use crate::sched::testutil::{queue_of, req};
 
     #[test]
     fn k_zero_degenerates_to_max_queries() {
         let mut p = RankBased::with_k(0.0);
-        let pending = vec![
+        let q = queue_of(&[
             req(1, 0, 0, 0, 0, 0),
             req(1, 1, 0, 0, 0, 1),
             req(2, 2, 0, 0, 0, 2),
-        ];
-        assert_eq!(p.decide(&pending, None, &all()), Decision::SwitchTo(1));
+        ]);
+        assert_eq!(p.decide(&q, None), Decision::SwitchTo(1));
         // Age group 2 arbitrarily: with K=0 waiting cannot help it.
         for _ in 0..100 {
-            p.on_switch_complete(&pending, 1);
+            p.on_switch_complete(&q, 1);
         }
-        assert_eq!(p.decide(&pending, None, &all()), Decision::SwitchTo(1));
+        assert_eq!(p.decide(&q, None), Decision::SwitchTo(1));
     }
 
     #[test]
@@ -166,7 +161,6 @@ mod tests {
         // group 3 holds one. Rank starts at R(1)=R(2)=2, R(3)=1. Each
         // switch to 1 or 2 ages the lone query; after two switches away
         // from it, R(3) = 1 + 2 = 3 > 2 and group 3 outranks the rest.
-        let mut p = RankBased::new();
         let pending = vec![
             req(1, 0, 0, 0, 0, 0),
             req(1, 1, 0, 0, 0, 1),
@@ -174,54 +168,58 @@ mod tests {
             req(2, 3, 0, 0, 0, 3),
             req(3, 4, 0, 0, 0, 4),
         ];
-        assert_eq!(p.decide(&pending, None, &all()), Decision::SwitchTo(1));
-        p.on_switch_complete(&pending, 1);
-        assert_eq!(p.waiting_of(QueryId::new(4, 0)), 1);
-        // Group 1 drained; among 2 and 3: R(2)=2+2=4? No — queries on
-        // group 2 also waited one switch: R(2) = 2 + (1+1) = 4,
-        // R(3) = 1 + 1 = 2. Efficiency still wins.
-        let rest: Vec<_> = pending[2..].to_vec();
-        assert_eq!(p.decide(&rest, Some(1), &all()), Decision::SwitchTo(2));
+        let mut p = RankBased::new();
+        let q = queue_of(&pending);
+        assert_eq!(p.decide(&q, None), Decision::SwitchTo(1));
+        p.on_switch_complete(&q, 1);
+        assert_eq!(p.waiting_of(crate::object::QueryId::new(4, 0)), 1);
+        // Group 1 drained; among 2 and 3: queries on group 2 also waited
+        // one switch: R(2) = 2 + (1+1) = 4, R(3) = 1 + 1 = 2. Efficiency
+        // still wins.
+        let rest = queue_of(&pending[2..]);
+        assert_eq!(p.decide(&rest, Some(1)), Decision::SwitchTo(2));
         p.on_switch_complete(&rest, 2);
         // Now only group 3 remains waiting; W = 2.
-        let lone: Vec<_> = pending[4..].to_vec();
-        assert_eq!(p.waiting_of(QueryId::new(4, 0)), 2);
-        assert_eq!(p.decide(&lone, Some(2), &all()), Decision::SwitchTo(3));
+        let lone = queue_of(&pending[4..]);
+        assert_eq!(p.waiting_of(crate::object::QueryId::new(4, 0)), 2);
+        assert_eq!(p.decide(&lone, Some(2)), Decision::SwitchTo(3));
     }
 
     #[test]
     fn rank_formula_matches_paper() {
-        let mut p = RankBased::new();
         let pending = vec![
             req(1, 0, 0, 0, 0, 0),
             req(1, 1, 0, 0, 0, 1),
             req(2, 2, 0, 0, 0, 2),
         ];
+        let mut p = RankBased::new();
+        let q = queue_of(&pending);
         // Before any switch: R = N_g.
         assert_eq!(p.ranks(&pending), vec![(1, 2.0), (2, 1.0)]);
-        p.on_switch_complete(&pending, 1);
+        p.on_switch_complete(&q, 1);
         // Queries on group 1 reset to 0; query on group 2 aged to 1:
         // R(1) = 2, R(2) = 1 + 1 = 2.
         assert_eq!(p.ranks(&pending), vec![(1, 2.0), (2, 2.0)]);
-        p.on_switch_complete(&pending, 1);
+        p.on_switch_complete(&q, 1);
         assert_eq!(p.ranks(&pending), vec![(1, 2.0), (2, 3.0)]);
     }
 
     #[test]
     fn starvation_is_bounded() {
-        // Property sketch (full proptest in the integration suite): with
+        // Property sketch (full sweep in the integration suite): with
         // K=1, a group with one query and N other queries on one other
         // group gets served after at most N switches.
         let n_other = 7u16;
         let mut p = RankBased::new();
         let mut pending: Vec<_> = (0..n_other).map(|t| req(1, t, 0, 0, 0, t as u64)).collect();
         pending.push(req(2, 99, 0, 0, 0, 99));
+        let q = queue_of(&pending);
         let mut switches = 0;
         loop {
-            match p.decide(&pending, Some(0), &all()) {
+            match p.decide(&q, Some(0)) {
                 Decision::SwitchTo(g) => {
                     switches += 1;
-                    p.on_switch_complete(&pending, g);
+                    p.on_switch_complete(&q, g);
                     if g == 2 {
                         break;
                     }
@@ -237,29 +235,37 @@ mod tests {
 
     #[test]
     fn non_preemptive_on_active_group() {
+        use crate::sched::testutil::armed_queue;
         let mut p = RankBased::new();
-        let pending = vec![
-            req(1, 0, 0, 0, 0, 0),
-            req(2, 1, 0, 0, 0, 1),
-            req(2, 2, 0, 0, 0, 2),
-        ];
-        assert_eq!(p.decide(&pending, Some(1), &all()), Decision::ServeActive);
+        let q = armed_queue(
+            &[
+                req(1, 0, 0, 0, 0, 0),
+                req(2, 1, 0, 0, 0, 1),
+                req(2, 2, 0, 0, 0, 2),
+            ],
+            1,
+        );
+        assert_eq!(p.decide(&q, Some(1)), Decision::ServeActive);
     }
 
     #[test]
     fn gc_forgets_departed_queries() {
+        use crate::object::QueryId;
         let mut p = RankBased::new();
-        let pending = vec![req(1, 0, 0, 0, 0, 0), req(2, 1, 0, 0, 0, 1)];
-        p.on_switch_complete(&pending, 1);
+        let q = queue_of(&[req(1, 0, 0, 0, 0, 0), req(2, 1, 0, 0, 0, 1)]);
+        p.on_switch_complete(&q, 1);
         assert_eq!(p.waiting_of(QueryId::new(1, 0)), 1);
         // Query (1,0) completes and disappears.
-        let rest = vec![req(1, 0, 0, 0, 0, 0)];
+        let rest = queue_of(&[req(1, 0, 0, 0, 0, 0)]);
         p.on_switch_complete(&rest, 1);
         assert_eq!(p.waiting_of(QueryId::new(1, 0)), 0); // forgotten
     }
 
     #[test]
     fn idle_when_empty() {
-        assert_eq!(RankBased::new().decide(&[], None, &all()), Decision::Idle);
+        assert_eq!(
+            RankBased::new().decide(&queue_of(&[]), None),
+            Decision::Idle
+        );
     }
 }

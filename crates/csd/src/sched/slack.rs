@@ -13,7 +13,7 @@
 //! batching while keeping arrival order between groups.
 
 use crate::object::GroupId;
-use crate::sched::{Decision, GroupScheduler, PendingRequest, Residency};
+use crate::sched::{Decision, GroupScheduler, QueueView, ServeScope};
 
 /// First-come-first-served with a reordering window.
 #[derive(Debug)]
@@ -28,14 +28,6 @@ impl FcfsSlack {
         assert!(slack >= 1, "slack window must hold at least one request");
         FcfsSlack { slack }
     }
-
-    /// The oldest `slack` pending requests, by arrival sequence.
-    fn window<'a>(&self, pending: &'a [PendingRequest]) -> Vec<&'a PendingRequest> {
-        let mut sorted: Vec<&PendingRequest> = pending.iter().collect();
-        sorted.sort_unstable_by_key(|r| r.seq);
-        sorted.truncate(self.slack);
-        sorted
-    }
 }
 
 impl GroupScheduler for FcfsSlack {
@@ -43,13 +35,8 @@ impl GroupScheduler for FcfsSlack {
         "fcfs-slack"
     }
 
-    fn decide(
-        &mut self,
-        pending: &[PendingRequest],
-        active: Option<GroupId>,
-        _residency: &Residency,
-    ) -> Decision {
-        let window = self.window(pending);
+    fn decide(&mut self, queue: &dyn QueueView, active: Option<GroupId>) -> Decision {
+        let window = queue.window(self.slack);
         let Some(oldest) = window.first() else {
             return Decision::Idle;
         };
@@ -69,38 +56,24 @@ impl GroupScheduler for FcfsSlack {
     }
 
     /// Scope: requests on the active group within the slack window.
-    fn serve_scope(
-        &self,
-        pending: &[PendingRequest],
-        active: GroupId,
-        _residency: &Residency,
-    ) -> Vec<usize> {
-        let window_seqs: Vec<u64> = self.window(pending).iter().map(|r| r.seq).collect();
-        pending
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.group == active && window_seqs.contains(&r.seq))
-            .map(|(i, _)| i)
-            .collect()
+    fn serve_scope(&self) -> ServeScope {
+        ServeScope::Window(self.slack)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sched::testutil::req;
-
-    fn all() -> Residency {
-        (0..100u64).collect()
-    }
+    use crate::sched::testutil::{queue_of, req};
+    use crate::sched::RequestIndex;
 
     #[test]
     fn slack_one_is_strict_fcfs() {
         let mut p = FcfsSlack::new(1);
         // Oldest (seq 3) on group 2; active group 1 has pending work at
         // seq 7, but the window of one only sees seq 3.
-        let pending = vec![req(1, 0, 0, 0, 0, 7), req(2, 1, 0, 0, 0, 3)];
-        assert_eq!(p.decide(&pending, Some(1), &all()), Decision::SwitchTo(2));
+        let q = queue_of(&[req(1, 0, 0, 0, 0, 7), req(2, 1, 0, 0, 0, 3)]);
+        assert_eq!(p.decide(&q, Some(1)), Decision::SwitchTo(2));
     }
 
     #[test]
@@ -108,19 +81,20 @@ mod tests {
         let mut p = FcfsSlack::new(4);
         // Arrival order: g2, g1, g2, g2. Strict FCFS would switch
         // g2→g1→g2; with slack 4 and g2 loaded, the window's g2 requests
-        // are served first.
-        let pending = vec![
+        // are served first (in arrival order here).
+        let mut q = queue_of(&[
             req(2, 0, 0, 0, 0, 0),
             req(1, 1, 0, 0, 0, 1),
             req(2, 2, 0, 1, 0, 2),
             req(2, 3, 0, 2, 0, 3),
-        ];
-        assert_eq!(p.decide(&pending, Some(2), &all()), Decision::ServeActive);
-        let scope = p.serve_scope(&pending, 2, &all());
-        assert_eq!(scope, vec![0, 2, 3]);
+        ]);
+        assert_eq!(p.decide(&q, Some(2)), Decision::ServeActive);
+        for expect in [0u64, 2, 3] {
+            assert_eq!(q.select(p.serve_scope(), 2), Some(expect));
+            q.remove(expect);
+        }
         // Once g2's window work drains, the oldest remaining (g1) wins.
-        let rest = vec![req(1, 1, 0, 0, 0, 1)];
-        assert_eq!(p.decide(&rest, Some(2), &all()), Decision::SwitchTo(1));
+        assert_eq!(p.decide(&q, Some(2)), Decision::SwitchTo(1));
     }
 
     #[test]
@@ -128,19 +102,20 @@ mod tests {
         let mut p = FcfsSlack::new(2);
         // Window = seqs {0, 1} (groups 1, 2); a later request on the
         // active group 3 (seq 5) is outside the window and must wait.
-        let pending = vec![
+        let q = queue_of(&[
             req(1, 0, 0, 0, 0, 0),
             req(2, 1, 0, 0, 0, 1),
             req(3, 2, 0, 0, 0, 5),
-        ];
-        assert_eq!(p.decide(&pending, Some(3), &all()), Decision::SwitchTo(1));
-        assert!(p.serve_scope(&pending, 3, &all()).is_empty());
+        ]);
+        assert_eq!(p.decide(&q, Some(3)), Decision::SwitchTo(1));
+        assert_eq!(q.select(p.serve_scope(), 3), None);
     }
 
     #[test]
     fn fewer_switches_than_strict_fcfs_on_interleaved_arrivals() {
         use crate::device::{CsdConfig, CsdDevice, IntraGroupOrder};
         use crate::object::{ObjectId, QueryId};
+        use crate::sched::GroupScheduler;
         use crate::store::ObjectStore;
         use skipper_sim::{SimDuration, SimTime};
 
@@ -151,7 +126,7 @@ mod tests {
                     store.put(ObjectId::new(t, 0, s), 1 << 20, t as u32, ());
                 }
             }
-            let mut dev = CsdDevice::new(
+            let mut dev: CsdDevice<()> = CsdDevice::new(
                 CsdConfig {
                     switch_latency: SimDuration::from_secs(10),
                     bandwidth_bytes_per_sec: (1 << 20) as f64,

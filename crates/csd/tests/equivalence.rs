@@ -1,0 +1,240 @@
+//! Differential equivalence: the indexed queue vs the naive reference.
+//!
+//! The indexed [`RequestQueue`] must be *observationally identical* to
+//! the pre-index full-rescan [`NaiveQueue`]: for any submit schedule,
+//! both queues plugged into the same device must produce the same
+//! decision sequence (operation kinds and completion times), the same
+//! delivery order, and the same counters. The sweep is randomized but
+//! seeded — every case is a pure function of its loop indices — and
+//! covers every `SchedPolicy` × `IntraGroupOrder` × {1, 2, 4} shards,
+//! with mid-run arrivals racing active residencies.
+//!
+//! Shard counts enter through a miniature fleet driver (round-robin
+//! object → shard placement, one independent device per shard), which
+//! also pins the cross-shard-count work-conservation contract: every
+//! shard count delivers the same `(client, query, object)` multiset.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use skipper_csd::sched::{NaiveQueue, RequestIndex, RequestQueue};
+use skipper_csd::{
+    CsdConfig, CsdDevice, IntraGroupOrder, ObjectId, ObjectStore, QueryId, SchedPolicy,
+};
+use skipper_sim::{SimDuration, SimTime};
+
+const MB: u64 = 1 << 20;
+
+/// One randomized workload: the object universe plus a time-ordered
+/// submit schedule.
+struct Workload {
+    tenants: u16,
+    segs_per_tenant: u32,
+    groups: u32,
+    /// `(time, client, query, objects)` sorted by time.
+    schedule: Vec<(SimTime, usize, QueryId, Vec<ObjectId>)>,
+}
+
+fn workload(seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tenants = rng.gen_range(2u16..6);
+    let segs_per_tenant = rng.gen_range(3u32..9);
+    let groups = rng.gen_range(1u32..4);
+    let batches = rng.gen_range(4usize..12);
+    let mut schedule = Vec::new();
+    let mut t = 0u64;
+    for b in 0..batches {
+        // Batches arrive at increasing instants; several may collide on
+        // the same second to race the residency snapshot.
+        t += rng.gen_range(0u64..15);
+        let tenant = rng.gen_range(0..tenants);
+        let query = QueryId::new(tenant, b as u32);
+        let n = rng.gen_range(1usize..=segs_per_tenant as usize);
+        let objects: Vec<ObjectId> = (0..n)
+            .map(|_| ObjectId::new(tenant, 0, rng.gen_range(0..segs_per_tenant)))
+            .collect();
+        schedule.push((SimTime::from_secs(t), tenant as usize, query, objects));
+    }
+    Workload {
+        tenants,
+        segs_per_tenant,
+        groups,
+        schedule,
+    }
+}
+
+/// One shard event: completion time plus the delivered triple (`None`
+/// for switch completions).
+type ShardEvent = (SimTime, Option<(usize, QueryId, ObjectId)>);
+
+/// The observable outcome of one fleet run: per-shard event log plus
+/// the counters the paper's figures derive from.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    events: Vec<Vec<ShardEvent>>,
+    switches: Vec<u64>,
+    served: Vec<u64>,
+}
+
+impl Outcome {
+    fn delivery_multiset(&self) -> Vec<(usize, QueryId, ObjectId)> {
+        let mut all: Vec<_> = self
+            .events
+            .iter()
+            .flatten()
+            .filter_map(|(_, d)| *d)
+            .collect();
+        all.sort_unstable();
+        all
+    }
+}
+
+/// Runs `w` against a fleet of `shards` devices using queue impl `Q`.
+/// Objects land on shard `segment % shards`; tenant data lives in group
+/// `tenant % groups`. 100 MB objects at 100 MB/s, 10 s switches.
+fn run_fleet<Q: RequestIndex>(
+    w: &Workload,
+    policy: SchedPolicy,
+    intra: IntraGroupOrder,
+    shards: usize,
+) -> Outcome {
+    let mut devices: Vec<CsdDevice<(), Q>> = (0..shards)
+        .map(|shard| {
+            let mut store = ObjectStore::new();
+            for tenant in 0..w.tenants {
+                for seg in 0..w.segs_per_tenant {
+                    if seg as usize % shards == shard {
+                        store.put(
+                            ObjectId::new(tenant, 0, seg),
+                            100 * MB,
+                            tenant as u32 % w.groups,
+                            (),
+                        );
+                    }
+                }
+            }
+            CsdDevice::new(
+                CsdConfig {
+                    switch_latency: SimDuration::from_secs(10),
+                    bandwidth_bytes_per_sec: (100 * MB) as f64,
+                    initial_load_free: true,
+                    parallel_streams: 1,
+                },
+                store,
+                policy.build(),
+                intra,
+            )
+        })
+        .collect();
+
+    let mut next: Vec<Option<SimTime>> = vec![None; shards];
+    let mut events: Vec<Vec<ShardEvent>> = vec![Vec::new(); shards];
+    let mut si = 0;
+    loop {
+        let due = next
+            .iter()
+            .enumerate()
+            .filter_map(|(s, t)| t.map(|t| (t, s)))
+            .min();
+        let upcoming = w.schedule.get(si).map(|e| e.0);
+        // Device completions run before same-instant arrivals, like the
+        // runtime's event queue (insertion order).
+        let device_first = match (due, upcoming) {
+            (None, None) => break,
+            (Some((t, _)), Some(st)) => t <= st,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+        };
+        if device_first {
+            let (t, s) = due.expect("device event due");
+            let d = devices[s].complete(t);
+            events[s].push((t, d.map(|d| (d.client, d.query, d.object))));
+            next[s] = devices[s].kick(t);
+        } else {
+            let st = upcoming.expect("submission due");
+            while si < w.schedule.len() && w.schedule[si].0 == st {
+                let (at, client, query, ref objects) = w.schedule[si];
+                for &obj in objects {
+                    let s = obj.segment as usize % shards;
+                    devices[s].submit(at, client, query, &[obj]);
+                }
+                si += 1;
+            }
+            for s in 0..shards {
+                if next[s].is_none() {
+                    next[s] = devices[s].kick(st);
+                }
+            }
+        }
+    }
+    Outcome {
+        switches: devices.iter().map(|d| d.metrics().group_switches).collect(),
+        served: devices.iter().map(|d| d.metrics().objects_served).collect(),
+        events,
+    }
+}
+
+const INTRA_ORDERS: [IntraGroupOrder; 3] = [
+    IntraGroupOrder::SemanticRoundRobin,
+    IntraGroupOrder::TableOrder,
+    IntraGroupOrder::ArrivalOrder,
+];
+
+/// The sweep: every policy × intra order × shard count, several seeds
+/// each — the indexed queue reproduces the naive queue's decision
+/// sequence and delivery order exactly, and every shard count conserves
+/// the delivery multiset.
+#[test]
+fn indexed_queue_matches_naive_reference() {
+    for seed in 0..6u64 {
+        let w = workload(seed);
+        for policy in SchedPolicy::all() {
+            for intra in INTRA_ORDERS {
+                let mut multisets = Vec::new();
+                for shards in [1usize, 2, 4] {
+                    let label = format!("seed {seed} {policy:?}/{intra:?}/{shards}");
+                    let indexed = run_fleet::<RequestQueue>(&w, policy, intra, shards);
+                    let naive = run_fleet::<NaiveQueue>(&w, policy, intra, shards);
+                    assert_eq!(indexed, naive, "{label}: queue implementations diverged");
+                    multisets.push(indexed.delivery_multiset());
+                }
+                assert!(
+                    multisets.windows(2).all(|p| p[0] == p[1]),
+                    "seed {seed} {policy:?}/{intra:?}: sharding broke work conservation"
+                );
+            }
+        }
+    }
+}
+
+/// Deep-queue stress: one heavily contended device, every request
+/// submitted upfront — the regime where the indexed queue's O(log n)
+/// path does all the work. Equivalence must hold at depth too.
+#[test]
+fn indexed_queue_matches_naive_on_deep_queues() {
+    let mut rng = StdRng::seed_from_u64(0xC5D);
+    let tenants = 8u16;
+    let segs = 24u32;
+    let mut schedule = Vec::new();
+    for b in 0..tenants {
+        let objects: Vec<ObjectId> = (0..segs)
+            .map(|s| ObjectId::new(b, 0, s))
+            .filter(|_| rng.gen_range(0u32..4) > 0)
+            .collect();
+        if !objects.is_empty() {
+            schedule.push((SimTime::ZERO, b as usize, QueryId::new(b, 0), objects));
+        }
+    }
+    let w = Workload {
+        tenants,
+        segs_per_tenant: segs,
+        groups: 3,
+        schedule,
+    };
+    for policy in SchedPolicy::all() {
+        let indexed = run_fleet::<RequestQueue>(&w, policy, IntraGroupOrder::SemanticRoundRobin, 1);
+        let naive = run_fleet::<NaiveQueue>(&w, policy, IntraGroupOrder::SemanticRoundRobin, 1);
+        assert_eq!(indexed, naive, "{policy:?} diverged on a deep queue");
+        assert!(indexed.served.iter().sum::<u64>() > 100);
+    }
+}

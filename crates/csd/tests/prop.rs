@@ -98,7 +98,7 @@ fn device_serves_every_request_once() {
                 store.put(o, 1 << 20, o.tenant as u32 % 3, ());
             }
         }
-        let mut dev = CsdDevice::new(
+        let mut dev: CsdDevice<()> = CsdDevice::new(
             CsdConfig {
                 switch_latency: SimDuration::from_secs(switch_secs),
                 bandwidth_bytes_per_sec: (1 << 20) as f64,
@@ -165,7 +165,7 @@ fn single_group_never_switches() {
                         store.put(o, 1 << 20, 0, ());
                     }
                 }
-                let mut dev = CsdDevice::new(
+                let mut dev: CsdDevice<()> = CsdDevice::new(
                     CsdConfig {
                         switch_latency: SimDuration::from_secs(10),
                         bandwidth_bytes_per_sec: (1 << 20) as f64,

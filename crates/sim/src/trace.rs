@@ -123,6 +123,12 @@ impl ActivityTrace {
         &self.spans
     }
 
+    /// Takes the recorded spans out of the trace, leaving it empty
+    /// (end-of-run result assembly: move instead of clone).
+    pub fn take_spans(&mut self) -> Vec<Span> {
+        std::mem::take(&mut self.spans)
+    }
+
     /// Slices the interval `[from, to)` across the recorded spans and sums
     /// the overlap per activity class. Portions of the interval not covered
     /// by any span count as idle (the device had not started / had shut

@@ -119,6 +119,11 @@ fn main() {
         mk(1, 3, 3),
         mk(2, 4, 4),
     ];
+    // The scheduler consumes a QueueView; build the indexed queue the
+    // device would maintain incrementally.
+    use skipper::csd::sched::RequestQueue;
+    use skipper::csd::IntraGroupOrder;
+    let queue = RequestQueue::from_requests(IntraGroupOrder::ArrivalOrder, pending.clone());
     let mut rank = RankBased::new();
     for step in 0..5 {
         let ranks = rank.ranks(&pending);
@@ -129,6 +134,6 @@ fn main() {
             .unwrap()
             .0;
         println!("  step {step}: ranks {ranks:?} -> load group {served}");
-        rank.on_switch_complete(&pending, served);
+        rank.on_switch_complete(&queue, served);
     }
 }

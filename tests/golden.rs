@@ -110,14 +110,14 @@ fn golden_one_shard_facade_matches_unsharded_run_exactly() {
             explicit.device.group_switches,
             implicit.device.group_switches
         );
-        assert_eq!(explicit.device_spans, implicit.device_spans);
+        assert_eq!(explicit.device_spans(), implicit.device_spans());
         assert_eq!(explicit.delivery_multiset(), implicit.delivery_multiset());
         let a: Vec<_> = implicit.records().map(|r| (r.start, r.end)).collect();
         let b: Vec<_> = explicit.records().map(|r| (r.start, r.end)).collect();
         assert_eq!(a, b, "{placement:?} drifted from the unsharded run");
         // The single shard's breakdown IS the device aggregate.
         assert_eq!(explicit.shards[0].metrics, explicit.device);
-        assert_eq!(explicit.shards[0].spans, explicit.device_spans);
+        assert_eq!(explicit.shards[0].spans, explicit.device_spans());
     }
 }
 

@@ -73,7 +73,7 @@ fn runtime_is_deterministic_across_runs() {
     assert_eq!(a.device.group_switches, b.device.group_switches);
     assert_eq!(a.device.objects_served, b.device.objects_served);
     assert_eq!(a.scheduler, b.scheduler);
-    assert_eq!(a.device_spans.len(), b.device_spans.len());
+    assert_eq!(a.device_spans().len(), b.device_spans().len());
     // A different Poisson seed produces a genuinely different run.
     let q12 = tpch::q12(&ds);
     let other = Scenario::from_workloads(vec![Workload::new(Arc::clone(&ds))

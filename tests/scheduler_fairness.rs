@@ -6,8 +6,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use skipper::csd::sched::{Decision, GroupScheduler, PendingRequest, RankBased, Residency};
-use skipper::csd::{ObjectId, QueryId, SchedPolicy};
+use skipper::csd::sched::{Decision, GroupScheduler, PendingRequest, RankBased, RequestQueue};
+use skipper::csd::{IntraGroupOrder, ObjectId, QueryId, SchedPolicy};
 use skipper::sim::SimTime;
 
 fn req(group: u32, tenant: u16, seq: u64) -> PendingRequest {
@@ -19,6 +19,11 @@ fn req(group: u32, tenant: u16, seq: u64) -> PendingRequest {
         arrival: SimTime::ZERO,
         seq,
     }
+}
+
+/// The indexed queue view a device would maintain over `pending`.
+fn queue_of(pending: &[PendingRequest]) -> RequestQueue {
+    RequestQueue::from_requests(IntraGroupOrder::ArrivalOrder, pending.iter().copied())
 }
 
 /// Starvation bound: with K = 1, a group holding one query among
@@ -40,15 +45,15 @@ fn rank_based_serves_lone_group_within_bound() {
             let lone_group = popular_groups;
             pending.push(req(lone_group, 999, seq));
 
+            let queue = queue_of(&pending);
             let mut sched = RankBased::new();
-            let empty = Residency::new();
             let mut switches = 0u32;
             let bound = (popular_queries as u32 + 1) * popular_groups;
             loop {
-                match sched.decide(&pending, None, &empty) {
+                match sched.decide(&queue, None) {
                     Decision::SwitchTo(g) => {
                         switches += 1;
-                        sched.on_switch_complete(&pending, g);
+                        sched.on_switch_complete(&queue, g);
                         if g == lone_group {
                             break;
                         }
@@ -71,17 +76,16 @@ fn rank_based_serves_lone_group_within_bound() {
 /// picked every time regardless of waiting.
 #[test]
 fn rank_with_zero_k_matches_max_queries() {
-    let pending = vec![req(0, 0, 0), req(0, 1, 1), req(1, 2, 2)];
+    let queue = queue_of(&[req(0, 0, 0), req(0, 1, 1), req(1, 2, 2)]);
     let mut rank0 = RankBased::with_k(0.0);
     let mut maxq = SchedPolicy::MaxQueries.build();
-    let empty = Residency::new();
     for _ in 0..20 {
-        let a = rank0.decide(&pending, None, &empty);
-        let b = maxq.decide(&pending, None, &empty);
+        let a = rank0.decide(&queue, None);
+        let b = maxq.decide(&queue, None);
         assert_eq!(a, b);
         if let Decision::SwitchTo(g) = a {
-            rank0.on_switch_complete(&pending, g);
-            maxq.on_switch_complete(&pending, g);
+            rank0.on_switch_complete(&queue, g);
+            maxq.on_switch_complete(&queue, g);
         }
     }
 }
@@ -94,11 +98,11 @@ fn waiting_time_bookkeeping() {
     for _ in 0..64 {
         let n = rng.gen_range(1usize..12);
         let loads: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..3)).collect();
-        let pending = vec![req(0, 0, 0), req(1, 1, 1), req(2, 2, 2)];
+        let queue = queue_of(&[req(0, 0, 0), req(1, 1, 1), req(2, 2, 2)]);
         let mut sched = RankBased::new();
         let mut expected = [0u64; 3];
         for g in loads {
-            sched.on_switch_complete(&pending, g);
+            sched.on_switch_complete(&queue, g);
             for (q, e) in expected.iter_mut().enumerate() {
                 if q as u32 == g {
                     *e = 0;
