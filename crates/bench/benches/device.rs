@@ -6,6 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use skipper_core::driver::{EngineKind, Scenario};
 use skipper_csd::{
     CsdConfig, CsdDevice, IntraGroupOrder, ObjectId, ObjectStore, QueryId, SchedPolicy,
+    StreamModel,
 };
 use skipper_datagen::{tpch, GenConfig};
 use skipper_sim::{SimDuration, SimTime};
@@ -25,6 +26,7 @@ fn bench_device_loop(c: &mut Criterion) {
                     bandwidth_bytes_per_sec: (1 << 20) as f64,
                     initial_load_free: true,
                     parallel_streams: 1,
+                    stream_model: StreamModel::Pipeline,
                 },
                 store,
                 SchedPolicy::RankBased.build(),
@@ -35,12 +37,10 @@ fn bench_device_loop(c: &mut Criterion) {
                 let objs: Vec<ObjectId> = (0..50).map(|s| ObjectId::new(t, 0, s)).collect();
                 dev.submit(now, t as usize, QueryId::new(t, 0), &objs);
             }
-            let mut served = 0u32;
+            let mut served = 0usize;
             while let Some(until) = dev.kick(now) {
                 now = until;
-                if dev.complete(now).is_some() {
-                    served += 1;
-                }
+                served += dev.complete(now).len();
             }
             black_box(served)
         })

@@ -3,13 +3,13 @@
 //! submit ~300 upfront GETs; the device re-decides after every service.)
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use skipper_csd::sched::{PendingRequest, Residency};
-use skipper_csd::{ObjectId, QueryId, SchedPolicy};
+use skipper_csd::sched::{InFlight, PendingRequest, RequestIndex, RequestQueue};
+use skipper_csd::{IntraGroupOrder, ObjectId, QueryId, SchedPolicy};
 use skipper_sim::SimTime;
 
 /// A queue shaped like five Skipper tenants with 59-object queries
-/// spread over five groups.
-fn queue(requests_per_client: u32) -> Vec<PendingRequest> {
+/// spread over five groups, residency armed on `resident_group`.
+fn queue(requests_per_client: u32, resident_group: u32) -> RequestQueue {
     let mut pending = Vec::new();
     let mut seq = 0u64;
     for tenant in 0..5u16 {
@@ -25,7 +25,9 @@ fn queue(requests_per_client: u32) -> Vec<PendingRequest> {
             seq += 1;
         }
     }
-    pending
+    let mut q = RequestQueue::from_requests(IntraGroupOrder::SemanticRoundRobin, pending);
+    q.arm_residency(resident_group);
+    q
 }
 
 fn bench_decide(c: &mut Criterion) {
@@ -36,44 +38,34 @@ fn bench_decide(c: &mut Criterion) {
         SchedPolicy::MaxQueries,
         SchedPolicy::RankBased,
     ] {
-        let pending = queue(59);
-        let residency: Residency = pending
-            .iter()
-            .filter(|r| r.group == 0)
-            .map(|r| r.seq)
-            .collect();
+        let queue = queue(59, 0);
         group.bench_with_input(
             BenchmarkId::from_parameter(policy.label()),
             &policy,
             |b, &policy| {
                 let mut sched = policy.build();
-                b.iter(|| sched.decide(black_box(&pending), Some(0), black_box(&residency)))
+                b.iter(|| sched.decide(black_box(&queue), Some(0), InFlight::NONE))
             },
         );
     }
     group.finish();
 }
 
-fn bench_serve_scope(c: &mut Criterion) {
-    let pending = queue(59);
-    let residency: Residency = pending
-        .iter()
-        .filter(|r| r.group == 2)
-        .map(|r| r.seq)
-        .collect();
+fn bench_select(c: &mut Criterion) {
+    let queue = queue(59, 2);
     let sched = SchedPolicy::RankBased.build();
-    c.bench_function("scheduler/serve_scope_295_pending", |b| {
-        b.iter(|| sched.serve_scope(black_box(&pending), 2, black_box(&residency)))
+    c.bench_function("scheduler/select_295_pending", |b| {
+        b.iter(|| queue.select(black_box(sched.serve_scope()), 2))
     });
 }
 
 fn bench_on_switch_complete(c: &mut Criterion) {
-    let pending = queue(59);
+    let queue = queue(59, 3);
     let mut sched = SchedPolicy::RankBased.build();
     c.bench_function("scheduler/rank_on_switch_complete", |b| {
-        b.iter(|| sched.on_switch_complete(black_box(&pending), 3))
+        b.iter(|| sched.on_switch_complete(black_box(&queue), 3))
     });
 }
 
-criterion_group!(benches, bench_decide, bench_serve_scope, bench_on_switch_complete);
+criterion_group!(benches, bench_decide, bench_select, bench_on_switch_complete);
 criterion_main!(benches);

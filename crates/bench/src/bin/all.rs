@@ -31,6 +31,7 @@ fn main() {
     section("fig11c", &mut cache_exp::fig11c);
     section("fig12", &mut sched_exp::fig12);
     section("sharding", &mut sharding::sharding);
+    section("streams", &mut streams::streams);
     section("ablations", &mut ablations::ablations);
     section("outlook", &mut outlook::outlook);
     section("suite", &mut suite::suite);

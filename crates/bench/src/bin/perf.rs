@@ -9,8 +9,8 @@
 //! cargo run --release -p skipper-bench --bin perf
 //! cargo run --release -p skipper-bench --bin perf -- \
 //!     --tenants 64 --rounds 16 --objects 100 --groups 16 \
-//!     --shards 1,2,4,8 --policy ranking --out BENCH_perf.json \
-//!     [--skip-naive] [--floor <min indexed events/sec>]
+//!     --shards 1,2,4,8 --policy ranking --streams 4 \
+//!     --out BENCH_perf.json [--skip-naive] [--floor <min indexed events/sec>]
 //! ```
 //!
 //! With `--floor`, the binary exits non-zero when any indexed run falls
@@ -51,6 +51,7 @@ fn main() {
             "--objects" => sc.objects_per_round = value(&mut i).parse().expect("--objects"),
             "--groups" => sc.groups = value(&mut i).parse().expect("--groups"),
             "--policy" => sc.policy = parse_policy(value(&mut i)),
+            "--streams" => sc.streams = value(&mut i).parse().expect("--streams"),
             "--shards" => {
                 shard_counts = value(&mut i)
                     .split(',')

@@ -1,0 +1,16 @@
+//! Regenerates the §5.2.1 intra-group parallel-servicing sweep: the
+//! mixed-tenant fleet at 1-8 service-pipeline streams × 1-4 CSD shards
+//! (plus the bandwidth-multiplier compat A/B), and writes the
+//! machine-readable copy to `BENCH_streams.json`.
+use skipper_bench::experiments::streams;
+use skipper_bench::Ctx;
+
+fn main() {
+    let mut ctx = Ctx::new();
+    let (table, rows) = streams::streams_with_rows(&mut ctx, 5);
+    println!("{table}");
+    let json = streams::to_json(&rows);
+    std::fs::write("BENCH_streams.json", &json)
+        .unwrap_or_else(|e| panic!("writing BENCH_streams.json: {e}"));
+    println!("wrote BENCH_streams.json");
+}

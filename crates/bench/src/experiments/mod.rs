@@ -12,6 +12,7 @@ pub mod power_exp;
 pub mod sched_exp;
 pub mod sharding;
 pub mod skipper_exp;
+pub mod streams;
 pub mod suite;
 pub mod table2;
 

@@ -8,9 +8,13 @@
 //! performance comparable to conventional disk-based storage services."
 //!
 //! This experiment enables the improvement the authors could not ship:
-//! [`Scenario::parallel_streams`] multiplies intra-group service
-//! bandwidth, modelling concurrent request servicing against the spun-up
-//! disk group.
+//! [`Scenario::streams`] opens parallel service-pipeline slots per
+//! device, modelling concurrent request servicing against the spun-up
+//! disk group faithfully (transfers overlap; each stream still runs at
+//! the per-stream rate). The historical bandwidth-multiplier model this
+//! experiment used before the pipeline landed survives as
+//! `StreamModel::BandwidthMultiplier`; the `streams` experiment A/Bs
+//! the two.
 
 use skipper_core::driver::{EngineKind, Scenario};
 use skipper_datagen::tpch;
@@ -107,10 +111,14 @@ mod tests {
         };
         let serial = run(1);
         let parallel = run(5);
-        // Transfer-dominated workload: 5× intra-group bandwidth should
-        // cut execution time by well over 2×.
+        // Transfer-dominated workload: 5 pipeline slots overlap the
+        // intra-group transfers. Unlike the old bandwidth multiplier
+        // (which divided every transfer by 5 unconditionally), the
+        // honest pipeline is bounded by per-stream bandwidth and by
+        // how many requests are actually pending per residency, so the
+        // gain lands just under 2× here rather than ~5×.
         assert!(
-            parallel < serial / 2.0,
+            parallel < serial / 1.7,
             "parallel {parallel:.0}s !<< serial {serial:.0}s"
         );
         // "Performance comparable to conventional disk-based storage":

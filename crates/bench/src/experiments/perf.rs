@@ -28,7 +28,7 @@ use std::time::Instant;
 
 use skipper_csd::sched::{NaiveQueue, RequestIndex, RequestQueue};
 use skipper_csd::{
-    CsdConfig, CsdDevice, IntraGroupOrder, ObjectId, ObjectStore, QueryId, SchedPolicy,
+    CsdConfig, CsdDevice, IntraGroupOrder, ObjectId, ObjectStore, QueryId, SchedPolicy, StreamModel,
 };
 use skipper_sim::{SimDuration, SimTime};
 
@@ -50,6 +50,10 @@ pub struct PerfScenario {
     pub groups: u32,
     /// Scheduling policy under test.
     pub policy: SchedPolicy,
+    /// Transfer streams per device (the service pipeline width). The
+    /// multi-stream configuration exercises the earliest-of-K wake-up
+    /// path and the armed-switch drain in the hot loop.
+    pub streams: u32,
 }
 
 impl Default for PerfScenario {
@@ -60,6 +64,7 @@ impl Default for PerfScenario {
             objects_per_round: 150,
             groups: 16,
             policy: SchedPolicy::RankBased,
+            streams: 1,
         }
     }
 }
@@ -125,7 +130,8 @@ fn build_devices<Q: RequestIndex>(sc: &PerfScenario, shards: usize) -> Vec<CsdDe
                     switch_latency: SimDuration::from_secs(10),
                     bandwidth_bytes_per_sec: (100 * MB) as f64,
                     initial_load_free: true,
-                    parallel_streams: 1,
+                    parallel_streams: sc.streams,
+                    stream_model: StreamModel::Pipeline,
                 },
                 store,
                 sc.policy.build(),
@@ -178,7 +184,8 @@ fn drive<Q: RequestIndex>(
     {
         makespan = now;
         events += 1;
-        if let Some(d) = devices[s].complete(now) {
+        let mut resubmitted = false;
+        for d in devices[s].complete(now) {
             deliveries.push((d.client, d.query, d.object));
             let t = d.client;
             outstanding[t] -= 1;
@@ -187,16 +194,20 @@ fn drive<Q: RequestIndex>(
                 if round[t] < sc.rounds {
                     submit_round(&mut devices, now, t, round[t]);
                     outstanding[t] = sc.objects_per_round;
-                    // A round spans every shard: wake any idle ones.
-                    for (o, slot) in next.iter_mut().enumerate() {
-                        if o != s && slot.is_none() {
-                            *slot = devices[o].kick(now);
-                        }
-                    }
+                    resubmitted = true;
                 }
             }
         }
-        next[s] = devices[s].kick(now);
+        if resubmitted {
+            // A round spans every shard, and new work can move a busy
+            // shard's earliest completion *earlier* (idle pipeline
+            // slots fill): re-kick everything, re-arming on mutation.
+            for (o, slot) in next.iter_mut().enumerate() {
+                *slot = devices[o].kick(now);
+            }
+        } else {
+            next[s] = devices[s].kick(now);
+        }
     }
     let wall = start.elapsed().as_secs_f64();
 
@@ -273,13 +284,14 @@ pub fn speedups(samples: &[PerfSample]) -> Vec<(usize, f64)> {
 pub fn table(sc: &PerfScenario, samples: &[PerfSample]) -> Table {
     let mut t = Table::new(
         &format!(
-            "Scheduling hot path: {} tenants x {} rounds x {} objects ({} requests, {} groups, {})",
+            "Scheduling hot path: {} tenants x {} rounds x {} objects ({} requests, {} groups, {}, {} streams)",
             sc.tenants,
             sc.rounds,
             sc.objects_per_round,
             sc.total_requests(),
             sc.groups,
             sc.policy.label(),
+            sc.streams,
         ),
         &[
             "shards",
@@ -311,13 +323,14 @@ pub fn to_json(sc: &PerfScenario, samples: &[PerfSample]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"BENCH_perf/v1\",\n");
     out.push_str(&format!(
-        "  \"scenario\": {{\"tenants\": {}, \"rounds\": {}, \"objects_per_round\": {}, \"groups\": {}, \"requests\": {}, \"policy\": \"{}\"}},\n",
+        "  \"scenario\": {{\"tenants\": {}, \"rounds\": {}, \"objects_per_round\": {}, \"groups\": {}, \"requests\": {}, \"policy\": \"{}\", \"streams\": {}}},\n",
         sc.tenants,
         sc.rounds,
         sc.objects_per_round,
         sc.groups,
         sc.total_requests(),
         sc.policy.label(),
+        sc.streams,
     ));
     out.push_str("  \"samples\": [\n");
     let rows: Vec<String> = samples
@@ -360,6 +373,7 @@ mod tests {
             objects_per_round: 6,
             groups: 2,
             policy: SchedPolicy::RankBased,
+            streams: 1,
         };
         let samples = perf_sweep(&sc, &[1, 2], false);
         assert_eq!(samples.len(), 4);
@@ -385,6 +399,7 @@ mod tests {
             objects_per_round: 4,
             groups: 2,
             policy: SchedPolicy::MaxQueries,
+            streams: 1,
         };
         let samples = perf_sweep(&sc, &[1], true);
         assert_eq!(samples.len(), 1);

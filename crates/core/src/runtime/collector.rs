@@ -129,20 +129,134 @@ pub fn attribute_stalls_fleet(
         .collect()
 }
 
-/// One CSD shard's share of a run: its own counters, activity spans,
-/// scheduler, and delivery ledger.
+/// One CSD shard's share of a run: its own counters, per-stream
+/// activity spans, scheduler, and delivery ledger.
 #[derive(Clone, Debug)]
 pub struct ShardResult {
     /// Shard index within the fleet.
     pub shard: usize,
     /// This shard's device counters.
     pub metrics: DeviceMetrics,
-    /// This shard's activity spans (switches/transfers), in time order.
+    /// The control stream's activity spans, in time order: every switch
+    /// plus stream 0's transfers. For a serial (1-stream) device this
+    /// is the whole activity log, exactly as it always was.
     pub spans: Vec<Span>,
+    /// The remaining streams' transfer spans (stream `k+1` at index
+    /// `k`), each list sequential in time; spans overlap *across* lists
+    /// while transfers run in parallel. Empty for a serial device.
+    pub extra_stream_spans: Vec<Vec<Span>>,
     /// Scheduler deployed on this shard.
     pub scheduler: &'static str,
     /// Completed transfers in service order: `(client, query, object)`.
     pub deliveries: Vec<(usize, QueryId, ObjectId)>,
+}
+
+impl ShardResult {
+    /// Every stream's span list, control stream first.
+    pub fn stream_span_lists(&self) -> impl Iterator<Item = &[Span]> {
+        std::iter::once(self.spans.as_slice())
+            .chain(self.extra_stream_spans.iter().map(|s| s.as_slice()))
+    }
+
+    /// This shard's transfer overlap/utilization rollup.
+    pub fn stream_rollup(&self) -> StreamRollup {
+        let mut rollup = StreamRollup {
+            streams: 1 + self.extra_stream_spans.len(),
+            peak_streams: self.metrics.peak_concurrent_streams.max(1),
+            // Stream-occupancy time comes from the device's own
+            // accounting (one source of truth); the spans below only
+            // contribute the wall-clock union and the switch wall.
+            transfer_stream_secs: self.metrics.transfer_busy_micros as f64 / 1e6,
+            ..StreamRollup::default()
+        };
+        let mut transfers: Vec<(SimTime, SimTime)> = Vec::new();
+        for list in self.stream_span_lists() {
+            for span in list {
+                match span.activity {
+                    skipper_sim::Activity::Transferring { .. } => {
+                        transfers.push((span.start, span.end));
+                    }
+                    skipper_sim::Activity::Switching => {
+                        rollup.switching_secs += span.end.since(span.start).as_secs_f64();
+                    }
+                    skipper_sim::Activity::Idle => {}
+                }
+            }
+        }
+        // Union of the transfer intervals across streams: the wall-clock
+        // time at least one stream was busy.
+        transfers.sort_unstable();
+        let mut cursor: Option<(SimTime, SimTime)> = None;
+        for (start, end) in transfers {
+            match &mut cursor {
+                Some((_, open_end)) if start <= *open_end => *open_end = (*open_end).max(end),
+                _ => {
+                    if let Some((s, e)) = cursor.take() {
+                        rollup.transfer_wall_secs += e.since(s).as_secs_f64();
+                    }
+                    cursor = Some((start, end));
+                }
+            }
+        }
+        if let Some((s, e)) = cursor {
+            rollup.transfer_wall_secs += e.since(s).as_secs_f64();
+        }
+        rollup
+    }
+}
+
+/// The §5.2.1 overlap/utilization rollup: how much intra-group transfer
+/// work overlapped in time. `transfer_stream_secs` is stream-occupancy
+/// time (Σ per-transfer durations); `transfer_wall_secs` is the
+/// wall-clock time at least one stream was transferring. Their ratio —
+/// [`StreamRollup::overlap`] — is 1.0 for the serialized middleware and
+/// approaches the stream count as the pipeline saturates, which is
+/// exactly the "parallelize servicing within a group" win: the same
+/// stream-seconds of work compressed into `1/overlap` of the wall time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StreamRollup {
+    /// Configured transfer slots (for a fleet: the max over shards).
+    pub streams: usize,
+    /// Peak simultaneously busy streams observed.
+    pub peak_streams: u32,
+    /// Stream-occupancy transfer time in seconds (Σ over transfers).
+    pub transfer_stream_secs: f64,
+    /// Wall-clock seconds with ≥ 1 stream transferring (per shard,
+    /// summed across shards for the run-level rollup).
+    pub transfer_wall_secs: f64,
+    /// Wall-clock seconds spent switching groups (summed across shards).
+    pub switching_secs: f64,
+}
+
+impl StreamRollup {
+    /// Mean transfer concurrency while transferring:
+    /// `transfer_stream_secs / transfer_wall_secs` (1.0 when idle).
+    pub fn overlap(&self) -> f64 {
+        if self.transfer_wall_secs > 0.0 {
+            self.transfer_stream_secs / self.transfer_wall_secs
+        } else {
+            1.0
+        }
+    }
+
+    /// Fraction of the available stream-slots actually busy while the
+    /// device was transferring: `overlap / streams`.
+    pub fn utilization(&self) -> f64 {
+        if self.streams > 0 {
+            self.overlap() / self.streams as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Merges another shard's rollup into this one.
+    pub fn absorb(&mut self, other: &StreamRollup) {
+        self.streams = self.streams.max(other.streams);
+        self.peak_streams = self.peak_streams.max(other.peak_streams);
+        self.transfer_stream_secs += other.transfer_stream_secs;
+        self.transfer_wall_secs += other.transfer_wall_secs;
+        self.switching_secs += other.switching_secs;
+    }
 }
 
 /// Everything measured by one scenario run.
@@ -218,6 +332,19 @@ impl RunResult {
     pub fn shard_timeline(&self, shard: usize, width: usize) -> String {
         let trace = ActivityTrace::from_spans(self.shards[shard].spans.iter().copied());
         skipper_sim::timeline::render(&trace, SimTime::ZERO, self.makespan, width)
+    }
+
+    /// The fleet-wide transfer overlap/utilization rollup (§5.2.1):
+    /// stream-seconds vs wall-seconds of intra-group transfer across
+    /// every shard. `overlap()` reads 1.0 for the paper's serialized
+    /// middleware and approaches the stream count as the service
+    /// pipeline saturates.
+    pub fn stream_rollup(&self) -> StreamRollup {
+        let mut total = StreamRollup::default();
+        for shard in &self.shards {
+            total.absorb(&shard.stream_rollup());
+        }
+        total
     }
 
     /// The fleet's delivery ledger as a sorted multiset of

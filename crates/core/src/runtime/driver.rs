@@ -79,7 +79,11 @@ impl Runtime {
         while let Some((t, ev)) = self.events.pop() {
             match ev {
                 Event::Device(shard) => {
-                    if let Some(d) = self.fleet.on_wakeup(shard, t) {
+                    // A multi-stream wake-up retires every transfer due
+                    // at this instant: route the whole batch (device
+                    // slot order — deterministic), then poke once.
+                    // Stale superseded wake-ups return an empty batch.
+                    for d in self.fleet.on_wakeup(shard, t) {
                         self.route_delivery(t, d.client, d.query, d.object, d.payload);
                     }
                     self.poke_fleet(t);
@@ -103,13 +107,15 @@ impl Runtime {
             self.fleet.is_quiescent(),
             "fleet still has queued work after the event queue drained"
         );
-        // Post-hoc stall attribution against the union of shard traces.
+        // Post-hoc stall attribution against the union of every stream
+        // trace of every shard: a client blocked while *any* stream is
+        // transferring anywhere in the fleet counts as a transfer stall.
         let clients_out = {
             let traces: Vec<&ActivityTrace> = self
                 .fleet
                 .pumps()
                 .iter()
-                .map(|p| p.device().trace())
+                .flat_map(|p| p.device().traces())
                 .collect();
             self.clients
                 .iter_mut()
@@ -118,6 +124,8 @@ impl Runtime {
         };
         // `run` consumed the runtime, so each shard's spans and delivery
         // ledger move into its ShardResult instead of being cloned.
+        // Stream 0 is the control stream (switches + slot-0 transfers);
+        // the extra streams' span lists are empty for a serial device.
         let shards: Vec<ShardResult> = self
             .fleet
             .into_pumps()
@@ -125,11 +133,14 @@ impl Runtime {
             .enumerate()
             .map(|(shard, pump)| {
                 let mut dev = pump.into_device();
+                let mut stream_spans = dev.take_stream_spans().into_iter();
+                let spans = stream_spans.next().expect("at least one stream trace");
                 ShardResult {
                     shard,
                     scheduler: dev.scheduler_name(),
                     metrics: dev.take_metrics(),
-                    spans: dev.take_spans(),
+                    spans,
+                    extra_stream_spans: stream_spans.collect(),
                     deliveries: dev.take_served_log(),
                 }
             })

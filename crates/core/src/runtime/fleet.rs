@@ -86,8 +86,10 @@ impl DeviceFleet {
     }
 
     /// Pokes every shard in shard order, invoking `armed` with
-    /// `(shard, wake-up)` for each newly armed wake-up. Allocation-free:
-    /// this runs once per event on the loop's hot path.
+    /// `(shard, wake-up)` for each newly armed (or re-armed) wake-up.
+    /// Allocation-free: this runs once per event on the loop's hot
+    /// path. A re-arm supersedes the shard's previous wake-up, which
+    /// then fires as a stale no-op.
     pub fn poke_all(&mut self, now: SimTime, mut armed: impl FnMut(usize, SimTime)) {
         for (shard, pump) in self.pumps.iter_mut().enumerate() {
             if let Some(at) = pump.poke(now) {
@@ -96,8 +98,10 @@ impl DeviceFleet {
         }
     }
 
-    /// Handles shard `shard`'s armed wake-up firing at `now`.
-    pub fn on_wakeup(&mut self, shard: usize, now: SimTime) -> Option<Delivery<Arc<Segment>>> {
+    /// Handles shard `shard`'s wake-up firing at `now`: every transfer
+    /// the shard retired at that instant (empty for switch completions
+    /// and stale, superseded wake-ups).
+    pub fn on_wakeup(&mut self, shard: usize, now: SimTime) -> Vec<Delivery<Arc<Segment>>> {
         self.pumps[shard].on_wakeup(now)
     }
 

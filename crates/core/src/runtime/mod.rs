@@ -36,11 +36,18 @@
 //!   │            deliveries ⇢ processing ⇢ follow-up GETs        │
 //!   ├────────────────────────────────────────────────────────────┤
 //!   │ fleet      DeviceFleet: PlacementPolicy → shard map        │
-//!   │   ┌──────────────┬──────────────┬──────────────┐           │
-//!   │   │ DevicePump 0 │ DevicePump 1 │ DevicePump … │ per shard │
-//!   │   │ CsdDevice 0  │ CsdDevice 1  │ CsdDevice …  │           │
-//!   │   └──────────────┴──────────────┴──────────────┘           │
-//!   │   own scheduler · bandwidth · switch latency · groups      │
+//!   │   ┌──────────────────┬──────────────────┬────────┐         │
+//!   │   │ DevicePump 0     │ DevicePump 1     │   …    │ 1/shard │
+//!   │   │  earliest-of-K   │  earliest-of-K   │        │         │
+//!   │   │  wake-up, rearm  │  wake-up, rearm  │        │         │
+//!   │   ├──────────────────┼──────────────────┼────────┤         │
+//!   │   │ CsdDevice 0      │ CsdDevice 1      │   …    │         │
+//!   │   │ ┌────┬────┬────┐ │ ┌────┐           │        │         │
+//!   │   │ │str0│str1│str…│ │ │str0│ streams(n)│        │         │
+//!   │   │ └────┴────┴────┘ │ └────┘ per shard │        │         │
+//!   │   │ + armed switch   │                  │        │         │
+//!   │   └──────────────────┴──────────────────┴────────┘         │
+//!   │   own scheduler · bandwidth · switch latency · streams     │
 //!   └────────────────────────────────────────────────────────────┘
 //! ```
 //!
@@ -51,6 +58,25 @@
 //! microsecond-exactly; `Scenario::shards(n)` scales the device layer
 //! out with per-shard config overrides and per-shard result
 //! breakdowns ([`collector::ShardResult`]).
+//!
+//! # Multi-stream servicing (§5.2.1)
+//!
+//! Each device is a *service pipeline*: `Scenario::streams(n)` opens
+//! `n` transfer slots per shard (per-shard override:
+//! `Scenario::shard_streams`), so intra-group requests overlap in time
+//! while a group is loaded, and a group switch decided mid-drain is
+//! *armed* — it begins the instant the last old-group transfer
+//! completes. The pump's wake-up protocol is therefore
+//! "earliest of K completions": dispatching new work can move a
+//! shard's earliest completion *earlier*, so every poke re-kicks the
+//! device and re-arms when the instant changed; superseded wake-up
+//! events fire as recognized stale no-ops, and a live wake-up can
+//! retire several transfers at once (the event loop routes the whole
+//! batch). `streams(1)` — the default — collapses to the paper's
+//! serialized middleware exactly. Per-stream activity spans land in
+//! [`collector::ShardResult`] and roll up into the
+//! [`collector::StreamRollup`] overlap/utilization report
+//! ([`collector::RunResult::stream_rollup`]).
 //!
 //! # Scheduling hot-path complexity
 //!
@@ -107,11 +133,11 @@ pub mod pump;
 pub mod scenario;
 pub mod workload;
 
-pub use collector::{QueryRecord, RunResult, ShardResult};
+pub use collector::{QueryRecord, RunResult, ShardResult, StreamRollup};
 pub use engines::{EngineFactory, EngineKind, SkipperFactory, VanillaFactory};
 pub use fleet::DeviceFleet;
 pub use scenario::Scenario;
-pub use skipper_csd::PlacementPolicy;
+pub use skipper_csd::{PlacementPolicy, StreamModel};
 pub use workload::{ArrivalProcess, Workload};
 
 #[cfg(test)]

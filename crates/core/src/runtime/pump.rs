@@ -1,10 +1,33 @@
-//! The device pump: keeps exactly one device wake-up event in flight.
+//! The device pump: tracks the device's earliest pending completion.
 //!
 //! The CSD model is passive — it must be `kick`ed whenever it might
-//! have work and `complete`d exactly at the returned instant. The pump
-//! owns that protocol so the event loop cannot double-schedule or miss
-//! a wake-up: `poke` arms a wake-up if none is pending; `on_wakeup`
-//! completes the due operation and returns the delivery, if any.
+//! have work and `complete`d exactly at the earliest instant it
+//! reported. With the multi-stream service pipeline that instant is the
+//! *earliest of K completions*, and it can move **earlier** whenever new
+//! work fills an idle slot — so the historical "one armed wake-up, poke
+//! is a no-op while armed" protocol is re-derived as *re-arm on every
+//! mutation*:
+//!
+//! * [`DevicePump::poke`] kicks the device and, when the earliest
+//!   completion differs from the armed instant, arms a fresh wake-up at
+//!   the new time. The superseded wake-up event stays in the caller's
+//!   queue — events cannot be unscheduled — and is recognized as stale
+//!   when it fires.
+//! * [`DevicePump::on_wakeup`] fires a wake-up: a stale one (the armed
+//!   instant moved) is ignored and returns no deliveries; a live one
+//!   completes *everything* due at that instant and returns the batch.
+//!   Callers must poke again afterwards.
+//!
+//! A pump only re-kicks when *its* device mutated since the last poke
+//! (a submit or a live wake-up — tracked by a dirty flag): the fleet
+//! pokes every shard after every event, and nothing can move an
+//! untouched shard's earliest completion, so clean shards stay O(1) on
+//! the hot path instead of re-running a scheduler decision.
+//!
+//! With one stream the earliest completion never changes while armed
+//! (the single slot is busy), so no wake-up is ever superseded and the
+//! protocol reduces exactly to the historical one-armed-flag behaviour —
+//! same events, same order.
 //!
 //! The pump is the per-shard unit of the
 //! [`DeviceFleet`](super::fleet::DeviceFleet): a fleet is N pumps, each
@@ -16,10 +39,19 @@ use skipper_csd::{CsdDevice, Delivery, ObjectId, QueryId};
 use skipper_relational::segment::Segment;
 use skipper_sim::SimTime;
 
-/// Wrapper pairing the device with its pending-wake-up flag.
+/// Wrapper pairing the device with its armed-wake-up instant.
 pub struct DevicePump {
     device: CsdDevice<Arc<Segment>>,
-    wakeup_armed: bool,
+    /// The earliest pending completion a wake-up is armed for.
+    /// Invariant: `Some(t)` ⇔ the device reported `t` as its earliest
+    /// completion and no `on_wakeup(t)` has consumed it yet.
+    armed_at: Option<SimTime>,
+    /// Set on every device mutation (submit / live wake-up), cleared
+    /// by `poke`. Only a mutation can move the device's earliest
+    /// completion, so a clean pump skips the kick entirely — the fleet
+    /// pokes every shard after every event, and untouched shards must
+    /// stay O(1) on that hot path.
+    dirty: bool,
 }
 
 impl DevicePump {
@@ -27,32 +59,62 @@ impl DevicePump {
     pub fn new(device: CsdDevice<Arc<Segment>>) -> Self {
         DevicePump {
             device,
-            wakeup_armed: false,
+            armed_at: None,
+            dirty: true,
         }
     }
 
     /// Submits GET requests from `client` tagged with `query`.
     pub fn submit(&mut self, now: SimTime, client: usize, query: QueryId, objects: &[ObjectId]) {
+        self.dirty = true;
         self.device.submit(now, client, query, objects);
     }
 
-    /// Starts the next device operation if idle. Returns the wake-up
-    /// instant to schedule, or `None` when one is already armed (or the
-    /// device has nothing to do).
+    /// Kicks the device (filling idle pipeline slots) and re-arms the
+    /// wake-up if the earliest pending completion changed. Returns the
+    /// instant to schedule, or `None` when the armed wake-up is still
+    /// accurate (or the device has nothing to do). A pump untouched
+    /// since its last poke is a no-op: nothing can have moved its
+    /// earliest completion.
     pub fn poke(&mut self, now: SimTime) -> Option<SimTime> {
-        if self.wakeup_armed {
+        if !self.dirty {
             return None;
         }
-        let at = self.device.kick(now)?;
-        self.wakeup_armed = true;
-        Some(at)
+        self.dirty = false;
+        match self.device.kick(now) {
+            Some(at) if self.armed_at == Some(at) => None,
+            Some(at) => {
+                // Either nothing was armed, or new work moved the
+                // earliest completion: arm (or re-arm) at the new
+                // instant. A superseded event becomes stale.
+                self.armed_at = Some(at);
+                Some(at)
+            }
+            None => {
+                debug_assert!(
+                    self.armed_at.is_none(),
+                    "armed wake-up with nothing in flight"
+                );
+                self.armed_at = None;
+                None
+            }
+        }
     }
 
-    /// Handles the armed wake-up firing at `now`: completes the due
-    /// operation and returns the finished transfer, if it was one.
-    /// Callers must [`DevicePump::poke`] again afterwards.
-    pub fn on_wakeup(&mut self, now: SimTime) -> Option<Delivery<Arc<Segment>>> {
-        self.wakeup_armed = false;
+    /// Handles a wake-up firing at `now`: completes everything due and
+    /// returns the finished transfers (empty for a switch completion or
+    /// a stale, superseded wake-up). Callers must [`DevicePump::poke`]
+    /// again afterwards.
+    pub fn on_wakeup(&mut self, now: SimTime) -> Vec<Delivery<Arc<Segment>>> {
+        if self.armed_at != Some(now) {
+            // Stale: this wake-up was superseded by a re-arm at an
+            // earlier instant (whose firing already completed the
+            // device past this point), or nothing is armed at all.
+            // The device is untouched, so the pump stays clean.
+            return Vec::new();
+        }
+        self.armed_at = None;
+        self.dirty = true;
         self.device.complete(now)
     }
 

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use skipper_csd::{
     CsdConfig, CsdDevice, IntraGroupOrder, Layout, LayoutPolicy, ObjectId, ObjectStore,
-    PlacementPolicy, SchedPolicy,
+    PlacementPolicy, SchedPolicy, StreamModel,
 };
 use skipper_datagen::Dataset;
 use skipper_relational::query::QuerySpec;
@@ -44,6 +44,7 @@ struct ShardOverride {
     sched: Option<SchedPolicy>,
     bandwidth: Option<f64>,
     switch_latency: Option<SimDuration>,
+    streams: Option<u32>,
 }
 
 /// A complete experiment description; build with the fluent setters and
@@ -65,6 +66,7 @@ pub struct Scenario {
     cost: CostModel,
     prune_empty: bool,
     parallel_streams: u32,
+    stream_model: StreamModel,
     stagger: SimDuration,
     shards: usize,
     placement: PlacementPolicy,
@@ -98,6 +100,7 @@ impl Scenario {
             cost: CostModel::paper_calibrated(),
             prune_empty: false,
             parallel_streams: 1,
+            stream_model: StreamModel::Pipeline,
             stagger: SimDuration::ZERO,
             shards: 1,
             placement: PlacementPolicy::RoundRobin,
@@ -224,11 +227,32 @@ impl Scenario {
     }
 
     /// Concurrent transfer streams while a group is loaded (default 1,
-    /// the paper's serializing middleware; >1 models the §5.2.1
-    /// "parallelize servicing within a group" improvement).
-    pub fn parallel_streams(mut self, n: u32) -> Self {
-        assert!(n >= 1);
+    /// the paper's serializing middleware; > 1 opens that many service
+    /// pipeline slots per device — the §5.2.1 "parallelize servicing
+    /// within a group" improvement). Validated here, at build time: a
+    /// zero-stream device could never serve a request, so the scenario
+    /// rejects it loudly instead of letting a masked config reach the
+    /// device layer.
+    pub fn streams(mut self, n: u32) -> Self {
+        assert!(
+            n >= 1,
+            "Scenario::streams needs at least 1 transfer stream (got 0): \
+             use streams(1) for the paper's serialized middleware"
+        );
         self.parallel_streams = n;
+        self
+    }
+
+    /// Legacy alias for [`Scenario::streams`].
+    pub fn parallel_streams(self, n: u32) -> Self {
+        self.streams(n)
+    }
+
+    /// How streams > 1 are modelled (default: the true service
+    /// pipeline; [`StreamModel::BandwidthMultiplier`] is the historical
+    /// compat model kept for A/B comparison in the bench).
+    pub fn stream_model(mut self, model: StreamModel) -> Self {
+        self.stream_model = model;
         self
     }
 
@@ -278,6 +302,18 @@ impl Scenario {
             .entry(shard)
             .or_default()
             .switch_latency = Some(s);
+        self
+    }
+
+    /// Overrides the transfer stream count of one shard (heterogeneous
+    /// fleets: e.g. one upgraded multi-stream shard next to serialized
+    /// ones). Validated like [`Scenario::streams`].
+    pub fn shard_streams(mut self, shard: usize, n: u32) -> Self {
+        assert!(
+            n >= 1,
+            "Scenario::shard_streams needs at least 1 transfer stream (got 0 for shard {shard})"
+        );
+        self.shard_overrides.entry(shard).or_default().streams = Some(n);
         self
     }
 
@@ -391,7 +427,8 @@ impl Scenario {
                         switch_latency: ov.switch_latency.unwrap_or(self.switch_latency),
                         bandwidth_bytes_per_sec: ov.bandwidth.unwrap_or(self.bandwidth),
                         initial_load_free: true,
-                        parallel_streams: self.parallel_streams,
+                        parallel_streams: ov.streams.unwrap_or(self.parallel_streams),
+                        stream_model: self.stream_model,
                     },
                     store,
                     ov.sched.unwrap_or(sched).build(),

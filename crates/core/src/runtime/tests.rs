@@ -9,7 +9,7 @@ use super::pump::DevicePump;
 use super::*;
 use skipper_csd::{
     CsdConfig, CsdDevice, IntraGroupOrder, LayoutPolicy, ObjectId, ObjectStore, QueryId,
-    SchedPolicy,
+    SchedPolicy, StreamModel,
 };
 use skipper_datagen::{tpch, Dataset, GenConfig};
 use skipper_relational::ops::reference;
@@ -265,6 +265,54 @@ fn poisson_arrivals_queue_behind_busy_tenant_and_complete() {
 /// Two 1 GiB objects on different groups, 1 GiB/s bandwidth (1 s per
 /// transfer), 10 s switches, free initial load — wrapped in a pump.
 fn mini_pump() -> DevicePump {
+    mini_pump_with_streams(1)
+}
+
+/// Like [`mini_pump`] but with both objects in ONE group and `streams`
+/// pipeline slots, for the earliest-of-K re-arm protocol tests.
+fn mini_pump_same_group(streams: u32) -> DevicePump {
+    let ds = mini_dataset();
+    let payload: Arc<Segment> = Arc::clone(&ds.segments[0][0]);
+    let mut store: ObjectStore<Arc<Segment>> = ObjectStore::new();
+    store.put(ObjectId::new(0, 0, 0), 1 << 30, 0, Arc::clone(&payload));
+    store.put(ObjectId::new(0, 0, 1), 2 << 30, 0, payload);
+    DevicePump::new(CsdDevice::new(
+        CsdConfig {
+            switch_latency: SimDuration::from_secs(10),
+            bandwidth_bytes_per_sec: (1u64 << 30) as f64,
+            initial_load_free: true,
+            parallel_streams: streams,
+            stream_model: StreamModel::Pipeline,
+        },
+        store,
+        SchedPolicy::RankBased.build(),
+        IntraGroupOrder::SemanticRoundRobin,
+    ))
+}
+
+/// Two equal 1 GiB objects in ONE group: with 2 streams both transfers
+/// start together and retire in the same wake-up (the batch path).
+fn mini_pump_equal_group(streams: u32) -> DevicePump {
+    let ds = mini_dataset();
+    let payload: Arc<Segment> = Arc::clone(&ds.segments[0][0]);
+    let mut store: ObjectStore<Arc<Segment>> = ObjectStore::new();
+    store.put(ObjectId::new(0, 0, 0), 1 << 30, 0, Arc::clone(&payload));
+    store.put(ObjectId::new(0, 0, 1), 1 << 30, 0, payload);
+    DevicePump::new(CsdDevice::new(
+        CsdConfig {
+            switch_latency: SimDuration::from_secs(10),
+            bandwidth_bytes_per_sec: (1u64 << 30) as f64,
+            initial_load_free: true,
+            parallel_streams: streams,
+            stream_model: StreamModel::Pipeline,
+        },
+        store,
+        SchedPolicy::RankBased.build(),
+        IntraGroupOrder::SemanticRoundRobin,
+    ))
+}
+
+fn mini_pump_with_streams(streams: u32) -> DevicePump {
     let ds = mini_dataset();
     let payload: Arc<Segment> = Arc::clone(&ds.segments[0][0]);
     let mut store: ObjectStore<Arc<Segment>> = ObjectStore::new();
@@ -275,7 +323,8 @@ fn mini_pump() -> DevicePump {
             switch_latency: SimDuration::from_secs(10),
             bandwidth_bytes_per_sec: (1u64 << 30) as f64,
             initial_load_free: true,
-            parallel_streams: 1,
+            parallel_streams: streams,
+            stream_model: StreamModel::Pipeline,
         },
         store,
         SchedPolicy::RankBased.build(),
@@ -308,8 +357,9 @@ fn pump_double_poke_while_armed_is_a_no_op() {
     pump.submit(t(0), 0, QueryId::new(0, 0), &[ObjectId::new(0, 0, 1)]);
     assert_eq!(pump.poke(t(0)), None);
     // The armed wake-up still completes normally.
-    let d = pump.on_wakeup(t(1)).expect("transfer due");
-    assert_eq!(d.object, ObjectId::new(0, 0, 0));
+    let d = pump.on_wakeup(t(1));
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].object, ObjectId::new(0, 0, 0));
 }
 
 #[test]
@@ -323,26 +373,113 @@ fn pump_repoke_after_delivery_resumes_the_protocol() {
     );
     // Transfer of object 0 (group 0 loads free).
     assert_eq!(pump.poke(t(0)), Some(t(1)));
-    assert!(pump.on_wakeup(t(1)).is_some());
+    assert_eq!(pump.on_wakeup(t(1)).len(), 1);
     // Re-poke arms the paid switch to group 1; its wake-up completes the
     // switch and delivers nothing.
     assert_eq!(pump.poke(t(1)), Some(t(11)));
-    assert!(pump.on_wakeup(t(11)).is_none(), "switch is not a delivery");
+    assert!(pump.on_wakeup(t(11)).is_empty(), "switch is not a delivery");
     // Re-poke after the non-delivery wake-up arms the final transfer.
     assert_eq!(pump.poke(t(11)), Some(t(12)));
-    let d = pump.on_wakeup(t(12)).expect("final transfer");
-    assert_eq!(d.object, ObjectId::new(0, 0, 1));
+    let d = pump.on_wakeup(t(12));
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].object, ObjectId::new(0, 0, 1));
     // Drained: poke goes quiet again.
     assert_eq!(pump.poke(t(12)), None);
     assert!(pump.device().is_quiescent());
 }
 
 #[test]
-#[should_panic(expected = "no operation in flight")]
-fn pump_wakeup_without_armed_operation_panics() {
+fn pump_wakeup_without_armed_operation_is_a_stale_no_op() {
+    // Under the earliest-of-K protocol a wake-up whose instant no
+    // longer matches the armed one is *stale* (superseded by a
+    // re-arm): it must be ignored without touching the device.
     let mut pump = mini_pump();
-    // No poke ever armed a wake-up: firing one is a protocol violation.
-    pump.on_wakeup(t(0));
+    assert!(pump.on_wakeup(t(0)).is_empty());
+    pump.submit(t(0), 0, QueryId::new(0, 0), &[ObjectId::new(0, 0, 0)]);
+    assert_eq!(pump.poke(t(0)), Some(t(1)));
+    // A wake-up at the wrong instant is stale; the armed one still fires.
+    assert!(pump.on_wakeup(t(0)).is_empty());
+    assert_eq!(pump.on_wakeup(t(1)).len(), 1);
+}
+
+#[test]
+fn pump_rearms_when_new_work_moves_the_earliest_completion() {
+    // Both objects in group 0, 2 streams. The 2 GiB object (2 s) is
+    // dispatched first; an armed wake-up points at t=2. Submitting the
+    // 1 GiB object fills the second slot, finishing at t=1 — poke must
+    // RE-ARM at the earlier instant, and the superseded t=2 wake-up
+    // fires... except the transfer really is still due at t=2 here, so
+    // the re-poke after the t=1 batch arms t=2 again: the original
+    // event is consumed by the re-armed instant matching it.
+    let mut pump = mini_pump_same_group(2);
+    pump.submit(t(0), 0, QueryId::new(0, 0), &[ObjectId::new(0, 0, 1)]);
+    assert_eq!(pump.poke(t(0)), Some(t(2)), "2 GiB transfer alone");
+    pump.submit(t(0), 0, QueryId::new(0, 1), &[ObjectId::new(0, 0, 0)]);
+    assert_eq!(
+        pump.poke(t(0)),
+        Some(t(1)),
+        "the 1 GiB transfer moved the earliest completion earlier"
+    );
+    // Double-poke stays a no-op at the new instant.
+    assert_eq!(pump.poke(t(0)), None);
+    let first = pump.on_wakeup(t(1));
+    assert_eq!(first.len(), 1);
+    assert_eq!(first[0].object, ObjectId::new(0, 0, 0));
+    // Re-poke re-arms at the still-pending t=2 completion, which the
+    // superseded event (also at t=2) then legitimately consumes.
+    assert_eq!(pump.poke(t(1)), Some(t(2)));
+    let second = pump.on_wakeup(t(2));
+    assert_eq!(second.len(), 1);
+    assert_eq!(second[0].object, ObjectId::new(0, 0, 1));
+    assert!(pump.device().is_quiescent());
+}
+
+#[test]
+fn pump_multi_stream_wakeup_retires_the_whole_batch() {
+    let mut pump = mini_pump_with_streams(2);
+    // Objects on different groups: only group 0's transfer can start;
+    // same-group batches retire together instead.
+    pump.submit(
+        t(0),
+        0,
+        QueryId::new(0, 0),
+        &[ObjectId::new(0, 0, 0), ObjectId::new(0, 0, 1)],
+    );
+    assert_eq!(pump.poke(t(0)), Some(t(1)));
+    assert_eq!(pump.device().in_flight(), 1, "second object is off-group");
+    assert_eq!(pump.on_wakeup(t(1)).len(), 1);
+    // Unequal same-group pair: both slots fill but retire separately.
+    let mut pair = mini_pump_same_group(2);
+    pair.submit(
+        t(0),
+        0,
+        QueryId::new(0, 0),
+        &[ObjectId::new(0, 0, 0), ObjectId::new(0, 0, 1)],
+    );
+    assert_eq!(pair.poke(t(0)), Some(t(1)), "earliest of the two transfers");
+    assert_eq!(pair.device().in_flight(), 2);
+    let batch = pair.on_wakeup(t(1));
+    assert_eq!(batch.len(), 1, "only the 1 GiB transfer is due at t=1");
+    assert_eq!(pair.poke(t(1)), Some(t(2)));
+    assert_eq!(pair.on_wakeup(t(2)).len(), 1);
+    assert!(pair.device().is_quiescent());
+    // Equal same-group pair: one wake-up really does retire a batch of
+    // two through the pump (the multi-delivery path the driver routes).
+    let mut equal = mini_pump_equal_group(2);
+    equal.submit(
+        t(0),
+        0,
+        QueryId::new(0, 0),
+        &[ObjectId::new(0, 0, 0), ObjectId::new(0, 0, 1)],
+    );
+    assert_eq!(equal.poke(t(0)), Some(t(1)));
+    assert_eq!(equal.device().in_flight(), 2);
+    let batch = equal.on_wakeup(t(1));
+    assert_eq!(batch.len(), 2, "same-instant completions retire together");
+    assert_eq!(batch[0].object, ObjectId::new(0, 0, 0));
+    assert_eq!(batch[1].object, ObjectId::new(0, 0, 1));
+    assert_eq!(equal.poke(t(1)), None);
+    assert!(equal.device().is_quiescent());
 }
 
 #[test]
@@ -359,6 +496,7 @@ fn fleet_routes_submissions_by_shard_map_and_interleaves() {
                 bandwidth_bytes_per_sec: (1u64 << 30) as f64,
                 initial_load_free: true,
                 parallel_streams: 1,
+                stream_model: StreamModel::Pipeline,
             },
             store,
             SchedPolicy::RankBased.build(),
@@ -383,10 +521,10 @@ fn fleet_routes_submissions_by_shard_map_and_interleaves() {
     let mut rearmed = Vec::new();
     fleet.poke_all(t(0), |s, at| rearmed.push((s, at)));
     assert!(rearmed.is_empty());
-    let d0 = fleet.on_wakeup(0, t(1)).expect("shard 0 delivery");
-    let d1 = fleet.on_wakeup(1, t(1)).expect("shard 1 delivery");
-    assert_eq!(d0.object, a);
-    assert_eq!(d1.object, b);
+    let d0 = fleet.on_wakeup(0, t(1));
+    let d1 = fleet.on_wakeup(1, t(1));
+    assert_eq!(d0[0].object, a);
+    assert_eq!(d1[0].object, b);
     assert!(fleet.is_quiescent());
 }
 

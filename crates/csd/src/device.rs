@@ -1,4 +1,4 @@
-//! The CSD device state machine.
+//! The CSD device state machine: a multi-stream service pipeline.
 //!
 //! Models the paper's emulated cold storage device: a request queue in
 //! front of a MAID array with one active disk group. The device is
@@ -6,25 +6,52 @@
 //! whenever the device might have work (new requests, or an operation just
 //! completed) and schedules a wake-up at the returned completion time.
 //!
-//! The lifecycle of one operation:
+//! The paper's prototype middleware *serialized* request servicing; §5.2.1
+//! observes that "by parallelizing the servicing of requests within a
+//! group, we can reduce transfer time substantially" — the spun-up group
+//! itself sustains 1-2 GB/s while one stream sees ~110 MB/s. The device
+//! therefore runs a **service pipeline**: `parallel_streams` transfer
+//! slots, each carrying one in-flight request, with completions kept in a
+//! small min-heap, plus an explicit switch stage that drains in-flight
+//! transfers before the group swap:
 //!
 //! ```text
-//! kick(now) ──► scheduler.decide()
-//!    │               │
-//!    │          ServeActive ──► resolve the policy's ServeScope + the
-//!    │               │          device's IntraGroupOrder in the queue,
-//!    │               │          start Transfer, complete at now + bytes/BW
-//!    │          SwitchTo(g) ──► start Switch, complete at now + S
-//!    │               │          (first load of an idle array is free)
-//!    │          Idle ───────► nothing pending
+//! kick(now) ──► per idle slot: scheduler.decide(queue, active, in-flight)
+//!    │              │
+//!    │         ServeActive ──► resolve ServeScope + IntraGroupOrder in
+//!    │              │          the queue, dequeue the request, start a
+//!    │              │          transfer in the slot: done at now+bytes/BW
+//!    │         SwitchTo(g) ──► pipe empty: start Switch, done at now+S
+//!    │              │          (first load of an idle array is free);
+//!    │              │          pipe draining: ARM the switch — no new
+//!    │              │          transfers; it begins the instant the
+//!    │              │          last old-group transfer completes
+//!    │         Idle ────────► nothing new (a draining policy may be
+//!    │                        declining; it is re-asked at the next
+//!    │                        completion)
 //!    ▼
-//! complete(now) ──► Switch: activate group, notify scheduler
-//!                   Transfer: pop payload, return Delivery to the driver
+//! earliest pending completion (min over the slot heap / switch stage)
+//!    │
+//! complete(now) ──► retire EVERYTHING due at now:
+//!                   Switch: activate group, notify scheduler, arm the
+//!                           residency snapshot
+//!                   Transfers: pop payloads, return Vec<Delivery>; if
+//!                           the pipe just drained and a switch is
+//!                           armed, the switch starts at now exactly
 //! ```
 //!
-//! Serving never preempts: once a transfer starts it finishes; group
-//! residency policy is entirely the scheduler's business via
-//! [`GroupScheduler::serve_scope`].
+//! Serving never preempts: once a transfer starts it finishes; an armed
+//! switch stops new dispatches but never cancels in-flight transfers.
+//! `streams = 1` collapses to the historical one-op state machine
+//! exactly: the single slot is either empty (decide, as before) or busy
+//! (return its completion), a switch can only be decided with the pipe
+//! empty (so it starts immediately, never armed), and every decision is
+//! made with [`InFlight::NONE`].
+//!
+//! Each slot records its transfer spans in its own [`ActivityTrace`]
+//! (slot 0 also carries the switch spans), so traces stay sequential
+//! per-slot while transfers overlap across slots; stall attribution
+//! unions them.
 //!
 //! The pending queue is pluggable: the device is generic over
 //! [`RequestIndex`] and defaults to the incrementally-indexed
@@ -32,13 +59,35 @@
 //! [`NaiveQueue`](crate::sched::NaiveQueue) plugs into the same slot for
 //! differential testing and as the `skipper-bench --bin perf` baseline.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use skipper_sim::{Activity, ActivityTrace, SimDuration, SimTime};
 
 use crate::metrics::DeviceMetrics;
 use crate::object::{GroupId, ObjectId, QueryId};
-use crate::sched::{Decision, GroupScheduler, PendingRequest, RequestIndex, RequestQueue};
+use crate::sched::{
+    Decision, GroupScheduler, InFlight, PendingRequest, RequestIndex, RequestQueue,
+};
 use crate::store::{transfer_time, ObjectStore};
 use skipper_sim::trace::Span;
+
+/// How `parallel_streams > 1` is modelled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StreamModel {
+    /// The service pipeline (default): `parallel_streams` transfer
+    /// slots, each serving one request at the per-stream bandwidth,
+    /// overlapping in time. This is the §5.2.1 improvement modelled
+    /// faithfully: concurrency, not a rate constant.
+    #[default]
+    Pipeline,
+    /// The historical compat model kept for A/B comparison in
+    /// `skipper-bench`: servicing stays strictly serial (one slot) and
+    /// `parallel_streams` merely multiplies the transfer bandwidth.
+    /// Equivalent to the pipeline only when the queue never runs dry
+    /// mid-residency; use [`StreamModel::Pipeline`] for new work.
+    BandwidthMultiplier,
+}
 
 /// Device parameters.
 #[derive(Clone, Copy, Debug)]
@@ -46,22 +95,23 @@ pub struct CsdConfig {
     /// Group switch latency `S` (Pelican: 8 s; the paper's experiments
     /// use 10 s by default and sweep 0-40 s).
     pub switch_latency: SimDuration,
-    /// Object streaming bandwidth in bytes/s. Non-positive or non-finite
-    /// means transfers are free (used by the "local disk" configuration of
-    /// the Table 3 component breakdown).
+    /// Per-stream object streaming bandwidth in bytes/s. Non-positive or
+    /// non-finite means transfers are free (used by the "local disk"
+    /// configuration of the Table 3 component breakdown).
     pub bandwidth_bytes_per_sec: f64,
     /// Whether the very first group load costs nothing (the array always
     /// has *some* group spinning; matching the paper where a lone client
     /// with a one-group layout sees zero switches).
     pub initial_load_free: bool,
     /// Concurrent transfer streams while a group is loaded. The paper's
-    /// prototype middleware serialized request servicing (streams = 1)
-    /// and its §5.2.1 notes that "by parallelizing the servicing of
-    /// requests within a group, we can reduce transfer time
-    /// substantially" — the spun-up disk group itself sustains
-    /// 1-2 GB/s. Values > 1 model that improvement as a bandwidth
-    /// multiplier on intra-group service.
+    /// prototype middleware serialized request servicing (streams = 1);
+    /// values > 1 open that many pipeline slots (§5.2.1 "parallelize
+    /// the servicing of requests within a group"). Must be ≥ 1 — a
+    /// zero-stream device could never serve anything, so the
+    /// constructor rejects it loudly instead of clamping.
     pub parallel_streams: u32,
+    /// How streams > 1 are modelled (default: the true pipeline).
+    pub stream_model: StreamModel,
 }
 
 impl Default for CsdConfig {
@@ -74,6 +124,7 @@ impl Default for CsdConfig {
             bandwidth_bytes_per_sec: 110.0 * 1024.0 * 1024.0,
             initial_load_free: true,
             parallel_streams: 1,
+            stream_model: StreamModel::Pipeline,
         }
     }
 }
@@ -145,20 +196,27 @@ pub struct Delivery<P> {
     pub payload: P,
 }
 
-/// The in-flight operation.
+/// One occupied transfer slot.
 #[derive(Clone, Debug)]
-enum Op {
-    Switch {
-        target: GroupId,
-        until: SimTime,
-    },
-    Transfer {
-        request: PendingRequest,
-        until: SimTime,
-    },
+struct TransferSlot {
+    request: PendingRequest,
+    started: SimTime,
+    until: SimTime,
 }
 
-/// The cold storage device: request queue + MAID state machine.
+/// The switch stage of the pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SwitchStage {
+    /// No switch pending.
+    Idle,
+    /// Decided while transfers were draining: starts the instant the
+    /// last one completes. No new transfers dispatch while armed.
+    Armed(GroupId),
+    /// Spinning groups down/up right now; the pipe is empty.
+    Switching { target: GroupId, until: SimTime },
+}
+
+/// The cold storage device: request queue + MAID service pipeline.
 ///
 /// Generic over the pending-queue implementation `Q` (default: the
 /// indexed [`RequestQueue`]).
@@ -168,9 +226,21 @@ pub struct CsdDevice<P, Q: RequestIndex = RequestQueue> {
     scheduler: Box<dyn GroupScheduler>,
     queue: Q,
     active_group: Option<GroupId>,
-    op: Option<Op>,
+    /// The transfer slots; `None` = idle. Length is the stream count
+    /// (one under [`StreamModel::BandwidthMultiplier`]).
+    slots: Vec<Option<TransferSlot>>,
+    /// Occupied-slot count (= number of `Some` entries in `slots`).
+    in_flight: usize,
+    /// Pending transfer completions: min-heap of `(until, slot)`, so
+    /// the earliest wake-up is a peek and same-instant retirements pop
+    /// in slot order (deterministic).
+    completions: BinaryHeap<Reverse<(SimTime, usize)>>,
+    switch: SwitchStage,
     next_seq: u64,
-    trace: ActivityTrace,
+    /// One activity trace per slot: per-slot spans stay sequential while
+    /// transfers overlap across slots. Slot 0 also records switch spans
+    /// (a switch only runs with the pipe empty, so they never overlap).
+    traces: Vec<ActivityTrace>,
     metrics: DeviceMetrics,
     served_log: Vec<(usize, QueryId, ObjectId)>,
 }
@@ -178,23 +248,49 @@ pub struct CsdDevice<P, Q: RequestIndex = RequestQueue> {
 impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
     /// Creates a device over `store` with the given scheduler and
     /// intra-group ordering.
+    ///
+    /// # Panics
+    /// Panics if `config.parallel_streams` is 0 — a zero-stream device
+    /// could never serve a request.
     pub fn new(
         config: CsdConfig,
         store: ObjectStore<P>,
         scheduler: Box<dyn GroupScheduler>,
         intra: IntraGroupOrder,
     ) -> Self {
+        assert!(
+            config.parallel_streams >= 1,
+            "CsdConfig::parallel_streams must be >= 1 (got 0); \
+             use 1 for the paper's serialized middleware"
+        );
+        let slot_count = match config.stream_model {
+            StreamModel::Pipeline => config.parallel_streams as usize,
+            StreamModel::BandwidthMultiplier => 1,
+        };
         CsdDevice {
             config,
             store,
             scheduler,
             queue: Q::new(intra),
             active_group: None,
-            op: None,
+            slots: (0..slot_count).map(|_| None).collect(),
+            in_flight: 0,
+            completions: BinaryHeap::new(),
+            switch: SwitchStage::Idle,
             next_seq: 0,
-            trace: ActivityTrace::new(),
+            traces: (0..slot_count).map(|_| ActivityTrace::new()).collect(),
             metrics: DeviceMetrics::default(),
             served_log: Vec::new(),
+        }
+    }
+
+    /// The effective per-stream service bandwidth.
+    fn stream_bandwidth(&self) -> f64 {
+        match self.config.stream_model {
+            StreamModel::Pipeline => self.config.bandwidth_bytes_per_sec,
+            StreamModel::BandwidthMultiplier => {
+                self.config.bandwidth_bytes_per_sec * self.config.parallel_streams as f64
+            }
         }
     }
 
@@ -223,19 +319,32 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
         }
     }
 
-    /// If the device is idle, consults the scheduler and starts the next
-    /// operation. Returns the completion time of the operation now in
-    /// flight (whether just started or pre-existing), or `None` if the
-    /// device is idle with nothing to do.
+    /// Fills idle transfer slots (consulting the scheduler once per
+    /// slot, each grant dequeuing its request so the queue aggregates
+    /// stay truthful) and returns the *earliest* pending completion —
+    /// transfer or switch — or `None` if the device is idle with
+    /// nothing to do.
+    ///
+    /// The wake-up contract is "earliest of K completions": dispatching
+    /// new work can move the earliest completion *earlier*, so callers
+    /// must re-kick after every mutation (submit or complete) and
+    /// re-arm their wake-up when the returned instant changes.
     pub fn kick(&mut self, now: SimTime) -> Option<SimTime> {
-        if let Some(op) = &self.op {
-            return Some(match op {
-                Op::Switch { until, .. } | Op::Transfer { until, .. } => *until,
-            });
+        if let SwitchStage::Switching { until, .. } = self.switch {
+            return Some(until);
         }
-        loop {
-            match self.scheduler.decide(&self.queue, self.active_group) {
-                Decision::Idle => return None,
+        // Dispatch until the slots are full, the scheduler stops
+        // granting, or a switch gets armed (no new transfers then).
+        while self.switch == SwitchStage::Idle {
+            let Some(slot) = self.slots.iter().position(Option::is_none) else {
+                break;
+            };
+            let pipe = InFlight {
+                transfers: self.in_flight,
+                slots: self.slots.len(),
+            };
+            match self.scheduler.decide(&self.queue, self.active_group, pipe) {
+                Decision::Idle => break,
                 Decision::ServeActive => {
                     let active = self
                         .active_group
@@ -264,18 +373,25 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
                         .meta(request.object)
                         .expect("submitted object exists")
                         .logical_bytes;
-                    let streams = self.config.parallel_streams.max(1) as f64;
-                    let until =
-                        now + transfer_time(bytes, self.config.bandwidth_bytes_per_sec * streams);
-                    self.trace.record(
+                    let until = now + transfer_time(bytes, self.stream_bandwidth());
+                    self.traces[slot].record(
                         now,
                         until,
                         Activity::Transferring {
                             client: request.client,
                         },
                     );
-                    self.op = Some(Op::Transfer { request, until });
-                    return Some(until);
+                    self.slots[slot] = Some(TransferSlot {
+                        request,
+                        started: now,
+                        until,
+                    });
+                    self.in_flight += 1;
+                    self.metrics.peak_concurrent_streams = self
+                        .metrics
+                        .peak_concurrent_streams
+                        .max(self.in_flight as u32);
+                    self.completions.push(Reverse((until, slot)));
                 }
                 Decision::SwitchTo(target) => {
                     assert_ne!(
@@ -284,6 +400,12 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
                         "scheduler {} switched to the already-active group",
                         self.scheduler.name()
                     );
+                    if self.in_flight > 0 {
+                        // Transfers still draining: arm the switch so it
+                        // begins the instant the last one completes.
+                        self.switch = SwitchStage::Armed(target);
+                        break;
+                    }
                     if self.active_group.is_none() && self.config.initial_load_free {
                         // The array always has some group spinning; treat
                         // the first load as free and re-decide.
@@ -293,71 +415,119 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
                         self.queue.arm_residency(target);
                         continue;
                     }
-                    let until = now + self.config.switch_latency;
-                    self.trace.record(now, until, Activity::Switching);
-                    self.metrics.group_switches += 1;
-                    self.op = Some(Op::Switch { target, until });
-                    return Some(until);
+                    return Some(self.begin_switch(now, target));
                 }
             }
         }
+        self.completions.peek().map(|&Reverse((at, _))| at)
     }
 
-    /// Completes the operation due at `now`. Returns a [`Delivery`] when a
-    /// transfer finished; the caller should then deliver it and call
+    /// Starts the switch stage (the pipe must be empty) and returns its
+    /// completion instant.
+    fn begin_switch(&mut self, now: SimTime, target: GroupId) -> SimTime {
+        debug_assert_eq!(self.in_flight, 0, "switch started with transfers in flight");
+        let until = now + self.config.switch_latency;
+        self.traces[0].record(now, until, Activity::Switching);
+        self.metrics.group_switches += 1;
+        self.switch = SwitchStage::Switching { target, until };
+        until
+    }
+
+    /// Completes everything due at `now`: either the switch stage, or
+    /// every transfer whose completion instant is exactly `now`
+    /// (returned in slot order). If retiring the last transfer drains
+    /// the pipe with a switch armed, the switch starts at `now` — no
+    /// idle gap. The caller should deliver the results and call
     /// [`CsdDevice::kick`] again.
     ///
     /// # Panics
-    /// Panics if no operation is in flight or the completion time does not
-    /// match — the event loop must be in lock-step with the device.
-    pub fn complete(&mut self, now: SimTime) -> Option<Delivery<P>> {
-        let op = self
-            .op
-            .take()
-            .expect("complete() with no operation in flight");
-        match op {
-            Op::Switch { target, until } => {
-                assert_eq!(until, now, "switch completion out of step");
-                self.active_group = Some(target);
-                self.scheduler.on_switch_complete(&self.queue, target);
-                self.queue.arm_residency(target);
-                None
+    /// Panics if nothing is due at `now` — the event loop must stay in
+    /// lock-step with the device's reported completion times.
+    pub fn complete(&mut self, now: SimTime) -> Vec<Delivery<P>> {
+        if let SwitchStage::Switching { target, until } = self.switch {
+            assert_eq!(until, now, "switch completion out of step");
+            self.switch = SwitchStage::Idle;
+            self.active_group = Some(target);
+            self.scheduler.on_switch_complete(&self.queue, target);
+            self.queue.arm_residency(target);
+            return Vec::new();
+        }
+        let mut deliveries = Vec::new();
+        while let Some(&Reverse((at, slot))) = self.completions.peek() {
+            if at != now {
+                assert!(
+                    at > now,
+                    "transfer completion out of step: slot {slot} was due at {at}, woken at {now}"
+                );
+                break;
             }
-            Op::Transfer { request, until } => {
-                assert_eq!(until, now, "transfer completion out of step");
-                let meta = *self.store.meta(request.object).expect("object exists");
-                self.metrics.objects_served += 1;
-                self.metrics.logical_bytes_served += meta.logical_bytes;
-                *self
-                    .metrics
-                    .served_per_client
-                    .entry(request.client)
-                    .or_default() += 1;
-                self.served_log
-                    .push((request.client, request.query, request.object));
-                let payload = self
-                    .store
-                    .get(request.object)
-                    .expect("object exists")
-                    .clone();
-                Some(Delivery {
-                    client: request.client,
-                    query: request.query,
-                    object: request.object,
-                    payload,
-                })
+            self.completions.pop();
+            let TransferSlot {
+                request,
+                started,
+                until,
+            } = self.slots[slot]
+                .take()
+                .expect("completion heap entry without an occupied slot");
+            debug_assert_eq!(until, now);
+            self.in_flight -= 1;
+            let meta = *self.store.meta(request.object).expect("object exists");
+            self.metrics.objects_served += 1;
+            self.metrics.logical_bytes_served += meta.logical_bytes;
+            self.metrics.transfer_busy_micros += until.since(started).as_micros();
+            *self
+                .metrics
+                .served_per_client
+                .entry(request.client)
+                .or_default() += 1;
+            self.served_log
+                .push((request.client, request.query, request.object));
+            let payload = self
+                .store
+                .get(request.object)
+                .expect("object exists")
+                .clone();
+            deliveries.push(Delivery {
+                client: request.client,
+                query: request.query,
+                object: request.object,
+                payload,
+            });
+        }
+        assert!(
+            !deliveries.is_empty(),
+            "complete() with no operation in flight at {now}"
+        );
+        if self.in_flight == 0 {
+            if let SwitchStage::Armed(target) = self.switch {
+                // The pipe just drained: the armed switch begins now.
+                self.switch = SwitchStage::Idle;
+                self.begin_switch(now, target);
             }
         }
+        deliveries
     }
 
-    /// True when no operation is in flight and the queue is empty.
+    /// True when no transfer or switch is in flight and the queue is
+    /// empty.
     pub fn is_quiescent(&self) -> bool {
-        self.op.is_none() && self.queue.is_empty()
+        self.in_flight == 0 && self.switch == SwitchStage::Idle && self.queue.is_empty()
     }
 
-    /// Number of queued (not yet served) requests.
+    /// Number of queued (not yet dispatched) requests.
     pub fn pending_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Number of transfers currently occupying pipeline slots.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Number of transfer slots (1 under
+    /// [`StreamModel::BandwidthMultiplier`]).
+    pub fn stream_count(&self) -> usize {
+        self.slots.len()
     }
 
     /// The currently loaded group.
@@ -388,15 +558,25 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
         std::mem::take(&mut self.served_log)
     }
 
-    /// The activity trace (switch/transfer spans) for stall attribution.
+    /// The control-stream activity trace: slot 0's transfers plus every
+    /// switch span. The full per-slot picture is [`CsdDevice::traces`].
     pub fn trace(&self) -> &ActivityTrace {
-        &self.trace
+        &self.traces[0]
     }
 
-    /// Takes the recorded activity spans out of the device (end-of-run
-    /// assembly).
-    pub fn take_spans(&mut self) -> Vec<Span> {
-        self.trace.take_spans()
+    /// Every slot's activity trace, in slot order. Spans are sequential
+    /// within a slot and overlap across slots; stall attribution unions
+    /// them (`skipper_sim::attribute_union`).
+    pub fn traces(&self) -> &[ActivityTrace] {
+        &self.traces
+    }
+
+    /// Takes the recorded spans out of every slot trace, in slot order
+    /// (end-of-run assembly). Index 0 is the control stream (switches +
+    /// slot-0 transfers); with one stream this is exactly the
+    /// historical single span log.
+    pub fn take_stream_spans(&mut self) -> Vec<Vec<Span>> {
+        self.traces.iter_mut().map(|t| t.take_spans()).collect()
     }
 
     /// The scheduler's report name.
@@ -420,6 +600,10 @@ mod tests {
     /// 2 tenants × 2 objects, one group per tenant, 100 MB objects,
     /// 100 MB/s bandwidth (1 s per object), 10 s switches.
     fn device(policy: SchedPolicy) -> CsdDevice<&'static str> {
+        device_with_streams(policy, 1)
+    }
+
+    fn device_with_streams(policy: SchedPolicy, streams: u32) -> CsdDevice<&'static str> {
         let mut store = ObjectStore::new();
         for t in 0..2u16 {
             for s in 0..2u32 {
@@ -431,7 +615,8 @@ mod tests {
                 switch_latency: SimDuration::from_secs(10),
                 bandwidth_bytes_per_sec: (100 * MB) as f64,
                 initial_load_free: true,
-                parallel_streams: 1,
+                parallel_streams: streams,
+                stream_model: StreamModel::Pipeline,
             },
             store,
             policy.build(),
@@ -441,6 +626,18 @@ mod tests {
 
     fn t(s: u64) -> SimTime {
         SimTime::from_secs(s)
+    }
+
+    /// Drives the device to quiescence, collecting `(time, delivery)`.
+    fn drain(dev: &mut CsdDevice<&'static str>, mut now: SimTime) -> (SimTime, Vec<ObjectId>) {
+        let mut served = Vec::new();
+        while let Some(until) = dev.kick(now) {
+            now = until;
+            for d in dev.complete(now) {
+                served.push(d.object);
+            }
+        }
+        (now, served)
     }
 
     #[test]
@@ -456,13 +653,14 @@ mod tests {
         // Initial load is free → first op is a 1 s transfer.
         let done = dev.kick(t(0)).unwrap();
         assert_eq!(done, t(1));
-        let d = dev.complete(t(1)).unwrap();
-        assert_eq!(d.client, 0);
-        assert_eq!(d.object.segment, 0); // semantic order: lowest segment first
+        let d = dev.complete(t(1));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].client, 0);
+        assert_eq!(d[0].object.segment, 0); // semantic order: lowest segment first
         let done = dev.kick(t(1)).unwrap();
         assert_eq!(done, t(2));
-        let d = dev.complete(t(2)).unwrap();
-        assert_eq!(d.object.segment, 1);
+        let d = dev.complete(t(2));
+        assert_eq!(d[0].object.segment, 1);
         assert!(dev.kick(t(2)).is_none());
         assert!(dev.is_quiescent());
         assert_eq!(dev.metrics().group_switches, 0);
@@ -489,9 +687,7 @@ mod tests {
         let mut deliveries = Vec::new();
         while let Some(until) = dev.kick(now) {
             now = until;
-            if let Some(d) = dev.complete(now) {
-                deliveries.push(d);
-            }
+            deliveries.extend(dev.complete(now));
         }
         assert_eq!(deliveries.len(), 4);
         // Batched: both of client 0's objects, then a single switch, then
@@ -512,11 +708,7 @@ mod tests {
         dev.submit(t(0), 1, QueryId::new(1, 0), &[ObjectId::new(1, 0, 0)]);
         dev.submit(t(0), 0, QueryId::new(0, 0), &[ObjectId::new(0, 0, 1)]);
         dev.submit(t(0), 1, QueryId::new(1, 0), &[ObjectId::new(1, 0, 1)]);
-        let mut now = t(0);
-        while let Some(until) = dev.kick(now) {
-            now = until;
-            dev.complete(now);
-        }
+        let (now, _) = drain(&mut dev, t(0));
         // Strict arrival order forces 3 switches (0→1→0→1) vs 1 for the
         // batching schedulers — the §4.4 pathology.
         assert_eq!(dev.metrics().group_switches, 3);
@@ -535,11 +727,11 @@ mod tests {
         dev.submit(t(1), 0, QueryId::new(0, 0), &[ObjectId::new(0, 0, 0)]);
         let until = dev.kick(t(1)).unwrap();
         assert_eq!(until, t(11)); // 10 s switch
-        assert!(dev.complete(t(11)).is_none());
+        assert!(dev.complete(t(11)).is_empty());
         assert_eq!(dev.active_group(), Some(0));
         let until = dev.kick(t(11)).unwrap();
         assert_eq!(until, t(12));
-        assert!(dev.complete(t(12)).is_some());
+        assert_eq!(dev.complete(t(12)).len(), 1);
     }
 
     #[test]
@@ -547,11 +739,7 @@ mod tests {
         let mut dev = device(SchedPolicy::MaxQueries);
         dev.submit(t(0), 0, QueryId::new(0, 0), &[ObjectId::new(0, 0, 0)]);
         dev.submit(t(0), 1, QueryId::new(1, 0), &[ObjectId::new(1, 0, 0)]);
-        let mut now = t(0);
-        while let Some(until) = dev.kick(now) {
-            now = until;
-            dev.complete(now);
-        }
+        let (now, _) = drain(&mut dev, t(0));
         let attr = dev.trace().attribute(t(0), now);
         assert_eq!(attr.switching, SimDuration::from_secs(10));
         assert_eq!(attr.transfer, SimDuration::from_secs(2));
@@ -598,7 +786,112 @@ mod tests {
     }
 
     #[test]
-    fn parallel_streams_scale_intra_group_bandwidth() {
+    #[should_panic(expected = "parallel_streams must be >= 1")]
+    fn zero_streams_rejected() {
+        device_with_streams(SchedPolicy::RankBased, 0);
+    }
+
+    #[test]
+    fn pipeline_overlaps_intra_group_transfers() {
+        // 4 objects on one group, 2 streams: pairs of 1 s transfers
+        // overlap → 2 s total instead of the serial 4 s.
+        let mut store = ObjectStore::new();
+        for s in 0..4u32 {
+            store.put(ObjectId::new(0, 0, s), 100 * MB, 0, "seg");
+        }
+        let mut dev: CsdDevice<&'static str> = CsdDevice::new(
+            CsdConfig {
+                switch_latency: SimDuration::from_secs(10),
+                bandwidth_bytes_per_sec: (100 * MB) as f64,
+                initial_load_free: true,
+                parallel_streams: 2,
+                stream_model: StreamModel::Pipeline,
+            },
+            store,
+            SchedPolicy::RankBased.build(),
+            IntraGroupOrder::SemanticRoundRobin,
+        );
+        let objs: Vec<ObjectId> = (0..4).map(|s| ObjectId::new(0, 0, s)).collect();
+        dev.submit(t(0), 0, QueryId::new(0, 0), &objs);
+        let first = dev.kick(t(0)).unwrap();
+        assert_eq!(first, t(1));
+        assert_eq!(dev.in_flight(), 2);
+        // Both streams complete at t=1: one wake-up retires both.
+        let batch = dev.complete(t(1));
+        assert_eq!(batch.len(), 2);
+        let (now, _) = drain(&mut dev, t(1));
+        assert_eq!(now, t(2), "two stream-pairs of 1 s each");
+        assert_eq!(dev.metrics().objects_served, 4);
+        assert_eq!(dev.metrics().peak_concurrent_streams, 2);
+        // 4 stream-seconds of transfer over 2 wall seconds.
+        assert_eq!(dev.metrics().transfer_busy_micros, 4_000_000);
+        // Slot traces: 2 s of transfer in each slot, overlapping in
+        // wall time (adjacent same-client spans coalesce per slot).
+        assert_eq!(dev.traces().len(), 2);
+        for tr in dev.traces() {
+            assert_eq!(tr.attribute(t(0), t(2)).transfer, SimDuration::from_secs(2));
+        }
+    }
+
+    #[test]
+    fn switch_begins_the_instant_the_pipe_drains() {
+        // Client 0: two 1 s objects on group 0; client 1: one on group 1.
+        // With 2 streams both of client 0's transfers overlap in [0,1);
+        // the switch must begin at exactly t=1 (no idle gap at the
+        // drain→switch seam), finishing at t=11.
+        let mut dev = device_with_streams(SchedPolicy::FcfsQuery, 2);
+        dev.submit(
+            t(0),
+            0,
+            QueryId::new(0, 0),
+            &[ObjectId::new(0, 0, 0), ObjectId::new(0, 0, 1)],
+        );
+        dev.submit(t(0), 1, QueryId::new(1, 0), &[ObjectId::new(1, 0, 0)]);
+        let first = dev.kick(t(0)).unwrap();
+        assert_eq!(first, t(1));
+        assert_eq!(dev.in_flight(), 2);
+        let batch = dev.complete(t(1));
+        assert_eq!(batch.len(), 2, "both group-0 transfers retire together");
+        let until = dev.kick(t(1)).unwrap();
+        assert_eq!(until, t(11), "switch spans [1, 11) with no idle gap");
+        assert!(dev.complete(t(11)).is_empty());
+        assert_eq!(dev.active_group(), Some(1));
+        let (now, _) = drain(&mut dev, t(11));
+        assert_eq!(now, t(12));
+        // Trace confirms the seam: switch span starts exactly at drain.
+        let switching: Vec<_> = dev
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.activity == Activity::Switching)
+            .collect();
+        assert_eq!(switching.len(), 1);
+        assert_eq!(switching[0].start, t(1));
+        assert_eq!(switching[0].end, t(11));
+    }
+
+    #[test]
+    fn armed_switch_blocks_new_dispatches() {
+        // FCFS-object with 2 streams: oldest is on group 0, second
+        // oldest on group 1. Slot 0 takes the group-0 transfer; the
+        // next grant is a switch (armed, pipe draining) and the second
+        // slot must stay empty.
+        let mut dev = device_with_streams(SchedPolicy::FcfsObject, 2);
+        dev.submit(t(0), 0, QueryId::new(0, 0), &[ObjectId::new(0, 0, 0)]);
+        dev.submit(t(0), 1, QueryId::new(1, 0), &[ObjectId::new(1, 0, 0)]);
+        dev.submit(t(0), 0, QueryId::new(0, 1), &[ObjectId::new(0, 0, 1)]);
+        let first = dev.kick(t(0)).unwrap();
+        assert_eq!(first, t(1));
+        assert_eq!(dev.in_flight(), 1, "armed switch must stop dispatching");
+        dev.complete(t(1));
+        // Switch to group 1 spans [1, 11).
+        assert_eq!(dev.kick(t(1)), Some(t(11)));
+        assert_eq!(dev.metrics().group_switches, 1);
+    }
+
+    #[test]
+    fn bandwidth_multiplier_compat_mode_stays_serial() {
+        // The legacy model: one slot, bandwidth × streams.
         let mut store = ObjectStore::new();
         for s in 0..4u32 {
             store.put(ObjectId::new(0, 0, s), 100 * MB, 0, "seg");
@@ -609,6 +902,45 @@ mod tests {
                 bandwidth_bytes_per_sec: (100 * MB) as f64,
                 initial_load_free: true,
                 parallel_streams: 4,
+                stream_model: StreamModel::BandwidthMultiplier,
+            },
+            store,
+            SchedPolicy::RankBased.build(),
+            IntraGroupOrder::SemanticRoundRobin,
+        );
+        assert_eq!(dev.stream_count(), 1);
+        let objs: Vec<ObjectId> = (0..4).map(|s| ObjectId::new(0, 0, s)).collect();
+        dev.submit(t(0), 0, QueryId::new(0, 0), &objs);
+        let mut now = t(0);
+        let mut completions = 0;
+        while let Some(until) = dev.kick(now) {
+            now = until;
+            completions += dev.complete(now).len();
+            assert!(dev.in_flight() <= 1, "multiplier mode must stay serial");
+        }
+        // 4 objects × 0.25 s each at 4× service bandwidth = 1 s total,
+        // delivered one at a time.
+        assert_eq!(now, t(1));
+        assert_eq!(completions, 4);
+        assert_eq!(dev.metrics().objects_served, 4);
+        assert_eq!(dev.metrics().peak_concurrent_streams, 1);
+    }
+
+    #[test]
+    fn pipeline_matches_multiplier_makespan_on_saturated_queue() {
+        // With the queue saturated the two models agree on total
+        // intra-group service time: 4 × 1 s over 4 streams = 1 s.
+        let mut store = ObjectStore::new();
+        for s in 0..4u32 {
+            store.put(ObjectId::new(0, 0, s), 100 * MB, 0, "seg");
+        }
+        let mut dev: CsdDevice<&'static str> = CsdDevice::new(
+            CsdConfig {
+                switch_latency: SimDuration::from_secs(10),
+                bandwidth_bytes_per_sec: (100 * MB) as f64,
+                initial_load_free: true,
+                parallel_streams: 4,
+                stream_model: StreamModel::Pipeline,
             },
             store,
             SchedPolicy::RankBased.build(),
@@ -616,14 +948,10 @@ mod tests {
         );
         let objs: Vec<ObjectId> = (0..4).map(|s| ObjectId::new(0, 0, s)).collect();
         dev.submit(t(0), 0, QueryId::new(0, 0), &objs);
-        let mut now = t(0);
-        while let Some(until) = dev.kick(now) {
-            now = until;
-            dev.complete(now);
-        }
-        // 4 objects x 1 s each at 4x service bandwidth = 1 s total.
+        let (now, _) = drain(&mut dev, t(0));
         assert_eq!(now, t(1));
         assert_eq!(dev.metrics().objects_served, 4);
+        assert_eq!(dev.metrics().peak_concurrent_streams, 4);
     }
 
     #[test]
@@ -640,7 +968,7 @@ mod tests {
         let mut order = Vec::new();
         let mut now = until;
         loop {
-            if let Some(d) = dev.complete(now) {
+            for d in dev.complete(now) {
                 order.push(d.query);
             }
             match dev.kick(now) {
@@ -661,16 +989,9 @@ mod tests {
         let mut dev = device(SchedPolicy::RankBased);
         let obj = ObjectId::new(0, 0, 0);
         dev.submit(t(0), 0, QueryId::new(0, 0), &[obj]);
-        let mut now = t(0);
-        while let Some(until) = dev.kick(now) {
-            now = until;
-            dev.complete(now);
-        }
+        let (now, _) = drain(&mut dev, t(0));
         dev.submit(now, 0, QueryId::new(0, 0), &[obj]); // reissue
-        while let Some(until) = dev.kick(now) {
-            now = until;
-            dev.complete(now);
-        }
+        drain(&mut dev, now);
         assert_eq!(dev.metrics().requests_submitted, 2);
         assert_eq!(dev.metrics().objects_served, 2);
         assert_eq!(dev.metrics().served_to(0), 2);
@@ -685,11 +1006,7 @@ mod tests {
             QueryId::new(0, 0),
             &[ObjectId::new(0, 0, 0), ObjectId::new(0, 0, 1)],
         );
-        let mut now = t(0);
-        while let Some(until) = dev.kick(now) {
-            now = until;
-            dev.complete(now);
-        }
+        drain(&mut dev, t(0));
         assert_eq!(
             dev.served_log(),
             &[
@@ -697,5 +1014,44 @@ mod tests {
                 (0, QueryId::new(0, 0), ObjectId::new(0, 0, 1)),
             ]
         );
+    }
+
+    #[test]
+    fn streams_one_matches_the_serial_event_schedule() {
+        // The collapse contract: a 1-stream pipeline reproduces the
+        // serial machine's exact completion instants and span log on a
+        // switch-heavy workload.
+        let run = |streams: u32| {
+            let mut dev = device_with_streams(SchedPolicy::RankBased, streams);
+            dev.submit(
+                t(0),
+                0,
+                QueryId::new(0, 0),
+                &[ObjectId::new(0, 0, 0), ObjectId::new(0, 0, 1)],
+            );
+            dev.submit(
+                t(0),
+                1,
+                QueryId::new(1, 0),
+                &[ObjectId::new(1, 0, 0), ObjectId::new(1, 0, 1)],
+            );
+            let mut instants = Vec::new();
+            let mut now = t(0);
+            while let Some(until) = dev.kick(now) {
+                now = until;
+                instants.push((now, dev.complete(now).len()));
+            }
+            let spans = dev.take_stream_spans();
+            (instants, spans)
+        };
+        let (serial, serial_spans) = run(1);
+        assert_eq!(
+            serial,
+            vec![(t(1), 1), (t(2), 1), (t(12), 0), (t(13), 1), (t(14), 1)]
+        );
+        // One slot trace: coalesced transfer [0,2), switch [2,12),
+        // coalesced transfer [12,14) — the historical span log.
+        assert_eq!(serial_spans.len(), 1);
+        assert_eq!(serial_spans[0].len(), 3);
     }
 }

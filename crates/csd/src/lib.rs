@@ -30,7 +30,11 @@
 //! * [`device`] — the device state machine: request queue → pick group →
 //!   switch (latency S) → serve every pending request on the group
 //!   (no preemption) → repeat; with semantically-smart intra-group
-//!   ordering (round-robin across a query's tables).
+//!   ordering (round-robin across a query's tables). Serving runs
+//!   through a multi-stream *service pipeline*
+//!   ([`CsdConfig::parallel_streams`](device::CsdConfig) transfer
+//!   slots, §5.2.1): intra-group transfers overlap, and a switch
+//!   decided mid-drain is armed to start the instant the pipe drains.
 //! * [`metrics`] — switch/transfer counters per device and per client.
 //! * [`power`] — MAID energy accounting (the ~80 % power saving that
 //!   motivates cold storage economics).
@@ -46,12 +50,12 @@ pub mod power;
 pub mod sched;
 pub mod store;
 
-pub use device::{CsdConfig, CsdDevice, Delivery, IntraGroupOrder};
+pub use device::{CsdConfig, CsdDevice, Delivery, IntraGroupOrder, StreamModel};
 pub use layout::{Layout, LayoutPolicy, PlacementPolicy};
 pub use object::{GroupId, ObjectId, ObjectMeta, QueryId};
 pub use power::{EnergyReport, PowerModel};
 pub use sched::{
-    FcfsObject, FcfsQuery, FcfsSlack, GroupScheduler, MaxQueries, NaiveQueue, QueueView, RankBased,
-    RequestIndex, RequestQueue, SchedPolicy, ServeScope,
+    FcfsObject, FcfsQuery, FcfsSlack, GroupScheduler, InFlight, MaxQueries, NaiveQueue, QueueView,
+    RankBased, RequestIndex, RequestQueue, SchedPolicy, ServeScope,
 };
 pub use store::ObjectStore;

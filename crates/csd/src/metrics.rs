@@ -18,6 +18,14 @@ pub struct DeviceMetrics {
     pub objects_served: u64,
     /// Logical bytes transferred.
     pub logical_bytes_served: u64,
+    /// Stream-occupancy time: Σ over completed transfers of their
+    /// duration, in microseconds. With `k` overlapping streams this
+    /// exceeds the wall-clock transfer time by up to `k×` — the
+    /// overlap/utilization rollup divides the two.
+    pub transfer_busy_micros: u64,
+    /// Peak number of simultaneously occupied transfer slots (1 for a
+    /// serial device; for a fleet roll-up, the max over shards).
+    pub peak_concurrent_streams: u32,
     /// Objects served per client.
     pub served_per_client: HashMap<usize, u64>,
 }
@@ -36,6 +44,10 @@ impl DeviceMetrics {
         self.requests_submitted += other.requests_submitted;
         self.objects_served += other.objects_served;
         self.logical_bytes_served += other.logical_bytes_served;
+        self.transfer_busy_micros += other.transfer_busy_micros;
+        self.peak_concurrent_streams = self
+            .peak_concurrent_streams
+            .max(other.peak_concurrent_streams);
         for (&client, &n) in &other.served_per_client {
             *self.served_per_client.entry(client).or_default() += n;
         }

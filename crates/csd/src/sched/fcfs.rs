@@ -13,7 +13,7 @@
 //! queries, so it still switches more than necessary.
 
 use crate::object::GroupId;
-use crate::sched::{Decision, GroupScheduler, QueueView, ServeScope};
+use crate::sched::{Decision, GroupScheduler, InFlight, QueueView, ServeScope};
 
 /// Strict object-level FCFS.
 #[derive(Debug, Default)]
@@ -31,7 +31,11 @@ impl GroupScheduler for FcfsObject {
         "fcfs-object"
     }
 
-    fn decide(&mut self, queue: &dyn QueueView, active: Option<GroupId>) -> Decision {
+    // In-flight context unused: the target group is the oldest pending
+    // request's, which new arrivals cannot change (they get larger
+    // seqs), so committing a switch early — the device arms it while
+    // the pipe drains — is identical to re-deciding at drain time.
+    fn decide(&mut self, queue: &dyn QueueView, active: Option<GroupId>, _: InFlight) -> Decision {
         match queue.oldest() {
             None => Decision::Idle,
             Some(r) if Some(r.group) == active => Decision::ServeActive,
@@ -62,7 +66,12 @@ impl GroupScheduler for FcfsQuery {
         "fairness"
     }
 
-    fn decide(&mut self, queue: &dyn QueueView, active: Option<GroupId>) -> Decision {
+    fn decide(
+        &mut self,
+        queue: &dyn QueueView,
+        active: Option<GroupId>,
+        pipe: InFlight,
+    ) -> Decision {
         // The oldest query is the one whose earliest request arrived
         // first (by sequence number, which encodes arrival order).
         let Some(oldest) = queue.oldest() else {
@@ -83,6 +92,14 @@ impl GroupScheduler for FcfsQuery {
             .group;
         if Some(target) == active {
             Decision::ServeActive
+        } else if pipe.draining() {
+            // Unlike object-FCFS, this decision is NOT fixed by arrival
+            // order alone: "which query is oldest" and "does it have
+            // data on the active group" can both flip when a mid-drain
+            // delivery makes a pull-based client refill the active
+            // group. Decline instead of arming a possibly-stale switch;
+            // the device re-asks the instant the pipe drains.
+            Decision::Idle
         } else {
             Decision::SwitchTo(target)
         }
@@ -106,8 +123,8 @@ mod tests {
         let mut p = FcfsObject::new();
         let q = queue_of(&[req(2, 0, 0, 0, 0, 5), req(1, 1, 0, 0, 0, 2)]);
         // Oldest (seq 2) is on group 1.
-        assert_eq!(p.decide(&q, None), Decision::SwitchTo(1));
-        assert_eq!(p.decide(&q, Some(1)), Decision::ServeActive);
+        assert_eq!(p.decide(&q, None, InFlight::NONE), Decision::SwitchTo(1));
+        assert_eq!(p.decide(&q, Some(1), InFlight::NONE), Decision::ServeActive);
         assert_eq!(q.select(p.serve_scope(), 1), Some(2));
         // Even though group 2 might hold more data later, only the oldest
         // request is in scope.
@@ -120,7 +137,7 @@ mod tests {
         // pending (seq 3) is on group 2: strict FCFS must switch.
         let mut p = FcfsObject::new();
         let q = queue_of(&[req(1, 0, 0, 0, 0, 7), req(2, 1, 0, 0, 0, 3)]);
-        assert_eq!(p.decide(&q, Some(1)), Decision::SwitchTo(2));
+        assert_eq!(p.decide(&q, Some(1), InFlight::NONE), Decision::SwitchTo(2));
     }
 
     #[test]
@@ -133,12 +150,15 @@ mod tests {
             req(2, 0, 0, 1, 0, 1),
             req(1, 1, 0, 0, 0, 2),
         ]);
-        assert_eq!(p.decide(&q, None), Decision::SwitchTo(1));
+        assert_eq!(p.decide(&q, None, InFlight::NONE), Decision::SwitchTo(1));
         // On group 1 only query (0,0)'s request is in scope, not (1,0)'s.
         assert_eq!(q.select(p.serve_scope(), 1), Some(0));
         // After group 1 is done for query 0, its remaining data is on 2.
         let rest = queue_of(&[req(2, 0, 0, 1, 0, 1), req(1, 1, 0, 0, 0, 2)]);
-        assert_eq!(p.decide(&rest, Some(1)), Decision::SwitchTo(2));
+        assert_eq!(
+            p.decide(&rest, Some(1), InFlight::NONE),
+            Decision::SwitchTo(2)
+        );
     }
 
     #[test]
@@ -148,15 +168,37 @@ mod tests {
         // first (no gratuitous switch), even though its oldest request is
         // on group 1.
         let q = queue_of(&[req(1, 0, 0, 0, 0, 0), req(2, 0, 0, 1, 0, 1)]);
-        assert_eq!(p.decide(&q, Some(2)), Decision::ServeActive);
+        assert_eq!(p.decide(&q, Some(2), InFlight::NONE), Decision::ServeActive);
         assert_eq!(q.select(p.serve_scope(), 2), Some(1));
+    }
+
+    #[test]
+    fn query_fcfs_declines_while_the_pipe_drains() {
+        // Oldest queued query's data is on group 2, active is 1, and a
+        // transfer is still in flight: the policy must decline (Idle)
+        // rather than arm a switch that a mid-drain refill on group 1
+        // could invalidate. With the pipe empty it switches as before.
+        let mut p = FcfsQuery::new();
+        let q = queue_of(&[req(2, 0, 0, 0, 0, 4)]);
+        let draining = InFlight {
+            transfers: 1,
+            slots: 2,
+        };
+        assert_eq!(p.decide(&q, Some(1), draining), Decision::Idle);
+        assert_eq!(p.decide(&q, Some(1), InFlight::NONE), Decision::SwitchTo(2));
     }
 
     #[test]
     fn idle_when_empty() {
         let empty = queue_of(&[]);
-        assert_eq!(FcfsObject::new().decide(&empty, Some(0)), Decision::Idle);
-        assert_eq!(FcfsQuery::new().decide(&empty, None), Decision::Idle);
+        assert_eq!(
+            FcfsObject::new().decide(&empty, Some(0), InFlight::NONE),
+            Decision::Idle
+        );
+        assert_eq!(
+            FcfsQuery::new().decide(&empty, None, InFlight::NONE),
+            Decision::Idle
+        );
         assert_eq!(empty.select(FcfsQuery::new().serve_scope(), 0), None);
     }
 }

@@ -10,7 +10,7 @@
 //! indefinitely, which is exactly what the rank-based policy fixes.
 
 use crate::object::GroupId;
-use crate::sched::{Decision, GroupScheduler, QueueView};
+use crate::sched::{Decision, GroupScheduler, InFlight, QueueView};
 
 /// Most-pending-queries-first group selection.
 #[derive(Debug, Default)]
@@ -45,7 +45,12 @@ impl GroupScheduler for MaxQueries {
         "maxquery"
     }
 
-    fn decide(&mut self, queue: &dyn QueueView, active: Option<GroupId>) -> Decision {
+    fn decide(
+        &mut self,
+        queue: &dyn QueueView,
+        active: Option<GroupId>,
+        pipe: InFlight,
+    ) -> Decision {
         // Non-preemptive: drain the residency snapshot before
         // reconsidering (new arrivals wait for the next decision point).
         if let Some(g) = active {
@@ -56,6 +61,13 @@ impl GroupScheduler for MaxQueries {
         match Self::best_group(queue) {
             None => Decision::Idle,
             Some(g) if Some(g) == active => Decision::ServeActive,
+            // Query counts shift with every arrival, so while transfers
+            // still drain out of the pipeline the policy declines to
+            // commit a switch: it re-decides at the next completion
+            // with complete information. The switch still starts at the
+            // drain instant — the device kicks the scheduler exactly
+            // then — so no service time is lost by declining.
+            Some(_) if pipe.draining() => Decision::Idle,
             Some(g) => Decision::SwitchTo(g),
         }
     }
@@ -78,7 +90,7 @@ mod tests {
             req(2, 2, 0, 1, 0, 3),
             req(2, 2, 0, 2, 0, 4),
         ]);
-        assert_eq!(p.decide(&q, None), Decision::SwitchTo(1));
+        assert_eq!(p.decide(&q, None, InFlight::NONE), Decision::SwitchTo(1));
     }
 
     #[test]
@@ -93,7 +105,7 @@ mod tests {
             req(6, 1, 0, 0, 0, 3),
             req(6, 2, 0, 0, 0, 4),
         ]);
-        assert_eq!(p.decide(&q, None), Decision::SwitchTo(6));
+        assert_eq!(p.decide(&q, None, InFlight::NONE), Decision::SwitchTo(6));
     }
 
     #[test]
@@ -110,10 +122,10 @@ mod tests {
             ],
             1,
         );
-        assert_eq!(p.decide(&q, Some(1)), Decision::ServeActive);
+        assert_eq!(p.decide(&q, Some(1), InFlight::NONE), Decision::ServeActive);
         // Once group 1 drains, switch.
         q.remove(0);
-        assert_eq!(p.decide(&q, Some(1)), Decision::SwitchTo(2));
+        assert_eq!(p.decide(&q, Some(1), InFlight::NONE), Decision::SwitchTo(2));
     }
 
     #[test]
@@ -121,13 +133,13 @@ mod tests {
         let mut p = MaxQueries::new();
         let q = queue_of(&[req(3, 0, 0, 0, 9, 9), req(2, 1, 0, 0, 1, 1)]);
         // Both groups have one query; group 2's request is older.
-        assert_eq!(p.decide(&q, None), Decision::SwitchTo(2));
+        assert_eq!(p.decide(&q, None, InFlight::NONE), Decision::SwitchTo(2));
     }
 
     #[test]
     fn idle_when_empty() {
         assert_eq!(
-            MaxQueries::new().decide(&queue_of(&[]), Some(3)),
+            MaxQueries::new().decide(&queue_of(&[]), Some(3), InFlight::NONE),
             Decision::Idle
         );
     }

@@ -92,10 +92,67 @@ pub enum Decision {
     /// policy's [`ServeScope`] plus its intra-group ordering to the
     /// concrete request.
     ServeActive,
-    /// Spin down the active group and load this one.
+    /// Spin down the active group and load this one. If transfers are
+    /// still in flight the device *arms* the switch: it starts the
+    /// instant the last one completes (no idle gap, no new transfers).
     SwitchTo(GroupId),
-    /// Nothing to do.
+    /// Nothing to start right now. With transfers in flight this is a
+    /// *decline*: the device keeps draining and asks again at the next
+    /// completion, when the policy has strictly more information.
     Idle,
+}
+
+/// The device's service-pipeline occupancy at decision time.
+///
+/// The multi-stream device consults the scheduler once per idle
+/// transfer slot, so — unlike the historical one-op state machine —
+/// decisions are routinely made *while transfers are still in flight*.
+/// Requests leave the pending queue at dispatch, not at completion, so
+/// the queue view alone under-reports what the device is committed to;
+/// this context restores the full picture. All in-flight transfers are
+/// on the active group (serving never crosses a group switch), so
+/// [`InFlight::transfers`] is exactly the active group's occupancy.
+///
+/// Policies may use it to *decline to switch while the pipe drains*
+/// (return [`Decision::Idle`] and re-decide at drain time with
+/// complete information — the group-centric policies and the
+/// query/slack FCFS variants do this, since their decisions depend on
+/// queue state that mid-drain arrivals can flip) or to commit early
+/// and let the device arm the switch (strict object-FCFS: its target
+/// is the globally-oldest request, which new arrivals — always
+/// younger — cannot change, so early commitment is provably identical
+/// to re-deciding at drain).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InFlight {
+    /// Transfers currently occupying pipeline slots (all of them on the
+    /// active group).
+    pub transfers: usize,
+    /// Total transfer slots (the device's `streams`). Currently
+    /// informational — no canned policy consults capacity yet, but
+    /// occupancy-vs-capacity is the natural input for future
+    /// utilization-aware policies.
+    pub slots: usize,
+}
+
+impl InFlight {
+    /// The serial baseline: nothing in flight, one slot. Every decision
+    /// of the historical one-op device was made in this state.
+    pub const NONE: InFlight = InFlight {
+        transfers: 0,
+        slots: 1,
+    };
+
+    /// True while old-group transfers are still draining out of the
+    /// pipeline.
+    pub fn draining(self) -> bool {
+        self.transfers > 0
+    }
+}
+
+impl Default for InFlight {
+    fn default() -> Self {
+        InFlight::NONE
+    }
 }
 
 /// Which pending requests on the active group may be served during the
@@ -166,12 +223,20 @@ pub trait GroupScheduler {
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 
-    /// Decides the next action given the queue view and the currently
-    /// loaded group (`None` before the first load). Returning
-    /// [`Decision::ServeActive`] for the already loaded group after its
-    /// residency drained makes the device re-arm a fresh snapshot
-    /// without paying a switch.
-    fn decide(&mut self, queue: &dyn QueueView, active: Option<GroupId>) -> Decision;
+    /// Decides the next action given the queue view, the currently
+    /// loaded group (`None` before the first load), and the pipeline
+    /// occupancy (`pipe`). Returning [`Decision::ServeActive`] for the
+    /// already loaded group after its residency drained makes the
+    /// device re-arm a fresh snapshot without paying a switch;
+    /// returning [`Decision::SwitchTo`] while `pipe` is draining arms
+    /// the switch to begin at drain; returning [`Decision::Idle`]
+    /// while draining declines the decision until the next completion.
+    fn decide(
+        &mut self,
+        queue: &dyn QueueView,
+        active: Option<GroupId>,
+        pipe: InFlight,
+    ) -> Decision;
 
     /// Which requests on the active group may be served during the
     /// current residency. The default (group-centric, non-preemptive)
@@ -348,11 +413,23 @@ mod tests {
             fn name(&self) -> &'static str {
                 "dummy"
             }
-            fn decide(&mut self, _: &dyn QueueView, _: Option<GroupId>) -> Decision {
+            fn decide(&mut self, _: &dyn QueueView, _: Option<GroupId>, _: InFlight) -> Decision {
                 Decision::Idle
             }
         }
         assert_eq!(Dummy.serve_scope(), ServeScope::Residency);
+    }
+
+    #[test]
+    fn in_flight_defaults_to_the_serial_baseline() {
+        let pipe = InFlight::default();
+        assert_eq!(pipe, InFlight::NONE);
+        assert!(!pipe.draining());
+        assert!(InFlight {
+            transfers: 2,
+            slots: 4
+        }
+        .draining());
     }
 
     #[test]

@@ -25,7 +25,9 @@
 use std::collections::HashMap;
 
 use crate::object::{GroupId, QueryId};
-use crate::sched::{group_stats, Decision, GroupScheduler, GroupStats, PendingRequest, QueueView};
+use crate::sched::{
+    group_stats, Decision, GroupScheduler, GroupStats, InFlight, PendingRequest, QueueView,
+};
 
 /// Rank-based group selection balancing efficiency and fairness.
 #[derive(Debug)]
@@ -101,7 +103,12 @@ impl GroupScheduler for RankBased {
         "ranking"
     }
 
-    fn decide(&mut self, queue: &dyn QueueView, active: Option<GroupId>) -> Decision {
+    fn decide(
+        &mut self,
+        queue: &dyn QueueView,
+        active: Option<GroupId>,
+        pipe: InFlight,
+    ) -> Decision {
         // Non-preemptive: drain the residency snapshot first.
         if let Some(g) = active {
             if queue.resident_len(g) > 0 {
@@ -111,6 +118,14 @@ impl GroupScheduler for RankBased {
         match self.best_group(queue) {
             None => Decision::Idle,
             Some(g) if Some(g) == active => Decision::ServeActive,
+            // Ranks move with every arrival and every switch, so while
+            // the pipeline drains the policy declines to commit: the
+            // device re-asks at the next completion, and the final
+            // decision — made the instant the last transfer retires —
+            // sees every arrival the drain overlapped with. Declining
+            // costs nothing: the switch cannot start before drain
+            // anyway.
+            Some(_) if pipe.draining() => Decision::Idle,
             Some(g) => Decision::SwitchTo(g),
         }
     }
@@ -147,12 +162,12 @@ mod tests {
             req(1, 1, 0, 0, 0, 1),
             req(2, 2, 0, 0, 0, 2),
         ]);
-        assert_eq!(p.decide(&q, None), Decision::SwitchTo(1));
+        assert_eq!(p.decide(&q, None, InFlight::NONE), Decision::SwitchTo(1));
         // Age group 2 arbitrarily: with K=0 waiting cannot help it.
         for _ in 0..100 {
             p.on_switch_complete(&q, 1);
         }
-        assert_eq!(p.decide(&q, None), Decision::SwitchTo(1));
+        assert_eq!(p.decide(&q, None, InFlight::NONE), Decision::SwitchTo(1));
     }
 
     #[test]
@@ -170,19 +185,25 @@ mod tests {
         ];
         let mut p = RankBased::new();
         let q = queue_of(&pending);
-        assert_eq!(p.decide(&q, None), Decision::SwitchTo(1));
+        assert_eq!(p.decide(&q, None, InFlight::NONE), Decision::SwitchTo(1));
         p.on_switch_complete(&q, 1);
         assert_eq!(p.waiting_of(crate::object::QueryId::new(4, 0)), 1);
         // Group 1 drained; among 2 and 3: queries on group 2 also waited
         // one switch: R(2) = 2 + (1+1) = 4, R(3) = 1 + 1 = 2. Efficiency
         // still wins.
         let rest = queue_of(&pending[2..]);
-        assert_eq!(p.decide(&rest, Some(1)), Decision::SwitchTo(2));
+        assert_eq!(
+            p.decide(&rest, Some(1), InFlight::NONE),
+            Decision::SwitchTo(2)
+        );
         p.on_switch_complete(&rest, 2);
         // Now only group 3 remains waiting; W = 2.
         let lone = queue_of(&pending[4..]);
         assert_eq!(p.waiting_of(crate::object::QueryId::new(4, 0)), 2);
-        assert_eq!(p.decide(&lone, Some(2)), Decision::SwitchTo(3));
+        assert_eq!(
+            p.decide(&lone, Some(2), InFlight::NONE),
+            Decision::SwitchTo(3)
+        );
     }
 
     #[test]
@@ -216,7 +237,7 @@ mod tests {
         let q = queue_of(&pending);
         let mut switches = 0;
         loop {
-            match p.decide(&q, Some(0)) {
+            match p.decide(&q, Some(0), InFlight::NONE) {
                 Decision::SwitchTo(g) => {
                     switches += 1;
                     p.on_switch_complete(&q, g);
@@ -245,7 +266,7 @@ mod tests {
             ],
             1,
         );
-        assert_eq!(p.decide(&q, Some(1)), Decision::ServeActive);
+        assert_eq!(p.decide(&q, Some(1), InFlight::NONE), Decision::ServeActive);
     }
 
     #[test]
@@ -264,7 +285,7 @@ mod tests {
     #[test]
     fn idle_when_empty() {
         assert_eq!(
-            RankBased::new().decide(&queue_of(&[]), None),
+            RankBased::new().decide(&queue_of(&[]), None, InFlight::NONE),
             Decision::Idle
         );
     }

@@ -13,7 +13,7 @@
 //! batching while keeping arrival order between groups.
 
 use crate::object::GroupId;
-use crate::sched::{Decision, GroupScheduler, QueueView, ServeScope};
+use crate::sched::{Decision, GroupScheduler, InFlight, QueueView, ServeScope};
 
 /// First-come-first-served with a reordering window.
 #[derive(Debug)]
@@ -35,7 +35,12 @@ impl GroupScheduler for FcfsSlack {
         "fcfs-slack"
     }
 
-    fn decide(&mut self, queue: &dyn QueueView, active: Option<GroupId>) -> Decision {
+    fn decide(
+        &mut self,
+        queue: &dyn QueueView,
+        active: Option<GroupId>,
+        pipe: InFlight,
+    ) -> Decision {
         let window = queue.window(self.slack);
         let Some(oldest) = window.first() else {
             return Decision::Idle;
@@ -50,6 +55,13 @@ impl GroupScheduler for FcfsSlack {
         }
         if Some(oldest.group) == active {
             Decision::ServeActive
+        } else if pipe.draining() {
+            // The "active group has window work" predicate above can
+            // flip when a mid-drain arrival lands on the active group,
+            // so an armed switch could go stale. Decline and re-decide
+            // the instant the pipe drains (no time is lost: the switch
+            // could not start earlier anyway).
+            Decision::Idle
         } else {
             Decision::SwitchTo(oldest.group)
         }
@@ -73,7 +85,7 @@ mod tests {
         // Oldest (seq 3) on group 2; active group 1 has pending work at
         // seq 7, but the window of one only sees seq 3.
         let q = queue_of(&[req(1, 0, 0, 0, 0, 7), req(2, 1, 0, 0, 0, 3)]);
-        assert_eq!(p.decide(&q, Some(1)), Decision::SwitchTo(2));
+        assert_eq!(p.decide(&q, Some(1), InFlight::NONE), Decision::SwitchTo(2));
     }
 
     #[test]
@@ -88,13 +100,13 @@ mod tests {
             req(2, 2, 0, 1, 0, 2),
             req(2, 3, 0, 2, 0, 3),
         ]);
-        assert_eq!(p.decide(&q, Some(2)), Decision::ServeActive);
+        assert_eq!(p.decide(&q, Some(2), InFlight::NONE), Decision::ServeActive);
         for expect in [0u64, 2, 3] {
             assert_eq!(q.select(p.serve_scope(), 2), Some(expect));
             q.remove(expect);
         }
         // Once g2's window work drains, the oldest remaining (g1) wins.
-        assert_eq!(p.decide(&q, Some(2)), Decision::SwitchTo(1));
+        assert_eq!(p.decide(&q, Some(2), InFlight::NONE), Decision::SwitchTo(1));
     }
 
     #[test]
@@ -107,13 +119,29 @@ mod tests {
             req(2, 1, 0, 0, 0, 1),
             req(3, 2, 0, 0, 0, 5),
         ]);
-        assert_eq!(p.decide(&q, Some(3)), Decision::SwitchTo(1));
+        assert_eq!(p.decide(&q, Some(3), InFlight::NONE), Decision::SwitchTo(1));
         assert_eq!(q.select(p.serve_scope(), 3), None);
     }
 
     #[test]
+    fn slack_declines_while_the_pipe_drains() {
+        // The whole window sits on group 2 while group 1 is active with
+        // a transfer in flight: decline (a mid-drain arrival on group 1
+        // would re-enter the window's grouping scope), then switch once
+        // the pipe is empty.
+        let mut p = FcfsSlack::new(2);
+        let q = queue_of(&[req(2, 0, 0, 0, 0, 3), req(2, 1, 0, 1, 0, 4)]);
+        let draining = InFlight {
+            transfers: 1,
+            slots: 2,
+        };
+        assert_eq!(p.decide(&q, Some(1), draining), Decision::Idle);
+        assert_eq!(p.decide(&q, Some(1), InFlight::NONE), Decision::SwitchTo(2));
+    }
+
+    #[test]
     fn fewer_switches_than_strict_fcfs_on_interleaved_arrivals() {
-        use crate::device::{CsdConfig, CsdDevice, IntraGroupOrder};
+        use crate::device::{CsdConfig, CsdDevice, IntraGroupOrder, StreamModel};
         use crate::object::{ObjectId, QueryId};
         use crate::sched::GroupScheduler;
         use crate::store::ObjectStore;
@@ -132,6 +160,7 @@ mod tests {
                     bandwidth_bytes_per_sec: (1 << 20) as f64,
                     initial_load_free: true,
                     parallel_streams: 1,
+                    stream_model: StreamModel::Pipeline,
                 },
                 store,
                 sched,

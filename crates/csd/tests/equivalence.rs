@@ -6,20 +6,23 @@
 //! decision sequence (operation kinds and completion times), the same
 //! delivery order, and the same counters. The sweep is randomized but
 //! seeded — every case is a pure function of its loop indices — and
-//! covers every `SchedPolicy` × `IntraGroupOrder` × {1, 2, 4} shards,
-//! with mid-run arrivals racing active residencies.
+//! covers every `SchedPolicy` × `IntraGroupOrder` × {1, 2, 4} shards ×
+//! {1, 2, 4} parallel streams, with mid-run arrivals racing active
+//! residencies and (at streams > 1) armed switches draining multi-slot
+//! pipelines.
 //!
 //! Shard counts enter through a miniature fleet driver (round-robin
 //! object → shard placement, one independent device per shard), which
-//! also pins the cross-shard-count work-conservation contract: every
-//! shard count delivers the same `(client, query, object)` multiset.
+//! also pins two work-conservation contracts: every shard count and
+//! every stream count delivers the same `(client, query, object)`
+//! multiset.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use skipper_csd::sched::{NaiveQueue, RequestIndex, RequestQueue};
 use skipper_csd::{
-    CsdConfig, CsdDevice, IntraGroupOrder, ObjectId, ObjectStore, QueryId, SchedPolicy,
+    CsdConfig, CsdDevice, IntraGroupOrder, ObjectId, ObjectStore, QueryId, SchedPolicy, StreamModel,
 };
 use skipper_sim::{SimDuration, SimTime};
 
@@ -64,7 +67,8 @@ fn workload(seed: u64) -> Workload {
 }
 
 /// One shard event: completion time plus the delivered triple (`None`
-/// for switch completions).
+/// for switch completions). Multi-stream wake-ups append one entry per
+/// retired transfer, in the device's deterministic slot order.
 type ShardEvent = (SimTime, Option<(usize, QueryId, ObjectId)>);
 
 /// The observable outcome of one fleet run: per-shard event log plus
@@ -89,14 +93,16 @@ impl Outcome {
     }
 }
 
-/// Runs `w` against a fleet of `shards` devices using queue impl `Q`.
-/// Objects land on shard `segment % shards`; tenant data lives in group
-/// `tenant % groups`. 100 MB objects at 100 MB/s, 10 s switches.
+/// Runs `w` against a fleet of `shards` devices using queue impl `Q`
+/// with `streams` pipeline slots each. Objects land on shard
+/// `segment % shards`; tenant data lives in group `tenant % groups`.
+/// 100 MB objects at 100 MB/s per stream, 10 s switches.
 fn run_fleet<Q: RequestIndex>(
     w: &Workload,
     policy: SchedPolicy,
     intra: IntraGroupOrder,
     shards: usize,
+    streams: u32,
 ) -> Outcome {
     let mut devices: Vec<CsdDevice<(), Q>> = (0..shards)
         .map(|shard| {
@@ -118,7 +124,8 @@ fn run_fleet<Q: RequestIndex>(
                     switch_latency: SimDuration::from_secs(10),
                     bandwidth_bytes_per_sec: (100 * MB) as f64,
                     initial_load_free: true,
-                    parallel_streams: 1,
+                    parallel_streams: streams,
+                    stream_model: StreamModel::Pipeline,
                 },
                 store,
                 policy.build(),
@@ -147,8 +154,13 @@ fn run_fleet<Q: RequestIndex>(
         };
         if device_first {
             let (t, s) = due.expect("device event due");
-            let d = devices[s].complete(t);
-            events[s].push((t, d.map(|d| (d.client, d.query, d.object))));
+            let batch = devices[s].complete(t);
+            if batch.is_empty() {
+                events[s].push((t, None)); // switch completion
+            }
+            for d in batch {
+                events[s].push((t, Some((d.client, d.query, d.object))));
+            }
             next[s] = devices[s].kick(t);
         } else {
             let st = upcoming.expect("submission due");
@@ -160,10 +172,11 @@ fn run_fleet<Q: RequestIndex>(
                 }
                 si += 1;
             }
-            for s in 0..shards {
-                if next[s].is_none() {
-                    next[s] = devices[s].kick(st);
-                }
+            // Re-arm on every mutation: a submission can open idle
+            // pipeline slots, moving a shard's earliest completion
+            // *earlier*, so every shard re-kicks unconditionally.
+            for (s, slot) in next.iter_mut().enumerate() {
+                *slot = devices[s].kick(st);
             }
         }
     }
@@ -180,10 +193,10 @@ const INTRA_ORDERS: [IntraGroupOrder; 3] = [
     IntraGroupOrder::ArrivalOrder,
 ];
 
-/// The sweep: every policy × intra order × shard count, several seeds
-/// each — the indexed queue reproduces the naive queue's decision
-/// sequence and delivery order exactly, and every shard count conserves
-/// the delivery multiset.
+/// The sweep: every policy × intra order × shard count × stream count,
+/// several seeds each — the indexed queue reproduces the naive queue's
+/// decision sequence and delivery order exactly, and every shard/stream
+/// combination conserves the delivery multiset.
 #[test]
 fn indexed_queue_matches_naive_reference() {
     for seed in 0..6u64 {
@@ -192,15 +205,18 @@ fn indexed_queue_matches_naive_reference() {
             for intra in INTRA_ORDERS {
                 let mut multisets = Vec::new();
                 for shards in [1usize, 2, 4] {
-                    let label = format!("seed {seed} {policy:?}/{intra:?}/{shards}");
-                    let indexed = run_fleet::<RequestQueue>(&w, policy, intra, shards);
-                    let naive = run_fleet::<NaiveQueue>(&w, policy, intra, shards);
-                    assert_eq!(indexed, naive, "{label}: queue implementations diverged");
-                    multisets.push(indexed.delivery_multiset());
+                    for streams in [1u32, 2, 4] {
+                        let label =
+                            format!("seed {seed} {policy:?}/{intra:?}/{shards}sh/{streams}st");
+                        let indexed = run_fleet::<RequestQueue>(&w, policy, intra, shards, streams);
+                        let naive = run_fleet::<NaiveQueue>(&w, policy, intra, shards, streams);
+                        assert_eq!(indexed, naive, "{label}: queue implementations diverged");
+                        multisets.push(indexed.delivery_multiset());
+                    }
                 }
                 assert!(
                     multisets.windows(2).all(|p| p[0] == p[1]),
-                    "seed {seed} {policy:?}/{intra:?}: sharding broke work conservation"
+                    "seed {seed} {policy:?}/{intra:?}: sharding or streaming broke work conservation"
                 );
             }
         }
@@ -209,7 +225,8 @@ fn indexed_queue_matches_naive_reference() {
 
 /// Deep-queue stress: one heavily contended device, every request
 /// submitted upfront — the regime where the indexed queue's O(log n)
-/// path does all the work. Equivalence must hold at depth too.
+/// path does all the work. Equivalence must hold at depth and at full
+/// pipeline occupancy too.
 #[test]
 fn indexed_queue_matches_naive_on_deep_queues() {
     let mut rng = StdRng::seed_from_u64(0xC5D);
@@ -232,9 +249,26 @@ fn indexed_queue_matches_naive_on_deep_queues() {
         schedule,
     };
     for policy in SchedPolicy::all() {
-        let indexed = run_fleet::<RequestQueue>(&w, policy, IntraGroupOrder::SemanticRoundRobin, 1);
-        let naive = run_fleet::<NaiveQueue>(&w, policy, IntraGroupOrder::SemanticRoundRobin, 1);
-        assert_eq!(indexed, naive, "{policy:?} diverged on a deep queue");
-        assert!(indexed.served.iter().sum::<u64>() > 100);
+        for streams in [1u32, 4] {
+            let indexed = run_fleet::<RequestQueue>(
+                &w,
+                policy,
+                IntraGroupOrder::SemanticRoundRobin,
+                1,
+                streams,
+            );
+            let naive = run_fleet::<NaiveQueue>(
+                &w,
+                policy,
+                IntraGroupOrder::SemanticRoundRobin,
+                1,
+                streams,
+            );
+            assert_eq!(
+                indexed, naive,
+                "{policy:?}/{streams} streams diverged on a deep queue"
+            );
+            assert!(indexed.served.iter().sum::<u64>() > 100);
+        }
     }
 }

@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 
 use skipper_csd::{
     CsdConfig, CsdDevice, IntraGroupOrder, Layout, LayoutPolicy, ObjectId, ObjectStore, QueryId,
-    SchedPolicy,
+    SchedPolicy, StreamModel,
 };
 use skipper_sim::{SimDuration, SimTime};
 
@@ -104,6 +104,7 @@ fn device_serves_every_request_once() {
                 bandwidth_bytes_per_sec: (1 << 20) as f64,
                 initial_load_free: true,
                 parallel_streams: 1,
+                stream_model: StreamModel::Pipeline,
             },
             store,
             policy.build(),
@@ -127,7 +128,7 @@ fn device_serves_every_request_once() {
             assert!(until >= last, "case {case}: time went backwards");
             last = until;
             now = until;
-            if let Some(d) = dev.complete(now) {
+            for d in dev.complete(now) {
                 served.push(d.object);
             }
         }
@@ -171,6 +172,7 @@ fn single_group_never_switches() {
                         bandwidth_bytes_per_sec: (1 << 20) as f64,
                         initial_load_free: true,
                         parallel_streams: 1,
+                        stream_model: StreamModel::Pipeline,
                     },
                     store,
                     policy.build(),

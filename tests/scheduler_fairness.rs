@@ -6,7 +6,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use skipper::csd::sched::{Decision, GroupScheduler, PendingRequest, RankBased, RequestQueue};
+use skipper::csd::sched::{
+    Decision, GroupScheduler, InFlight, PendingRequest, RankBased, RequestQueue,
+};
 use skipper::csd::{IntraGroupOrder, ObjectId, QueryId, SchedPolicy};
 use skipper::sim::SimTime;
 
@@ -50,7 +52,7 @@ fn rank_based_serves_lone_group_within_bound() {
             let mut switches = 0u32;
             let bound = (popular_queries as u32 + 1) * popular_groups;
             loop {
-                match sched.decide(&queue, None) {
+                match sched.decide(&queue, None, InFlight::NONE) {
                     Decision::SwitchTo(g) => {
                         switches += 1;
                         sched.on_switch_complete(&queue, g);
@@ -80,8 +82,8 @@ fn rank_with_zero_k_matches_max_queries() {
     let mut rank0 = RankBased::with_k(0.0);
     let mut maxq = SchedPolicy::MaxQueries.build();
     for _ in 0..20 {
-        let a = rank0.decide(&queue, None);
-        let b = maxq.decide(&queue, None);
+        let a = rank0.decide(&queue, None, InFlight::NONE);
+        let b = maxq.decide(&queue, None, InFlight::NONE);
         assert_eq!(a, b);
         if let Decision::SwitchTo(g) = a {
             rank0.on_switch_complete(&queue, g);
