@@ -27,6 +27,7 @@ fn bench_device_loop(c: &mut Criterion) {
                     initial_load_free: true,
                     parallel_streams: 1,
                     stream_model: StreamModel::Pipeline,
+                    ..CsdConfig::default()
                 },
                 store,
                 SchedPolicy::RankBased.build(),

@@ -19,6 +19,7 @@ fn queue(requests_per_client: u32, resident_group: u32) -> RequestQueue {
                 query: QueryId::new(tenant, 0),
                 client: tenant as usize,
                 group: tenant as u32,
+                bytes: 0,
                 arrival: SimTime::from_secs(i as u64 / 10),
                 seq,
             });

@@ -1,23 +1,72 @@
-//! Wall-clock perf harness for the device scheduling hot path.
+//! Wall-clock perf harness for the simulator's per-event hot path.
 //!
-//! Drives a large synthetic closed-loop scenario against both queue
-//! implementations (the indexed `RequestQueue` and the pre-index
-//! `NaiveQueue` baseline), prints the throughput table, and writes
-//! `BENCH_perf.json` (schema `BENCH_perf/v1`).
+//! Drives a large synthetic closed-loop scenario across the queue axis
+//! (indexed `RequestQueue` vs the pre-index `NaiveQueue`) and the core
+//! axis (the pre-rebuild `v1` loop vs the million-request `v2` loop:
+//! calendar-queue wake-ups, zero-allocation steady state, counters-mode
+//! observability), prints the throughput table, and writes
+//! `BENCH_perf.json` (schema `BENCH_perf/v2`).
 //!
 //! ```text
 //! cargo run --release -p skipper-bench --bin perf
+//! cargo run --release -p skipper-bench --bin perf -- --million --skip-naive
 //! cargo run --release -p skipper-bench --bin perf -- \
 //!     --tenants 64 --rounds 16 --objects 100 --groups 16 \
 //!     --shards 1,2,4,8 --policy ranking --streams 4 \
-//!     --out BENCH_perf.json [--skip-naive] [--floor <min indexed events/sec>]
+//!     --out BENCH_perf.json [--skip-naive] [--skip-v1] \
+//!     [--floor <min v2 events/sec>] [--alloc-ceiling <max allocs/event>]
 //! ```
 //!
-//! With `--floor`, the binary exits non-zero when any indexed run falls
-//! below the given events/sec — the CI perf-smoke regression gate.
+//! With `--floor`, the binary exits non-zero when any v2 (production
+//! core, indexed queue) run falls below the given events/sec; with
+//! `--alloc-ceiling`, when any v2 run allocates more than the given
+//! allocations per event over its drive loop — the CI perf-smoke
+//! regression gates.
+//!
+//! This binary installs a counting `#[global_allocator]` (the library
+//! crates forbid `unsafe`, so the probe lives here): every heap
+//! allocation bumps a relaxed atomic, which the sweep samples around
+//! each drive loop to report allocations/event.
 
-use skipper_bench::experiments::perf::{perf_sweep, speedups, table, to_json, PerfScenario};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use skipper_bench::experiments::perf::{
+    core_speedups, queue_speedups, table, to_json, PerfScenario, Sweep, SweepOptions,
+};
 use skipper_csd::SchedPolicy;
+
+/// Counts every allocation (alloc + realloc) on top of the system
+/// allocator. Deallocation is not counted: the gauge is "how often does
+/// the hot loop hit the allocator", not net memory.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`, which upholds the GlobalAlloc
+// contract; the counter bump has no effect on allocation semantics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 fn parse_policy(s: &str) -> SchedPolicy {
     match s {
@@ -34,10 +83,21 @@ fn main() {
     let mut sc = PerfScenario::default();
     let mut shard_counts: Vec<usize> = vec![1, 2, 4, 8];
     let mut out_path = String::from("BENCH_perf.json");
-    let mut skip_naive = false;
+    let mut opts = SweepOptions {
+        alloc_counter: Some(allocation_count),
+        ..Default::default()
+    };
     let mut floor: Option<f64> = None;
+    let mut alloc_ceiling: Option<f64> = None;
+    let mut with_million = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // --million is a base configuration, not an override: apply it
+    // before the flag loop so `--streams 4 --million` and
+    // `--million --streams 4` mean the same thing.
+    if args.iter().any(|a| a == "--million") {
+        sc = PerfScenario::million();
+    }
     let mut i = 0;
     while i < args.len() {
         let value = |i: &mut usize| -> &str {
@@ -46,6 +106,7 @@ fn main() {
                 .unwrap_or_else(|| panic!("missing value for {}", args[*i - 1]))
         };
         match args[i].as_str() {
+            "--million" => {} // applied before the loop (order-independent)
             "--tenants" => sc.tenants = value(&mut i).parse().expect("--tenants"),
             "--rounds" => sc.rounds = value(&mut i).parse().expect("--rounds"),
             "--objects" => sc.objects_per_round = value(&mut i).parse().expect("--objects"),
@@ -58,9 +119,15 @@ fn main() {
                     .map(|s| s.parse().expect("--shards"))
                     .collect()
             }
+            "--with-million" => with_million = true,
             "--out" => out_path = value(&mut i).to_string(),
-            "--skip-naive" => skip_naive = true,
+            "--skip-naive" => opts.skip_naive = true,
+            "--skip-v1" => opts.skip_v1 = true,
             "--floor" => floor = Some(value(&mut i).parse().expect("--floor")),
+            "--alloc-ceiling" => {
+                alloc_ceiling = Some(value(&mut i).parse().expect("--alloc-ceiling"))
+            }
+            "--repeats" => opts.repeats = value(&mut i).parse().expect("--repeats"),
             other => panic!("unknown flag {other:?}"),
         }
         i += 1;
@@ -70,34 +137,74 @@ fn main() {
         "--shards needs at least one count"
     );
 
-    eprintln!(
-        "driving {} requests ({} tenants x {} rounds x {} objects) on {:?} shard fleets...",
-        sc.total_requests(),
-        sc.tenants,
-        sc.rounds,
-        sc.objects_per_round,
-        shard_counts
-    );
-    let samples = perf_sweep(&sc, &shard_counts, skip_naive);
-    println!("{}", table(&sc, &samples));
-    for (shards, x) in speedups(&samples) {
-        println!("speedup @ {shards} shard(s): {x:.1}x (naive wall / indexed wall)");
+    let mut plans: Vec<(PerfScenario, Vec<usize>, SweepOptions)> = vec![(sc, shard_counts, opts)];
+    if with_million {
+        // The ≥1M-request drive rides along at 1 shard; the naive queue
+        // is O(n²) at this depth and never runs here.
+        let mut m = PerfScenario::million();
+        m.policy = plans[0].0.policy;
+        let mopts = SweepOptions {
+            skip_naive: true,
+            ..opts
+        };
+        plans.push((m, vec![1], mopts));
     }
 
-    let json = to_json(&sc, &samples);
+    let mut sweeps: Vec<Sweep> = Vec::new();
+    for (sc, shard_counts, opts) in plans {
+        eprintln!(
+            "driving {} requests ({} tenants x {} rounds x {} objects) on {:?} shard fleets...",
+            sc.total_requests(),
+            sc.tenants,
+            sc.rounds,
+            sc.objects_per_round,
+            shard_counts
+        );
+        let sweep = Sweep::run(sc, &shard_counts, opts);
+        println!("{}", table(&sweep.scenario, &sweep.samples));
+        for (shards, x) in queue_speedups(&sweep.samples) {
+            println!(
+                "queue speedup @ {shards} shard(s): {x:.1}x (naive wall / indexed wall, v1 core)"
+            );
+        }
+        for (shards, x) in core_speedups(&sweep.samples) {
+            println!(
+                "core speedup @ {shards} shard(s): {x:.1}x (v1 wall / v2 wall, indexed queue)"
+            );
+        }
+        sweeps.push(sweep);
+    }
+
+    let json = to_json(&sweeps);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("wrote {out_path}");
 
-    if let Some(floor) = floor {
-        let worst = samples
+    let v2_samples = || {
+        sweeps
             .iter()
-            .filter(|s| s.queue == "indexed")
+            .flat_map(|sw| sw.samples.iter())
+            .filter(|s| s.core == "v2" && s.queue == "indexed")
+    };
+    if let Some(floor) = floor {
+        let worst = v2_samples()
             .map(|s| s.events_per_sec)
             .fold(f64::INFINITY, f64::min);
         if worst < floor {
-            eprintln!("PERF REGRESSION: indexed events/sec {worst:.0} below floor {floor:.0}");
+            eprintln!("PERF REGRESSION: v2 events/sec {worst:.0} below floor {floor:.0}");
             std::process::exit(1);
         }
-        println!("perf floor ok: min indexed events/sec {worst:.0} >= {floor:.0}");
+        println!("perf floor ok: min v2 events/sec {worst:.0} >= {floor:.0}");
+    }
+    if let Some(ceiling) = alloc_ceiling {
+        let worst = v2_samples()
+            .filter_map(|s| s.allocs_per_event)
+            .fold(0.0f64, f64::max);
+        if worst > ceiling {
+            eprintln!(
+                "ALLOC REGRESSION: v2 allocations/event {worst:.3} above ceiling {ceiling:.3}"
+            );
+            std::process::exit(1);
+        }
+        println!("alloc ceiling ok: max v2 allocations/event {worst:.3} <= {ceiling:.3}");
     }
 }

@@ -1,36 +1,47 @@
-//! Wall-clock performance of the device scheduling hot path.
+//! Wall-clock performance of the simulator's per-event hot path.
 //!
 //! Everything else in this harness measures *virtual* time; this
 //! experiment measures *simulator throughput* — the wall-clock cost of
 //! driving the CSD scheduling loop — because simulator speed bounds how
 //! many scenarios the suite can sweep. It drives a large synthetic
-//! closed-loop scenario (default: 64 tenants × 12 rounds × 150 objects
-//! = 115 200 requests, ~9 600 of them pending at any instant, over a
-//! 1→8-shard fleet) twice, once per queue implementation:
+//! closed-loop scenario (the default: 64 tenants × 12 rounds × 150
+//! objects = 115 200 requests; [`PerfScenario::million`]: 64 × 32 × 500
+//! = 1 024 000 requests, ~32 000 pending at any instant) across two
+//! axes:
 //!
-//! * **indexed** — the production [`RequestQueue`]: O(log n) per
-//!   submit/serve.
-//! * **naive** — the pre-index [`NaiveQueue`] reference: O(n) rescans
-//!   per decision, O(n²) per run.
+//! * **queue** — `indexed` (the production [`RequestQueue`]) vs `naive`
+//!   (the pre-index [`NaiveQueue`] reference, O(n) rescans per
+//!   decision).
+//! * **core** — `v1` (the pre-rebuild event core: full span/ledger
+//!   recording, a freshly allocated `Vec<Delivery>` per wake-up,
+//!   re-kick *every* shard after a resubmit, linear min-scan over the
+//!   per-shard wake-ups per event) vs `v2` (the million-request core:
+//!   `TraceMode::Counters` + `LedgerMode::Counters` bounded-memory
+//!   observability, `complete_into` with one reusable scratch buffer,
+//!   a [`CalendarQueue`] of armed per-shard wake-ups with stale-event
+//!   filtering, and re-kicks only for shards actually mutated).
 //!
-//! Both runs must deliver the identical multiset (asserted); the
-//! reported events/sec and speedup quantify the indexed queue's win.
+//! Every run must produce the identical delivery multiset (checked via
+//! an order-insensitive streaming fingerprint, so the check itself
+//! costs no memory), the same makespan, and the same switch count. The
+//! reported events/sec quantify both wins; with an allocation probe
+//! installed (the `perf` binary's counting `#[global_allocator]`), the
+//! v2 samples also report *allocations per event* over the drive loop —
+//! the zero-allocation steady-state gauge.
+//!
 //! `skipper-bench --bin perf` emits the results as `BENCH_perf.json`
-//! and the recorded baseline lives in `EXPERIMENTS.md`.
-//!
-//! No engines, caches, or relational work participate: tenants are
-//! synthetic closed-loop clients that resubmit their next round the
-//! moment the previous one fully arrives, keeping the pending queue
-//! deep (tenants × objects-per-round outstanding requests) — exactly
-//! the regime the ROADMAP's millions-of-users north star lives in.
+//! (schema `BENCH_perf/v2`) and the recorded baselines live in
+//! `EXPERIMENTS.md`.
 
 use std::time::Instant;
 
 use skipper_csd::sched::{NaiveQueue, RequestIndex, RequestQueue};
 use skipper_csd::{
-    CsdConfig, CsdDevice, IntraGroupOrder, ObjectId, ObjectStore, QueryId, SchedPolicy, StreamModel,
+    CsdConfig, CsdDevice, Delivery, IntraGroupOrder, LedgerMode, ObjectId, ObjectStore, QueryId,
+    SchedPolicy, StreamModel,
 };
-use skipper_sim::{SimDuration, SimTime};
+use skipper_sim::rng::splitmix64;
+use skipper_sim::{CalendarQueue, SimDuration, SimTime, TraceMode};
 
 use crate::report::Table;
 
@@ -70,15 +81,55 @@ impl Default for PerfScenario {
 }
 
 impl PerfScenario {
+    /// The million-request configuration: 64 tenants × 32 rounds × 500
+    /// objects = 1 024 000 GETs with ~32 000 requests pending at any
+    /// instant — the regime the ROADMAP's millions-of-users north star
+    /// lives in. Drive it with the v2 core (`Counters` observability);
+    /// the naive queue is O(n²) here and should be skipped.
+    pub fn million() -> Self {
+        PerfScenario {
+            tenants: 64,
+            rounds: 32,
+            objects_per_round: 500,
+            groups: 16,
+            policy: SchedPolicy::RankBased,
+            streams: 1,
+        }
+    }
+
     /// Total GET requests the scenario issues.
     pub fn total_requests(&self) -> u64 {
         self.tenants as u64 * self.rounds as u64 * self.objects_per_round as u64
     }
 }
 
-/// One timed run of the scenario on one queue implementation.
+/// Which drive loop + observability regime a sample ran under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreVersion {
+    /// The pre-rebuild loop: full traces/ledgers, per-wake-up `Vec`
+    /// allocation, re-kick every shard on resubmit, linear min-scan.
+    V1,
+    /// The million-request loop: counters-mode observability, reusable
+    /// scratch delivery buffer, calendar-queue wake-ups, mutated-shard
+    /// re-kicks.
+    V2,
+}
+
+impl CoreVersion {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CoreVersion::V1 => "v1",
+            CoreVersion::V2 => "v2",
+        }
+    }
+}
+
+/// One timed run of the scenario on one (core, queue) combination.
 #[derive(Clone, Debug)]
 pub struct PerfSample {
+    /// Core label: `"v1"` or `"v2"`.
+    pub core: &'static str,
     /// Queue implementation label: `"indexed"` or `"naive"`.
     pub queue: &'static str,
     /// Fleet size.
@@ -91,25 +142,52 @@ pub struct PerfSample {
     pub wall_secs: f64,
     /// Device events per wall-clock second — the headline throughput.
     pub events_per_sec: f64,
-    /// Virtual makespan of the run (identical across queues).
+    /// Virtual makespan of the run (identical across queues and cores).
     pub makespan_secs: f64,
-    /// Total paid group switches (identical across queues).
+    /// Total paid group switches (identical across queues and cores).
     pub switches: u64,
+    /// Heap allocations per event over the drive loop, when an
+    /// allocation probe is installed (v2 runs only — the steady-state
+    /// zero-allocation gauge).
+    pub allocs_per_event: Option<f64>,
 }
 
-/// Outcome invariants used to cross-check the two queue runs.
+/// Outcome invariants used to cross-check runs without holding the
+/// delivery list in memory: an order-insensitive streaming fingerprint.
 #[derive(Debug, PartialEq)]
 struct Fingerprint {
-    deliveries: Vec<(usize, QueryId, ObjectId)>,
+    count: u64,
+    checksum: u64,
     makespan: SimTime,
     switches: u64,
+}
+
+/// Commutative delivery digest: the wrapping sum of per-delivery mixes
+/// pins the delivery *multiset* regardless of retirement order; the
+/// makespan/switch fields catch schedule divergence beyond that.
+fn mix_delivery(client: usize, query: QueryId, object: ObjectId) -> u64 {
+    let mut h = (client as u64) << 48
+        ^ (query.tenant as u64) << 32
+        ^ (query.seq as u64) << 40
+        ^ (object.tenant as u64) << 16
+        ^ (object.table as u64) << 24
+        ^ object.segment as u64;
+    splitmix64(&mut h)
 }
 
 /// Builds the per-shard devices: tenant `t`'s `rounds × objects` GETs
 /// target objects `0..rounds*objects` in group `t % groups`, spread
 /// round-robin by segment over the shards.
-fn build_devices<Q: RequestIndex>(sc: &PerfScenario, shards: usize) -> Vec<CsdDevice<(), Q>> {
+fn build_devices<Q: RequestIndex>(
+    sc: &PerfScenario,
+    shards: usize,
+    core: CoreVersion,
+) -> Vec<CsdDevice<(), Q>> {
     let per_tenant = sc.rounds as u32 * sc.objects_per_round;
+    let (trace_mode, ledger_mode) = match core {
+        CoreVersion::V1 => (TraceMode::Full, LedgerMode::Full),
+        CoreVersion::V2 => (TraceMode::Counters, LedgerMode::Counters),
+    };
     (0..shards)
         .map(|shard| {
             let mut store = ObjectStore::new();
@@ -132,6 +210,8 @@ fn build_devices<Q: RequestIndex>(sc: &PerfScenario, shards: usize) -> Vec<CsdDe
                     initial_load_free: true,
                     parallel_streams: sc.streams,
                     stream_model: StreamModel::Pipeline,
+                    trace_mode,
+                    ledger_mode,
                 },
                 store,
                 sc.policy.build(),
@@ -141,36 +221,76 @@ fn build_devices<Q: RequestIndex>(sc: &PerfScenario, shards: usize) -> Vec<CsdDe
         .collect()
 }
 
-/// Drives the closed loop to completion on queue `Q`, timing the loop.
-fn drive<Q: RequestIndex>(
+/// Per-tenant closed-loop state shared by both drive loops.
+struct ClosedLoop {
+    round: Vec<usize>,
+    outstanding: Vec<u32>,
+    count: u64,
+    checksum: u64,
+}
+
+impl ClosedLoop {
+    fn new(tenants: usize) -> Self {
+        ClosedLoop {
+            round: vec![0; tenants],
+            outstanding: vec![0; tenants],
+            count: 0,
+            checksum: 0,
+        }
+    }
+
+    /// Digests a delivery; returns `Some(next_round)` when it completed
+    /// tenant `t`'s current round and another round remains.
+    fn on_delivery(&mut self, sc: &PerfScenario, d: &Delivery<()>) -> Option<usize> {
+        self.count += 1;
+        self.checksum = self
+            .checksum
+            .wrapping_add(mix_delivery(d.client, d.query, d.object));
+        let t = d.client;
+        self.outstanding[t] -= 1;
+        if self.outstanding[t] == 0 {
+            self.round[t] += 1;
+            if self.round[t] < sc.rounds {
+                self.outstanding[t] = sc.objects_per_round;
+                return Some(self.round[t]);
+            }
+        }
+        None
+    }
+}
+
+fn submit_round<Q: RequestIndex>(
+    sc: &PerfScenario,
+    devices: &mut [CsdDevice<(), Q>],
+    now: SimTime,
+    t: usize,
+    r: usize,
+) {
+    let shards = devices.len();
+    let query = QueryId::new(t as u16, r as u32);
+    let base = r as u32 * sc.objects_per_round;
+    for seg in base..base + sc.objects_per_round {
+        devices[seg as usize % shards].submit(now, t, query, &[ObjectId::new(t as u16, 0, seg)]);
+    }
+}
+
+/// The pre-rebuild drive loop, preserved verbatim as the `v1` baseline:
+/// a `Vec<Delivery>` is allocated per wake-up, a resubmit re-kicks
+/// *every* shard, and the next wake-up is re-derived with a linear
+/// min-scan over the per-shard completion times on every event.
+fn drive_v1<Q: RequestIndex>(
     sc: &PerfScenario,
     shards: usize,
     queue_label: &'static str,
 ) -> (PerfSample, Fingerprint) {
-    let mut devices = build_devices::<Q>(sc, shards);
-    // Per-tenant closed-loop state.
-    let mut round = vec![0usize; sc.tenants];
-    let mut outstanding = vec![0u32; sc.tenants];
-    let mut deliveries = Vec::with_capacity(sc.total_requests() as usize);
+    let mut devices = build_devices::<Q>(sc, shards, CoreVersion::V1);
+    let mut loop_state = ClosedLoop::new(sc.tenants);
     let mut events = 0u64;
 
-    let submit_round = |devices: &mut Vec<CsdDevice<(), Q>>, now: SimTime, t: usize, r: usize| {
-        let query = QueryId::new(t as u16, r as u32);
-        let base = r as u32 * sc.objects_per_round;
-        for seg in base..base + sc.objects_per_round {
-            devices[seg as usize % shards].submit(
-                now,
-                t,
-                query,
-                &[ObjectId::new(t as u16, 0, seg)],
-            );
-        }
-    };
-
     let start = Instant::now();
-    for (t, out) in outstanding.iter_mut().enumerate() {
-        submit_round(&mut devices, SimTime::ZERO, t, 0);
-        *out = sc.objects_per_round;
+    for t in 0..sc.tenants {
+        submit_round(sc, &mut devices, SimTime::ZERO, t, 0);
+        loop_state.outstanding[t] = sc.objects_per_round;
     }
     let mut next: Vec<Option<SimTime>> = (0..shards)
         .map(|s| devices[s].kick(SimTime::ZERO))
@@ -186,16 +306,9 @@ fn drive<Q: RequestIndex>(
         events += 1;
         let mut resubmitted = false;
         for d in devices[s].complete(now) {
-            deliveries.push((d.client, d.query, d.object));
-            let t = d.client;
-            outstanding[t] -= 1;
-            if outstanding[t] == 0 {
-                round[t] += 1;
-                if round[t] < sc.rounds {
-                    submit_round(&mut devices, now, t, round[t]);
-                    outstanding[t] = sc.objects_per_round;
-                    resubmitted = true;
-                }
+            if let Some(r) = loop_state.on_delivery(sc, &d) {
+                submit_round(sc, &mut devices, now, d.client, r);
+                resubmitted = true;
             }
         }
         if resubmitted {
@@ -210,21 +323,143 @@ fn drive<Q: RequestIndex>(
         }
     }
     let wall = start.elapsed().as_secs_f64();
+    finish(
+        sc,
+        devices,
+        loop_state,
+        events,
+        wall,
+        makespan,
+        CoreVersion::V1,
+        queue_label,
+        None,
+    )
+}
 
+/// The million-request drive loop (`v2`): armed per-shard wake-ups live
+/// in a [`CalendarQueue`] (stale superseded entries are filtered on
+/// pop), completions drain into one reusable scratch buffer, and only
+/// the shards a resubmit actually touched are re-kicked.
+fn drive_v2<Q: RequestIndex>(
+    sc: &PerfScenario,
+    shards: usize,
+    queue_label: &'static str,
+    alloc_counter: Option<fn() -> u64>,
+) -> (PerfSample, Fingerprint) {
+    assert!(
+        shards <= 64,
+        "v2 drive loop tracks mutated shards in a u64 bitmask"
+    );
+    let mut devices = build_devices::<Q>(sc, shards, CoreVersion::V2);
+    let mut loop_state = ClosedLoop::new(sc.tenants);
+    let mut events = 0u64;
+    let mut scratch: Vec<Delivery<()>> = Vec::new();
+
+    let start = Instant::now();
+    for t in 0..sc.tenants {
+        submit_round(sc, &mut devices, SimTime::ZERO, t, 0);
+        loop_state.outstanding[t] = sc.objects_per_round;
+    }
+    let mut wakeups: CalendarQueue<usize> = CalendarQueue::new();
+    let mut armed: Vec<Option<SimTime>> = vec![None; shards];
+    for (s, slot) in armed.iter_mut().enumerate() {
+        if let Some(at) = devices[s].kick(SimTime::ZERO) {
+            *slot = Some(at);
+            wakeups.schedule(at, s);
+        }
+    }
+    let allocs_before = alloc_counter.map(|f| f());
+    let mut makespan = SimTime::ZERO;
+    while let Some((now, s)) = wakeups.pop() {
+        if armed[s] != Some(now) {
+            continue; // superseded by a re-arm at an earlier instant
+        }
+        armed[s] = None;
+        makespan = now;
+        events += 1;
+        scratch.clear();
+        devices[s].complete_into(now, &mut scratch);
+        // The completed shard always needs a re-kick; resubmits mark
+        // the other shards they touched.
+        let mut touched: u64 = 1 << s;
+        for d in &scratch {
+            let (client, next_round) = match loop_state.on_delivery(sc, d) {
+                Some(r) => (d.client, r),
+                None => continue,
+            };
+            submit_round(sc, &mut devices, now, client, next_round);
+            touched |= if sc.objects_per_round as usize >= shards {
+                // A full round lands on every shard.
+                u64::MAX >> (64 - shards)
+            } else {
+                let mut mask = 0u64;
+                let base = next_round as u32 * sc.objects_per_round;
+                for seg in base..base + sc.objects_per_round {
+                    mask |= 1 << (seg as usize % shards);
+                }
+                mask
+            };
+        }
+        let mut rest = touched;
+        while rest != 0 {
+            let s2 = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            match devices[s2].kick(now) {
+                Some(at) if armed[s2] == Some(at) => {}
+                Some(at) => {
+                    armed[s2] = Some(at);
+                    wakeups.schedule(at, s2);
+                }
+                None => armed[s2] = None,
+            }
+        }
+    }
+    let allocs_after = alloc_counter.map(|f| f());
+    let wall = start.elapsed().as_secs_f64();
+    let allocs_per_event = allocs_before.zip(allocs_after).map(|(before, after)| {
+        if events > 0 {
+            (after - before) as f64 / events as f64
+        } else {
+            0.0
+        }
+    });
+    finish(
+        sc,
+        devices,
+        loop_state,
+        events,
+        wall,
+        makespan,
+        CoreVersion::V2,
+        queue_label,
+        allocs_per_event,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish<Q: RequestIndex>(
+    sc: &PerfScenario,
+    devices: Vec<CsdDevice<(), Q>>,
+    loop_state: ClosedLoop,
+    events: u64,
+    wall: f64,
+    makespan: SimTime,
+    core: CoreVersion,
+    queue_label: &'static str,
+    allocs_per_event: Option<f64>,
+) -> (PerfSample, Fingerprint) {
     assert!(
         devices.iter().all(|d| d.is_quiescent()),
         "perf drive loop left work behind"
     );
     let switches: u64 = devices.iter().map(|d| d.metrics().group_switches).sum();
-    let requests = deliveries.len() as u64;
-    assert_eq!(requests, sc.total_requests(), "lost deliveries");
-    let mut sorted = deliveries;
-    sorted.sort_unstable();
+    assert_eq!(loop_state.count, sc.total_requests(), "lost deliveries");
     (
         PerfSample {
+            core: core.label(),
             queue: queue_label,
-            shards,
-            requests,
+            shards: devices.len(),
+            requests: loop_state.count,
             events,
             wall_secs: wall,
             events_per_sec: if wall > 0.0 {
@@ -234,28 +469,92 @@ fn drive<Q: RequestIndex>(
             },
             makespan_secs: makespan.as_secs_f64(),
             switches,
+            allocs_per_event,
         },
         Fingerprint {
-            deliveries: sorted,
+            count: loop_state.count,
+            checksum: loop_state.checksum,
             makespan,
             switches,
         },
     )
 }
 
-/// Runs the scenario on both queue implementations for every shard
-/// count, asserting the runs are observationally identical, and
-/// returns all samples (indexed first per shard count). With
-/// `skip_naive`, only the indexed queue runs (CI smoke mode).
-pub fn perf_sweep(sc: &PerfScenario, shard_counts: &[usize], skip_naive: bool) -> Vec<PerfSample> {
+/// Knobs for [`perf_sweep`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepOptions {
+    /// Skip the naive-queue baseline (mandatory for million-scale runs:
+    /// the naive queue is O(n²) in pending depth).
+    pub skip_naive: bool,
+    /// Skip the v1-core baseline (CI smoke mode).
+    pub skip_v1: bool,
+    /// Allocation probe: a function reading a process-wide allocation
+    /// counter (the perf binary installs a counting
+    /// `#[global_allocator]`). When set, v2 samples report
+    /// allocations/event.
+    pub alloc_counter: Option<fn() -> u64>,
+    /// Timed repetitions per configuration; the fastest wall time is
+    /// reported (0 is treated as 1). Virtual outcomes are asserted
+    /// identical across repeats, so best-of-N only de-noises the
+    /// wall-clock measurement.
+    pub repeats: usize,
+}
+
+/// Runs the scenario on every requested shard count: the v2 core on the
+/// indexed queue (the production configuration), plus — unless skipped —
+/// the v1 core on the indexed queue (core baseline) and the v1 core on
+/// the naive queue (queue baseline). All runs of a shard count must be
+/// observationally identical (delivery multiset fingerprint, makespan,
+/// switches); samples arrive v2 first per shard count.
+pub fn perf_sweep(
+    sc: &PerfScenario,
+    shard_counts: &[usize],
+    opts: SweepOptions,
+) -> Vec<PerfSample> {
     let mut samples = Vec::new();
+    // Untimed warm-up at the real queue depth: the first timed run would
+    // otherwise pay the process's page-fault and allocator warm-up alone,
+    // systematically biasing whichever variant runs first.
+    if sc.rounds > 1 {
+        let warmup = PerfScenario {
+            rounds: 1,
+            ..sc.clone()
+        };
+        let shards = shard_counts.first().copied().unwrap_or(1);
+        drive_v2::<RequestQueue>(&warmup, shards, "indexed", None);
+        drive_v1::<RequestQueue>(&warmup, shards, "indexed");
+    }
+    let repeats = opts.repeats.max(1);
+    let best = |mut run: Box<dyn FnMut() -> (PerfSample, Fingerprint)>| {
+        let (mut sample, fp) = run();
+        for _ in 1..repeats {
+            let (s, f) = run();
+            assert_eq!(fp, f, "repeat run diverged");
+            if s.wall_secs < sample.wall_secs {
+                sample = s;
+            }
+        }
+        (sample, fp)
+    };
     for &shards in shard_counts {
-        let (indexed, fp_indexed) = drive::<RequestQueue>(sc, shards, "indexed");
-        samples.push(indexed);
-        if !skip_naive {
-            let (naive, fp_naive) = drive::<NaiveQueue>(sc, shards, "naive");
+        let alloc = opts.alloc_counter;
+        let (v2, fp_v2) = best(Box::new(move || {
+            drive_v2::<RequestQueue>(sc, shards, "indexed", alloc)
+        }));
+        samples.push(v2);
+        if !opts.skip_v1 {
+            let (v1, fp_v1) = best(Box::new(move || {
+                drive_v1::<RequestQueue>(sc, shards, "indexed")
+            }));
+            assert_eq!(fp_v2, fp_v1, "v1/v2 cores diverged at {shards} shards");
+            samples.push(v1);
+        }
+        if !opts.skip_naive {
+            let (naive, fp_naive) = best(Box::new(move || {
+                drive_v1::<NaiveQueue>(sc, shards, "naive")
+            }));
             assert_eq!(
-                fp_indexed, fp_naive,
+                fp_v2, fp_naive,
                 "queue implementations diverged at {shards} shards"
             );
             samples.push(naive);
@@ -264,16 +563,27 @@ pub fn perf_sweep(sc: &PerfScenario, shard_counts: &[usize], skip_naive: bool) -
     samples
 }
 
-/// The per-shard-count `naive wall / indexed wall` speedups.
-pub fn speedups(samples: &[PerfSample]) -> Vec<(usize, f64)> {
+/// The per-shard-count `naive wall / indexed wall` speedups (both on
+/// the v1 core: the PR-3 queue-indexing win).
+pub fn queue_speedups(samples: &[PerfSample]) -> Vec<(usize, f64)> {
+    ratio(samples, ("v1", "naive"), ("v1", "indexed"))
+}
+
+/// The per-shard-count `v1 wall / v2 wall` speedups (both on the
+/// indexed queue: the event-core rebuild win).
+pub fn core_speedups(samples: &[PerfSample]) -> Vec<(usize, f64)> {
+    ratio(samples, ("v1", "indexed"), ("v2", "indexed"))
+}
+
+fn ratio(samples: &[PerfSample], num: (&str, &str), den: (&str, &str)) -> Vec<(usize, f64)> {
     let mut out = Vec::new();
-    for s in samples.iter().filter(|s| s.queue == "indexed") {
+    for d in samples.iter().filter(|s| (s.core, s.queue) == den) {
         if let Some(n) = samples
             .iter()
-            .find(|n| n.queue == "naive" && n.shards == s.shards)
+            .find(|s| (s.core, s.queue) == num && s.shards == d.shards)
         {
-            if s.wall_secs > 0.0 {
-                out.push((s.shards, n.wall_secs / s.wall_secs));
+            if d.wall_secs > 0.0 {
+                out.push((d.shards, n.wall_secs / d.wall_secs));
             }
         }
     }
@@ -284,7 +594,7 @@ pub fn speedups(samples: &[PerfSample]) -> Vec<(usize, f64)> {
 pub fn table(sc: &PerfScenario, samples: &[PerfSample]) -> Table {
     let mut t = Table::new(
         &format!(
-            "Scheduling hot path: {} tenants x {} rounds x {} objects ({} requests, {} groups, {}, {} streams)",
+            "Simulator hot path: {} tenants x {} rounds x {} objects ({} requests, {} groups, {}, {} streams)",
             sc.tenants,
             sc.rounds,
             sc.objects_per_round,
@@ -295,10 +605,12 @@ pub fn table(sc: &PerfScenario, samples: &[PerfSample]) -> Table {
         ),
         &[
             "shards",
+            "core",
             "queue",
             "wall(s)",
             "events",
             "events/sec",
+            "allocs/evt",
             "makespan(s)",
             "switches",
         ],
@@ -306,10 +618,13 @@ pub fn table(sc: &PerfScenario, samples: &[PerfSample]) -> Table {
     for s in samples {
         t.push_row(vec![
             s.shards.to_string(),
+            s.core.into(),
             s.queue.into(),
             format!("{:.3}", s.wall_secs),
             s.events.to_string(),
             format!("{:.0}", s.events_per_sec),
+            s.allocs_per_event
+                .map_or_else(|| "-".into(), |a| format!("{a:.3}")),
             format!("{:.0}", s.makespan_secs),
             s.switches.to_string(),
         ]);
@@ -317,13 +632,42 @@ pub fn table(sc: &PerfScenario, samples: &[PerfSample]) -> Table {
     t
 }
 
-/// Serializes the sweep as the `BENCH_perf.json` document (schema
-/// `BENCH_perf/v1`); hand-rolled JSON, no serde in this workspace.
-pub fn to_json(sc: &PerfScenario, samples: &[PerfSample]) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"BENCH_perf/v1\",\n");
+/// One scenario's sweep: the scenario plus every sample it produced.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    /// The driven scenario.
+    pub scenario: PerfScenario,
+    /// Samples, v2 first per shard count.
+    pub samples: Vec<PerfSample>,
+}
+
+impl Sweep {
+    /// Runs `scenario` over `shard_counts` (see [`perf_sweep`]).
+    pub fn run(scenario: PerfScenario, shard_counts: &[usize], opts: SweepOptions) -> Sweep {
+        let samples = perf_sweep(&scenario, shard_counts, opts);
+        Sweep { scenario, samples }
+    }
+}
+
+/// Serializes one or more sweeps as the `BENCH_perf.json` document
+/// (schema `BENCH_perf/v2`); hand-rolled JSON, no serde in this
+/// workspace. The committed artifact carries two sweeps: the classic
+/// 115k-request grid (apples-to-apples with the v1 history) and the
+/// million-request drive.
+pub fn to_json(sweeps: &[Sweep]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"BENCH_perf/v2\",\n  \"sweeps\": [\n");
+    let blocks: Vec<String> = sweeps.iter().map(sweep_json).collect();
+    out.push_str(&blocks.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn sweep_json(sweep: &Sweep) -> String {
+    let sc = &sweep.scenario;
+    let samples = &sweep.samples;
+    let mut out = String::from("    {\n");
     out.push_str(&format!(
-        "  \"scenario\": {{\"tenants\": {}, \"rounds\": {}, \"objects_per_round\": {}, \"groups\": {}, \"requests\": {}, \"policy\": \"{}\", \"streams\": {}}},\n",
+        "      \"scenario\": {{\"tenants\": {}, \"rounds\": {}, \"objects_per_round\": {}, \"groups\": {}, \"requests\": {}, \"policy\": \"{}\", \"streams\": {}}},\n",
         sc.tenants,
         sc.rounds,
         sc.objects_per_round,
@@ -332,32 +676,39 @@ pub fn to_json(sc: &PerfScenario, samples: &[PerfSample]) -> String {
         sc.policy.label(),
         sc.streams,
     ));
-    out.push_str("  \"samples\": [\n");
+    out.push_str("      \"samples\": [\n");
     let rows: Vec<String> = samples
         .iter()
         .map(|s| {
             format!(
-                "    {{\"queue\": \"{}\", \"shards\": {}, \"requests\": {}, \"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \"makespan_secs\": {:.3}, \"switches\": {}}}",
+                "        {{\"core\": \"{}\", \"queue\": \"{}\", \"shards\": {}, \"requests\": {}, \"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \"allocs_per_event\": {}, \"makespan_secs\": {:.3}, \"switches\": {}}}",
+                s.core,
                 s.queue,
                 s.shards,
                 s.requests,
                 s.events,
                 s.wall_secs,
                 s.events_per_sec,
+                s.allocs_per_event
+                    .map_or_else(|| "null".into(), |a| format!("{a:.4}")),
                 s.makespan_secs,
                 s.switches,
             )
         })
         .collect();
     out.push_str(&rows.join(",\n"));
-    out.push_str("\n  ],\n");
-    let sp: Vec<String> = speedups(samples)
-        .into_iter()
-        .map(|(shards, x)| format!("    {{\"shards\": {shards}, \"speedup\": {x:.2}}}"))
-        .collect();
-    out.push_str("  \"speedup\": [\n");
-    out.push_str(&sp.join(",\n"));
-    out.push_str("\n  ]\n}\n");
+    out.push_str("\n      ],\n");
+    let section = |name: &str, rows: Vec<(usize, f64)>| {
+        let body: Vec<String> = rows
+            .into_iter()
+            .map(|(shards, x)| format!("        {{\"shards\": {shards}, \"speedup\": {x:.2}}}"))
+            .collect();
+        format!("      \"{name}\": [\n{}\n      ]", body.join(",\n"))
+    };
+    out.push_str(&section("queue_speedup", queue_speedups(samples)));
+    out.push_str(",\n");
+    out.push_str(&section("core_speedup", core_speedups(samples)));
+    out.push_str("\n    }");
     out
 }
 
@@ -375,24 +726,59 @@ mod tests {
             policy: SchedPolicy::RankBased,
             streams: 1,
         };
-        let samples = perf_sweep(&sc, &[1, 2], false);
-        assert_eq!(samples.len(), 4);
-        // Virtual outcomes are queue-independent.
-        for pair in samples.chunks(2) {
-            assert_eq!(pair[0].makespan_secs, pair[1].makespan_secs);
-            assert_eq!(pair[0].switches, pair[1].switches);
-            assert_eq!(pair[0].events, pair[1].events);
+        let samples = perf_sweep(&sc, &[1, 2], SweepOptions::default());
+        assert_eq!(samples.len(), 6); // (v2, v1, naive) × 2 shard counts
+                                      // Virtual outcomes are queue- and core-independent.
+        for trio in samples.chunks(3) {
+            assert_eq!(trio[0].core, "v2");
+            assert_eq!(trio[1].core, "v1");
+            assert_eq!(trio[2].queue, "naive");
+            for s in trio {
+                assert_eq!(s.makespan_secs, trio[0].makespan_secs);
+                assert_eq!(s.switches, trio[0].switches);
+                assert_eq!(s.events, trio[0].events);
+                assert_eq!(s.requests, sc.total_requests());
+            }
         }
-        assert_eq!(samples[0].requests, sc.total_requests());
-        let json = to_json(&sc, &samples);
-        assert!(json.contains("\"schema\": \"BENCH_perf/v1\""));
+        let json = to_json(&[Sweep {
+            scenario: sc.clone(),
+            samples: samples.clone(),
+        }]);
+        assert!(json.contains("\"schema\": \"BENCH_perf/v2\""));
         assert!(json.contains("\"queue\": \"naive\""));
-        assert_eq!(speedups(&samples).len(), 2);
-        assert_eq!(table(&sc, &samples).rows.len(), 4);
+        assert!(json.contains("\"core\": \"v2\""));
+        assert!(json.contains("\"allocs_per_event\": null"));
+        assert_eq!(queue_speedups(&samples).len(), 2);
+        assert_eq!(core_speedups(&samples).len(), 2);
+        assert_eq!(table(&sc, &samples).rows.len(), 6);
     }
 
     #[test]
-    fn skip_naive_runs_indexed_only() {
+    fn multi_stream_cores_agree() {
+        // The earliest-of-K wake-up path: with streams > 1 the v2
+        // calendar loop sees superseded (stale) wake-ups and must still
+        // reproduce the v1 schedule exactly.
+        let sc = PerfScenario {
+            tenants: 4,
+            rounds: 3,
+            objects_per_round: 8,
+            groups: 2,
+            policy: SchedPolicy::RankBased,
+            streams: 4,
+        };
+        let samples = perf_sweep(
+            &sc,
+            &[1, 2],
+            SweepOptions {
+                skip_naive: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(samples.len(), 4);
+    }
+
+    #[test]
+    fn skip_flags_run_v2_only() {
         let sc = PerfScenario {
             tenants: 2,
             rounds: 1,
@@ -401,9 +787,40 @@ mod tests {
             policy: SchedPolicy::MaxQueries,
             streams: 1,
         };
-        let samples = perf_sweep(&sc, &[1], true);
+        let samples = perf_sweep(
+            &sc,
+            &[1],
+            SweepOptions {
+                skip_naive: true,
+                skip_v1: true,
+                ..Default::default()
+            },
+        );
         assert_eq!(samples.len(), 1);
-        assert_eq!(samples[0].queue, "indexed");
-        assert!(speedups(&samples).is_empty());
+        assert_eq!((samples[0].core, samples[0].queue), ("v2", "indexed"));
+        assert!(queue_speedups(&samples).is_empty());
+        assert!(core_speedups(&samples).is_empty());
+    }
+
+    #[test]
+    fn million_scenario_is_actually_a_million() {
+        assert!(PerfScenario::million().total_requests() >= 1_000_000);
+    }
+
+    #[test]
+    fn fcfs_policies_agree_across_cores() {
+        // The window/oldest-query scopes exercise the slab iteration
+        // paths; pin v1 ≡ v2 ≡ naive on them too.
+        for policy in [SchedPolicy::FcfsObject, SchedPolicy::FcfsSlack(4)] {
+            let sc = PerfScenario {
+                tenants: 3,
+                rounds: 2,
+                objects_per_round: 5,
+                groups: 3,
+                policy,
+                streams: 1,
+            };
+            perf_sweep(&sc, &[1, 2], SweepOptions::default());
+        }
     }
 }

@@ -42,6 +42,7 @@ fn device() -> CsdDevice<&'static str> {
             initial_load_free: true,
             parallel_streams: 1,
             stream_model: StreamModel::Pipeline,
+            ..CsdConfig::default()
         },
         store,
         SchedPolicy::MaxQueries.build(),

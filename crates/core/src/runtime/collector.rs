@@ -13,7 +13,7 @@ use skipper_csd::{ObjectId, QueryId};
 use skipper_relational::tuple::Row;
 use skipper_relational::value::Value;
 use skipper_sim::trace::Span;
-use skipper_sim::{attribute_union, ActivityTrace, Attribution, SimDuration, SimTime};
+use skipper_sim::{ActivityTrace, Attribution, MergedTimeline, SimDuration, SimTime};
 
 use crate::engine::EngineStats;
 
@@ -112,8 +112,26 @@ pub fn attribute_stalls(trace: &ActivityTrace, records: Vec<PendingRecord>) -> V
 /// the *union* of every shard's activity trace (transfer beats switch
 /// beats idle at each instant), so the Figure 9 breakdown stays exact —
 /// `processing + stalls == duration` — on any shard count.
+///
+/// The shard span lists are flattened once into a
+/// [`MergedTimeline`] (a single k-way merge), so whole-run attribution
+/// costs O((spans + intervals)·log) total; the property suite pins the
+/// result equal to the per-interval `attribute_union` reference.
 pub fn attribute_stalls_fleet(
     traces: &[&ActivityTrace],
+    records: Vec<PendingRecord>,
+) -> Vec<QueryRecord> {
+    let lists: Vec<&[Span]> = traces.iter().map(|tr| tr.spans()).collect();
+    let timeline = MergedTimeline::build(&lists);
+    attribute_stalls_merged(&timeline, records)
+}
+
+/// Attribution against a pre-built fleet timeline: the runtime builds
+/// the [`MergedTimeline`] once per run and reuses it for every
+/// client's records (building per client would repeat the k-way merge
+/// C times).
+pub fn attribute_stalls_merged(
+    timeline: &MergedTimeline,
     records: Vec<PendingRecord>,
 ) -> Vec<QueryRecord> {
     records
@@ -121,7 +139,7 @@ pub fn attribute_stalls_fleet(
         .map(|mut rec| {
             let mut attr = Attribution::default();
             for &(a, b) in &rec.blocked_intervals {
-                attr.merge(attribute_union(traces, a, b));
+                attr.merge(timeline.attribute(a, b));
             }
             rec.record.stalls = attr;
             rec.record
@@ -322,16 +340,25 @@ impl RunResult {
 
     /// An ASCII Gantt strip of shard 0's activity over the whole run:
     /// `S` = group switch, digits = transfer to that client, `.` = idle.
-    /// For fleets, see [`RunResult::shard_timeline`].
+    /// Renders straight off the borrowed span list — no trace rebuild,
+    /// no span copies. For fleets, see [`RunResult::shard_timeline`].
     pub fn timeline(&self, width: usize) -> String {
-        let trace = ActivityTrace::from_spans(self.device_spans().iter().copied());
-        skipper_sim::timeline::render(&trace, SimTime::ZERO, self.makespan, width)
+        skipper_sim::timeline::render_spans(
+            self.device_spans(),
+            SimTime::ZERO,
+            self.makespan,
+            width,
+        )
     }
 
     /// The ASCII Gantt strip of one shard's activity.
     pub fn shard_timeline(&self, shard: usize, width: usize) -> String {
-        let trace = ActivityTrace::from_spans(self.shards[shard].spans.iter().copied());
-        skipper_sim::timeline::render(&trace, SimTime::ZERO, self.makespan, width)
+        skipper_sim::timeline::render_spans(
+            &self.shards[shard].spans,
+            SimTime::ZERO,
+            self.makespan,
+            width,
+        )
     }
 
     /// The fleet-wide transfer overlap/utilization rollup (§5.2.1):

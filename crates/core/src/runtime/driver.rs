@@ -13,15 +13,26 @@
 //! events by insertion order, and shards are always poked in shard
 //! order — so a fleet run is exactly reproducible, and a 1-shard fleet
 //! replays the single-device event schedule unchanged.
+//!
+//! The hot loop is engineered for million-request runs: the future
+//! event list is the O(1)-amortized [`CalendarQueue`] (pop order
+//! identical to the reference `EventQueue` — pinned by the differential
+//! sweep in `skipper-sim`), and delivery batches flow through one
+//! reusable scratch buffer (`DeviceFleet::on_wakeup_into`), so the
+//! steady state of the loop allocates nothing per event.
+
+use std::sync::Arc;
 
 use skipper_csd::metrics::DeviceMetrics;
-use skipper_csd::QueryId;
-use skipper_sim::{ActivityTrace, EventQueue, SimTime};
+use skipper_csd::{Delivery, QueryId};
+use skipper_relational::segment::Segment;
+use skipper_sim::trace::Span;
+use skipper_sim::{CalendarQueue, MergedTimeline, SimTime};
 
 use crate::config::CostModel;
 
 use super::client::ClientState;
-use super::collector::{attribute_stalls_fleet, RunResult, ShardResult};
+use super::collector::{attribute_stalls_merged, RunResult, ShardResult};
 use super::fleet::DeviceFleet;
 
 /// Event payloads of the runtime loop.
@@ -39,8 +50,10 @@ enum Event {
 pub struct Runtime {
     fleet: DeviceFleet,
     clients: Vec<ClientState>,
-    events: EventQueue<Event>,
+    events: CalendarQueue<Event>,
     cost: CostModel,
+    /// Reusable delivery scratch for multi-stream wake-up batches.
+    scratch: Vec<Delivery<Arc<Segment>>>,
 }
 
 impl Runtime {
@@ -49,8 +62,9 @@ impl Runtime {
         Runtime {
             fleet,
             clients,
-            events: EventQueue::new(),
+            events: CalendarQueue::new(),
             cost,
+            scratch: Vec::new(),
         }
     }
 
@@ -82,10 +96,18 @@ impl Runtime {
                     // A multi-stream wake-up retires every transfer due
                     // at this instant: route the whole batch (device
                     // slot order — deterministic), then poke once.
-                    // Stale superseded wake-ups return an empty batch.
-                    for d in self.fleet.on_wakeup(shard, t) {
+                    // Stale superseded wake-ups leave the batch empty.
+                    // The scratch buffer is taken out of `self` for the
+                    // duration of the routing (route_delivery borrows
+                    // clients and fleet) and put back drained, so no
+                    // per-event allocation survives warm-up.
+                    let mut batch = std::mem::take(&mut self.scratch);
+                    batch.clear();
+                    self.fleet.on_wakeup_into(shard, t, &mut batch);
+                    for d in batch.drain(..) {
                         self.route_delivery(t, d.client, d.query, d.object, d.payload);
                     }
+                    self.scratch = batch;
                     self.poke_fleet(t);
                 }
                 Event::ClientReady(c) => self.client_ready(c, t),
@@ -110,16 +132,22 @@ impl Runtime {
         // Post-hoc stall attribution against the union of every stream
         // trace of every shard: a client blocked while *any* stream is
         // transferring anywhere in the fleet counts as a transfer stall.
+        // The fleet timeline is flattened exactly once (one k-way merge
+        // over all span lists) and shared by every client's records.
         let clients_out = {
-            let traces: Vec<&ActivityTrace> = self
+            let lists: Vec<&[Span]> = self
                 .fleet
                 .pumps()
                 .iter()
                 .flat_map(|p| p.device().traces())
+                .map(|tr| tr.spans())
                 .collect();
+            let timeline = MergedTimeline::build(&lists);
             self.clients
                 .iter_mut()
-                .map(|client| attribute_stalls_fleet(&traces, client.records.drain(..).collect()))
+                .map(|client| {
+                    attribute_stalls_merged(&timeline, client.records.drain(..).collect())
+                })
                 .collect()
         };
         // `run` consumed the runtime, so each shard's spans and delivery

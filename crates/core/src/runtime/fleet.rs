@@ -105,6 +105,17 @@ impl DeviceFleet {
         self.pumps[shard].on_wakeup(now)
     }
 
+    /// Zero-allocation form of [`DeviceFleet::on_wakeup`]: retired
+    /// transfers are appended to the caller's reusable scratch buffer.
+    pub fn on_wakeup_into(
+        &mut self,
+        shard: usize,
+        now: SimTime,
+        out: &mut Vec<Delivery<Arc<Segment>>>,
+    ) {
+        self.pumps[shard].on_wakeup_into(now, out);
+    }
+
     /// Read access to every pump, in shard order.
     pub fn pumps(&self) -> &[DevicePump] {
         &self.pumps

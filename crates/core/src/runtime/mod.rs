@@ -34,6 +34,12 @@
 //!   ├────────────────────────────────────────────────────────────┤
 //!   │ driver     Runtime: event loop + ClientState machines      │
 //!   │            deliveries ⇢ processing ⇢ follow-up GETs        │
+//!   │   ┌──────────────────────────────────────────────────┐     │
+//!   │   │ event core  CalendarQueue (timer wheel, O(1)     │     │
+//!   │   │ amortized; (time, seq) pop order ≡ the BinaryHeap│     │
+//!   │   │ reference) + one reusable Delivery scratch — the │     │
+//!   │   │ steady-state loop allocates nothing per event    │     │
+//!   │   └──────────────────────────────────────────────────┘     │
 //!   ├────────────────────────────────────────────────────────────┤
 //!   │ fleet      DeviceFleet: PlacementPolicy → shard map        │
 //!   │   ┌──────────────────┬──────────────────┬────────┐         │
@@ -48,6 +54,8 @@
 //!   │   │ + armed switch   │                  │        │         │
 //!   │   └──────────────────┴──────────────────┴────────┘         │
 //!   │   own scheduler · bandwidth · switch latency · streams     │
+//!   │   TraceMode / LedgerMode: Full spans+ledger vs bounded     │
+//!   │   Counters for multi-million-request runs                  │
 //!   └────────────────────────────────────────────────────────────┘
 //! ```
 //!
@@ -58,6 +66,31 @@
 //! microsecond-exactly; `Scenario::shards(n)` scales the device layer
 //! out with per-shard config overrides and per-shard result
 //! breakdowns ([`collector::ShardResult`]).
+//!
+//! # Million-request event core
+//!
+//! The future event list is the [`skipper_sim::CalendarQueue`]: a
+//! bucketed timer wheel with O(1) amortized schedule/pop whose pop
+//! order is identical to the reference `EventQueue` binary heap
+//! (pinned by the differential sweep in `skipper-sim`), so the goldens
+//! survive microsecond-exactly. Wake-up delivery batches drain through
+//! `DeviceFleet::on_wakeup_into` into one scratch buffer owned by the
+//! `Runtime`, devices pool their request nodes in a seq-addressed slab
+//! and reuse transfer slots in place, and per-shard dirty flags keep
+//! untouched pumps O(1) per event — after warm-up the hot loop runs
+//! allocation-free (`skipper-bench --bin perf` counts ~0.1-0.3
+//! allocations/event with its `#[global_allocator]` probe; the CI
+//! perf-smoke gates on a ceiling).
+//!
+//! Observability streams instead of accumulating:
+//! `Scenario::trace_mode(TraceMode::Counters)` and
+//! `Scenario::ledger_mode(LedgerMode::Counters)` bound memory for
+//! multi-million-request runs (running totals only — no span log, no
+//! delivery ledger), and whole-run stall attribution flattens every
+//! shard's span lists into one [`skipper_sim::MergedTimeline`] via a
+//! k-way merge — O((spans + intervals)·log k) total instead of a
+//! per-interval union scan, pinned equal to `attribute_union` by the
+//! `tests/observability.rs` property sweep.
 //!
 //! # Multi-stream servicing (§5.2.1)
 //!
@@ -137,7 +170,8 @@ pub use collector::{QueryRecord, RunResult, ShardResult, StreamRollup};
 pub use engines::{EngineFactory, EngineKind, SkipperFactory, VanillaFactory};
 pub use fleet::DeviceFleet;
 pub use scenario::Scenario;
-pub use skipper_csd::{PlacementPolicy, StreamModel};
+pub use skipper_csd::{LedgerMode, PlacementPolicy, StreamModel};
+pub use skipper_sim::TraceMode;
 pub use workload::{ArrivalProcess, Workload};
 
 #[cfg(test)]

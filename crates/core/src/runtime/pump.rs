@@ -104,18 +104,31 @@ impl DevicePump {
     /// Handles a wake-up firing at `now`: completes everything due and
     /// returns the finished transfers (empty for a switch completion or
     /// a stale, superseded wake-up). Callers must [`DevicePump::poke`]
-    /// again afterwards.
+    /// again afterwards. Allocating convenience form of
+    /// [`DevicePump::on_wakeup_into`].
     pub fn on_wakeup(&mut self, now: SimTime) -> Vec<Delivery<Arc<Segment>>> {
+        let mut out = Vec::new();
+        self.on_wakeup_into(now, &mut out);
+        out
+    }
+
+    /// Handles a wake-up firing at `now`, appending the finished
+    /// transfers to `out` — a caller-owned scratch buffer the event
+    /// loop reuses across wake-ups, so the steady state allocates
+    /// nothing. Appends nothing for a switch completion or a stale,
+    /// superseded wake-up. Callers must [`DevicePump::poke`] again
+    /// afterwards.
+    pub fn on_wakeup_into(&mut self, now: SimTime, out: &mut Vec<Delivery<Arc<Segment>>>) {
         if self.armed_at != Some(now) {
             // Stale: this wake-up was superseded by a re-arm at an
             // earlier instant (whose firing already completed the
             // device past this point), or nothing is armed at all.
             // The device is untouched, so the pump stays clean.
-            return Vec::new();
+            return;
         }
         self.armed_at = None;
         self.dirty = true;
-        self.device.complete(now)
+        self.device.complete_into(now, out);
     }
 
     /// Read access to the wrapped device (metrics, trace, scheduler).

@@ -20,13 +20,13 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use skipper_csd::{
-    CsdConfig, CsdDevice, IntraGroupOrder, Layout, LayoutPolicy, ObjectId, ObjectStore,
+    CsdConfig, CsdDevice, IntraGroupOrder, Layout, LayoutPolicy, LedgerMode, ObjectId, ObjectStore,
     PlacementPolicy, SchedPolicy, StreamModel,
 };
 use skipper_datagen::Dataset;
 use skipper_relational::query::QuerySpec;
 use skipper_relational::segment::Segment;
-use skipper_sim::SimDuration;
+use skipper_sim::{SimDuration, TraceMode};
 
 use crate::cache::EvictionPolicy;
 use crate::config::CostModel;
@@ -71,6 +71,8 @@ pub struct Scenario {
     shards: usize,
     placement: PlacementPolicy,
     shard_overrides: BTreeMap<usize, ShardOverride>,
+    trace_mode: TraceMode,
+    ledger_mode: LedgerMode,
 }
 
 impl Scenario {
@@ -105,6 +107,8 @@ impl Scenario {
             shards: 1,
             placement: PlacementPolicy::RoundRobin,
             shard_overrides: BTreeMap::new(),
+            trace_mode: TraceMode::Full,
+            ledger_mode: LedgerMode::Full,
         }
     }
 
@@ -253,6 +257,27 @@ impl Scenario {
     /// compat model kept for A/B comparison in the bench).
     pub fn stream_model(mut self, model: StreamModel) -> Self {
         self.stream_model = model;
+        self
+    }
+
+    /// Span-log regime of the fleet's activity traces (default:
+    /// [`TraceMode::Full`] — every span kept, stall attribution and
+    /// timelines exact). [`TraceMode::Counters`] bounds memory for very
+    /// large runs: devices keep only per-activity totals, span lists in
+    /// the [`ShardResult`](super::collector::ShardResult)s come back
+    /// empty, and blocked time attributes as idle.
+    pub fn trace_mode(mut self, mode: TraceMode) -> Self {
+        self.trace_mode = mode;
+        self
+    }
+
+    /// Delivery-ledger regime (default: [`LedgerMode::Full`] — every
+    /// completed transfer recorded). [`LedgerMode::Counters`] keeps the
+    /// [`DeviceMetrics`](skipper_csd::metrics::DeviceMetrics) counters
+    /// but leaves the per-shard delivery ledgers empty (bounded memory;
+    /// the work-conservation multiset checks need `Full`).
+    pub fn ledger_mode(mut self, mode: LedgerMode) -> Self {
+        self.ledger_mode = mode;
         self
     }
 
@@ -429,6 +454,8 @@ impl Scenario {
                         initial_load_free: true,
                         parallel_streams: ov.streams.unwrap_or(self.parallel_streams),
                         stream_model: self.stream_model,
+                        trace_mode: self.trace_mode,
+                        ledger_mode: self.ledger_mode,
                     },
                     store,
                     ov.sched.unwrap_or(sched).build(),

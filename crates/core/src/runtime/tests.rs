@@ -283,6 +283,7 @@ fn mini_pump_same_group(streams: u32) -> DevicePump {
             initial_load_free: true,
             parallel_streams: streams,
             stream_model: StreamModel::Pipeline,
+            ..CsdConfig::default()
         },
         store,
         SchedPolicy::RankBased.build(),
@@ -305,6 +306,7 @@ fn mini_pump_equal_group(streams: u32) -> DevicePump {
             initial_load_free: true,
             parallel_streams: streams,
             stream_model: StreamModel::Pipeline,
+            ..CsdConfig::default()
         },
         store,
         SchedPolicy::RankBased.build(),
@@ -325,6 +327,7 @@ fn mini_pump_with_streams(streams: u32) -> DevicePump {
             initial_load_free: true,
             parallel_streams: streams,
             stream_model: StreamModel::Pipeline,
+            ..CsdConfig::default()
         },
         store,
         SchedPolicy::RankBased.build(),
@@ -497,6 +500,7 @@ fn fleet_routes_submissions_by_shard_map_and_interleaves() {
                 initial_load_free: true,
                 parallel_streams: 1,
                 stream_model: StreamModel::Pipeline,
+                ..CsdConfig::default()
             },
             store,
             SchedPolicy::RankBased.build(),

@@ -62,7 +62,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use skipper_sim::{Activity, ActivityTrace, SimDuration, SimTime};
+use skipper_sim::{Activity, ActivityTrace, SimDuration, SimTime, TraceMode};
 
 use crate::metrics::DeviceMetrics;
 use crate::object::{GroupId, ObjectId, QueryId};
@@ -89,6 +89,23 @@ pub enum StreamModel {
     BandwidthMultiplier,
 }
 
+/// How the device keeps its per-transfer delivery ledger.
+///
+/// The ledger (`served_log`) records every completed transfer as a
+/// `(client, query, object)` triple — the work-conservation multiset the
+/// sharding and equivalence suites compare. It grows O(requests), which
+/// a multi-million-request run cannot afford; [`LedgerMode::Counters`]
+/// keeps only the [`DeviceMetrics`] counters and leaves the ledger
+/// empty.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LedgerMode {
+    /// Record every delivery (default; O(requests) memory).
+    #[default]
+    Full,
+    /// Counters only; `served_log` stays empty (bounded memory).
+    Counters,
+}
+
 /// Device parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct CsdConfig {
@@ -112,6 +129,12 @@ pub struct CsdConfig {
     pub parallel_streams: u32,
     /// How streams > 1 are modelled (default: the true pipeline).
     pub stream_model: StreamModel,
+    /// Span-log regime of the per-slot activity traces (default: keep
+    /// every span). [`TraceMode::Counters`] bounds memory for huge runs
+    /// at the cost of post-hoc stall attribution.
+    pub trace_mode: TraceMode,
+    /// Delivery-ledger regime (default: record every transfer).
+    pub ledger_mode: LedgerMode,
 }
 
 impl Default for CsdConfig {
@@ -125,6 +148,8 @@ impl Default for CsdConfig {
             initial_load_free: true,
             parallel_streams: 1,
             stream_model: StreamModel::Pipeline,
+            trace_mode: TraceMode::Full,
+            ledger_mode: LedgerMode::Full,
         }
     }
 }
@@ -200,6 +225,9 @@ pub struct Delivery<P> {
 #[derive(Clone, Debug)]
 struct TransferSlot {
     request: PendingRequest,
+    /// Logical size, captured at dispatch so completion does not pay a
+    /// second store lookup.
+    bytes: u64,
     started: SimTime,
     until: SimTime,
 }
@@ -278,7 +306,9 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
             completions: BinaryHeap::new(),
             switch: SwitchStage::Idle,
             next_seq: 0,
-            traces: (0..slot_count).map(|_| ActivityTrace::new()).collect(),
+            traces: (0..slot_count)
+                .map(|_| ActivityTrace::with_mode(config.trace_mode))
+                .collect(),
             metrics: DeviceMetrics::default(),
             served_log: Vec::new(),
         }
@@ -311,6 +341,7 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
                 query,
                 client,
                 group: meta.group,
+                bytes: meta.logical_bytes,
                 arrival: now,
                 seq: self.next_seq,
             });
@@ -368,11 +399,7 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
                     };
                     let request = self.queue.remove(seq);
                     debug_assert_eq!(request.group, active, "serving off-group request");
-                    let bytes = self
-                        .store
-                        .meta(request.object)
-                        .expect("submitted object exists")
-                        .logical_bytes;
+                    let bytes = request.bytes;
                     let until = now + transfer_time(bytes, self.stream_bandwidth());
                     self.traces[slot].record(
                         now,
@@ -383,6 +410,7 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
                     );
                     self.slots[slot] = Some(TransferSlot {
                         request,
+                        bytes,
                         started: now,
                         until,
                     });
@@ -433,26 +461,37 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
         until
     }
 
+    /// Completes everything due at `now`, allocating a fresh batch; see
+    /// [`CsdDevice::complete_into`] for the zero-allocation form the
+    /// drivers use on the hot path.
+    pub fn complete(&mut self, now: SimTime) -> Vec<Delivery<P>> {
+        let mut deliveries = Vec::new();
+        self.complete_into(now, &mut deliveries);
+        deliveries
+    }
+
     /// Completes everything due at `now`: either the switch stage, or
     /// every transfer whose completion instant is exactly `now`
-    /// (returned in slot order). If retiring the last transfer drains
-    /// the pipe with a switch armed, the switch starts at `now` — no
-    /// idle gap. The caller should deliver the results and call
+    /// (appended to `out` in slot order — `out` is a caller-owned
+    /// scratch buffer, reusable across wake-ups so the steady state
+    /// allocates nothing). If retiring the last transfer drains the
+    /// pipe with a switch armed, the switch starts at `now` — no idle
+    /// gap. The caller should deliver the results and call
     /// [`CsdDevice::kick`] again.
     ///
     /// # Panics
     /// Panics if nothing is due at `now` — the event loop must stay in
     /// lock-step with the device's reported completion times.
-    pub fn complete(&mut self, now: SimTime) -> Vec<Delivery<P>> {
+    pub fn complete_into(&mut self, now: SimTime, out: &mut Vec<Delivery<P>>) {
         if let SwitchStage::Switching { target, until } = self.switch {
             assert_eq!(until, now, "switch completion out of step");
             self.switch = SwitchStage::Idle;
             self.active_group = Some(target);
             self.scheduler.on_switch_complete(&self.queue, target);
             self.queue.arm_residency(target);
-            return Vec::new();
+            return;
         }
-        let mut deliveries = Vec::new();
+        let mut retired = 0usize;
         while let Some(&Reverse((at, slot))) = self.completions.peek() {
             if at != now {
                 assert!(
@@ -464,6 +503,7 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
             self.completions.pop();
             let TransferSlot {
                 request,
+                bytes,
                 started,
                 until,
             } = self.slots[slot]
@@ -471,23 +511,21 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
                 .expect("completion heap entry without an occupied slot");
             debug_assert_eq!(until, now);
             self.in_flight -= 1;
-            let meta = *self.store.meta(request.object).expect("object exists");
+            retired += 1;
             self.metrics.objects_served += 1;
-            self.metrics.logical_bytes_served += meta.logical_bytes;
+            self.metrics.logical_bytes_served += bytes;
             self.metrics.transfer_busy_micros += until.since(started).as_micros();
-            *self
-                .metrics
-                .served_per_client
-                .entry(request.client)
-                .or_default() += 1;
-            self.served_log
-                .push((request.client, request.query, request.object));
+            self.metrics.note_served(request.client);
+            if self.config.ledger_mode == LedgerMode::Full {
+                self.served_log
+                    .push((request.client, request.query, request.object));
+            }
             let payload = self
                 .store
                 .get(request.object)
                 .expect("object exists")
                 .clone();
-            deliveries.push(Delivery {
+            out.push(Delivery {
                 client: request.client,
                 query: request.query,
                 object: request.object,
@@ -495,7 +533,7 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
             });
         }
         assert!(
-            !deliveries.is_empty(),
+            retired > 0,
             "complete() with no operation in flight at {now}"
         );
         if self.in_flight == 0 {
@@ -505,7 +543,6 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
                 self.begin_switch(now, target);
             }
         }
-        deliveries
     }
 
     /// True when no transfer or switch is in flight and the queue is
@@ -617,6 +654,7 @@ mod tests {
                 initial_load_free: true,
                 parallel_streams: streams,
                 stream_model: StreamModel::Pipeline,
+                ..CsdConfig::default()
             },
             store,
             policy.build(),
@@ -752,6 +790,7 @@ mod tests {
             query: QueryId::new(0, 0),
             client: 0,
             group: 0,
+            bytes: 0,
             arrival: SimTime::ZERO,
             seq,
         };
@@ -806,6 +845,7 @@ mod tests {
                 initial_load_free: true,
                 parallel_streams: 2,
                 stream_model: StreamModel::Pipeline,
+                ..CsdConfig::default()
             },
             store,
             SchedPolicy::RankBased.build(),
@@ -903,6 +943,7 @@ mod tests {
                 initial_load_free: true,
                 parallel_streams: 4,
                 stream_model: StreamModel::BandwidthMultiplier,
+                ..CsdConfig::default()
             },
             store,
             SchedPolicy::RankBased.build(),
@@ -941,6 +982,7 @@ mod tests {
                 initial_load_free: true,
                 parallel_streams: 4,
                 stream_model: StreamModel::Pipeline,
+                ..CsdConfig::default()
             },
             store,
             SchedPolicy::RankBased.build(),

@@ -50,7 +50,7 @@ pub mod power;
 pub mod sched;
 pub mod store;
 
-pub use device::{CsdConfig, CsdDevice, Delivery, IntraGroupOrder, StreamModel};
+pub use device::{CsdConfig, CsdDevice, Delivery, IntraGroupOrder, LedgerMode, StreamModel};
 pub use layout::{Layout, LayoutPolicy, PlacementPolicy};
 pub use object::{GroupId, ObjectId, ObjectMeta, QueryId};
 pub use power::{EnergyReport, PowerModel};

@@ -1,7 +1,5 @@
 //! Device-side counters.
 
-use std::collections::HashMap;
-
 /// Counters accumulated by a [`CsdDevice`](crate::device::CsdDevice) over
 /// a run. GET counts per client feed Figures 11b/11c (request-reissue
 /// curves); switch counts validate the closed-form models of §3.2/§5.2.1.
@@ -26,14 +24,27 @@ pub struct DeviceMetrics {
     /// Peak number of simultaneously occupied transfer slots (1 for a
     /// serial device; for a fleet roll-up, the max over shards).
     pub peak_concurrent_streams: u32,
-    /// Objects served per client.
-    pub served_per_client: HashMap<usize, u64>,
+    /// Objects served per client, indexed by client id (clients the
+    /// device never served may be absent; read through
+    /// [`DeviceMetrics::served_to`]). A flat vector instead of a hash
+    /// map: this counter bumps once per delivery on the per-event hot
+    /// path.
+    pub served_per_client: Vec<u64>,
 }
 
 impl DeviceMetrics {
     /// Objects served to `client`.
     pub fn served_to(&self, client: usize) -> u64 {
-        self.served_per_client.get(&client).copied().unwrap_or(0)
+        self.served_per_client.get(client).copied().unwrap_or(0)
+    }
+
+    /// Bumps the per-client served counter, growing the table on first
+    /// contact with a client.
+    pub fn note_served(&mut self, client: usize) {
+        if self.served_per_client.len() <= client {
+            self.served_per_client.resize(client + 1, 0);
+        }
+        self.served_per_client[client] += 1;
     }
 
     /// Adds another device's counters into this one (the fleet roll-up:
@@ -48,8 +59,12 @@ impl DeviceMetrics {
         self.peak_concurrent_streams = self
             .peak_concurrent_streams
             .max(other.peak_concurrent_streams);
-        for (&client, &n) in &other.served_per_client {
-            *self.served_per_client.entry(client).or_default() += n;
+        if self.served_per_client.len() < other.served_per_client.len() {
+            self.served_per_client
+                .resize(other.served_per_client.len(), 0);
+        }
+        for (client, &n) in other.served_per_client.iter().enumerate() {
+            self.served_per_client[client] += n;
         }
     }
 
@@ -76,12 +91,14 @@ mod tests {
     #[test]
     fn served_per_client_tracks() {
         let mut m = DeviceMetrics::default();
-        *m.served_per_client.entry(1).or_default() += 2;
+        m.note_served(1);
+        m.note_served(1);
         assert_eq!(m.served_to(1), 2);
+        assert_eq!(m.served_to(0), 0);
     }
 
     #[test]
-    fn roll_up_sums_counters_and_client_maps() {
+    fn roll_up_sums_counters_and_client_tables() {
         let mut a = DeviceMetrics {
             group_switches: 2,
             initial_loads: 1,
@@ -90,14 +107,16 @@ mod tests {
             logical_bytes_served: 500,
             ..Default::default()
         };
-        *a.served_per_client.entry(0).or_default() += 3;
+        for _ in 0..3 {
+            a.note_served(0);
+        }
         let mut b = DeviceMetrics {
             group_switches: 1,
             objects_served: 2,
             ..Default::default()
         };
-        *b.served_per_client.entry(0).or_default() += 1;
-        *b.served_per_client.entry(1).or_default() += 1;
+        b.note_served(0);
+        b.note_served(1);
         let total = DeviceMetrics::rolled_up([&a, &b]);
         assert_eq!(total.group_switches, 3);
         assert_eq!(total.initial_loads, 1);

@@ -79,6 +79,9 @@ pub struct PendingRequest {
     pub client: usize,
     /// Disk group housing the object.
     pub group: GroupId,
+    /// Logical object size, captured from the store at submit so the
+    /// dispatch path never re-probes the store per event.
+    pub bytes: u64,
     /// When the request arrived at the device.
     pub arrival: SimTime,
     /// Global arrival sequence number (FIFO tie-break).
@@ -351,6 +354,7 @@ pub(crate) mod testutil {
             query: QueryId::new(tenant, qseq),
             client: tenant as usize,
             group,
+            bytes: 0,
             arrival: SimTime::from_secs(arrival_s),
             seq,
         }

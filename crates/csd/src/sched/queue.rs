@@ -3,32 +3,48 @@
 //! The scheduling hot path used to re-derive every decision from flat
 //! `Vec<PendingRequest>` rescans — O(n) per served object, O(n²) per
 //! run. [`RequestQueue`] maintains every fact the policies consult as a
-//! persistent index updated in O(log n) on submit/serve:
+//! persistent index updated in O(log n) (mostly O(1) amortized) per
+//! submit/serve:
 //!
-//! * a **global FIFO index** (`by_seq`) answering "oldest request" and
-//!   the *k*-oldest slack window;
+//! * a **request slab** (`slab`) — a pooled ring of request nodes
+//!   indexed directly by the device's dense, monotone sequence numbers:
+//!   insert/remove/lookup and "globally oldest" are all O(1), and a
+//!   node's storage is recycled in place instead of churning allocator
+//!   nodes per request (the zero-allocation steady-state contract of
+//!   the million-request perf harness);
 //! * **per-group sub-queues** ordered by the device's intra-group
-//!   service key, split into the *resident* snapshot (the §4.4
-//!   non-preemption scope) and *fresh* post-snapshot arrivals — so
-//!   intra-group selection is a `first()` on an ordered set instead of
-//!   a `min_by_key` scan, and residency membership is set membership
-//!   instead of a per-request seq-set probe;
-//! * **per-group aggregates** (distinct-query refcounts, request
-//!   counts, oldest seq/arrival) kept exact on every mutation instead
-//!   of rebuilt per decision;
+//!   service key as *lazy-deletion min-heaps*, split into the *resident*
+//!   snapshot (the §4.4 non-preemption scope) and *fresh* post-snapshot
+//!   arrivals. Residency membership is a sequence-number boundary
+//!   (`seq < boundary` ∧ pending ⟺ resident — sound because the device
+//!   assigns seqs monotonically, so everything pending at arm time has
+//!   a smaller seq than anything arriving later), making `arm_residency`
+//!   a counter update plus one heap meld instead of a per-request set
+//!   move;
+//! * **per-group aggregates** (distinct-query counts, request counts)
+//!   kept exact on every mutation, plus lazy oldest-seq /
+//!   oldest-arrival heaps — a push per insert, with stale entries
+//!   skipped (and compacted, amortized O(1)) only when a switch
+//!   decision actually reads the aggregate;
 //! * a **per-query index** answering "this query's oldest request" and
 //!   "which queries are present" for query-FCFS and the rank policy's
-//!   waiting-time bookkeeping.
+//!   waiting-time bookkeeping, with the same lazy-heap trick.
 //!
-//! Complexity contract: `insert` and `remove` are O(log n);
-//! `arm_residency` is amortized O(log n) per request (each request
-//! moves from *fresh* to *resident* at most once per residency it is
-//! served under); every [`QueueView`] scalar lookup is O(log n) or
-//! better; [`QueueView::group_aggregates`] is O(groups + pending
-//! queries), paid only at switch decision points.
+//! Lazy deletion trades the old BTree-set removals (three ordered-set
+//! operations per served request) for heap pushes and amortized stale
+//! skipping: every entry is pushed once and popped at most once, and a
+//! heap is compacted when stale entries outnumber live ones 4:1, so the
+//! per-event cost is O(1) amortized heap work plus the O(log) pushes.
+//!
+//! Contract: the device assigns strictly increasing sequence numbers
+//! and non-decreasing arrival times (test adapters may pre-load
+//! out-of-order seqs *before* arming a residency; the boundary
+//! representation requires post-arm inserts to carry newer seqs, which
+//! the device guarantees by construction).
 
-use std::collections::BTreeMap;
-use std::collections::BTreeSet;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use skipper_sim::SimTime;
 
@@ -45,23 +61,186 @@ fn seq_of(key: &OrderKey) -> u64 {
     key.3
 }
 
+/// Lazy-deletion min-heap threshold: compact once the heap holds more
+/// than this many entries *and* is mostly stale.
+const HEAP_COMPACT_MIN: usize = 16;
+
+/// A pooled slab of pending-request nodes, indexed by sequence number.
+///
+/// Device sequence numbers are dense and monotone, so `seq - base` maps
+/// straight into a ring buffer: insert, remove, point lookup, and the
+/// globally-oldest request are all O(1), with node storage recycled in
+/// place. Holes left by out-of-order serves are skipped lazily; the
+/// front is kept trimmed so `front()` never scans.
+#[derive(Debug, Default)]
+struct Slab {
+    nodes: VecDeque<Option<PendingRequest>>,
+    /// Sequence number of `nodes[0]`.
+    base: u64,
+    live: usize,
+}
+
+impl Slab {
+    fn insert(&mut self, r: PendingRequest) {
+        if self.nodes.is_empty() {
+            self.base = r.seq;
+        } else if r.seq < self.base {
+            // Out-of-order low seq (test adapters); grow the front.
+            for _ in 0..(self.base - r.seq) {
+                self.nodes.push_front(None);
+            }
+            self.base = r.seq;
+        }
+        let idx = (r.seq - self.base) as usize;
+        if idx >= self.nodes.len() {
+            self.nodes.resize(idx + 1, None);
+        }
+        let prev = self.nodes[idx].replace(r);
+        assert!(prev.is_none(), "duplicate request seq {}", r.seq);
+        self.live += 1;
+    }
+
+    fn remove(&mut self, seq: u64) -> PendingRequest {
+        let r = self
+            .get_mut(seq)
+            .and_then(Option::take)
+            .unwrap_or_else(|| panic!("removing unknown request seq {seq}"));
+        self.live -= 1;
+        if self.live == 0 {
+            self.nodes.clear();
+        } else {
+            // Keep the front live so `front()`/iteration never rescan
+            // trimmed holes (each hole is popped exactly once).
+            while let Some(None) = self.nodes.front() {
+                self.nodes.pop_front();
+                self.base += 1;
+            }
+        }
+        r
+    }
+
+    fn get_mut(&mut self, seq: u64) -> Option<&mut Option<PendingRequest>> {
+        let idx = seq.checked_sub(self.base)? as usize;
+        self.nodes.get_mut(idx)
+    }
+
+    fn get(&self, seq: u64) -> Option<&PendingRequest> {
+        let idx = seq.checked_sub(self.base)? as usize;
+        self.nodes.get(idx)?.as_ref()
+    }
+
+    fn contains(&self, seq: u64) -> bool {
+        self.get(seq).is_some()
+    }
+
+    /// One past the largest seq ever stored (0 when empty): the
+    /// residency boundary at arm time.
+    fn upper_seq(&self) -> u64 {
+        self.base + self.nodes.len() as u64
+    }
+
+    /// The live request with the smallest seq (O(1): the front is
+    /// trimmed on every remove).
+    fn front(&self) -> Option<&PendingRequest> {
+        debug_assert!(self.live == 0 || self.nodes.front().is_some_and(Option::is_some));
+        self.nodes.front()?.as_ref()
+    }
+
+    /// Live requests in seq order (front-trimmed; interior holes are
+    /// skipped).
+    fn iter(&self) -> impl Iterator<Item = &PendingRequest> {
+        self.nodes.iter().filter_map(Option::as_ref)
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+/// A lazy-deletion min-heap over keys whose liveness the owner checks
+/// at read time. Pushes are O(log n) with no matching remove cost;
+/// stale tops are popped (and the whole heap compacted when mostly
+/// stale) only when the minimum is actually read — which for the
+/// aggregates below happens at switch decision points, not per event.
+#[derive(Debug, Default)]
+struct LazyMinHeap<K: Ord + Copy> {
+    heap: RefCell<BinaryHeap<Reverse<K>>>,
+}
+
+impl<K: Ord + Copy> LazyMinHeap<K> {
+    fn push(&mut self, key: K) {
+        self.heap.get_mut().push(Reverse(key));
+    }
+
+    /// The smallest key for which `live` holds, discarding stale tops.
+    fn min_live(&self, live: impl Fn(K) -> bool) -> Option<K> {
+        let mut heap = self.heap.borrow_mut();
+        while let Some(&Reverse(k)) = heap.peek() {
+            if live(k) {
+                return Some(k);
+            }
+            heap.pop();
+        }
+        None
+    }
+
+    /// Melds `other`'s entries into this heap (the residency arm).
+    fn append(&mut self, other: &mut Self) {
+        self.heap.get_mut().append(other.heap.get_mut());
+    }
+
+    /// Drops stale entries once they dominate the heap (amortized O(1)
+    /// per push; call on the mutation path with the live count).
+    fn maybe_compact(&mut self, live_count: usize, live: impl Fn(K) -> bool) {
+        let heap = self.heap.get_mut();
+        if heap.len() > HEAP_COMPACT_MIN && heap.len() > live_count.saturating_mul(4) {
+            let kept: BinaryHeap<Reverse<K>> = heap.drain().filter(|&Reverse(k)| live(k)).collect();
+            *heap = kept;
+        }
+    }
+}
+
 /// One disk group's sub-queue and aggregates.
 #[derive(Debug, Default)]
 struct GroupQueue {
-    /// Requests of the current residency snapshot, intra-order sorted.
-    /// Only the active group's set is ever consulted; sets of other
-    /// groups may hold leftovers from an earlier residency, which the
-    /// next [`RequestQueue::arm_residency`] folds back in.
-    resident: BTreeSet<OrderKey>,
-    /// Requests that arrived after the snapshot, intra-order sorted.
-    fresh: BTreeSet<OrderKey>,
-    /// Every pending seq on this group (oldest-seq aggregate, counts).
-    seqs: BTreeSet<u64>,
-    /// Every pending `(arrival, seq)` (oldest-arrival aggregate).
-    arrivals: BTreeSet<(SimTime, u64)>,
-    /// Per-query sub-queues, intra-order sorted (distinct-query
-    /// refcounts and the query-FCFS serve scope).
-    by_query: BTreeMap<QueryId, BTreeSet<OrderKey>>,
+    /// Intra-order heap of the residency snapshot (plus lazily-skipped
+    /// served leftovers). Only the active group's heap is consulted;
+    /// other groups keep leftovers from an earlier residency, exactly
+    /// like the historical per-group snapshot sets.
+    resident: LazyMinHeap<OrderKey>,
+    /// Intra-order heap of post-snapshot arrivals.
+    fresh: LazyMinHeap<OrderKey>,
+    /// Residency boundary: a pending request is resident iff its seq is
+    /// below this (set to the slab's upper seq at arm time).
+    boundary: u64,
+    /// Live residents (`count` at arm, decremented by sub-boundary
+    /// removals).
+    resident_count: usize,
+    /// Pending request count on this group.
+    count: usize,
+    /// Lazy oldest-seq aggregate.
+    min_seq: LazyMinHeap<u64>,
+    /// Lazy oldest-arrival aggregate (arrival, seq).
+    min_arrival: LazyMinHeap<(SimTime, u64)>,
+    /// Per-query presence count and intra-order heap (distinct-query
+    /// aggregates and the query-FCFS serve scope).
+    by_query: BTreeMap<QueryId, QueryHeap>,
+}
+
+/// One (group, query) sub-index.
+#[derive(Debug, Default)]
+struct QueryHeap {
+    count: usize,
+    heap: LazyMinHeap<OrderKey>,
+}
+
+/// One query's global presence index.
+#[derive(Debug, Default)]
+struct QueryEntry {
+    /// Pending request count for this query (across groups).
+    count: usize,
+    /// Lazy oldest-seq aggregate for [`QueueView::oldest_of_query`].
+    min_seq: LazyMinHeap<u64>,
 }
 
 /// The mutating half of the queue abstraction: what the device needs on
@@ -101,12 +280,12 @@ pub trait RequestIndex: QueueView {
 #[derive(Debug)]
 pub struct RequestQueue {
     intra: IntraGroupOrder,
-    /// Global FIFO index: seq → request.
-    by_seq: BTreeMap<u64, PendingRequest>,
+    /// Pooled request nodes, seq-addressed (O(1) everything).
+    slab: Slab,
     /// Per-group sub-queues, sorted by group id.
     groups: BTreeMap<GroupId, GroupQueue>,
-    /// Per-query pending seqs (oldest-of-query, query presence).
-    query_seqs: BTreeMap<QueryId, BTreeSet<u64>>,
+    /// Per-query presence (oldest-of-query, query iteration).
+    queries: BTreeMap<QueryId, QueryEntry>,
 }
 
 impl RequestQueue {
@@ -132,88 +311,139 @@ impl RequestIndex for RequestQueue {
     fn new(intra: IntraGroupOrder) -> Self {
         RequestQueue {
             intra,
-            by_seq: BTreeMap::new(),
+            slab: Slab::default(),
             groups: BTreeMap::new(),
-            query_seqs: BTreeMap::new(),
+            queries: BTreeMap::new(),
         }
     }
 
     fn insert(&mut self, request: PendingRequest) {
         let key = self.key(&request);
-        let prev = self.by_seq.insert(request.seq, request);
-        // Hard assert: a duplicate seq would silently corrupt every
-        // set-based index (the old flat Vec tolerated duplicates).
-        assert!(prev.is_none(), "duplicate request seq {}", request.seq);
+        self.slab.insert(request);
         let group = self.groups.entry(request.group).or_default();
-        group.fresh.insert(key);
-        group.seqs.insert(request.seq);
-        group.arrivals.insert((request.arrival, request.seq));
-        group.by_query.entry(request.query).or_default().insert(key);
-        self.query_seqs
-            .entry(request.query)
-            .or_default()
-            .insert(request.seq);
+        // The boundary representation of residency needs post-arm
+        // arrivals to carry newer seqs — the device's monotone
+        // assignment guarantees it.
+        debug_assert!(
+            request.seq >= group.boundary,
+            "request seq {} re-enters an armed residency (boundary {})",
+            request.seq,
+            group.boundary
+        );
+        group.fresh.push(key);
+        group.count += 1;
+        group.min_seq.push(request.seq);
+        group.min_arrival.push((request.arrival, request.seq));
+        let per_query = group.by_query.entry(request.query).or_default();
+        per_query.count += 1;
+        per_query.heap.push(key);
+        let query = self.queries.entry(request.query).or_default();
+        query.count += 1;
+        query.min_seq.push(request.seq);
     }
 
     fn remove(&mut self, seq: u64) -> PendingRequest {
-        let request = self
-            .by_seq
-            .remove(&seq)
-            .unwrap_or_else(|| panic!("removing unknown request seq {seq}"));
-        let key = self.intra.key(&request);
+        let request = self.slab.remove(seq);
         let group = self
             .groups
             .get_mut(&request.group)
             .expect("group index out of sync");
-        if !group.resident.remove(&key) {
-            group.fresh.remove(&key);
+        group.count -= 1;
+        if seq < group.boundary {
+            group.resident_count -= 1;
         }
-        group.seqs.remove(&seq);
-        group.arrivals.remove(&(request.arrival, seq));
-        if let Some(per_query) = group.by_query.get_mut(&request.query) {
-            per_query.remove(&key);
-            if per_query.is_empty() {
-                group.by_query.remove(&request.query);
-            }
+        let drop_query_heap = {
+            let per_query = group
+                .by_query
+                .get_mut(&request.query)
+                .expect("per-query index out of sync");
+            per_query.count -= 1;
+            per_query.count == 0
+        };
+        if drop_query_heap {
+            group.by_query.remove(&request.query);
         }
-        if group.seqs.is_empty() {
+        if group.count == 0 {
             self.groups.remove(&request.group);
-        }
-        if let Some(seqs) = self.query_seqs.get_mut(&request.query) {
-            seqs.remove(&seq);
-            if seqs.is_empty() {
-                self.query_seqs.remove(&request.query);
+        } else {
+            // Amortized stale-entry cleanup; liveness is slab presence
+            // (sequence numbers are never reused).
+            let slab = &self.slab;
+            let group = self.groups.get_mut(&request.group).expect("still present");
+            let fresh_live = group.count - group.resident_count;
+            group
+                .resident
+                .maybe_compact(group.resident_count, |k| slab.contains(seq_of(&k)));
+            group
+                .fresh
+                .maybe_compact(fresh_live, |k| slab.contains(seq_of(&k)));
+            group
+                .min_seq
+                .maybe_compact(group.count, |s| slab.contains(s));
+            group
+                .min_arrival
+                .maybe_compact(group.count, |(_, s)| slab.contains(s));
+            if let Some(per_query) = group.by_query.get_mut(&request.query) {
+                per_query
+                    .heap
+                    .maybe_compact(per_query.count, |k| slab.contains(seq_of(&k)));
             }
+        }
+        let query = self
+            .queries
+            .get_mut(&request.query)
+            .expect("query index out of sync");
+        query.count -= 1;
+        if query.count == 0 {
+            self.queries.remove(&request.query);
+        } else {
+            let slab = &self.slab;
+            query
+                .min_seq
+                .maybe_compact(query.count, |s| slab.contains(s));
         }
         request
     }
 
     fn arm_residency(&mut self, group: GroupId) {
         if let Some(g) = self.groups.get_mut(&group) {
-            let fresh = std::mem::take(&mut g.fresh);
-            g.resident.extend(fresh);
+            // Everything currently pending becomes resident: the
+            // boundary moves past every assigned seq and the fresh heap
+            // melds into the resident heap (each entry melds at most
+            // once — fresh drains wholesale).
+            g.boundary = self.slab.upper_seq();
+            g.resident_count = g.count;
+            let mut fresh = std::mem::take(&mut g.fresh);
+            g.resident.append(&mut fresh);
+            g.fresh = fresh;
         }
     }
 
     fn select(&self, scope: ServeScope, active: GroupId) -> Option<u64> {
         match scope {
-            ServeScope::Residency => self.groups.get(&active)?.resident.first().map(seq_of),
+            ServeScope::Residency => {
+                let g = self.groups.get(&active)?;
+                g.resident
+                    .min_live(|k| self.slab.contains(seq_of(&k)))
+                    .map(|k| seq_of(&k))
+            }
             ServeScope::OldestObject => {
-                let (&seq, r) = self.by_seq.first_key_value()?;
-                (r.group == active).then_some(seq)
+                let r = self.slab.front()?;
+                (r.group == active).then_some(r.seq)
             }
             ServeScope::OldestQuery => {
-                let oldest_query = self.by_seq.first_key_value()?.1.query;
+                let oldest_query = self.slab.front()?.query;
                 self.groups
                     .get(&active)?
                     .by_query
                     .get(&oldest_query)?
-                    .first()
-                    .map(seq_of)
+                    .heap
+                    .min_live(|k| self.slab.contains(seq_of(&k)))
+                    .map(|k| seq_of(&k))
             }
             ServeScope::Window(k) => self
-                .by_seq
-                .values()
+                .slab
+                .iter()
                 .take(k)
                 .filter(|r| r.group == active)
                 .min_by_key(|r| self.key(r))
@@ -224,16 +454,20 @@ impl RequestIndex for RequestQueue {
 
 impl QueueView for RequestQueue {
     fn len(&self) -> usize {
-        self.by_seq.len()
+        self.slab.len()
     }
 
     fn oldest(&self) -> Option<PendingRequest> {
-        self.by_seq.first_key_value().map(|(_, r)| *r)
+        self.slab.front().copied()
     }
 
     fn oldest_of_query(&self, q: QueryId) -> Option<PendingRequest> {
-        let seq = self.query_seqs.get(&q)?.first()?;
-        self.by_seq.get(seq).copied()
+        let seq = self
+            .queries
+            .get(&q)?
+            .min_seq
+            .min_live(|s| self.slab.contains(s))?;
+        self.slab.get(seq).copied()
     }
 
     fn group_has_query(&self, g: GroupId, q: QueryId) -> bool {
@@ -243,7 +477,7 @@ impl QueueView for RequestQueue {
     }
 
     fn resident_len(&self, g: GroupId) -> usize {
-        self.groups.get(&g).map_or(0, |gq| gq.resident.len())
+        self.groups.get(&g).map_or(0, |gq| gq.resident_count)
     }
 
     fn group_aggregates(&self) -> Vec<(GroupId, GroupStats)> {
@@ -254,9 +488,12 @@ impl QueueView for RequestQueue {
                     g,
                     GroupStats {
                         queries: gq.by_query.keys().copied().collect(),
-                        requests: gq.seqs.len(),
-                        oldest_arrival: gq.arrivals.first().map(|&(t, _)| t),
-                        oldest_seq: gq.seqs.first().copied().unwrap_or(0),
+                        requests: gq.count,
+                        oldest_arrival: gq
+                            .min_arrival
+                            .min_live(|(_, s)| self.slab.contains(s))
+                            .map(|(t, _)| t),
+                        oldest_seq: gq.min_seq.min_live(|s| self.slab.contains(s)).unwrap_or(0),
                     },
                 )
             })
@@ -264,11 +501,11 @@ impl QueueView for RequestQueue {
     }
 
     fn window(&self, k: usize) -> Vec<PendingRequest> {
-        self.by_seq.values().take(k).copied().collect()
+        self.slab.iter().take(k).copied().collect()
     }
 
     fn queries_with_presence(&self, on: GroupId) -> Vec<(QueryId, bool)> {
-        self.query_seqs
+        self.queries
             .keys()
             .map(|&q| (q, self.group_has_query(on, q)))
             .collect()
@@ -388,6 +625,85 @@ mod tests {
             present,
             vec![(QueryId::new(0, 0), true), (QueryId::new(1, 0), false)]
         );
+    }
+
+    #[test]
+    fn lazy_aggregates_survive_churn() {
+        // Drive enough insert/remove churn through one group that the
+        // lazy heaps go through several compactions, and check the
+        // aggregates stay exact throughout.
+        let mut q = RequestQueue::from_requests(IntraGroupOrder::ArrivalOrder, []);
+        let mut live: Vec<u64> = Vec::new();
+        let mut next_seq = 0u64;
+        for wave in 0..50u64 {
+            for _ in 0..8 {
+                q.insert(req(1, 0, 0, next_seq as u32, wave, next_seq));
+                live.push(next_seq);
+                next_seq += 1;
+            }
+            // Remove from the middle/newest end so stale heap entries
+            // accumulate at the top.
+            for _ in 0..7 {
+                let victim = live.remove(live.len() / 2);
+                q.remove(victim);
+            }
+            let agg = q.group_aggregates();
+            assert_eq!(agg.len(), 1);
+            let (_, stats) = &agg[0];
+            assert_eq!(stats.requests, live.len());
+            assert_eq!(stats.oldest_seq, *live.iter().min().unwrap());
+            assert_eq!(q.oldest().unwrap().seq, *live.iter().min().unwrap());
+            assert_eq!(
+                q.oldest_of_query(QueryId::new(0, 0)).unwrap().seq,
+                *live.iter().min().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn residency_counter_tracks_out_of_order_serves() {
+        // Serve residents from the middle of the snapshot (the slack /
+        // oldest-query scopes do this) and check resident_len and
+        // select(Residency) stay exact past heap compactions.
+        let mut q = RequestQueue::from_requests(IntraGroupOrder::ArrivalOrder, []);
+        for seq in 0..40u64 {
+            q.insert(req(1, 0, 0, seq as u32, seq, seq));
+        }
+        q.arm_residency(1);
+        assert_eq!(q.resident_len(1), 40);
+        // Remove every other resident, newest first.
+        for seq in (0..40u64).rev().step_by(2) {
+            q.remove(seq);
+        }
+        assert_eq!(q.resident_len(1), 20);
+        assert_eq!(q.select(ServeScope::Residency, 1), Some(0));
+        // Post-arm arrivals stay fresh.
+        q.insert(req(1, 0, 0, 99, 99, 99));
+        assert_eq!(q.resident_len(1), 20);
+        assert_eq!(q.select(ServeScope::Residency, 1), Some(0));
+    }
+
+    #[test]
+    fn slab_tolerates_out_of_order_preload() {
+        // Test adapters insert descending seqs; the slab grows its
+        // front and still answers oldest()/window() correctly.
+        let mut q = RequestQueue::from_requests(IntraGroupOrder::ArrivalOrder, []);
+        for seq in [5u64, 2, 9, 0, 7] {
+            q.insert(req(1, 0, 0, seq as u32, seq, seq));
+        }
+        assert_eq!(q.oldest().unwrap().seq, 0);
+        let w: Vec<u64> = q.window(3).iter().map(|r| r.seq).collect();
+        assert_eq!(w, vec![0, 2, 5]);
+        q.remove(0);
+        assert_eq!(q.oldest().unwrap().seq, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate request seq")]
+    fn duplicate_seq_rejected() {
+        let mut q = RequestQueue::from_requests(IntraGroupOrder::ArrivalOrder, []);
+        q.insert(req(1, 0, 0, 0, 0, 7));
+        q.insert(req(2, 1, 0, 1, 1, 7));
     }
 
     #[test]

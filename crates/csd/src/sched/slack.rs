@@ -161,6 +161,7 @@ mod tests {
                     initial_load_free: true,
                     parallel_streams: 1,
                     stream_model: StreamModel::Pipeline,
+                    ..CsdConfig::default()
                 },
                 store,
                 sched,

@@ -6,23 +6,68 @@
 //! driver stores `Arc<Segment>`s, tests store strings.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use skipper_sim::SimDuration;
 
 use crate::layout::Layout;
 use crate::object::{GroupId, ObjectId, ObjectMeta};
 
+/// A fast, deterministic hasher for the store's small fixed-width keys.
+///
+/// The store is probed two to three times per simulated event (submit
+/// metadata, completion payload); SipHash's per-lookup cost is
+/// measurable at million-request scale and buys nothing here — keys are
+/// trusted `ObjectId`s, not attacker-controlled strings. FNV-1a over
+/// the written words, finished with a SplitMix64 mix, hashes an
+/// `ObjectId` in a few cycles and is identical across runs (the seed
+/// path stays deterministic).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut state = self.0;
+        skipper_sim::rng::splitmix64(&mut state)
+    }
+}
+
+type FastBuild = BuildHasherDefault<FastHasher>;
+
 /// An object store mapping [`ObjectId`]s to `(metadata, payload)`.
 #[derive(Clone, Debug, Default)]
 pub struct ObjectStore<P> {
-    objects: HashMap<ObjectId, (ObjectMeta, P)>,
+    objects: HashMap<ObjectId, (ObjectMeta, P), FastBuild>,
 }
 
 impl<P> ObjectStore<P> {
     /// Creates an empty store.
     pub fn new() -> Self {
         ObjectStore {
-            objects: HashMap::new(),
+            objects: HashMap::default(),
         }
     }
 

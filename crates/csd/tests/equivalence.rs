@@ -126,6 +126,7 @@ fn run_fleet<Q: RequestIndex>(
                     initial_load_free: true,
                     parallel_streams: streams,
                     stream_model: StreamModel::Pipeline,
+                    ..CsdConfig::default()
                 },
                 store,
                 policy.build(),

@@ -105,6 +105,7 @@ fn device_serves_every_request_once() {
                 initial_load_free: true,
                 parallel_streams: 1,
                 stream_model: StreamModel::Pipeline,
+                ..CsdConfig::default()
             },
             store,
             policy.build(),
@@ -173,6 +174,7 @@ fn single_group_never_switches() {
                         initial_load_free: true,
                         parallel_streams: 1,
                         stream_model: StreamModel::Pipeline,
+                        ..CsdConfig::default()
                     },
                     store,
                     policy.build(),

@@ -8,11 +8,18 @@
 //! time base that replaces those injected `sleep()`s:
 //!
 //! * [`SimTime`] / [`SimDuration`] — a microsecond-resolution virtual clock.
-//! * [`EventQueue`] — a deterministic future-event list with stable
-//!   tie-breaking, so every experiment is exactly reproducible.
+//! * [`event`] — deterministic future-event lists with stable
+//!   tie-breaking, so every experiment is exactly reproducible:
+//!   [`CalendarQueue`] (bucketed timer wheel, O(1) amortized, the
+//!   production queue) and [`EventQueue`] (binary heap, the
+//!   differential-test reference), both behind the [`EventSink`]
+//!   abstraction.
 //! * [`trace`] — activity spans recorded by the device model, used to
 //!   attribute blocked client time to *switch* vs *transfer* stalls
-//!   (Figure 9 and Table 3 of the paper).
+//!   (Figure 9 and Table 3 of the paper). [`TraceMode`] selects between
+//!   the full span log and bounded-memory running counters;
+//!   [`MergedTimeline`] flattens a fleet's span lists once for
+//!   O(log n)-per-interval whole-run attribution.
 //! * [`stats`] — scheduling metrics: stretch, L2-norm of stretch
 //!   (Figure 12), and small online-statistics helpers.
 //! * [`timeline`] — ASCII Gantt rendering of device activity for
@@ -34,6 +41,9 @@ pub mod time;
 pub mod timeline;
 pub mod trace;
 
-pub use event::EventQueue;
+pub use event::{CalendarQueue, EventQueue, EventSink};
 pub use time::{SimDuration, SimTime};
-pub use trace::{attribute_union, Activity, ActivityTrace, Attribution};
+pub use trace::{
+    attribute_spans, attribute_union, Activity, ActivityTrace, Attribution, MergedTimeline,
+    TraceMode,
+};

@@ -6,16 +6,24 @@
 //! eyeballed in a terminal or a test failure message. The examples use it
 //! to show *why* pull-based execution ping-pongs where Skipper batches.
 
-use crate::trace::{Activity, ActivityTrace};
+use crate::trace::{attribute_spans, Activity, ActivityTrace, Span};
 use crate::SimTime;
 
-/// Renders the trace between `from` and `to` as `width` cells.
+/// Renders the trace between `from` and `to` as `width` cells (see
+/// [`render_spans`]).
+pub fn render(trace: &ActivityTrace, from: SimTime, to: SimTime, width: usize) -> String {
+    render_spans(trace.spans(), from, to, width)
+}
+
+/// Renders a borrowed span slice between `from` and `to` as `width`
+/// cells, without rebuilding an [`ActivityTrace`] (results borrow their
+/// span lists; copying every span just to draw ASCII would be O(run)).
 ///
 /// Each cell shows the activity covering the majority of its time slice:
 /// `S` = switching, `0`-`9` = transferring to that client (`#` for
 /// clients ≥ 10), `.` = idle. Returns an empty string for degenerate
 /// intervals.
-pub fn render(trace: &ActivityTrace, from: SimTime, to: SimTime, width: usize) -> String {
+pub fn render_spans(spans: &[Span], from: SimTime, to: SimTime, width: usize) -> String {
     if to <= from || width == 0 {
         return String::new();
     }
@@ -29,12 +37,12 @@ pub fn render(trace: &ActivityTrace, from: SimTime, to: SimTime, width: usize) -
             continue;
         }
         // Majority activity in [a, b): sample the covering spans.
-        let attr = trace.attribute(a, b);
+        let attr = attribute_spans(spans, a, b);
         let cell = if attr.switching >= attr.transfer && attr.switching >= attr.idle {
             'S'
         } else if attr.transfer >= attr.idle {
             // Find which client dominates the transfers in this slice.
-            dominant_client(trace, a, b)
+            dominant_client(spans, a, b)
                 .map(|c| {
                     if c < 10 {
                         char::from_digit(c as u32, 10).unwrap()
@@ -51,9 +59,9 @@ pub fn render(trace: &ActivityTrace, from: SimTime, to: SimTime, width: usize) -
     out
 }
 
-fn dominant_client(trace: &ActivityTrace, from: SimTime, to: SimTime) -> Option<usize> {
+fn dominant_client(spans: &[Span], from: SimTime, to: SimTime) -> Option<usize> {
     let mut best: Option<(usize, u64)> = None;
-    for span in trace.spans() {
+    for span in spans {
         if span.start >= to {
             break;
         }

@@ -109,6 +109,7 @@ fn main() {
         query: QueryId::new(tenant, 0),
         client: tenant as usize,
         group,
+        bytes: 0,
         arrival: SimTime::ZERO,
         seq,
     };

@@ -18,6 +18,7 @@ fn req(group: u32, tenant: u16, seq: u64) -> PendingRequest {
         query: QueryId::new(tenant, 0),
         client: tenant as usize,
         group,
+        bytes: 0,
         arrival: SimTime::ZERO,
         seq,
     }
