@@ -1,11 +1,14 @@
 //! Wall-clock perf harness for the simulator's per-event hot path.
 //!
 //! Drives a large synthetic closed-loop scenario across the queue axis
-//! (indexed `RequestQueue` vs the pre-index `NaiveQueue`) and the core
+//! (indexed `RequestQueue` vs the pre-index `NaiveQueue`), the core
 //! axis (the pre-rebuild `v1` loop vs the million-request `v2` loop:
 //! calendar-queue wake-ups, zero-allocation steady state, counters-mode
-//! observability), prints the throughput table, and writes
-//! `BENCH_perf.json` (schema `BENCH_perf/v2`).
+//! observability), and — with `--workers` — the execution axis (the
+//! windowed-parallel `par` loop at each worker count vs its no-window
+//! sequential reference, every run asserted bit-identical), prints the
+//! throughput table, and writes `BENCH_perf.json` (schema
+//! `BENCH_perf/v3`).
 //!
 //! ```text
 //! cargo run --release -p skipper-bench --bin perf
@@ -13,15 +16,22 @@
 //! cargo run --release -p skipper-bench --bin perf -- \
 //!     --tenants 64 --rounds 16 --objects 100 --groups 16 \
 //!     --shards 1,2,4,8 --policy ranking --streams 4 \
+//!     --workers 1,2,4 --think 200000 \
 //!     --out BENCH_perf.json [--skip-naive] [--skip-v1] \
 //!     [--floor <min v2 events/sec>] [--alloc-ceiling <max allocs/event>]
 //! ```
 //!
-//! With `--floor`, the binary exits non-zero when any v2 (production
-//! core, indexed queue) run falls below the given events/sec; with
-//! `--alloc-ceiling`, when any v2 run allocates more than the given
-//! allocations per event over its drive loop — the CI perf-smoke
-//! regression gates.
+//! `--workers W1,W2,...` adds, for every planned sweep, a windowed
+//! (`par`-core) sweep over the same scenario; `--think <micros>` sets
+//! the client think time those sweeps run with (the parallel loop's
+//! lookahead — 0 keeps every window empty).
+//!
+//! With `--floor`, the binary exits non-zero when any production-core
+//! run on the indexed queue (`v2`, or `par` at any worker count) falls
+//! below the given events/sec; with `--alloc-ceiling`, when any v2 run
+//! allocates more than the given allocations per event over its drive
+//! loop — the CI perf-smoke regression gates. (The ceiling exempts
+//! `par` runs: the scoped worker pool allocates per window by design.)
 //!
 //! This binary installs a counting `#[global_allocator]` (the library
 //! crates forbid `unsafe`, so the probe lives here): every heap
@@ -32,7 +42,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use skipper_bench::experiments::perf::{
-    core_speedups, queue_speedups, table, to_json, PerfScenario, Sweep, SweepOptions,
+    core_speedups, parallel_speedups, parallel_sweep, queue_speedups, table, to_json, PerfScenario,
+    Sweep, SweepOptions,
 };
 use skipper_csd::SchedPolicy;
 
@@ -90,6 +101,7 @@ fn main() {
     let mut floor: Option<f64> = None;
     let mut alloc_ceiling: Option<f64> = None;
     let mut with_million = false;
+    let mut worker_counts: Vec<usize> = Vec::new();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     // --million is a base configuration, not an override: apply it
@@ -120,6 +132,13 @@ fn main() {
                     .collect()
             }
             "--with-million" => with_million = true,
+            "--workers" => {
+                worker_counts = value(&mut i)
+                    .split(',')
+                    .map(|s| s.parse().expect("--workers"))
+                    .collect()
+            }
+            "--think" => sc.think_micros = value(&mut i).parse().expect("--think"),
             "--out" => out_path = value(&mut i).to_string(),
             "--skip-naive" => opts.skip_naive = true,
             "--skip-v1" => opts.skip_v1 = true,
@@ -137,21 +156,28 @@ fn main() {
         "--shards needs at least one count"
     );
 
-    let mut plans: Vec<(PerfScenario, Vec<usize>, SweepOptions)> = vec![(sc, shard_counts, opts)];
+    // Each plan: scenario, classic-sweep shard counts, options, and the
+    // shard counts its windowed (`par`) sweep runs on when --workers is
+    // given.
+    let mut plans: Vec<(PerfScenario, Vec<usize>, SweepOptions, Vec<usize>)> =
+        vec![(sc.clone(), shard_counts.clone(), opts, shard_counts)];
     if with_million {
-        // The ≥1M-request drive rides along at 1 shard; the naive queue
-        // is O(n²) at this depth and never runs here.
+        // The ≥1M-request drive rides along on multi-shard fleets; the
+        // naive queue is O(n²) at this depth and never runs here. Its
+        // parallel sweep sticks to the multi-shard configs — windows on
+        // a 1-shard fleet have nothing to overlap.
         let mut m = PerfScenario::million();
-        m.policy = plans[0].0.policy;
+        m.policy = sc.policy;
+        m.think_micros = sc.think_micros;
         let mopts = SweepOptions {
             skip_naive: true,
             ..opts
         };
-        plans.push((m, vec![1], mopts));
+        plans.push((m, vec![1, 4, 8], mopts, vec![4, 8]));
     }
 
     let mut sweeps: Vec<Sweep> = Vec::new();
-    for (sc, shard_counts, opts) in plans {
+    for (sc, shard_counts, opts, par_shards) in plans {
         eprintln!(
             "driving {} requests ({} tenants x {} rounds x {} objects) on {:?} shard fleets...",
             sc.total_requests(),
@@ -160,7 +186,7 @@ fn main() {
             sc.objects_per_round,
             shard_counts
         );
-        let sweep = Sweep::run(sc, &shard_counts, opts);
+        let sweep = Sweep::run(sc.clone(), &shard_counts, opts);
         println!("{}", table(&sweep.scenario, &sweep.samples));
         for (shards, x) in queue_speedups(&sweep.samples) {
             println!(
@@ -173,30 +199,52 @@ fn main() {
             );
         }
         sweeps.push(sweep);
+        if !worker_counts.is_empty() {
+            eprintln!(
+                "windowed drive ({} us think) on {:?} shard fleets, workers {:?}...",
+                sc.think_micros, par_shards, worker_counts
+            );
+            let samples = parallel_sweep(&sc, &par_shards, &worker_counts, opts);
+            let sweep = Sweep {
+                scenario: sc,
+                samples,
+            };
+            println!("{}", table(&sweep.scenario, &sweep.samples));
+            for (shards, workers, x) in parallel_speedups(&sweep.samples) {
+                println!(
+                    "parallel speedup @ {shards} shard(s), {workers} worker(s): {x:.2}x \
+                     (sequential wall / parallel wall, par core)"
+                );
+            }
+            sweeps.push(sweep);
+        }
     }
 
     let json = to_json(&sweeps);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("wrote {out_path}");
 
-    let v2_samples = || {
+    let production_samples = || {
         sweeps
             .iter()
             .flat_map(|sw| sw.samples.iter())
-            .filter(|s| s.core == "v2" && s.queue == "indexed")
+            .filter(|s| (s.core == "v2" || s.core == "par") && s.queue == "indexed")
     };
     if let Some(floor) = floor {
-        let worst = v2_samples()
+        let worst = production_samples()
             .map(|s| s.events_per_sec)
             .fold(f64::INFINITY, f64::min);
         if worst < floor {
-            eprintln!("PERF REGRESSION: v2 events/sec {worst:.0} below floor {floor:.0}");
+            eprintln!("PERF REGRESSION: events/sec {worst:.0} below floor {floor:.0}");
             std::process::exit(1);
         }
-        println!("perf floor ok: min v2 events/sec {worst:.0} >= {floor:.0}");
+        println!("perf floor ok: min production-core events/sec {worst:.0} >= {floor:.0}");
     }
     if let Some(ceiling) = alloc_ceiling {
-        let worst = v2_samples()
+        // The windowed core is exempt: its scoped worker pool allocates
+        // per window by design, so the steady-state gauge is v2's.
+        let worst = production_samples()
+            .filter(|s| s.core == "v2")
             .filter_map(|s| s.allocs_per_event)
             .fold(0.0f64, f64::max);
         if worst > ceiling {

@@ -18,7 +18,7 @@ use skipper_sim::{ActivityTrace, Attribution, MergedTimeline, SimDuration, SimTi
 use crate::engine::EngineStats;
 
 /// One query's measurements.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct QueryRecord {
     /// Query name.
     pub query: String,
@@ -149,7 +149,7 @@ pub fn attribute_stalls_merged(
 
 /// One CSD shard's share of a run: its own counters, per-stream
 /// activity spans, scheduler, and delivery ledger.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ShardResult {
     /// Shard index within the fleet.
     pub shard: usize,
@@ -278,6 +278,11 @@ impl StreamRollup {
 }
 
 /// Everything measured by one scenario run.
+///
+/// `PartialEq`/`Debug` cover every field, so a whole run can be
+/// compared byte-for-byte — the determinism tests assert parallel
+/// runs at different worker counts produce equal `RunResult`s.
+#[derive(Debug, PartialEq)]
 pub struct RunResult {
     /// Per-client query records, in execution order.
     pub clients: Vec<Vec<QueryRecord>>,

@@ -27,7 +27,7 @@ use skipper_csd::metrics::DeviceMetrics;
 use skipper_csd::{Delivery, QueryId};
 use skipper_relational::segment::Segment;
 use skipper_sim::trace::Span;
-use skipper_sim::{CalendarQueue, MergedTimeline, SimTime};
+use skipper_sim::{CalendarQueue, HorizonTracker, MergedTimeline, SimTime};
 
 use crate::config::CostModel;
 
@@ -46,6 +46,30 @@ enum Event {
     Release(usize),
 }
 
+/// How the event loop executes a run.
+///
+/// Both modes produce **bit-identical** results — same deliveries,
+/// same timestamps, same metrics, same traces — because the parallel
+/// mode only *pre-executes* each shard's private completion chain up
+/// to a conservative safe horizon and replays it through the unchanged
+/// global loop (see the module docs). Sequential stays the reference
+/// implementation; the differential sweep in the runtime tests pins
+/// the equivalence across every policy, placement, and worker count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// The reference single-thread discrete-event loop.
+    #[default]
+    Sequential,
+    /// Windowed-parallel execution: shard completion chains are
+    /// drained concurrently up to the safe horizon between
+    /// cross-shard interactions.
+    Parallel {
+        /// Worker threads draining shard windows; the event-loop
+        /// thread counts as one of them. Clamped to at least 1.
+        workers: usize,
+    },
+}
+
 /// The assembled multi-tenant runtime; consumed by [`Runtime::run`].
 pub struct Runtime {
     fleet: DeviceFleet,
@@ -54,10 +78,18 @@ pub struct Runtime {
     cost: CostModel,
     /// Reusable delivery scratch for multi-stream wake-up batches.
     scratch: Vec<Delivery<Arc<Segment>>>,
+    execution: ExecutionMode,
+    /// Pending cross-shard interaction instants (parallel mode): every
+    /// scheduled event that may submit GETs bounds the safe horizon.
+    interactions: HorizonTracker,
+    /// End of the currently drained window (parallel mode): events
+    /// before it are answered from shard replay logs; reaching it
+    /// re-opens the window at the tracker's new minimum.
+    window_end: SimTime,
 }
 
 impl Runtime {
-    /// Wires the parts together.
+    /// Wires the parts together (sequential execution).
     pub fn new(fleet: DeviceFleet, clients: Vec<ClientState>, cost: CostModel) -> Self {
         Runtime {
             fleet,
@@ -65,7 +97,21 @@ impl Runtime {
             events: CalendarQueue::new(),
             cost,
             scratch: Vec::new(),
+            execution: ExecutionMode::default(),
+            interactions: HorizonTracker::new(),
+            window_end: SimTime::ZERO,
         }
+    }
+
+    /// Selects the execution mode (builder style).
+    pub fn with_execution(mut self, mode: ExecutionMode) -> Self {
+        self.execution = mode;
+        self
+    }
+
+    /// True when running windowed-parallel.
+    fn windowed(&self) -> bool {
+        self.execution != ExecutionMode::Sequential
     }
 
     /// Executes to completion, returning all measurements.
@@ -80,17 +126,39 @@ impl Runtime {
         // closed-loop queries with no release instant start immediately.
         // Starting a client never schedules events, so arming all
         // releases first preserves the historical event order.
+        let windowed = self.windowed();
         for (c, client) in self.clients.iter().enumerate() {
             for at in client.plan.iter().filter_map(|p| p.release) {
                 self.events.schedule(at, Event::Release(c));
+                if windowed {
+                    self.interactions.note(at);
+                }
             }
         }
         for c in 0..self.clients.len() {
             self.try_start(c, now);
         }
         self.poke_fleet(now);
+        let workers = match self.execution {
+            ExecutionMode::Sequential => 0,
+            ExecutionMode::Parallel { workers } => workers.max(1),
+        };
 
         while let Some((t, ev)) = self.events.pop() {
+            if workers > 0 && t >= self.window_end {
+                // Window barrier: every replay from the previous
+                // window is consumed (each drained wake-up had its
+                // calendar event before `window_end`), so re-open at
+                // the new safe horizon and pre-drain every shard's
+                // private chain up to it — in parallel, since shards
+                // share no state below the horizon.
+                let horizon = self.safe_horizon();
+                debug_assert!(horizon >= t, "interaction missed by the horizon tracker");
+                if horizon > t {
+                    self.fleet.drain_window_parallel(horizon, workers);
+                }
+                self.window_end = horizon;
+            }
             match ev {
                 Event::Device(shard) => {
                     // A multi-stream wake-up retires every transfer due
@@ -112,6 +180,9 @@ impl Runtime {
                 }
                 Event::ClientReady(c) => self.client_ready(c, t),
                 Event::Release(c) => {
+                    if windowed {
+                        self.interactions.consume(t);
+                    }
                     self.try_start(c, t);
                     self.poke_fleet(t);
                 }
@@ -182,6 +253,53 @@ impl Runtime {
         }
     }
 
+    /// The conservative safe horizon at a window-open instant: no
+    /// `fleet.submit` can occur strictly before it.
+    ///
+    /// Three bounds, each closing one submit path:
+    /// * **tracked interactions** — scheduled events known to submit:
+    ///   query releases and ClientReadys whose reaction issues
+    ///   follow-up GETs or finishes (finish submits the next query's
+    ///   upfront batch);
+    /// * **inert busy clients** — a pending ClientReady with nothing
+    ///   to submit cannot itself touch a device, but whatever it does
+    ///   *next* (process a queued delivery, go back to waiting)
+    ///   happens at or after `ready_at`, so the window must not drain
+    ///   past it;
+    /// * **idle live clients** — a client waiting on deliveries turns
+    ///   the very next one into processing whose completion may
+    ///   submit, so the window must not drain past the fleet's
+    ///   earliest armed completion.
+    ///
+    /// Together these imply *no client-state transition at all* occurs
+    /// strictly inside a window: in-window deliveries only fill busy
+    /// clients' inboxes. That is what makes pre-drained device chains
+    /// safe — and it is also the profitability limit: windows are wide
+    /// exactly while every live client is charged with processing
+    /// (batch-issuing engines crunching upfront data), and collapse to
+    /// single events while any client sits idle between round-trips
+    /// (pull-based engines).
+    fn safe_horizon(&self) -> SimTime {
+        let mut horizon = self.interactions.horizon();
+        let mut idle_live = false;
+        for client in &self.clients {
+            if client.engine.is_none() {
+                continue; // between queries: bounded by its Release, if any
+            }
+            if client.busy {
+                if !client.ready_noted {
+                    horizon = horizon.min(client.ready_at);
+                }
+            } else {
+                idle_live = true;
+            }
+        }
+        if idle_live {
+            horizon = horizon.min(self.fleet.min_armed());
+        }
+        horizon
+    }
+
     /// Starts client `c`'s next query if its release has come and the
     /// client is idle.
     fn try_start(&mut self, c: usize, now: SimTime) {
@@ -237,9 +355,23 @@ impl Runtime {
             .on_object(object, &payload);
         client.charge(reaction.processing);
         client.busy = true;
+        let at = now + reaction.processing;
+        if self.execution != ExecutionMode::Sequential {
+            // Safe-horizon classification: this ClientReady touches a
+            // device iff the reaction submits follow-up GETs or
+            // finishes (finish starts the next query's upfront batch).
+            // Inert ClientReadys are not tracked — they bound the
+            // horizon through their `ready_at` at window-open time
+            // instead (see `safe_horizon`).
+            let interactive = !reaction.requests.is_empty() || reaction.finished;
+            client.ready_at = at;
+            client.ready_noted = interactive;
+            if interactive {
+                self.interactions.note(at);
+            }
+        }
         client.pending_after = Some((reaction.requests, reaction.finished));
-        self.events
-            .schedule(now + reaction.processing, Event::ClientReady(c));
+        self.events.schedule(at, Event::ClientReady(c));
     }
 
     /// Applies the reaction of the processing that just completed:
@@ -250,6 +382,10 @@ impl Runtime {
             .take()
             .expect("client_ready without reaction");
         self.clients[c].busy = false;
+        if self.execution != ExecutionMode::Sequential && self.clients[c].ready_noted {
+            self.clients[c].ready_noted = false;
+            self.interactions.consume(now);
+        }
         let submitted = !requests.is_empty();
         // Reaction contract: a finished query has nothing left to fetch.
         // The single poke below would otherwise let a next-query batch

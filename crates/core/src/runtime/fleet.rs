@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use skipper_csd::{CsdDevice, Delivery, ObjectId, QueryId};
 use skipper_relational::segment::Segment;
+use skipper_sim::parallel::drain_parallel;
 use skipper_sim::SimTime;
 
 use super::pump::DevicePump;
@@ -27,6 +28,10 @@ use super::pump::DevicePump;
 pub struct DeviceFleet {
     pumps: Vec<DevicePump>,
     shard_of: HashMap<ObjectId, usize>,
+    /// Reusable per-shard fan-out buffers for `submit` — pooled so a
+    /// multi-shard batch costs no allocation once warm, matching the
+    /// 1-shard path (the 8-shard allocs/event regression fix).
+    fanout: Vec<Vec<ObjectId>>,
 }
 
 impl DeviceFleet {
@@ -40,9 +45,11 @@ impl DeviceFleet {
             shard_of.values().all(|&s| s < devices.len()),
             "placement map points outside the fleet"
         );
+        let fanout = vec![Vec::new(); devices.len()];
         DeviceFleet {
             pumps: devices.into_iter().map(DevicePump::new).collect(),
             shard_of,
+            fanout,
         }
     }
 
@@ -74,13 +81,17 @@ impl DeviceFleet {
             self.pumps[0].submit(now, client, query, objects);
             return;
         }
-        let mut per_shard: Vec<Vec<ObjectId>> = vec![Vec::new(); self.pumps.len()];
         for &obj in objects {
-            per_shard[self.shard_for(obj)].push(obj);
+            let shard = *self
+                .shard_of
+                .get(&obj)
+                .unwrap_or_else(|| panic!("object {obj} was never placed on any shard"));
+            self.fanout[shard].push(obj);
         }
-        for (shard, batch) in per_shard.iter().enumerate() {
+        for (pump, batch) in self.pumps.iter_mut().zip(self.fanout.iter_mut()) {
             if !batch.is_empty() {
-                self.pumps[shard].submit(now, client, query, batch);
+                pump.submit(now, client, query, batch);
+                batch.clear();
             }
         }
     }
@@ -114,6 +125,26 @@ impl DeviceFleet {
         out: &mut Vec<Delivery<Arc<Segment>>>,
     ) {
         self.pumps[shard].on_wakeup_into(now, out);
+    }
+
+    /// The earliest armed wake-up across the fleet ([`SimTime::MAX`]
+    /// when no shard has one): the soonest any delivery can reach any
+    /// client, used by the safe-horizon computation.
+    pub fn min_armed(&self) -> SimTime {
+        self.pumps
+            .iter()
+            .filter_map(|p| p.armed_at())
+            .min()
+            .unwrap_or(SimTime::MAX)
+    }
+
+    /// Drains every shard's private completion chain strictly below
+    /// `horizon` into its replay log, on `workers` scoped threads (the
+    /// windowed-parallel execution barrier). Shards drain
+    /// independently — per-shard output is identical for every worker
+    /// count, so parallelism never changes the run.
+    pub fn drain_window_parallel(&mut self, horizon: SimTime, workers: usize) {
+        drain_parallel(&mut self.pumps, horizon, workers);
     }
 
     /// Read access to every pump, in shard order.

@@ -78,9 +78,63 @@
 //! `Runtime`, devices pool their request nodes in a seq-addressed slab
 //! and reuse transfer slots in place, and per-shard dirty flags keep
 //! untouched pumps O(1) per event — after warm-up the hot loop runs
-//! allocation-free (`skipper-bench --bin perf` counts ~0.1-0.3
-//! allocations/event with its `#[global_allocator]` probe; the CI
-//! perf-smoke gates on a ceiling).
+//! allocation-free (`skipper-bench --bin perf` counts ~0.01
+//! allocations/event with its `#[global_allocator]` probe, flat in
+//! shard count; the CI perf-smoke gates on a ceiling at 8 shards).
+//! Scheduler decisions stay off the allocator too: policies fold over
+//! the queue's borrowed [`skipper_csd::sched::GroupLens`] aggregates
+//! instead of materializing per-group vectors, and the lazy-deletion
+//! heaps compact in place.
+//!
+//! # Windowed-parallel execution
+//!
+//! `Scenario::execution(ExecutionMode::Parallel { workers })` runs the
+//! *same* event loop with a conservative look-ahead on top — the
+//! classic safe-horizon design of conservative parallel discrete-event
+//! simulation, specialized to the one dependency this model has
+//! (clients react to deliveries):
+//!
+//! ```text
+//!   barrier ──► safe horizon H = min( next noted interaction,
+//!               busy clients' un-noted ready instants,
+//!               min armed wake-up if any client sits idle )
+//!      │
+//!      ▼
+//!   window [now, H): every shard's completion chain is *pre-drained*
+//!   in parallel (scoped worker pool, DevicePump::drain_window) into a
+//!   per-shard WindowBuffer replay log — the identical complete/kick
+//!   calls the sequential loop would make, at the identical instants
+//!      │
+//!      ▼
+//!   the calendar loop keeps popping events; in-window Device events
+//!   are answered *from the replay log* (front entry's instant matches
+//!   ⇒ consume; otherwise it is a stale superseded wake-up, a no-op —
+//!   exactly the sequential armed-flag rule); at t ≥ H the next
+//!   barrier recomputes the horizon
+//! ```
+//!
+//! The horizon guarantees no client-state transition — no release, no
+//! ready client with follow-up requests, no idle client receiving its
+//! first delivery — fires strictly inside a window, so no `submit` can
+//! land on a pre-drained shard (the pump asserts this). Shards are
+//! independent below the horizon; draining them concurrently reorders
+//! *wall-clock* work only, never virtual-time work, which is why a
+//! parallel run is **bit-identical** to the sequential one — enforced
+//! by the differential battery in `runtime/tests.rs` (every policy ×
+//! placement × streams × worker count produces byte-equal
+//! [`RunResult`]s) and by the windowed bench drive's fingerprint
+//! assertions.
+//!
+//! *When is parallel profitable?* Windows are only as wide as the gap
+//! until the next client interaction. Closed-loop tenants with zero
+//! think time interact at every delivery — the horizon collapses to
+//! the next event and the windowed loop degenerates to the sequential
+//! one plus barrier overhead. Parallelism pays when (a) clients think
+//! between rounds (interactions are sparse in virtual time), (b) the
+//! fleet has ≥4 shards with real per-shard work to drain, and (c) the
+//! host has cores to spare — otherwise keep the default
+//! `ExecutionMode::Sequential`, which this crate treats as the
+//! reference semantics forever.
 //!
 //! Observability streams instead of accumulating:
 //! `Scenario::trace_mode(TraceMode::Counters)` and
@@ -167,6 +221,7 @@ pub mod scenario;
 pub mod workload;
 
 pub use collector::{QueryRecord, RunResult, ShardResult, StreamRollup};
+pub use driver::ExecutionMode;
 pub use engines::{EngineFactory, EngineKind, SkipperFactory, VanillaFactory};
 pub use fleet::DeviceFleet;
 pub use scenario::Scenario;

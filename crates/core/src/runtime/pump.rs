@@ -32,11 +32,28 @@
 //! The pump is the per-shard unit of the
 //! [`DeviceFleet`](super::fleet::DeviceFleet): a fleet is N pumps, each
 //! running this protocol independently against its own device.
+//!
+//! ## Windowed (parallel) execution
+//!
+//! Under `ExecutionMode::Parallel` the pump additionally implements
+//! [`WindowDrain`]: [`DevicePump::drain_window`] pre-executes the
+//! device's completion chain strictly below the safe horizon — the
+//! *same* `complete`/`kick` calls the sequential loop would make, in
+//! the same order — into a [`WindowBuffer`] replay log. The event loop
+//! then answers in-window `Device` events from the log: the front
+//! entry's instant matches ⇒ consume it (deliver the recorded batch,
+//! hand the recorded re-arm to the next `poke`), otherwise the event
+//! is a stale superseded wake-up and a no-op — exactly the sequential
+//! armed-flag rule, which is why a windowed run is bit-identical.
+//! `submit` asserts the log is drained: the horizon guarantees no
+//! cross-shard interaction fires inside a window, so a submit landing
+//! mid-replay would mean the horizon was unsound.
 
 use std::sync::Arc;
 
 use skipper_csd::{CsdDevice, Delivery, ObjectId, QueryId};
 use skipper_relational::segment::Segment;
+use skipper_sim::parallel::{drain_chain, WindowBuffer, WindowDrain};
 use skipper_sim::SimTime;
 
 /// Wrapper pairing the device with its armed-wake-up instant.
@@ -52,6 +69,15 @@ pub struct DevicePump {
     /// pokes every shard after every event, and untouched shards must
     /// stay O(1) on that hot path.
     dirty: bool,
+    /// Replay log of the window drained ahead of the event loop
+    /// (always empty under sequential execution).
+    replay: WindowBuffer<Delivery<Arc<Segment>>>,
+    /// Staging buffer for one drained completion batch (reused).
+    stage: Vec<Delivery<Arc<Segment>>>,
+    /// Re-arm instant recorded with the replay entry just consumed,
+    /// handed out by the next `poke` so the wake-up chain stays
+    /// scheduled in the sequential order (deliveries route first).
+    pending_rearm: Option<SimTime>,
 }
 
 impl DevicePump {
@@ -61,11 +87,19 @@ impl DevicePump {
             device,
             armed_at: None,
             dirty: true,
+            replay: WindowBuffer::new(),
+            stage: Vec::new(),
+            pending_rearm: None,
         }
     }
 
     /// Submits GET requests from `client` tagged with `query`.
     pub fn submit(&mut self, now: SimTime, client: usize, query: QueryId, objects: &[ObjectId]) {
+        assert!(
+            self.replay.is_empty() && self.pending_rearm.is_none(),
+            "submit landed inside a drained window (unsound safe horizon): \
+             a cross-shard interaction fired before the drained horizon"
+        );
         self.dirty = true;
         self.device.submit(now, client, query, objects);
     }
@@ -77,6 +111,13 @@ impl DevicePump {
     /// since its last poke is a no-op: nothing can have moved its
     /// earliest completion.
     pub fn poke(&mut self, now: SimTime) -> Option<SimTime> {
+        if !self.replay.is_empty() || self.pending_rearm.is_some() {
+            // Mid-replay: the device already executed this window; the
+            // only wake-up to schedule is the re-arm recorded with the
+            // entry just consumed (None while other shards' events
+            // fire — this shard's chain is already fully scheduled).
+            return self.pending_rearm.take();
+        }
         if !self.dirty {
             return None;
         }
@@ -119,6 +160,20 @@ impl DevicePump {
     /// superseded wake-up. Callers must [`DevicePump::poke`] again
     /// afterwards.
     pub fn on_wakeup_into(&mut self, now: SimTime, out: &mut Vec<Delivery<Arc<Segment>>>) {
+        if !self.replay.is_empty() {
+            // Windowed execution: the device already ran this instant
+            // during the drain. The front replay entry matching `now`
+            // is the live wake-up (its batch routes now, its re-arm
+            // goes out on the next poke); any other in-window event is
+            // a stale superseded wake-up, exactly as in the sequential
+            // armed-flag protocol. The device itself is untouched, so
+            // the pump stays clean.
+            if self.replay.next_at() == Some(now) {
+                debug_assert!(self.pending_rearm.is_none());
+                self.pending_rearm = self.replay.consume_into(now, out);
+            }
+            return;
+        }
         if self.armed_at != Some(now) {
             // Stale: this wake-up was superseded by a re-arm at an
             // earlier instant (whose firing already completed the
@@ -131,6 +186,18 @@ impl DevicePump {
         self.device.complete_into(now, out);
     }
 
+    /// True when the pump's replay log still holds drained wake-ups
+    /// the event loop has not consumed yet.
+    pub fn replaying(&self) -> bool {
+        !self.replay.is_empty() || self.pending_rearm.is_some()
+    }
+
+    /// The armed wake-up instant, if any (the device's earliest
+    /// pending completion).
+    pub fn armed_at(&self) -> Option<SimTime> {
+        self.armed_at
+    }
+
     /// Read access to the wrapped device (metrics, trace, scheduler).
     pub fn device(&self) -> &CsdDevice<Arc<Segment>> {
         &self.device
@@ -140,5 +207,30 @@ impl DevicePump {
     /// spans and ledgers by move instead of cloning).
     pub fn into_device(self) -> CsdDevice<Arc<Segment>> {
         self.device
+    }
+}
+
+impl WindowDrain for DevicePump {
+    /// Pre-executes the device's completion chain strictly below
+    /// `horizon` into the replay log: the same `complete_into` +
+    /// `kick` pair the sequential loop runs at each wake-up, at the
+    /// same instants, so the log is exactly the sequential execution.
+    /// Pumps are always clean (poked) when a window opens — the loop
+    /// pokes after every mutating event — so no catch-up kick is
+    /// needed, and completion chains are time-monotone, keeping the
+    /// log ordered.
+    fn drain_window(&mut self, horizon: SimTime) {
+        debug_assert!(!self.dirty, "window opened on an unpoked pump");
+        let device = &mut self.device;
+        drain_chain(
+            &mut self.armed_at,
+            horizon,
+            &mut self.replay,
+            &mut self.stage,
+            |at, out| {
+                device.complete_into(at, out);
+                device.kick(at)
+            },
+        );
     }
 }

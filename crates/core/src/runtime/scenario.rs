@@ -33,7 +33,7 @@ use crate::config::CostModel;
 
 use super::client::{ClientState, PlannedQuery};
 use super::collector::RunResult;
-use super::driver::Runtime;
+use super::driver::{ExecutionMode, Runtime};
 use super::engines::{factory_for, EngineKind};
 use super::fleet::DeviceFleet;
 use super::workload::Workload;
@@ -73,6 +73,7 @@ pub struct Scenario {
     shard_overrides: BTreeMap<usize, ShardOverride>,
     trace_mode: TraceMode,
     ledger_mode: LedgerMode,
+    execution: ExecutionMode,
 }
 
 impl Scenario {
@@ -109,6 +110,7 @@ impl Scenario {
             shard_overrides: BTreeMap::new(),
             trace_mode: TraceMode::Full,
             ledger_mode: LedgerMode::Full,
+            execution: ExecutionMode::Sequential,
         }
     }
 
@@ -278,6 +280,22 @@ impl Scenario {
     /// the work-conservation multiset checks need `Full`).
     pub fn ledger_mode(mut self, mode: LedgerMode) -> Self {
         self.ledger_mode = mode;
+        self
+    }
+
+    /// Execution mode of the event loop (default:
+    /// [`ExecutionMode::Sequential`], the reference implementation).
+    /// [`ExecutionMode::Parallel`] drains the fleet's per-shard
+    /// completion chains on a worker pool inside conservative safe
+    /// windows — the run is **bit-identical** to sequential for every
+    /// worker count (the differential sweep in the runtime tests pins
+    /// this), so the only observable difference is wall-clock time.
+    /// Parallelism pays off when windows are wide relative to shard
+    /// count: batch-issuing engines (Skipper) with many shards gain
+    /// the most, while pull-based engines (Vanilla) interact every
+    /// round-trip and degrade gracefully to near-sequential behaviour.
+    pub fn execution(mut self, mode: ExecutionMode) -> Self {
+        self.execution = mode;
         self
     }
 
@@ -478,6 +496,8 @@ impl Scenario {
                 ClientState::new(w.dataset, w.engine, plan)
             })
             .collect();
-        Runtime::new(DeviceFleet::new(devices, shard_of), clients, self.cost).run()
+        Runtime::new(DeviceFleet::new(devices, shard_of), clients, self.cost)
+            .with_execution(self.execution)
+            .run()
     }
 }

@@ -620,3 +620,124 @@ fn staggered_workload_offsets_shift_first_submissions() {
         assert_eq!(recs[0].start.as_micros(), c as u64 * 500_000_000);
     }
 }
+
+// ---------------------------------------------------------------------
+// Windowed-parallel execution: the differential sweep pinning
+// `ExecutionMode::Parallel` bit-identical to the sequential reference.
+// Whole `RunResult`s are compared with `==`: delivery ledgers, switch
+// counts, makespans, per-shard metrics, spans, and every query record.
+
+/// One scenario per (policy, placement, streams) cell, multi-shard and
+/// staggered so Release events, fleet fan-out, and same-instant ties
+/// are all exercised.
+fn sweep_scenario(policy: SchedPolicy, placement: PlacementPolicy, streams: u32) -> Scenario {
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    Scenario::new(ds)
+        .clients(3)
+        .engine(EngineKind::Skipper)
+        .cache_bytes(gib(10))
+        .scheduler(policy)
+        .shards(4)
+        .placement(placement)
+        .streams(streams)
+        .stagger(SimDuration::from_secs(30))
+        .repeat_query(q, 2)
+}
+
+#[test]
+fn parallel_matches_sequential_across_policies() {
+    for policy in SchedPolicy::all() {
+        for placement in [
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::HashObject,
+            PlacementPolicy::TableAffinity,
+        ] {
+            for streams in [1, 4] {
+                let reference = sweep_scenario(policy, placement, streams).run();
+                for workers in [1, 2, 4] {
+                    let parallel = sweep_scenario(policy, placement, streams)
+                        .execution(ExecutionMode::Parallel { workers })
+                        .run();
+                    assert_eq!(
+                        parallel, reference,
+                        "parallel(workers={workers}) diverged from sequential \
+                         for {policy:?}/{placement:?}/streams={streams}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_identical_across_worker_counts() {
+    // Determinism: the same scenario at different worker counts must
+    // produce byte-identical results — parallelism is structural
+    // (shards never share state inside a window), so the thread
+    // interleaving cannot be observed.
+    let runs: Vec<RunResult> = [1usize, 2, 4]
+        .iter()
+        .map(|&workers| {
+            sweep_scenario(SchedPolicy::RankBased, PlacementPolicy::RoundRobin, 4)
+                .execution(ExecutionMode::Parallel { workers })
+                .run()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[1], runs[2]);
+}
+
+#[test]
+fn parallel_matches_sequential_for_mixed_engines() {
+    // A pull-based Vanilla tenant makes every round-trip an
+    // interaction (degenerate windows), while the Skipper tenant's
+    // upfront batches leave wide ones — the mix exercises both the
+    // replay path and the inert-ClientReady promotion rule.
+    let ds = std::sync::Arc::new(mini_dataset());
+    let q = tpch::q12(&ds);
+    let build = || {
+        Scenario::from_workloads(vec![
+            Workload::new(std::sync::Arc::clone(&ds))
+                .repeat_query(q.clone(), 2)
+                .engine(SkipperFactory::default().cache_bytes(gib(10))),
+            Workload::new(std::sync::Arc::clone(&ds))
+                .repeat_query(q.clone(), 1)
+                .engine(VanillaFactory),
+            Workload::new(std::sync::Arc::clone(&ds))
+                .repeat_query(q.clone(), 1)
+                .engine(SkipperFactory::default().cache_bytes(gib(10)))
+                .start_at(SimDuration::from_secs(200)),
+        ])
+        .shards(2)
+        .placement(PlacementPolicy::RoundRobin)
+        .streams(2)
+    };
+    let reference = build().run();
+    for workers in [1, 2, 4] {
+        let parallel = build().execution(ExecutionMode::Parallel { workers }).run();
+        assert_eq!(
+            parallel, reference,
+            "mixed-engine parallel(workers={workers}) diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn parallel_single_shard_replays_single_device_schedule() {
+    // The 1-shard fleet is the seed's single-device runtime; windowed
+    // execution must preserve it exactly too.
+    let build = || {
+        let ds = mini_dataset();
+        let q = tpch::q12(&ds);
+        Scenario::new(ds)
+            .clients(2)
+            .engine(EngineKind::Vanilla)
+            .repeat_query(q, 1)
+    };
+    let reference = build().run();
+    let parallel = build()
+        .execution(ExecutionMode::Parallel { workers: 4 })
+        .run();
+    assert_eq!(parallel, reference);
+}

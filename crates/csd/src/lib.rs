@@ -55,7 +55,7 @@ pub use layout::{Layout, LayoutPolicy, PlacementPolicy};
 pub use object::{GroupId, ObjectId, ObjectMeta, QueryId};
 pub use power::{EnergyReport, PowerModel};
 pub use sched::{
-    FcfsObject, FcfsQuery, FcfsSlack, GroupScheduler, InFlight, MaxQueries, NaiveQueue, QueueView,
-    RankBased, RequestIndex, RequestQueue, SchedPolicy, ServeScope,
+    FcfsObject, FcfsQuery, FcfsSlack, GroupLens, GroupScheduler, InFlight, MaxQueries, NaiveQueue,
+    QueueView, RankBased, RequestIndex, RequestQueue, SchedPolicy, ServeScope,
 };
 pub use store::ObjectStore;

@@ -24,19 +24,27 @@ impl MaxQueries {
 
     fn best_group(queue: &dyn QueueView) -> Option<GroupId> {
         // Max query count over the per-group aggregates (maintained
-        // incrementally by the queue, sorted by group id); ties broken
-        // by oldest request, then group id.
-        queue
-            .group_aggregates()
-            .into_iter()
-            .max_by(|(ga, a), (gb, b)| {
-                a.queries
-                    .len()
-                    .cmp(&b.queries.len())
-                    .then_with(|| b.oldest_seq.cmp(&a.oldest_seq)) // older (smaller seq) wins
-                    .then_with(|| gb.cmp(ga)) // lower group id wins
-            })
-            .map(|(g, _)| g)
+        // incrementally by the queue, visited in ascending group id);
+        // ties broken by oldest request (smaller seq wins), then lower
+        // group id. A single allocation-free fold over the group
+        // lenses — this runs once per drained-residency decision.
+        let mut best: Option<(GroupId, usize, u64)> = None;
+        queue.for_each_group(&mut |g, lens| {
+            let wins = match best {
+                None => true,
+                Some((bg, bcount, bseq)) => {
+                    bcount
+                        .cmp(&lens.query_count)
+                        .then_with(|| lens.oldest_seq.cmp(&bseq))
+                        .then_with(|| g.cmp(&bg))
+                        == std::cmp::Ordering::Less
+                }
+            };
+            if wins {
+                best = Some((g, lens.query_count, lens.oldest_seq));
+            }
+        });
+        best.map(|(g, _, _)| g)
     }
 }
 

@@ -208,21 +208,103 @@ pub trait QueueView {
     /// armed on (the active group).
     fn resident_len(&self, g: GroupId) -> usize;
 
+    /// Visits every group with pending requests in ascending group id,
+    /// handing each a borrowed [`GroupLens`]. This is the hot decision
+    /// path: the indexed queue implements it without touching the heap
+    /// (the lens borrows the incrementally-maintained aggregates in
+    /// place), which is what keeps scheduler decisions allocation-free
+    /// no matter how often the fleet re-decides.
+    fn for_each_group(&self, visit: &mut dyn FnMut(GroupId, &GroupLens<'_>));
+
+    /// Visits the `k` oldest pending requests by arrival sequence,
+    /// oldest first (the slack-window decision path, allocation-free
+    /// on the indexed queue).
+    fn for_each_window(&self, k: usize, visit: &mut dyn FnMut(&PendingRequest));
+
+    /// Visits every distinct query with pending data, each flagged with
+    /// whether it has data on group `on`. Visit order is unspecified
+    /// (the indexed queue visits in ascending query id).
+    fn for_each_query_presence(&self, on: GroupId, visit: &mut dyn FnMut(QueryId, bool));
+
     /// Per-group aggregates, sorted by group id; groups with no pending
-    /// requests are absent.
-    fn group_aggregates(&self) -> Vec<(GroupId, GroupStats)>;
+    /// requests are absent. Allocating convenience form of
+    /// [`QueueView::for_each_group`] for tests and external callers —
+    /// the canned policies never call it.
+    fn group_aggregates(&self) -> Vec<(GroupId, GroupStats)> {
+        let mut out = Vec::new();
+        self.for_each_group(&mut |g, lens| {
+            let mut queries = Vec::with_capacity(lens.query_count);
+            lens.for_each_query(&mut |q| queries.push(q));
+            out.push((
+                g,
+                GroupStats {
+                    queries,
+                    requests: lens.requests,
+                    oldest_arrival: lens.oldest_arrival,
+                    oldest_seq: lens.oldest_seq,
+                },
+            ));
+        });
+        out
+    }
 
     /// The `k` oldest pending requests by arrival sequence, oldest
-    /// first.
-    fn window(&self, k: usize) -> Vec<PendingRequest>;
+    /// first. Allocating convenience form of
+    /// [`QueueView::for_each_window`].
+    fn window(&self, k: usize) -> Vec<PendingRequest> {
+        let mut out = Vec::with_capacity(k.min(self.len()));
+        self.for_each_window(k, &mut |r| out.push(*r));
+        out
+    }
 
     /// Every distinct query with pending data, each flagged with
     /// whether it has data on group `on`. Order is unspecified.
-    fn queries_with_presence(&self, on: GroupId) -> Vec<(QueryId, bool)>;
+    /// Allocating convenience form of
+    /// [`QueueView::for_each_query_presence`].
+    fn queries_with_presence(&self, on: GroupId) -> Vec<(QueryId, bool)> {
+        let mut out = Vec::new();
+        self.for_each_query_presence(on, &mut |q, p| out.push((q, p)));
+        out
+    }
+}
+
+/// The borrowed query-visit closure a [`GroupLens`] carries: calling it
+/// visits the group's distinct queries in ascending query id.
+pub type QueryWalk<'a> = &'a dyn Fn(&mut dyn FnMut(QueryId));
+
+/// One group's aggregates as borrowed during
+/// [`QueueView::for_each_group`]: the scalar stats plus an inline walk
+/// over the distinct queries with pending data on the group (ascending
+/// query id). Nothing is copied out of the queue — the walk re-borrows
+/// the queue's own per-group index — so a policy folding over every
+/// group (rank, max-queries) costs zero heap traffic per decision.
+pub struct GroupLens<'a> {
+    /// Distinct queries with pending data on this group.
+    pub query_count: usize,
+    /// Pending request count.
+    pub requests: usize,
+    /// Earliest request arrival on this group.
+    pub oldest_arrival: Option<SimTime>,
+    /// Smallest arrival sequence number (deterministic tie-break).
+    pub oldest_seq: u64,
+    /// The query walk, borrowed from the queue.
+    pub queries: QueryWalk<'a>,
+}
+
+impl GroupLens<'_> {
+    /// Visits the group's distinct queries in ascending query id.
+    pub fn for_each_query(&self, f: &mut dyn FnMut(QueryId)) {
+        (self.queries)(f)
+    }
 }
 
 /// A group-switch scheduling policy.
-pub trait GroupScheduler {
+///
+/// `Send` is a supertrait so a boxed policy — and with it the whole
+/// device — can be drained on a worker thread by the shard-parallel
+/// window execution; policies are plain state machines, so the bound
+/// costs nothing.
+pub trait GroupScheduler: Send {
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 

@@ -27,7 +27,7 @@ use std::collections::HashMap;
 use crate::device::IntraGroupOrder;
 use crate::object::{GroupId, QueryId};
 use crate::sched::queue::RequestIndex;
-use crate::sched::{GroupStats, PendingRequest, QueueView, Residency, ServeScope};
+use crate::sched::{GroupLens, GroupStats, PendingRequest, QueueView, Residency, ServeScope};
 
 /// Flat-`Vec` pending queue with full-rescan lookups (see module docs).
 #[derive(Debug)]
@@ -169,10 +169,12 @@ impl QueueView for NaiveQueue {
             .count()
     }
 
-    fn group_aggregates(&self) -> Vec<(GroupId, GroupStats)> {
+    fn for_each_group(&self, visit: &mut dyn FnMut(GroupId, &GroupLens<'_>)) {
         // The historical `group_stats` loop, including its linear
         // distinct-query membership scan — this is the pre-index cost
-        // model the perf harness baselines against.
+        // model the perf harness baselines against. The rescan builds a
+        // full aggregate map per call (allocating, by design) and only
+        // then visits.
         let mut map: BTreeMap<GroupId, GroupStats> = BTreeMap::new();
         for r in &self.pending {
             let stats = map.entry(r.group).or_default();
@@ -193,20 +195,40 @@ impl QueueView for NaiveQueue {
         for stats in map.values_mut() {
             stats.queries.sort_unstable();
         }
-        map.into_iter().collect()
+        for (&g, stats) in &map {
+            let walk = |f: &mut dyn FnMut(QueryId)| {
+                for &q in &stats.queries {
+                    f(q);
+                }
+            };
+            visit(
+                g,
+                &GroupLens {
+                    query_count: stats.queries.len(),
+                    requests: stats.requests,
+                    oldest_arrival: stats.oldest_arrival,
+                    oldest_seq: stats.oldest_seq,
+                    queries: &walk,
+                },
+            );
+        }
     }
 
-    fn window(&self, k: usize) -> Vec<PendingRequest> {
-        self.window_refs(k).into_iter().copied().collect()
+    fn for_each_window(&self, k: usize, visit: &mut dyn FnMut(&PendingRequest)) {
+        for r in self.window_refs(k) {
+            visit(r);
+        }
     }
 
-    fn queries_with_presence(&self, on: GroupId) -> Vec<(QueryId, bool)> {
+    fn for_each_query_presence(&self, on: GroupId, visit: &mut dyn FnMut(QueryId, bool)) {
         let mut present: HashMap<QueryId, bool> = HashMap::new();
         for r in &self.pending {
             let on_loaded = present.entry(r.query).or_insert(false);
             *on_loaded |= r.group == on;
         }
-        present.into_iter().collect()
+        for (q, p) in present {
+            visit(q, p);
+        }
     }
 }
 

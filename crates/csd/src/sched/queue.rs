@@ -44,13 +44,13 @@
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use skipper_sim::SimTime;
 
 use crate::device::IntraGroupOrder;
 use crate::object::{GroupId, QueryId};
-use crate::sched::{GroupStats, PendingRequest, QueueView, ServeScope};
+use crate::sched::{GroupLens, PendingRequest, QueueView, ServeScope};
 
 /// The intra-group service key: the device's [`IntraGroupOrder`]
 /// components followed by the arrival sequence number, so keys are
@@ -64,6 +64,112 @@ fn seq_of(key: &OrderKey) -> u64 {
 /// Lazy-deletion min-heap threshold: compact once the heap holds more
 /// than this many entries *and* is mostly stale.
 const HEAP_COMPACT_MIN: usize = 16;
+
+/// A recyclable index payload: reset to the empty state while keeping
+/// every backing allocation (heap arrays, nested pools) for reuse.
+trait Recycle: Default {
+    fn recycle(&mut self);
+}
+
+/// A sorted-vec map with an arena of recycled payloads.
+///
+/// The per-group / per-query sub-indexes used to live in `BTreeMap`s:
+/// every time a group or query drained, its entry — heap allocations
+/// and all — was dropped, and the next round's insert re-allocated it
+/// from scratch. That churn scales with tenants × rounds × *shards*
+/// (each shard keeps its own queue over the same tenant set), which is
+/// exactly the allocs/event growth the 8-shard perf sweep exposed.
+///
+/// Here the key array is one contiguous sorted `Vec` — binary-search
+/// lookups, cache-resident iteration for the aggregate scans even on
+/// ≥32k-deep fleets — and removed payloads park in a free list with
+/// their heap capacities intact ([`Recycle`]), so the steady state
+/// allocates nothing no matter how often groups drain and refill.
+/// Inserts and removes memmove the (small, dense) entry vector; the
+/// maps hold one entry per *distinct pending* group or query, which
+/// the workloads keep far below the pending-request count.
+#[derive(Debug)]
+struct PooledMap<K: Ord + Copy, V: Recycle> {
+    entries: Vec<(K, V)>,
+    free: Vec<V>,
+}
+
+impl<K: Ord + Copy, V: Recycle> Default for PooledMap<K, V> {
+    fn default() -> Self {
+        PooledMap {
+            entries: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+}
+
+impl<K: Ord + Copy, V: Recycle> PooledMap<K, V> {
+    fn idx(&self, key: &K) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| k.cmp(key))
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
+        self.idx(key).ok().map(|i| &self.entries[i].1)
+    }
+
+    fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        match self.idx(key) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    fn contains_key(&self, key: &K) -> bool {
+        self.idx(key).is_ok()
+    }
+
+    /// The entry for `key`, inserting an empty (pool-recycled) payload
+    /// if absent.
+    fn entry_or_default(&mut self, key: K) -> &mut V {
+        let i = match self.idx(&key) {
+            Ok(i) => i,
+            Err(i) => {
+                let payload = self.free.pop().unwrap_or_default();
+                self.entries.insert(i, (key, payload));
+                i
+            }
+        };
+        &mut self.entries[i].1
+    }
+
+    /// Removes `key`, recycling its payload into the pool.
+    fn remove(&mut self, key: &K) {
+        if let Ok(i) = self.idx(key) {
+            let (_, mut payload) = self.entries.remove(i);
+            payload.recycle();
+            self.free.push(payload);
+        }
+    }
+
+    /// Recycles every entry into the pool (used when a whole map is
+    /// itself pooled inside an outer payload).
+    fn recycle_all(&mut self) {
+        for (_, mut payload) in self.entries.drain(..) {
+            payload.recycle();
+            self.free.push(payload);
+        }
+    }
+
+    /// Entries in key order.
+    fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Number of live entries.
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Keys in order.
+    fn keys(&self) -> impl Iterator<Item = &K> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
 
 /// A pooled slab of pending-request nodes, indexed by sequence number.
 ///
@@ -189,13 +295,22 @@ impl<K: Ord + Copy> LazyMinHeap<K> {
         self.heap.get_mut().append(other.heap.get_mut());
     }
 
+    /// Empties the heap, keeping its backing array for reuse.
+    fn clear(&mut self) {
+        self.heap.get_mut().clear();
+    }
+
     /// Drops stale entries once they dominate the heap (amortized O(1)
     /// per push; call on the mutation path with the live count).
+    /// Compacts *in place* (`BinaryHeap::retain`): collecting into a
+    /// fresh heap would reset the backing capacity to the live count,
+    /// and the regrowth back to the stale watermark would hit the
+    /// allocator again on every compaction cycle — the exact
+    /// steady-state allocs/event churn the pooled maps exist to avoid.
     fn maybe_compact(&mut self, live_count: usize, live: impl Fn(K) -> bool) {
         let heap = self.heap.get_mut();
         if heap.len() > HEAP_COMPACT_MIN && heap.len() > live_count.saturating_mul(4) {
-            let kept: BinaryHeap<Reverse<K>> = heap.drain().filter(|&Reverse(k)| live(k)).collect();
-            *heap = kept;
+            heap.retain(|&Reverse(k)| live(k));
         }
     }
 }
@@ -224,7 +339,20 @@ struct GroupQueue {
     min_arrival: LazyMinHeap<(SimTime, u64)>,
     /// Per-query presence count and intra-order heap (distinct-query
     /// aggregates and the query-FCFS serve scope).
-    by_query: BTreeMap<QueryId, QueryHeap>,
+    by_query: PooledMap<QueryId, QueryHeap>,
+}
+
+impl Recycle for GroupQueue {
+    fn recycle(&mut self) {
+        self.resident.clear();
+        self.fresh.clear();
+        self.boundary = 0;
+        self.resident_count = 0;
+        self.count = 0;
+        self.min_seq.clear();
+        self.min_arrival.clear();
+        self.by_query.recycle_all();
+    }
 }
 
 /// One (group, query) sub-index.
@@ -234,6 +362,13 @@ struct QueryHeap {
     heap: LazyMinHeap<OrderKey>,
 }
 
+impl Recycle for QueryHeap {
+    fn recycle(&mut self) {
+        self.count = 0;
+        self.heap.clear();
+    }
+}
+
 /// One query's global presence index.
 #[derive(Debug, Default)]
 struct QueryEntry {
@@ -241,6 +376,13 @@ struct QueryEntry {
     count: usize,
     /// Lazy oldest-seq aggregate for [`QueueView::oldest_of_query`].
     min_seq: LazyMinHeap<u64>,
+}
+
+impl Recycle for QueryEntry {
+    fn recycle(&mut self) {
+        self.count = 0;
+        self.min_seq.clear();
+    }
 }
 
 /// The mutating half of the queue abstraction: what the device needs on
@@ -282,10 +424,11 @@ pub struct RequestQueue {
     intra: IntraGroupOrder,
     /// Pooled request nodes, seq-addressed (O(1) everything).
     slab: Slab,
-    /// Per-group sub-queues, sorted by group id.
-    groups: BTreeMap<GroupId, GroupQueue>,
+    /// Per-group sub-queues, sorted by group id (pooled sorted-vec:
+    /// contiguous for the aggregate scans, recycled on drain).
+    groups: PooledMap<GroupId, GroupQueue>,
     /// Per-query presence (oldest-of-query, query iteration).
-    queries: BTreeMap<QueryId, QueryEntry>,
+    queries: PooledMap<QueryId, QueryEntry>,
 }
 
 impl RequestQueue {
@@ -312,15 +455,15 @@ impl RequestIndex for RequestQueue {
         RequestQueue {
             intra,
             slab: Slab::default(),
-            groups: BTreeMap::new(),
-            queries: BTreeMap::new(),
+            groups: PooledMap::default(),
+            queries: PooledMap::default(),
         }
     }
 
     fn insert(&mut self, request: PendingRequest) {
         let key = self.key(&request);
         self.slab.insert(request);
-        let group = self.groups.entry(request.group).or_default();
+        let group = self.groups.entry_or_default(request.group);
         // The boundary representation of residency needs post-arm
         // arrivals to carry newer seqs — the device's monotone
         // assignment guarantees it.
@@ -334,10 +477,10 @@ impl RequestIndex for RequestQueue {
         group.count += 1;
         group.min_seq.push(request.seq);
         group.min_arrival.push((request.arrival, request.seq));
-        let per_query = group.by_query.entry(request.query).or_default();
+        let per_query = group.by_query.entry_or_default(request.query);
         per_query.count += 1;
         per_query.heap.push(key);
-        let query = self.queries.entry(request.query).or_default();
+        let query = self.queries.entry_or_default(request.query);
         query.count += 1;
         query.min_seq.push(request.seq);
     }
@@ -480,35 +623,43 @@ impl QueueView for RequestQueue {
         self.groups.get(&g).map_or(0, |gq| gq.resident_count)
     }
 
-    fn group_aggregates(&self) -> Vec<(GroupId, GroupStats)> {
-        self.groups
-            .iter()
-            .map(|(&g, gq)| {
-                (
-                    g,
-                    GroupStats {
-                        queries: gq.by_query.keys().copied().collect(),
-                        requests: gq.count,
-                        oldest_arrival: gq
-                            .min_arrival
-                            .min_live(|(_, s)| self.slab.contains(s))
-                            .map(|(t, _)| t),
-                        oldest_seq: gq.min_seq.min_live(|s| self.slab.contains(s)).unwrap_or(0),
-                    },
-                )
-            })
-            .collect()
+    fn for_each_group(&self, visit: &mut dyn FnMut(GroupId, &GroupLens<'_>)) {
+        // The decision hot path: every field of the lens borrows the
+        // incrementally-maintained per-group index in place — no Vec is
+        // materialized per group or per call, so policies folding over
+        // the whole fleet's groups stay allocation-free.
+        for (&g, gq) in self.groups.iter() {
+            let walk = |f: &mut dyn FnMut(QueryId)| {
+                for (&q, _) in gq.by_query.iter() {
+                    f(q);
+                }
+            };
+            visit(
+                g,
+                &GroupLens {
+                    query_count: gq.by_query.len(),
+                    requests: gq.count,
+                    oldest_arrival: gq
+                        .min_arrival
+                        .min_live(|(_, s)| self.slab.contains(s))
+                        .map(|(t, _)| t),
+                    oldest_seq: gq.min_seq.min_live(|s| self.slab.contains(s)).unwrap_or(0),
+                    queries: &walk,
+                },
+            );
+        }
     }
 
-    fn window(&self, k: usize) -> Vec<PendingRequest> {
-        self.slab.iter().take(k).copied().collect()
+    fn for_each_window(&self, k: usize, visit: &mut dyn FnMut(&PendingRequest)) {
+        for r in self.slab.iter().take(k) {
+            visit(r);
+        }
     }
 
-    fn queries_with_presence(&self, on: GroupId) -> Vec<(QueryId, bool)> {
-        self.queries
-            .keys()
-            .map(|&q| (q, self.group_has_query(on, q)))
-            .collect()
+    fn for_each_query_presence(&self, on: GroupId, visit: &mut dyn FnMut(QueryId, bool)) {
+        for &q in self.queries.keys() {
+            visit(q, self.group_has_query(on, q));
+        }
     }
 }
 

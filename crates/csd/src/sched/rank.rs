@@ -34,8 +34,16 @@ use crate::sched::{
 pub struct RankBased {
     /// The fairness weight `K`; the paper sets 1.
     k: f64,
-    /// Waiting time per query, in group switches since last serviced.
-    waiting: HashMap<QueryId, u64>,
+    /// Waiting time per query, in group switches since last serviced,
+    /// stamped with the switch generation that last saw the query
+    /// pending. The stamp lets `on_switch_complete` garbage-collect
+    /// departed queries with an in-place `retain` instead of rebuilding
+    /// a presence map per switch — the map reaches the steady
+    /// query-population size once and never touches the allocator
+    /// again.
+    waiting: HashMap<QueryId, (u64, u64)>,
+    /// Current switch generation (bumped once per completed switch).
+    generation: u64,
 }
 
 impl Default for RankBased {
@@ -56,13 +64,14 @@ impl RankBased {
         RankBased {
             k,
             waiting: HashMap::new(),
+            generation: 0,
         }
     }
 
     /// Current waiting time of `q` (0 if unknown — new queries have not
     /// waited for any switch yet).
     pub fn waiting_of(&self, q: QueryId) -> u64 {
-        self.waiting.get(&q).copied().unwrap_or(0)
+        self.waiting.get(&q).map_or(0, |&(w, _)| w)
     }
 
     /// `R(g) = N_g + K·ΣW_q(g)` for one group's aggregates.
@@ -84,17 +93,30 @@ impl RankBased {
 
     fn best_group(&self, queue: &dyn QueueView) -> Option<GroupId> {
         // Highest rank; ties broken by oldest pending request, then lowest
-        // group id — all deterministic.
-        queue
-            .group_aggregates()
-            .into_iter()
-            .max_by(|(ga, sa), (gb, sb)| {
-                self.rank_of(sa)
-                    .total_cmp(&self.rank_of(sb))
-                    .then_with(|| sb.oldest_seq.cmp(&sa.oldest_seq))
-                    .then_with(|| gb.cmp(ga))
-            })
-            .map(|(g, _)| g)
+        // group id — all deterministic. One allocation-free fold over
+        // the queue's group lenses (this runs on every decision where
+        // the active residency is drained, so it must not touch the
+        // heap).
+        let mut best: Option<(GroupId, f64, u64)> = None;
+        queue.for_each_group(&mut |g, lens| {
+            let mut w = 0u64;
+            lens.for_each_query(&mut |q| w += self.waiting_of(q));
+            let rank = lens.query_count as f64 + self.k * w as f64;
+            let wins = match best {
+                None => true,
+                Some((bg, brank, bseq)) => {
+                    brank
+                        .total_cmp(&rank)
+                        .then_with(|| lens.oldest_seq.cmp(&bseq))
+                        .then_with(|| g.cmp(&bg))
+                        == std::cmp::Ordering::Less
+                }
+            };
+            if wins {
+                best = Some((g, rank, lens.oldest_seq));
+            }
+        });
+        best.map(|(g, _, _)| g)
     }
 }
 
@@ -132,20 +154,22 @@ impl GroupScheduler for RankBased {
 
     fn on_switch_complete(&mut self, queue: &dyn QueueView, loaded: GroupId) {
         // Queries serviced by the loaded group reset to 0; every other
-        // waiting query ages by one switch. Queries that disappeared from
-        // the pending queue are garbage-collected. One pass over the
-        // distinct pending queries per switch — not over the requests.
-        let present: HashMap<QueryId, bool> =
-            queue.queries_with_presence(loaded).into_iter().collect();
-        self.waiting.retain(|q, _| present.contains_key(q));
-        for (q, on_loaded) in present {
-            let w = self.waiting.entry(q).or_insert(0);
-            if on_loaded {
-                *w = 0;
-            } else {
-                *w += 1;
-            }
-        }
+        // waiting query ages by one switch. Queries that disappeared
+        // from the pending queue are garbage-collected: every visited
+        // entry gets the new generation stamp, and the retain sweeps
+        // whatever kept the old one. One pass over the distinct pending
+        // queries per switch — not over the requests — with no presence
+        // map materialized.
+        self.generation += 1;
+        let generation = self.generation;
+        let waiting = &mut self.waiting;
+        queue.for_each_query_presence(loaded, &mut |q, on_loaded| {
+            let e = waiting.entry(q).or_insert((0, generation));
+            e.1 = generation;
+            e.0 = if on_loaded { 0 } else { e.0 + 1 };
+        });
+        self.waiting
+            .retain(|_, &mut (_, stamp)| stamp == generation);
     }
 }
 

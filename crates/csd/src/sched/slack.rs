@@ -41,19 +41,25 @@ impl GroupScheduler for FcfsSlack {
         active: Option<GroupId>,
         pipe: InFlight,
     ) -> Decision {
-        let window = queue.window(self.slack);
-        let Some(oldest) = window.first() else {
+        // One allocation-free pass over the slack window: the oldest
+        // request dictates the target group, and any window request on
+        // the active group keeps the residency (the "grouping requests
+        // on the same disk group" reordering).
+        let mut oldest: Option<GroupId> = None;
+        let mut active_in_window = false;
+        queue.for_each_window(self.slack, &mut |r| {
+            if oldest.is_none() {
+                oldest = Some(r.group);
+            }
+            active_in_window |= Some(r.group) == active;
+        });
+        let Some(oldest) = oldest else {
             return Decision::Idle;
         };
-        // Slack grouping: if the active group still has work within the
-        // window, keep serving it (this is the "grouping requests on the
-        // same disk group" reordering).
-        if let Some(g) = active {
-            if window.iter().any(|r| r.group == g) {
-                return Decision::ServeActive;
-            }
+        if active.is_some() && active_in_window {
+            return Decision::ServeActive;
         }
-        if Some(oldest.group) == active {
+        if Some(oldest) == active {
             Decision::ServeActive
         } else if pipe.draining() {
             // The "active group has window work" predicate above can
@@ -63,7 +69,7 @@ impl GroupScheduler for FcfsSlack {
             // could not start earlier anyway).
             Decision::Idle
         } else {
-            Decision::SwitchTo(oldest.group)
+            Decision::SwitchTo(oldest)
         }
     }
 

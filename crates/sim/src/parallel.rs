@@ -1,0 +1,371 @@
+//! Conservative time-window machinery for shard-parallel execution.
+//!
+//! Shards of a device fleet interact only through the global event
+//! loop: a shard's future is fully determined by its own state until
+//! the next *cross-shard interaction* (a client arrival, a tenant
+//! round-trip that may submit follow-up GETs, a fleet-level wake-up
+//! bred by one of those). Conservative parallel discrete-event
+//! simulation exploits exactly that structure:
+//!
+//! 1. a [`HorizonTracker`] maintains the multiset of pending
+//!    interaction instants; its minimum is the **safe horizon** `H` —
+//!    no event before `H` can change any shard's inputs;
+//! 2. each shard **drains** its private completion chain strictly below
+//!    `H` into a [`WindowBuffer`] — a replay log of `(instant, re-arm,
+//!    payload batch)` entries — via [`drain_chain`]; shards drain
+//!    independently, so a worker pool ([`drain_parallel`]) can run them
+//!    concurrently;
+//! 3. the global loop keeps popping its calendar unchanged, but events
+//!    that fall inside the drained window are answered from the replay
+//!    log instead of touching the device — **consume** when the log's
+//!    front matches the event instant, no-op otherwise (the stale /
+//!    superseded wake-up rule, identical to the sequential armed-flag
+//!    protocol);
+//! 4. when the loop reaches `H` the window is re-opened: the tracker's
+//!    new minimum becomes the next horizon (a barrier — all drains for
+//!    the previous window completed before any event in it was
+//!    consumed).
+//!
+//! Because the drained chain is *exactly* the completion chain the
+//! sequential loop would have executed — same instants, same batches,
+//! same re-arms — and the global loop consumes it in the same order,
+//! a windowed run is bit-identical to the sequential one regardless of
+//! worker count. Determinism across worker counts is structural, not
+//! scheduled: shards never share state inside a window, so the thread
+//! interleaving cannot be observed.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::time::SimTime;
+
+/// The multiset of pending cross-shard interaction instants.
+///
+/// The owner `note`s every scheduled event that may interact across
+/// shards (submit GETs, release a query) and `consume`s it when it
+/// fires; [`HorizonTracker::horizon`] is then the earliest instant at
+/// which any shard's inputs can still change — the safe drain horizon.
+#[derive(Debug, Default)]
+pub struct HorizonTracker {
+    pending: BinaryHeap<Reverse<SimTime>>,
+}
+
+impl HorizonTracker {
+    /// An empty tracker (horizon = end of time).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a pending interaction at `at`.
+    pub fn note(&mut self, at: SimTime) {
+        self.pending.push(Reverse(at));
+    }
+
+    /// Consumes one pending interaction firing at `now`.
+    ///
+    /// # Panics
+    /// Panics if no interaction is pending at `now` — the owner noted
+    /// and consumed out of step, which would have made every horizon
+    /// since the missed note unsound.
+    pub fn consume(&mut self, now: SimTime) {
+        let front = self.pending.pop().map(|Reverse(t)| t);
+        assert_eq!(
+            front,
+            Some(now),
+            "interaction consumed out of step with its note"
+        );
+    }
+
+    /// The safe horizon: the earliest pending interaction, or
+    /// [`SimTime::MAX`] when none remain (every shard may drain to
+    /// quiescence).
+    pub fn horizon(&self) -> SimTime {
+        self.pending.peek().map_or(SimTime::MAX, |&Reverse(t)| t)
+    }
+
+    /// Number of pending interactions.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no interactions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+/// A drained shard's replay log: the completion chain it executed
+/// inside the current window, consumed front-to-back by the global
+/// event loop.
+///
+/// Each entry is one wake-up the sequential loop would have fired:
+/// its instant, the re-arm instant the post-completion kick reported
+/// (`None` when the shard went idle), and the batch of payloads it
+/// retired (empty for switch completions). Payload storage is a
+/// `VecDeque` reused across windows, so steady-state windows allocate
+/// nothing.
+#[derive(Debug)]
+pub struct WindowBuffer<D> {
+    /// `(instant, re-arm, batch length)` per drained wake-up.
+    entries: VecDeque<(SimTime, Option<SimTime>, u32)>,
+    /// Batch payloads, contiguous in entry order.
+    items: VecDeque<D>,
+}
+
+impl<D> Default for WindowBuffer<D> {
+    fn default() -> Self {
+        WindowBuffer {
+            entries: VecDeque::new(),
+            items: VecDeque::new(),
+        }
+    }
+}
+
+impl<D> WindowBuffer<D> {
+    /// An empty replay log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when every drained wake-up has been consumed (the shard is
+    /// back under direct sequential control).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of drained wake-ups not yet consumed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The instant of the next unconsumed wake-up.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.entries.front().map(|&(at, _, _)| at)
+    }
+
+    /// Appends one drained wake-up, draining `batch` into the log.
+    pub fn record(&mut self, at: SimTime, rearm: Option<SimTime>, batch: &mut Vec<D>) {
+        debug_assert!(
+            self.entries.back().is_none_or(|&(prev, _, _)| prev <= at),
+            "drained wake-ups must be recorded in time order"
+        );
+        self.entries.push_back((at, rearm, batch.len() as u32));
+        self.items.extend(batch.drain(..));
+    }
+
+    /// Consumes the front wake-up, appending its batch to `out` and
+    /// returning the re-arm instant recorded with it.
+    ///
+    /// # Panics
+    /// Panics when the front entry is not at `now` — callers must gate
+    /// on [`WindowBuffer::next_at`] (the stale-wake-up no-op rule).
+    pub fn consume_into(&mut self, now: SimTime, out: &mut Vec<D>) -> Option<SimTime> {
+        let (at, rearm, n) = self.entries.pop_front().expect("consume from empty replay");
+        assert_eq!(at, now, "replay consumed out of order");
+        out.extend(self.items.drain(..n as usize));
+        rearm
+    }
+}
+
+/// Drains one shard's completion chain strictly below `horizon` into
+/// its replay log.
+///
+/// `armed` is the shard's armed wake-up instant (the sequential
+/// protocol's invariant: `Some(t)` ⇔ a wake-up is due at `t`); `step`
+/// retires everything due at that instant into the staging buffer and
+/// returns the next earliest completion — the same complete-then-kick
+/// pair the sequential loop runs at each wake-up, so the recorded
+/// chain is exactly the sequential one. Completion chains are
+/// time-monotone (a completion never moves an *earlier* in-flight
+/// completion), which keeps the log ordered.
+pub fn drain_chain<D>(
+    armed: &mut Option<SimTime>,
+    horizon: SimTime,
+    buffer: &mut WindowBuffer<D>,
+    stage: &mut Vec<D>,
+    mut step: impl FnMut(SimTime, &mut Vec<D>) -> Option<SimTime>,
+) {
+    while let Some(at) = *armed {
+        if at >= horizon {
+            break;
+        }
+        debug_assert!(stage.is_empty());
+        *armed = step(at, stage);
+        buffer.record(at, *armed, stage);
+    }
+}
+
+/// A shard that can pre-execute its private work up to a horizon.
+pub trait WindowDrain {
+    /// Drains every completion strictly before `horizon` into the
+    /// shard's replay log.
+    fn drain_window(&mut self, horizon: SimTime);
+}
+
+/// Drains every shard up to `horizon` on a pool of `workers` scoped
+/// threads (the calling thread counts as one worker and takes the
+/// first chunk). With one worker — or one shard — this is a plain
+/// sequential loop with no thread traffic at all.
+///
+/// Shards are partitioned into contiguous chunks, one per worker;
+/// since each shard's drain touches only that shard, the result is
+/// identical for every worker count — parallelism changes wall-clock
+/// time, never output.
+pub fn drain_parallel<S: WindowDrain + Send>(shards: &mut [S], horizon: SimTime, workers: usize) {
+    let workers = workers.clamp(1, shards.len().max(1));
+    if workers == 1 {
+        for shard in shards {
+            shard.drain_window(horizon);
+        }
+        return;
+    }
+    let chunk = shards.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut chunks = shards.chunks_mut(chunk);
+        let own = chunks.next();
+        for rest in chunks {
+            scope.spawn(move || {
+                for shard in rest {
+                    shard.drain_window(horizon);
+                }
+            });
+        }
+        for shard in own.into_iter().flatten() {
+            shard.drain_window(horizon);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_horizon_is_min_pending() {
+        let mut tr = HorizonTracker::new();
+        assert_eq!(tr.horizon(), SimTime::MAX);
+        tr.note(SimTime::from_micros(30));
+        tr.note(SimTime::from_micros(10));
+        tr.note(SimTime::from_micros(10));
+        assert_eq!(tr.horizon(), SimTime::from_micros(10));
+        tr.consume(SimTime::from_micros(10));
+        assert_eq!(tr.horizon(), SimTime::from_micros(10));
+        tr.consume(SimTime::from_micros(10));
+        assert_eq!(tr.horizon(), SimTime::from_micros(30));
+        tr.consume(SimTime::from_micros(30));
+        assert!(tr.is_empty());
+        assert_eq!(tr.horizon(), SimTime::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of step")]
+    fn tracker_rejects_unnoted_consume() {
+        let mut tr = HorizonTracker::new();
+        tr.note(SimTime::from_micros(5));
+        tr.consume(SimTime::from_micros(7));
+    }
+
+    #[test]
+    fn buffer_replays_in_order_with_rearms() {
+        let mut buf: WindowBuffer<u32> = WindowBuffer::new();
+        let mut stage = vec![1, 2];
+        buf.record(
+            SimTime::from_micros(3),
+            Some(SimTime::from_micros(9)),
+            &mut stage,
+        );
+        assert!(stage.is_empty());
+        stage.push(7);
+        buf.record(SimTime::from_micros(9), None, &mut stage);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.next_at(), Some(SimTime::from_micros(3)));
+        let mut out = Vec::new();
+        let rearm = buf.consume_into(SimTime::from_micros(3), &mut out);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(rearm, Some(SimTime::from_micros(9)));
+        out.clear();
+        assert_eq!(buf.consume_into(SimTime::from_micros(9), &mut out), None);
+        assert_eq!(out, vec![7]);
+        assert!(buf.is_empty());
+    }
+
+    /// A toy shard: completes one unit of work every `step` micros
+    /// until `left` runs out, recording completion ids.
+    struct Toy {
+        armed: Option<SimTime>,
+        step: u64,
+        left: u32,
+        buffer: WindowBuffer<u32>,
+        stage: Vec<u32>,
+        served: u32,
+    }
+
+    impl Toy {
+        fn new(step: u64, left: u32) -> Self {
+            Toy {
+                armed: Some(SimTime::from_micros(step)),
+                step,
+                left,
+                buffer: WindowBuffer::new(),
+                stage: Vec::new(),
+                served: 0,
+            }
+        }
+    }
+
+    impl WindowDrain for Toy {
+        fn drain_window(&mut self, horizon: SimTime) {
+            let (step, served, left) = (self.step, &mut self.served, &mut self.left);
+            drain_chain(
+                &mut self.armed,
+                horizon,
+                &mut self.buffer,
+                &mut self.stage,
+                |at, out| {
+                    *served += 1;
+                    out.push(*served);
+                    *left -= 1;
+                    (*left > 0).then(|| at + crate::SimDuration::from_micros(step))
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn drain_chain_stops_at_horizon() {
+        let mut toy = Toy::new(10, 5);
+        toy.drain_window(SimTime::from_micros(30));
+        // Completions at 10 and 20 drained; 30 is at the horizon.
+        assert_eq!(toy.buffer.len(), 2);
+        assert_eq!(toy.armed, Some(SimTime::from_micros(30)));
+        toy.drain_window(SimTime::MAX);
+        assert_eq!(toy.buffer.len(), 5);
+        assert_eq!(toy.armed, None);
+    }
+
+    #[test]
+    fn parallel_drain_matches_sequential_for_any_worker_count() {
+        let runs: Vec<Vec<(SimTime, Option<SimTime>, u32)>> = [1usize, 2, 4, 7]
+            .iter()
+            .map(|&workers| {
+                let mut shards: Vec<Toy> = (1..=6).map(|s| Toy::new(s as u64, 4 + s)).collect();
+                drain_parallel(&mut shards, SimTime::from_micros(12), workers);
+                shards
+                    .iter_mut()
+                    .flat_map(|t| {
+                        let mut log = Vec::new();
+                        let mut out = Vec::new();
+                        while let Some(at) = t.buffer.next_at() {
+                            out.clear();
+                            let rearm = t.buffer.consume_into(at, &mut out);
+                            log.push((at, rearm, out.len() as u32));
+                        }
+                        log
+                    })
+                    .collect()
+            })
+            .collect();
+        assert!(runs.windows(2).all(|w| w[0] == w[1]));
+        assert!(!runs[0].is_empty());
+    }
+}
