@@ -8,7 +8,7 @@
 //! windowed-parallel `par` loop at each worker count vs its no-window
 //! sequential reference, every run asserted bit-identical), prints the
 //! throughput table, and writes `BENCH_perf.json` (schema
-//! `BENCH_perf/v3`).
+//! `BENCH_perf/v4`).
 //!
 //! ```text
 //! cargo run --release -p skipper-bench --bin perf
@@ -17,6 +17,7 @@
 //!     --tenants 64 --rounds 16 --objects 100 --groups 16 \
 //!     --shards 1,2,4,8 --policy ranking --streams 4 \
 //!     --workers 1,2,4 --think 200000 \
+//!     --arrival onoff:1,30,300 \
 //!     --out BENCH_perf.json [--skip-naive] [--skip-v1] \
 //!     [--floor <min v2 events/sec>] [--alloc-ceiling <max allocs/event>]
 //! ```
@@ -24,14 +25,21 @@
 //! `--workers W1,W2,...` adds, for every planned sweep, a windowed
 //! (`par`-core) sweep over the same scenario; `--think <micros>` sets
 //! the client think time those sweeps run with (the parallel loop's
-//! lookahead — 0 keeps every window empty).
+//! lookahead — 0 keeps every window empty). `--arrival <spec>` adds an
+//! open-arrival (`open`-core) sweep: rounds are *released* at instants
+//! drawn from the given process (`poisson:MEAN`,
+//! `onoff:ON_MEAN,ON_DUR,OFF_DUR`, or `diurnal:PEAK,PERIOD,TROUGH`;
+//! seconds, fixed seed) instead of on completion of the previous round,
+//! and each sample carries a p50/p95/p99/p999 response-time block from
+//! the streaming quantile sketch.
 //!
 //! With `--floor`, the binary exits non-zero when any production-core
-//! run on the indexed queue (`v2`, or `par` at any worker count) falls
-//! below the given events/sec; with `--alloc-ceiling`, when any v2 run
-//! allocates more than the given allocations per event over its drive
-//! loop — the CI perf-smoke regression gates. (The ceiling exempts
-//! `par` runs: the scoped worker pool allocates per window by design.)
+//! run on the indexed queue (`v2`, `open`, or `par` at any worker
+//! count) falls below the given events/sec; with `--alloc-ceiling`,
+//! when any v2 or open run allocates more than the given allocations
+//! per event over its drive loop — the CI perf-smoke regression gates.
+//! (The ceiling exempts `par` runs: the scoped worker pool allocates
+//! per window by design.)
 //!
 //! This binary installs a counting `#[global_allocator]` (the library
 //! crates forbid `unsafe`, so the probe lives here): every heap
@@ -42,10 +50,12 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use skipper_bench::experiments::perf::{
-    core_speedups, parallel_speedups, parallel_sweep, queue_speedups, table, to_json, PerfScenario,
-    Sweep, SweepOptions,
+    core_speedups, open_sweep, parallel_speedups, parallel_sweep, queue_speedups, table, to_json,
+    PerfScenario, Sweep, SweepOptions,
 };
+use skipper_core::runtime::ArrivalProcess;
 use skipper_csd::SchedPolicy;
+use skipper_sim::SimDuration;
 
 /// Counts every allocation (alloc + realloc) on top of the system
 /// allocator. Deallocation is not counted: the gauge is "how often does
@@ -79,6 +89,40 @@ fn allocation_count() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
+/// `--arrival` spec: `poisson:MEAN` | `onoff:ON_MEAN,ON_DUR,OFF_DUR` |
+/// `diurnal:PEAK_MEAN,PERIOD,TROUGH` — all durations in (fractional)
+/// seconds, with a fixed seed so CI runs are reproducible.
+fn parse_arrival(s: &str) -> ArrivalProcess {
+    const SEED: u64 = 42;
+    let secs = |v: &str| -> SimDuration {
+        SimDuration::from_secs_f64(v.parse().unwrap_or_else(|_| panic!("bad duration {v:?}")))
+    };
+    let (kind, rest) = s.split_once(':').unwrap_or((s, ""));
+    let parts: Vec<&str> = rest.split(',').filter(|p| !p.is_empty()).collect();
+    match (kind, parts.as_slice()) {
+        ("poisson", [mean]) => ArrivalProcess::Poisson {
+            mean: secs(mean),
+            seed: SEED,
+        },
+        ("onoff", [on_mean, on, off]) => ArrivalProcess::OnOff {
+            on_mean: secs(on_mean),
+            on_duration: secs(on),
+            off_duration: secs(off),
+            seed: SEED,
+        },
+        ("diurnal", [peak, period, trough]) => ArrivalProcess::Diurnal {
+            peak_mean: secs(peak),
+            period: secs(period),
+            trough: trough.parse().expect("--arrival diurnal trough"),
+            seed: SEED,
+        },
+        _ => panic!(
+            "unknown arrival spec {s:?} (poisson:MEAN | onoff:ON_MEAN,ON_DUR,OFF_DUR | \
+             diurnal:PEAK_MEAN,PERIOD,TROUGH; seconds)"
+        ),
+    }
+}
+
 fn parse_policy(s: &str) -> SchedPolicy {
     match s {
         "fcfs-object" => SchedPolicy::FcfsObject,
@@ -102,6 +146,7 @@ fn main() {
     let mut alloc_ceiling: Option<f64> = None;
     let mut with_million = false;
     let mut worker_counts: Vec<usize> = Vec::new();
+    let mut arrival: Option<ArrivalProcess> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     // --million is a base configuration, not an override: apply it
@@ -139,6 +184,7 @@ fn main() {
                     .collect()
             }
             "--think" => sc.think_micros = value(&mut i).parse().expect("--think"),
+            "--arrival" => arrival = Some(parse_arrival(value(&mut i))),
             "--out" => out_path = value(&mut i).to_string(),
             "--skip-naive" => opts.skip_naive = true,
             "--skip-v1" => opts.skip_v1 = true,
@@ -206,7 +252,7 @@ fn main() {
             );
             let samples = parallel_sweep(&sc, &par_shards, &worker_counts, opts);
             let sweep = Sweep {
-                scenario: sc,
+                scenario: sc.clone(),
                 samples,
             };
             println!("{}", table(&sweep.scenario, &sweep.samples));
@@ -218,6 +264,28 @@ fn main() {
             }
             sweeps.push(sweep);
         }
+        if let Some(arrival) = &arrival {
+            let osc = PerfScenario {
+                arrival: Some(arrival.clone()),
+                ..sc.clone()
+            };
+            eprintln!("open-arrival drive ({arrival:?}) on {shard_counts:?} shard fleets...");
+            let samples = open_sweep(&osc, &shard_counts, opts);
+            let sweep = Sweep {
+                scenario: osc,
+                samples,
+            };
+            println!("{}", table(&sweep.scenario, &sweep.samples));
+            for s in &sweep.samples {
+                if let Some(l) = s.latency {
+                    println!(
+                        "tail latency @ {} shard(s): p50 {:.1}s p95 {:.1}s p99 {:.1}s p999 {:.1}s max {:.1}s ({} rounds)",
+                        s.shards, l.p50_secs, l.p95_secs, l.p99_secs, l.p999_secs, l.max_secs, l.count
+                    );
+                }
+            }
+            sweeps.push(sweep);
+        }
     }
 
     let json = to_json(&sweeps);
@@ -225,10 +293,9 @@ fn main() {
     println!("wrote {out_path}");
 
     let production_samples = || {
-        sweeps
-            .iter()
-            .flat_map(|sw| sw.samples.iter())
-            .filter(|s| (s.core == "v2" || s.core == "par") && s.queue == "indexed")
+        sweeps.iter().flat_map(|sw| sw.samples.iter()).filter(|s| {
+            (s.core == "v2" || s.core == "par" || s.core == "open") && s.queue == "indexed"
+        })
     };
     if let Some(floor) = floor {
         let worst = production_samples()
@@ -242,17 +309,18 @@ fn main() {
     }
     if let Some(ceiling) = alloc_ceiling {
         // The windowed core is exempt: its scoped worker pool allocates
-        // per window by design, so the steady-state gauge is v2's.
+        // per window by design. The steady-state gauge is v2's — and the
+        // open core's, whose quantile sketch must stay O(1) per event.
         let worst = production_samples()
-            .filter(|s| s.core == "v2")
+            .filter(|s| s.core == "v2" || s.core == "open")
             .filter_map(|s| s.allocs_per_event)
             .fold(0.0f64, f64::max);
         if worst > ceiling {
             eprintln!(
-                "ALLOC REGRESSION: v2 allocations/event {worst:.3} above ceiling {ceiling:.3}"
+                "ALLOC REGRESSION: v2/open allocations/event {worst:.3} above ceiling {ceiling:.3}"
             );
             std::process::exit(1);
         }
-        println!("alloc ceiling ok: max v2 allocations/event {worst:.3} <= {ceiling:.3}");
+        println!("alloc ceiling ok: max v2/open allocations/event {worst:.3} <= {ceiling:.3}");
     }
 }

@@ -43,12 +43,24 @@
 //! window ever drains: parallel execution only pays off when clients
 //! think between rounds.
 //!
+//! A fourth drive loop leaves the closed-loop regime entirely: **open**
+//! ([`drive_open` via `open_sweep`]) releases every round at instants
+//! expanded up-front from a seeded [`ArrivalProcess`] (Poisson, bursty
+//! on/off, diurnal, trace replay), so load arrives whether or not the
+//! fleet keeps up and queues grow past saturation — the internet-facing
+//! regime. Each round's response time (release → last delivery,
+//! queue-wait included) feeds a fixed-ε Greenwald–Khanna
+//! [`QuantileSketch`], giving p50/p95/p99/p999 tail latency in O(1)
+//! memory per sample ([`PerfSample::latency`]) without disturbing the
+//! allocs/event gauge.
+//!
 //! `skipper-bench --bin perf` emits the results as `BENCH_perf.json`
-//! (schema `BENCH_perf/v3`) and the recorded baselines live in
+//! (schema `BENCH_perf/v4`) and the recorded baselines live in
 //! `EXPERIMENTS.md`.
 
 use std::time::Instant;
 
+use skipper_core::runtime::ArrivalProcess;
 use skipper_csd::sched::{NaiveQueue, RequestIndex, RequestQueue};
 use skipper_csd::{
     CsdConfig, CsdDevice, Delivery, IntraGroupOrder, LedgerMode, ObjectId, ObjectStore, QueryId,
@@ -58,7 +70,7 @@ use skipper_sim::parallel::{
     drain_chain, drain_parallel, HorizonTracker, WindowBuffer, WindowDrain,
 };
 use skipper_sim::rng::splitmix64;
-use skipper_sim::{CalendarQueue, SimDuration, SimTime, TraceMode};
+use skipper_sim::{CalendarQueue, QuantileSketch, SimDuration, SimTime, TraceMode};
 
 use crate::report::Table;
 
@@ -89,6 +101,14 @@ pub struct PerfScenario {
     /// windows are at most `min-armed + think` wide, so 0 disables
     /// draining entirely.
     pub think_micros: u64,
+    /// Open-arrival process for the `open` drive loop: round `r` of
+    /// tenant `t` is *released* at the process's `r`-th event instead
+    /// of on completion of round `r−1`, so load is applied regardless
+    /// of whether the fleet keeps up (the internet-facing regime —
+    /// queues grow past saturation and the latency sketch sees the
+    /// queueing delay). `None` keeps the closed loop; the v1/v2/par
+    /// drives ignore this field.
+    pub arrival: Option<ArrivalProcess>,
 }
 
 impl Default for PerfScenario {
@@ -101,6 +121,7 @@ impl Default for PerfScenario {
             policy: SchedPolicy::RankBased,
             streams: 1,
             think_micros: 0,
+            arrival: None,
         }
     }
 }
@@ -120,6 +141,7 @@ impl PerfScenario {
             policy: SchedPolicy::RankBased,
             streams: 1,
             think_micros: 0,
+            arrival: None,
         }
     }
 
@@ -177,9 +199,51 @@ pub struct PerfSample {
     /// Total paid group switches (identical across queues and cores).
     pub switches: u64,
     /// Heap allocations per event over the drive loop, when an
-    /// allocation probe is installed (v2 runs only — the steady-state
-    /// zero-allocation gauge).
+    /// allocation probe is installed (v2/open runs only — the
+    /// steady-state zero-allocation gauge).
     pub allocs_per_event: Option<f64>,
+    /// Round response-time distribution (the `open` core only): the
+    /// tail-latency section fed by the streaming quantile sketch.
+    pub latency: Option<LatencySample>,
+}
+
+/// The tail-latency block of an open-arrival sample: per-round response
+/// time (release → last delivery of the round, so queue-wait included)
+/// summarized by a fixed-ε [`QuantileSketch`] — O(1) memory no matter
+/// how many rounds the drive retires.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencySample {
+    /// Rounds completed (= sketch observations).
+    pub count: u64,
+    /// Mean response seconds (exact running sum, not sketch-derived).
+    pub mean_secs: f64,
+    /// Worst response seconds (exact).
+    pub max_secs: f64,
+    /// Median response seconds (sketch, ±ε rank error).
+    pub p50_secs: f64,
+    /// 95th-percentile response seconds.
+    pub p95_secs: f64,
+    /// 99th-percentile response seconds.
+    pub p99_secs: f64,
+    /// 99.9th-percentile response seconds.
+    pub p999_secs: f64,
+}
+
+impl LatencySample {
+    /// Summarizes a finished response-time sketch plus the exact
+    /// mean/max accumulators; `None` when nothing completed.
+    fn from_sketch(sketch: &QuantileSketch, sum_secs: f64, max_secs: f64) -> Option<LatencySample> {
+        let q = |phi: f64| sketch.quantile(phi).expect("non-empty sketch");
+        (sketch.count() > 0).then(|| LatencySample {
+            count: sketch.count(),
+            mean_secs: sum_secs / sketch.count() as f64,
+            max_secs,
+            p50_secs: q(0.50),
+            p95_secs: q(0.95),
+            p99_secs: q(0.99),
+            p999_secs: q(0.999),
+        })
+    }
 }
 
 /// Outcome invariants used to cross-check runs without holding the
@@ -356,7 +420,8 @@ fn drive_v1<Q: RequestIndex>(
     finish(
         sc,
         devices,
-        loop_state,
+        loop_state.count,
+        loop_state.checksum,
         events,
         wall,
         makespan,
@@ -456,7 +521,8 @@ fn drive_v2<Q: RequestIndex>(
     finish(
         sc,
         devices,
-        loop_state,
+        loop_state.count,
+        loop_state.checksum,
         events,
         wall,
         makespan,
@@ -682,7 +748,8 @@ fn drive_par<Q: RequestIndex + Send>(
     let (mut sample, fp) = finish(
         sc,
         devices,
-        loop_state,
+        loop_state.count,
+        loop_state.checksum,
         events,
         wall,
         makespan,
@@ -695,11 +762,174 @@ fn drive_par<Q: RequestIndex + Send>(
     (sample, fp)
 }
 
+/// Event payloads of the open-arrival (`open`) drive loop.
+#[derive(Clone, Copy, Debug)]
+enum OpenEvent {
+    /// Shard's armed wake-up fires.
+    Wake(usize),
+    /// Tenant `t` releases round `r` — scheduled up-front from the
+    /// arrival process, fired regardless of earlier rounds' progress.
+    Release(usize, usize),
+}
+
+/// The open-arrival drive loop (`open` core, v2 observability + event
+/// mechanics): every round's release instant is expanded from
+/// [`PerfScenario::arrival`] *before* the clock starts, so load arrives
+/// whether or not the fleet keeps up and several rounds of one tenant
+/// can be in flight at once. Each round's response time (release → last
+/// delivery of the round, queue-wait included) feeds one fixed-ε
+/// [`QuantileSketch`] — the O(1)-memory tail-latency gauge the closed
+/// loops cannot produce, reported as [`PerfSample::latency`].
+///
+/// `exact_out`, when set, additionally records every response sample in
+/// completion order — the rank-error oracle for the sketch tests, never
+/// used by the timed sweeps.
+fn drive_open<Q: RequestIndex>(
+    sc: &PerfScenario,
+    shards: usize,
+    queue_label: &'static str,
+    alloc_counter: Option<fn() -> u64>,
+    mut exact_out: Option<&mut Vec<f64>>,
+) -> (PerfSample, Fingerprint) {
+    assert!(
+        shards <= 64,
+        "open drive loop tracks mutated shards in a u64 bitmask"
+    );
+    let arrival = sc
+        .arrival
+        .as_ref()
+        .expect("the open drive loop needs an arrival process");
+    let mut devices = build_devices::<Q>(sc, shards, CoreVersion::V2);
+    let mut events = 0u64;
+    let mut scratch: Vec<Delivery<()>> = Vec::new();
+
+    let start = Instant::now();
+    // Expand every release instant up-front (the processes are pure
+    // functions of (seed, tenant), so this is bit-reproducible) and
+    // schedule them all; ties pop in (tenant, round) insertion order.
+    let mut wakeups: CalendarQueue<OpenEvent> = CalendarQueue::new();
+    let mut releases: Vec<Vec<SimTime>> = Vec::with_capacity(sc.tenants);
+    for t in 0..sc.tenants {
+        let times: Vec<SimTime> = arrival
+            .release_times(sc.rounds, t, SimDuration::ZERO)
+            .into_iter()
+            .map(|at| at.expect("open drive needs open-arrival release instants"))
+            .collect();
+        for (r, &at) in times.iter().enumerate() {
+            wakeups.schedule(at, OpenEvent::Release(t, r));
+        }
+        releases.push(times);
+    }
+    let mut outstanding: Vec<Vec<u32>> = vec![vec![0; sc.rounds]; sc.tenants];
+    let mut armed: Vec<Option<SimTime>> = vec![None; shards];
+    let mut count = 0u64;
+    let mut checksum = 0u64;
+    let mut sketch = QuantileSketch::default_epsilon();
+    let mut sum_secs = 0.0f64;
+    let mut max_secs = 0.0f64;
+    let allocs_before = alloc_counter.map(|f| f());
+    let mut makespan = SimTime::ZERO;
+    while let Some((now, ev)) = wakeups.pop() {
+        match ev {
+            OpenEvent::Wake(s) => {
+                if armed[s] != Some(now) {
+                    continue; // superseded by a re-arm at an earlier instant
+                }
+                armed[s] = None;
+                makespan = now;
+                events += 1;
+                scratch.clear();
+                devices[s].complete_into(now, &mut scratch);
+                for d in &scratch {
+                    count += 1;
+                    checksum = checksum.wrapping_add(mix_delivery(d.client, d.query, d.object));
+                    let (t, r) = (d.client, d.query.seq as usize);
+                    outstanding[t][r] -= 1;
+                    if outstanding[t][r] == 0 {
+                        // Round complete: response includes however long
+                        // the round waited in the device queues.
+                        let response = now.since(releases[t][r]).as_secs_f64();
+                        sketch.push(response);
+                        sum_secs += response;
+                        max_secs = max_secs.max(response);
+                        if let Some(exact) = exact_out.as_deref_mut() {
+                            exact.push(response);
+                        }
+                    }
+                }
+                // Deliveries never breed submits here (the loop is
+                // open), so only the completed shard needs a re-kick.
+                if let Some(at) = devices[s].kick(now) {
+                    armed[s] = Some(at);
+                    wakeups.schedule(at, OpenEvent::Wake(s));
+                }
+            }
+            OpenEvent::Release(t, r) => {
+                makespan = makespan.max(now);
+                outstanding[t][r] = sc.objects_per_round;
+                submit_round(sc, &mut devices, now, t, r);
+                let mut touched = if sc.objects_per_round as usize >= shards {
+                    u64::MAX >> (64 - shards)
+                } else {
+                    let mut mask = 0u64;
+                    let base = r as u32 * sc.objects_per_round;
+                    for seg in base..base + sc.objects_per_round {
+                        mask |= 1 << (seg as usize % shards);
+                    }
+                    mask
+                };
+                while touched != 0 {
+                    let s2 = touched.trailing_zeros() as usize;
+                    touched &= touched - 1;
+                    match devices[s2].kick(now) {
+                        Some(at) if armed[s2] == Some(at) => {}
+                        Some(at) => {
+                            armed[s2] = Some(at);
+                            wakeups.schedule(at, OpenEvent::Wake(s2));
+                        }
+                        None => armed[s2] = None,
+                    }
+                }
+            }
+        }
+    }
+    let allocs_after = alloc_counter.map(|f| f());
+    let wall = start.elapsed().as_secs_f64();
+    let allocs_per_event = allocs_before.zip(allocs_after).map(|(before, after)| {
+        if events > 0 {
+            (after - before) as f64 / events as f64
+        } else {
+            0.0
+        }
+    });
+    assert_eq!(
+        sketch.count(),
+        sc.tenants as u64 * sc.rounds as u64,
+        "open drive lost rounds"
+    );
+    let (mut sample, fp) = finish(
+        sc,
+        devices,
+        count,
+        checksum,
+        events,
+        wall,
+        makespan,
+        CoreVersion::V2,
+        queue_label,
+        allocs_per_event,
+    );
+    sample.core = "open";
+    sample.latency = LatencySample::from_sketch(&sketch, sum_secs, max_secs);
+    (sample, fp)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn finish<Q: RequestIndex>(
     sc: &PerfScenario,
     devices: Vec<CsdDevice<(), Q>>,
-    loop_state: ClosedLoop,
+    count: u64,
+    checksum: u64,
     events: u64,
     wall: f64,
     makespan: SimTime,
@@ -712,14 +942,14 @@ fn finish<Q: RequestIndex>(
         "perf drive loop left work behind"
     );
     let switches: u64 = devices.iter().map(|d| d.metrics().group_switches).sum();
-    assert_eq!(loop_state.count, sc.total_requests(), "lost deliveries");
+    assert_eq!(count, sc.total_requests(), "lost deliveries");
     (
         PerfSample {
             core: core.label(),
             workers: None,
             queue: queue_label,
             shards: devices.len(),
-            requests: loop_state.count,
+            requests: count,
             events,
             wall_secs: wall,
             events_per_sec: if wall > 0.0 {
@@ -730,10 +960,11 @@ fn finish<Q: RequestIndex>(
             makespan_secs: makespan.as_secs_f64(),
             switches,
             allocs_per_event,
+            latency: None,
         },
         Fingerprint {
-            count: loop_state.count,
-            checksum: loop_state.checksum,
+            count,
+            checksum,
             makespan,
             switches,
         },
@@ -871,6 +1102,56 @@ pub fn parallel_sweep(
     samples
 }
 
+/// Runs the open-arrival (`open`) drive on every requested shard
+/// count. There is no closed-loop twin to diff against (the workload
+/// semantics differ by construction), so the cross-check here is
+/// repeat-determinism: every repeat must reproduce the fingerprint
+/// *and* the full latency block bit-for-bit — arrival expansion,
+/// schedule, and sketch are all deterministic.
+///
+/// # Panics
+/// Panics if [`PerfScenario::arrival`] is `None`.
+pub fn open_sweep(
+    sc: &PerfScenario,
+    shard_counts: &[usize],
+    opts: SweepOptions,
+) -> Vec<PerfSample> {
+    assert!(
+        sc.arrival.is_some(),
+        "open_sweep needs PerfScenario::arrival"
+    );
+    let mut samples = Vec::new();
+    if sc.rounds > 1 {
+        let warmup = PerfScenario {
+            rounds: 1,
+            ..sc.clone()
+        };
+        let shards = shard_counts.first().copied().unwrap_or(1);
+        drive_open::<RequestQueue>(&warmup, shards, "indexed", None, None);
+    }
+    let repeats = opts.repeats.max(1);
+    for &shards in shard_counts {
+        let (mut sample, fp) =
+            drive_open::<RequestQueue>(sc, shards, "indexed", opts.alloc_counter, None);
+        for _ in 1..repeats {
+            let (s2, f2) =
+                drive_open::<RequestQueue>(sc, shards, "indexed", opts.alloc_counter, None);
+            assert_eq!(fp, f2, "open repeat run diverged");
+            let (a, b) = (sample.latency.unwrap(), s2.latency.unwrap());
+            assert_eq!(
+                (a.count, a.p50_secs, a.p95_secs, a.p99_secs, a.p999_secs),
+                (b.count, b.p50_secs, b.p95_secs, b.p99_secs, b.p999_secs),
+                "open repeat latency diverged"
+            );
+            if s2.wall_secs < sample.wall_secs {
+                sample = s2;
+            }
+        }
+        samples.push(sample);
+    }
+    samples
+}
+
 /// The per-(shards, workers) `sequential wall / parallel wall` speedups
 /// of the windowed drive (both on the `par` core, so the event
 /// mechanics are identical and the ratio isolates the worker pool).
@@ -947,6 +1228,7 @@ pub fn table(sc: &PerfScenario, samples: &[PerfSample]) -> Table {
             "allocs/evt",
             "makespan(s)",
             "switches",
+            "p99(s)",
         ],
     );
     for s in samples {
@@ -962,6 +1244,8 @@ pub fn table(sc: &PerfScenario, samples: &[PerfSample]) -> Table {
                 .map_or_else(|| "-".into(), |a| format!("{a:.3}")),
             format!("{:.0}", s.makespan_secs),
             s.switches.to_string(),
+            s.latency
+                .map_or_else(|| "-".into(), |l| format!("{:.1}", l.p99_secs)),
         ]);
     }
     t
@@ -984,15 +1268,69 @@ impl Sweep {
     }
 }
 
+/// Compact arrival-process tag for the scenario block (`null` for the
+/// closed-loop sweeps; durations in whole microseconds so the tag is
+/// exact).
+fn arrival_json(arrival: Option<&ArrivalProcess>) -> String {
+    let tag = match arrival {
+        None => return "null".into(),
+        Some(ArrivalProcess::Closed) => "closed".into(),
+        Some(ArrivalProcess::Poisson { mean, seed }) => {
+            format!("poisson:mean_us={},seed={}", mean.as_micros(), seed)
+        }
+        Some(ArrivalProcess::OnOff {
+            on_mean,
+            on_duration,
+            off_duration,
+            seed,
+        }) => format!(
+            "onoff:on_mean_us={},on_us={},off_us={},seed={}",
+            on_mean.as_micros(),
+            on_duration.as_micros(),
+            off_duration.as_micros(),
+            seed
+        ),
+        Some(ArrivalProcess::Diurnal {
+            peak_mean,
+            period,
+            trough,
+            seed,
+        }) => format!(
+            "diurnal:peak_mean_us={},period_us={},trough={},seed={}",
+            peak_mean.as_micros(),
+            period.as_micros(),
+            trough,
+            seed
+        ),
+        Some(ArrivalProcess::TraceReplay(instants)) => {
+            format!("trace:{}_instants", instants.len())
+        }
+    };
+    format!("\"{tag}\"")
+}
+
+/// The per-sample tail block (`null` for the closed-loop cores).
+fn latency_json(latency: Option<&LatencySample>) -> String {
+    match latency {
+        None => "null".into(),
+        Some(l) => format!(
+            "{{\"count\": {}, \"mean_secs\": {:.6}, \"max_secs\": {:.6}, \"p50_secs\": {:.6}, \"p95_secs\": {:.6}, \"p99_secs\": {:.6}, \"p999_secs\": {:.6}}}",
+            l.count, l.mean_secs, l.max_secs, l.p50_secs, l.p95_secs, l.p99_secs, l.p999_secs
+        ),
+    }
+}
+
 /// Serializes one or more sweeps as the `BENCH_perf.json` document
-/// (schema `BENCH_perf/v3`: adds the worker axis — `think_micros` per
-/// scenario, `workers` per sample, a `parallel_speedup` section);
-/// hand-rolled JSON, no serde in this workspace. The committed
-/// artifact carries the classic 115k-request grid (apples-to-apples
-/// with the v1 history), the million-request multi-shard drive, and
-/// the windowed-parallel sweeps.
+/// (schema `BENCH_perf/v4`: adds the open-arrival axis — `arrival` per
+/// scenario, a `latency` tail block per sample — on top of v3's worker
+/// axis: `think_micros` per scenario, `workers` per sample, a
+/// `parallel_speedup` section); hand-rolled JSON, no serde in this
+/// workspace. The committed artifact carries the classic 115k-request
+/// grid (apples-to-apples with the v1 history), the million-request
+/// multi-shard drive, the windowed-parallel sweeps, and the
+/// bursty-arrival tail-latency sweep.
 pub fn to_json(sweeps: &[Sweep]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"BENCH_perf/v3\",\n  \"sweeps\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"BENCH_perf/v4\",\n  \"sweeps\": [\n");
     let blocks: Vec<String> = sweeps.iter().map(sweep_json).collect();
     out.push_str(&blocks.join(",\n"));
     out.push_str("\n  ]\n}\n");
@@ -1004,7 +1342,7 @@ fn sweep_json(sweep: &Sweep) -> String {
     let samples = &sweep.samples;
     let mut out = String::from("    {\n");
     out.push_str(&format!(
-        "      \"scenario\": {{\"tenants\": {}, \"rounds\": {}, \"objects_per_round\": {}, \"groups\": {}, \"requests\": {}, \"policy\": \"{}\", \"streams\": {}, \"think_micros\": {}}},\n",
+        "      \"scenario\": {{\"tenants\": {}, \"rounds\": {}, \"objects_per_round\": {}, \"groups\": {}, \"requests\": {}, \"policy\": \"{}\", \"streams\": {}, \"think_micros\": {}, \"arrival\": {}}},\n",
         sc.tenants,
         sc.rounds,
         sc.objects_per_round,
@@ -1013,13 +1351,14 @@ fn sweep_json(sweep: &Sweep) -> String {
         sc.policy.label(),
         sc.streams,
         sc.think_micros,
+        arrival_json(sc.arrival.as_ref()),
     ));
     out.push_str("      \"samples\": [\n");
     let rows: Vec<String> = samples
         .iter()
         .map(|s| {
             format!(
-                "        {{\"core\": \"{}\", \"workers\": {}, \"queue\": \"{}\", \"shards\": {}, \"requests\": {}, \"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \"allocs_per_event\": {}, \"makespan_secs\": {:.3}, \"switches\": {}}}",
+                "        {{\"core\": \"{}\", \"workers\": {}, \"queue\": \"{}\", \"shards\": {}, \"requests\": {}, \"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \"allocs_per_event\": {}, \"makespan_secs\": {:.3}, \"switches\": {}, \"latency\": {}}}",
                 s.core,
                 s.workers.map_or_else(|| "null".into(), |w| w.to_string()),
                 s.queue,
@@ -1032,6 +1371,7 @@ fn sweep_json(sweep: &Sweep) -> String {
                     .map_or_else(|| "null".into(), |a| format!("{a:.4}")),
                 s.makespan_secs,
                 s.switches,
+                latency_json(s.latency.as_ref()),
             )
         })
         .collect();
@@ -1076,6 +1416,7 @@ mod tests {
             policy: SchedPolicy::RankBased,
             streams: 1,
             think_micros: 0,
+            arrival: None,
         };
         let samples = perf_sweep(&sc, &[1, 2], SweepOptions::default());
         assert_eq!(samples.len(), 6); // (v2, v1, naive) × 2 shard counts
@@ -1095,10 +1436,12 @@ mod tests {
             scenario: sc.clone(),
             samples: samples.clone(),
         }]);
-        assert!(json.contains("\"schema\": \"BENCH_perf/v3\""));
+        assert!(json.contains("\"schema\": \"BENCH_perf/v4\""));
         assert!(json.contains("\"queue\": \"naive\""));
         assert!(json.contains("\"core\": \"v2\""));
         assert!(json.contains("\"allocs_per_event\": null"));
+        assert!(json.contains("\"arrival\": null"));
+        assert!(json.contains("\"latency\": null"));
         assert_eq!(queue_speedups(&samples).len(), 2);
         assert_eq!(core_speedups(&samples).len(), 2);
         assert_eq!(table(&sc, &samples).rows.len(), 6);
@@ -1117,6 +1460,7 @@ mod tests {
             policy: SchedPolicy::RankBased,
             streams: 4,
             think_micros: 0,
+            arrival: None,
         };
         let samples = perf_sweep(
             &sc,
@@ -1139,6 +1483,7 @@ mod tests {
             policy: SchedPolicy::MaxQueries,
             streams: 1,
             think_micros: 0,
+            arrival: None,
         };
         let samples = perf_sweep(
             &sc,
@@ -1175,6 +1520,7 @@ mod tests {
             policy: SchedPolicy::RankBased,
             streams: 2,
             think_micros: 500_000,
+            arrival: None,
         };
         let samples = parallel_sweep(&sc, &[1, 4], &[1, 2, 4], SweepOptions::default());
         assert_eq!(samples.len(), 8); // (seq ref + 3 worker counts) × 2
@@ -1212,6 +1558,7 @@ mod tests {
                 policy,
                 streams: 1,
                 think_micros: 0,
+                arrival: None,
             };
             parallel_sweep(&sc, &[2], &[2], SweepOptions::default());
         }
@@ -1230,8 +1577,129 @@ mod tests {
                 policy,
                 streams: 1,
                 think_micros: 0,
+                arrival: None,
             };
             perf_sweep(&sc, &[1, 2], SweepOptions::default());
+        }
+    }
+
+    /// A small but genuinely bursty open scenario: releases arrive in
+    /// ~5 s ON spurts separated by ~60 s OFF silences while each round
+    /// needs multiple seconds of transfer — queues build during bursts.
+    fn bursty_scenario() -> PerfScenario {
+        PerfScenario {
+            tenants: 6,
+            rounds: 4,
+            objects_per_round: 8,
+            groups: 3,
+            policy: SchedPolicy::RankBased,
+            streams: 2,
+            think_micros: 0,
+            arrival: Some(ArrivalProcess::OnOff {
+                on_mean: SimDuration::from_secs(1),
+                on_duration: SimDuration::from_secs(5),
+                off_duration: SimDuration::from_secs(60),
+                seed: 42,
+            }),
+        }
+    }
+
+    #[test]
+    fn open_drive_is_deterministic_and_reports_tails() {
+        let sc = bursty_scenario();
+        let samples = open_sweep(
+            &sc,
+            &[1, 2],
+            SweepOptions {
+                repeats: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(samples.len(), 2);
+        for s in &samples {
+            assert_eq!(s.core, "open");
+            assert_eq!(s.requests, sc.total_requests());
+            let l = s.latency.expect("open samples carry a latency block");
+            assert_eq!(l.count, (sc.tenants * sc.rounds) as u64);
+            // Quantiles are monotone and bracketed by mean-or-less/max.
+            assert!(l.p50_secs <= l.p95_secs);
+            assert!(l.p95_secs <= l.p99_secs);
+            assert!(l.p99_secs <= l.p999_secs);
+            assert!(l.p999_secs <= l.max_secs);
+            assert!(l.mean_secs > 0.0 && l.max_secs >= l.mean_secs);
+        }
+        // Under bursty load the tail must actually see queueing: the
+        // worst round waits far longer than the median one.
+        let l = samples[0].latency.unwrap();
+        assert!(
+            l.max_secs > 2.0 * l.p50_secs,
+            "no queueing tail: max {} vs p50 {}",
+            l.max_secs,
+            l.p50_secs
+        );
+        // The JSON carries the arrival tag and the latency block.
+        let json = to_json(&[Sweep {
+            scenario: sc.clone(),
+            samples: samples.clone(),
+        }]);
+        assert!(json.contains(
+            "\"arrival\": \"onoff:on_mean_us=1000000,on_us=5000000,off_us=60000000,seed=42\""
+        ));
+        assert!(json.contains("\"p999_secs\""));
+        let t = table(&sc, &samples);
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn open_drive_sketch_matches_exact_quantiles_under_compression() {
+        // Enough rounds that the sketch genuinely compresses (band =
+        // ⌊2εn⌋ = 12 at n = 12 800 completions, well past the exact
+        // regime), on a saturating Poisson load so responses spread
+        // over a wide queueing range. The sketch's answer must sit
+        // within ⌈εn⌉ ranks of the true order statistic.
+        let sc = PerfScenario {
+            tenants: 32,
+            rounds: 400,
+            objects_per_round: 4,
+            groups: 4,
+            policy: SchedPolicy::RankBased,
+            streams: 1,
+            think_micros: 0,
+            arrival: Some(ArrivalProcess::Poisson {
+                mean: SimDuration::from_millis(100),
+                seed: 7,
+            }),
+        };
+        let mut exact = Vec::new();
+        let (sample, _) = drive_open::<RequestQueue>(&sc, 2, "indexed", None, Some(&mut exact));
+        let l = sample.latency.unwrap();
+        let n = exact.len();
+        assert_eq!(n as u64, l.count);
+        let epsilon = QuantileSketch::DEFAULT_EPSILON;
+        assert!(
+            2.0 * epsilon * n as f64 >= 10.0,
+            "config too small to force sketch compression"
+        );
+        exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let err = (epsilon * n as f64).ceil() as usize;
+        for (phi, got) in [
+            (0.50, l.p50_secs),
+            (0.95, l.p95_secs),
+            (0.99, l.p99_secs),
+            (0.999, l.p999_secs),
+        ] {
+            let rank = ((phi * n as f64).ceil() as usize).clamp(1, n);
+            // Every index in `exact` where the sketch's answer appears.
+            let lo = exact.partition_point(|&x| x < got) + 1; // 1-based
+            let hi = exact.partition_point(|&x| x <= got);
+            assert!(
+                lo <= hi,
+                "sketch answer {got} for phi={phi} is not an observed sample"
+            );
+            assert!(
+                lo <= rank + err && hi + err >= rank,
+                "phi={phi}: sketch rank range [{lo}, {hi}] misses target {rank} ± {err}"
+            );
         }
     }
 }

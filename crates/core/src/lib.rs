@@ -97,8 +97,9 @@ pub use analysis::{CacheAdvisor, ReissueModel};
 pub use cache::{BufferCache, EvictionPolicy};
 pub use config::CostModel;
 pub use runtime::{
-    ArrivalProcess, EngineFactory, EngineKind, QueryRecord, RunResult, Scenario, SkipperFactory,
-    VanillaFactory, Workload,
+    ArrivalProcess, EngineFactory, EngineKind, LatencyScope, LatencySummary, Quantiles,
+    QueryRecord, RecordMode, RunResult, Scenario, SkipperFactory, SloReport, VanillaFactory,
+    Workload,
 };
 pub use state_manager::SkipperEngine;
 pub use subplan::SubplanTracker;

@@ -62,6 +62,10 @@ pub struct ClientState {
     pub draft: RecordDraft,
     /// Finished records awaiting stall attribution.
     pub records: Vec<PendingRecord>,
+    /// Response-time SLO target (feeds the run's latency summary).
+    pub slo: Option<SimDuration>,
+    /// Ideal single-tenant time (enables streaming stretch quantiles).
+    pub ideal: Option<SimDuration>,
 }
 
 impl ClientState {
@@ -84,6 +88,8 @@ impl ClientState {
             ready_noted: false,
             draft: RecordDraft::default(),
             records: Vec::new(),
+            slo: None,
+            ideal: None,
         }
     }
 
@@ -107,12 +113,13 @@ impl ClientState {
         assert!(self.engine.is_none(), "query started while one is running");
         let planned = self.plan.pop_front().expect("start_next on empty plan");
         let query_name = planned.spec.name.clone();
+        let release = planned.release;
         let mut engine = self
             .factory
             .build(tenant, &self.dataset, planned.spec, cost);
         let requests = engine.start();
         self.engine = Some(engine);
-        self.draft = RecordDraft::begin(query_name, now);
+        self.draft = RecordDraft::begin(query_name, release, now);
         requests
     }
 
@@ -134,6 +141,7 @@ impl ClientState {
                 client: client_idx,
                 seq: self.qseq,
                 engine: self.factory.label(),
+                release: draft.release,
                 start: draft.start,
                 end: now,
                 processing: draft.processing,

@@ -13,7 +13,9 @@ use skipper_csd::{ObjectId, QueryId};
 use skipper_relational::tuple::Row;
 use skipper_relational::value::Value;
 use skipper_sim::trace::Span;
-use skipper_sim::{ActivityTrace, Attribution, MergedTimeline, SimDuration, SimTime};
+use skipper_sim::{
+    ActivityTrace, Attribution, MergedTimeline, QuantileSketch, SimDuration, SimTime,
+};
 
 use crate::engine::EngineStats;
 
@@ -28,6 +30,12 @@ pub struct QueryRecord {
     pub seq: u32,
     /// Engine label ("skipper" / "vanilla" / custom factory label).
     pub engine: &'static str,
+    /// Arrival-process release instant, when the query came from an
+    /// open arrival process (`None` for closed-loop queries, which by
+    /// definition release the moment the tenant frees up). A release
+    /// landing while the tenant is busy precedes `start` — the gap is
+    /// queue-wait, and it counts toward [`QueryRecord::response_time`].
+    pub release: Option<SimTime>,
     /// Query start (submission of the first GET batch).
     pub start: SimTime,
     /// Query completion (final processing finished).
@@ -48,9 +56,27 @@ pub struct QueryRecord {
 }
 
 impl QueryRecord {
-    /// End-to-end execution time.
+    /// End-to-end execution time (first GET batch → completion).
+    /// Excludes queue-wait; the open-system latency a client observes
+    /// is [`QueryRecord::response_time`].
     pub fn duration(&self) -> SimDuration {
         self.end.since(self.start)
+    }
+
+    /// Open-system response time: release → completion, queue-wait
+    /// included. Equals [`QueryRecord::duration`] for closed-loop
+    /// queries (no release instant ⇒ no queueing to account for).
+    pub fn response_time(&self) -> SimDuration {
+        self.end.since(self.release.unwrap_or(self.start))
+    }
+
+    /// Time spent queued behind the tenant's earlier queries: release
+    /// → first GET batch. Zero for closed-loop queries.
+    pub fn queue_wait(&self) -> SimDuration {
+        match self.release {
+            Some(release) => self.start.saturating_since(release),
+            None => SimDuration::ZERO,
+        }
     }
 }
 
@@ -59,6 +85,8 @@ impl QueryRecord {
 pub struct RecordDraft {
     /// Query name.
     pub query_name: String,
+    /// Release instant, for open-arrival queries.
+    pub release: Option<SimTime>,
     /// Submission instant.
     pub start: SimTime,
     /// Charged processing so far.
@@ -72,10 +100,14 @@ pub struct RecordDraft {
 }
 
 impl RecordDraft {
-    /// Opens a draft at query submission.
-    pub fn begin(query_name: String, now: SimTime) -> Self {
+    /// Opens a draft at query submission. `release` is the arrival
+    /// instant for open-arrival queries (`None` for closed-loop), which
+    /// the finished record keeps so queue-wait survives into
+    /// [`QueryRecord::response_time`].
+    pub fn begin(query_name: String, release: Option<SimTime>, now: SimTime) -> Self {
         RecordDraft {
             query_name,
+            release,
             start: now,
             processing: SimDuration::ZERO,
             upfront_gets: 0,
@@ -277,6 +309,249 @@ impl StreamRollup {
     }
 }
 
+/// Whether finished [`QueryRecord`]s are retained in the run result.
+///
+/// The streaming [`LatencySummary`] is computed either way, so
+/// `Counters` keeps tail-latency observability on runs too large to
+/// hold per-query records (pairs with `TraceMode::Counters` /
+/// `LedgerMode::Counters` for a fully bounded-memory drive).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecordMode {
+    /// Keep every per-query record (the default; required by stall
+    /// attribution and the golden comparisons).
+    #[default]
+    Full,
+    /// Drop records as they finish; [`RunResult::clients`] comes back
+    /// with empty per-client lists and only the streaming summaries
+    /// (latency, device counters, makespan) survive.
+    Counters,
+}
+
+/// The four tail percentiles reported throughout the latency summary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Quantiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+impl Quantiles {
+    fn from_sketch(sketch: &QuantileSketch) -> Option<Quantiles> {
+        Some(Quantiles {
+            p50: sketch.quantile(0.50)?,
+            p95: sketch.quantile(0.95)?,
+            p99: sketch.quantile(0.99)?,
+            p999: sketch.quantile(0.999)?,
+        })
+    }
+}
+
+/// SLO attainment for one scope: how many queries finished within the
+/// declared response-time target.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloReport {
+    /// The target in seconds. `None` on the fleet scope when tenants
+    /// declare different targets (the counters still aggregate).
+    pub target_secs: Option<f64>,
+    /// Queries that met their target.
+    pub met: u64,
+    /// Queries measured against a target.
+    pub total: u64,
+}
+
+impl SloReport {
+    /// Fraction of measured queries within target (1.0 when none were
+    /// measured — an empty scope violates nothing).
+    pub fn attainment(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.met as f64 / self.total as f64
+        }
+    }
+}
+
+/// Latency digest of one scope (one tenant, or the whole fleet).
+///
+/// Response time is release → completion (queue-wait included; equals
+/// execution time for closed-loop queries). Stretch is response time
+/// over the declared ideal, present only when the scope declared one
+/// via [`Workload::ideal_time`](super::workload::Workload::ideal_time).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyScope {
+    /// Queries observed.
+    pub count: u64,
+    /// Mean response time in seconds.
+    pub mean_secs: f64,
+    /// Worst response time in seconds.
+    pub max_secs: f64,
+    /// Response-time percentiles (`None` when the scope saw nothing).
+    pub response: Option<Quantiles>,
+    /// Stretch percentiles (`None` without a declared ideal).
+    pub stretch: Option<Quantiles>,
+    /// SLO attainment (`None` without a declared target anywhere in
+    /// the scope).
+    pub slo: Option<SloReport>,
+}
+
+/// Streaming tail-latency report of a run: response-time and stretch
+/// percentiles plus SLO attainment, fleet-wide and per tenant.
+///
+/// Built from [`QuantileSketch`]es fed as queries finish, so it is
+/// O(1) memory per tenant in the observation count and fully populated
+/// even in [`RecordMode::Counters`] / `LedgerMode::Counters` where no
+/// per-query records survive. Quantile values carry the sketch
+/// guarantee: true rank within `epsilon`·n of the requested rank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Rank-error bound of every percentile in this summary.
+    pub epsilon: f64,
+    /// All queries of the run.
+    pub fleet: LatencyScope,
+    /// One scope per tenant, in client order.
+    pub tenants: Vec<LatencyScope>,
+}
+
+impl LatencySummary {
+    /// An empty summary (zero tenants, nothing observed).
+    pub fn empty() -> LatencySummary {
+        LatencySummary {
+            epsilon: QuantileSketch::DEFAULT_EPSILON,
+            fleet: ScopeAcc::new(None, None).finish(),
+            tenants: Vec::new(),
+        }
+    }
+}
+
+/// One scope's streaming state inside [`LatencyAccumulator`].
+struct ScopeAcc {
+    slo: Option<SimDuration>,
+    ideal: Option<SimDuration>,
+    response: QuantileSketch,
+    stretch: Option<QuantileSketch>,
+    sum_secs: f64,
+    max_secs: f64,
+    slo_met: u64,
+    slo_total: u64,
+}
+
+impl ScopeAcc {
+    fn new(slo: Option<SimDuration>, ideal: Option<SimDuration>) -> ScopeAcc {
+        ScopeAcc {
+            slo,
+            ideal,
+            response: QuantileSketch::default_epsilon(),
+            stretch: ideal.map(|_| QuantileSketch::default_epsilon()),
+            sum_secs: 0.0,
+            max_secs: 0.0,
+            slo_met: 0,
+            slo_total: 0,
+        }
+    }
+
+    fn observe(&mut self, response: SimDuration) {
+        let secs = response.as_secs_f64();
+        self.response.push(secs);
+        self.sum_secs += secs;
+        self.max_secs = self.max_secs.max(secs);
+        if let Some(target) = self.slo {
+            self.slo_total += 1;
+            if response <= target {
+                self.slo_met += 1;
+            }
+        }
+        if let (Some(sketch), Some(ideal)) = (&mut self.stretch, self.ideal) {
+            sketch.push(skipper_sim::stats::stretch(response, ideal));
+        }
+    }
+
+    fn finish(&self) -> LatencyScope {
+        let count = self.response.count();
+        LatencyScope {
+            count,
+            mean_secs: if count == 0 {
+                0.0
+            } else {
+                self.sum_secs / count as f64
+            },
+            max_secs: self.max_secs,
+            response: Quantiles::from_sketch(&self.response),
+            stretch: self.stretch.as_ref().and_then(Quantiles::from_sketch),
+            slo: (self.slo_total > 0).then_some(SloReport {
+                target_secs: self.slo.map(|t| t.as_secs_f64()),
+                met: self.slo_met,
+                total: self.slo_total,
+            }),
+        }
+    }
+}
+
+/// Streaming builder of a [`LatencySummary`]: one sketch pair per
+/// tenant plus one fleet-wide pair, fed by the driver as each query
+/// completes. Memory is bounded by the sketch (O((1/ε)·log(εn)) per
+/// scope), independent of how many queries the run retires — this is
+/// what keeps tail latency observable on million-request counter-mode
+/// drives.
+pub struct LatencyAccumulator {
+    fleet: ScopeAcc,
+    tenants: Vec<ScopeAcc>,
+}
+
+impl LatencyAccumulator {
+    /// One scope per tenant, each with its optional SLO target and
+    /// ideal time (for stretch). The fleet scope aggregates SLO
+    /// counters across every tenant that declared a target and tracks
+    /// stretch when at least one tenant declared an ideal.
+    pub fn new(tenants: &[(Option<SimDuration>, Option<SimDuration>)]) -> LatencyAccumulator {
+        let any_ideal = tenants.iter().any(|(_, ideal)| ideal.is_some());
+        let mut fleet = ScopeAcc::new(None, None);
+        if any_ideal {
+            fleet.stretch = Some(QuantileSketch::default_epsilon());
+        }
+        LatencyAccumulator {
+            fleet,
+            tenants: tenants
+                .iter()
+                .map(|&(slo, ideal)| ScopeAcc::new(slo, ideal))
+                .collect(),
+        }
+    }
+
+    /// Records one finished query's response time (release →
+    /// completion) for `tenant`.
+    pub fn observe(&mut self, tenant: usize, response: SimDuration) {
+        let scope = &mut self.tenants[tenant];
+        scope.observe(response);
+        let secs = response.as_secs_f64();
+        self.fleet.response.push(secs);
+        self.fleet.sum_secs += secs;
+        self.fleet.max_secs = self.fleet.max_secs.max(secs);
+        if let Some(target) = scope.slo {
+            self.fleet.slo_total += 1;
+            if response <= target {
+                self.fleet.slo_met += 1;
+            }
+        }
+        if let (Some(sketch), Some(ideal)) = (&mut self.fleet.stretch, scope.ideal) {
+            sketch.push(skipper_sim::stats::stretch(response, ideal));
+        }
+    }
+
+    /// Closes the accumulator into the run's summary.
+    pub fn finish(&self) -> LatencySummary {
+        LatencySummary {
+            epsilon: QuantileSketch::DEFAULT_EPSILON,
+            fleet: self.fleet.finish(),
+            tenants: self.tenants.iter().map(ScopeAcc::finish).collect(),
+        }
+    }
+}
+
 /// Everything measured by one scenario run.
 ///
 /// `PartialEq`/`Debug` cover every field, so a whole run can be
@@ -295,6 +570,10 @@ pub struct RunResult {
     pub makespan: SimTime,
     /// Scheduler label used (shard 0's scheduler for a fleet).
     pub scheduler: &'static str,
+    /// Streaming tail-latency report: response-time / stretch
+    /// percentiles and SLO attainment, fleet-wide and per tenant.
+    /// Populated in every [`RecordMode`] (the sketches stream).
+    pub latency: LatencySummary,
 }
 
 impl RunResult {
@@ -336,10 +615,20 @@ impl RunResult {
         self.records().map(|r| r.stats.gets_issued).sum()
     }
 
-    /// Per-query stretches against an ideal (single-tenant) time.
+    /// Per-query stretches against one uniform ideal (single-tenant)
+    /// time. Only meaningful for homogeneous query mixes — for
+    /// heterogeneous mixes a single divisor mis-ranks queries, so use
+    /// [`RunResult::stretches_with`] with per-query ideals instead.
     pub fn stretches(&self, ideal: SimDuration) -> Vec<f64> {
+        self.stretches_with(|_| ideal)
+    }
+
+    /// Per-query stretches with a per-record ideal: `ideal(record)`
+    /// returns the single-tenant execution time the record is measured
+    /// against (typically keyed on `record.query` or `record.client`).
+    pub fn stretches_with(&self, ideal: impl Fn(&QueryRecord) -> SimDuration) -> Vec<f64> {
         self.records()
-            .map(|r| skipper_sim::stats::stretch(r.duration(), ideal))
+            .map(|r| skipper_sim::stats::stretch(r.duration(), ideal(r)))
             .collect()
     }
 
@@ -401,7 +690,7 @@ mod tests {
 
     #[test]
     fn draft_tracks_blocked_intervals() {
-        let mut d = RecordDraft::begin("q".into(), SimTime::from_secs(5));
+        let mut d = RecordDraft::begin("q".into(), None, SimTime::from_secs(5));
         assert_eq!(d.start, SimTime::from_secs(5));
         d.unblock(SimTime::from_secs(8));
         assert_eq!(
@@ -432,6 +721,7 @@ mod tests {
                 client: 0,
                 seq: 0,
                 engine: "skipper",
+                release: None,
                 start: SimTime::ZERO,
                 end: SimTime::from_secs(14),
                 processing: SimDuration::ZERO,
@@ -445,5 +735,82 @@ mod tests {
         let out = attribute_stalls(&trace, vec![rec]);
         assert_eq!(out[0].stalls.switching, SimDuration::from_secs(10));
         assert_eq!(out[0].stalls.transfer, SimDuration::from_secs(4));
+    }
+
+    fn record_with_release(release: Option<SimTime>, start: u64, end: u64) -> QueryRecord {
+        QueryRecord {
+            query: "q".into(),
+            client: 0,
+            seq: 0,
+            engine: "skipper",
+            release,
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(end),
+            processing: SimDuration::ZERO,
+            upfront_gets: 0,
+            stalls: Attribution::default(),
+            stats: EngineStats::default(),
+            result: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn response_time_includes_queue_wait() {
+        // Released at t=10, started at t=25 (queued 15s), done at t=40.
+        let rec = record_with_release(Some(SimTime::from_secs(10)), 25, 40);
+        assert_eq!(rec.duration(), SimDuration::from_secs(15));
+        assert_eq!(rec.queue_wait(), SimDuration::from_secs(15));
+        assert_eq!(rec.response_time(), SimDuration::from_secs(30));
+        // Closed-loop: response == duration, no queue-wait.
+        let closed = record_with_release(None, 25, 40);
+        assert_eq!(closed.response_time(), closed.duration());
+        assert_eq!(closed.queue_wait(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn latency_accumulator_scopes_and_slo() {
+        // Tenant 0: SLO 20s, ideal 10s. Tenant 1: neither.
+        let mut acc = LatencyAccumulator::new(&[
+            (
+                Some(SimDuration::from_secs(20)),
+                Some(SimDuration::from_secs(10)),
+            ),
+            (None, None),
+        ]);
+        acc.observe(0, SimDuration::from_secs(10)); // met, stretch 1.0
+        acc.observe(0, SimDuration::from_secs(30)); // missed, stretch 3.0
+        acc.observe(1, SimDuration::from_secs(50));
+        let summary = acc.finish();
+        assert_eq!(summary.fleet.count, 3);
+        assert_eq!(summary.tenants[0].count, 2);
+        let slo0 = summary.tenants[0].slo.unwrap();
+        assert_eq!((slo0.met, slo0.total), (1, 2));
+        assert_eq!(slo0.target_secs, Some(20.0));
+        assert_eq!(slo0.attainment(), 0.5);
+        // Fleet aggregates only the two queries that had a target.
+        let fleet_slo = summary.fleet.slo.unwrap();
+        assert_eq!((fleet_slo.met, fleet_slo.total), (1, 2));
+        assert_eq!(fleet_slo.target_secs, None);
+        // Stretch only where an ideal was declared.
+        let st = summary.tenants[0].stretch.unwrap();
+        assert_eq!((st.p50, st.p999), (1.0, 3.0));
+        assert!(summary.tenants[1].stretch.is_none());
+        assert!(summary.fleet.stretch.is_some());
+        // Small scopes answer exactly.
+        let resp = summary.fleet.response.unwrap();
+        assert_eq!((resp.p50, resp.p999), (30.0, 50.0));
+        assert_eq!(summary.fleet.max_secs, 50.0);
+        assert!((summary.fleet.mean_secs - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_scopes_report_nothing() {
+        let acc = LatencyAccumulator::new(&[(None, None)]);
+        let summary = acc.finish();
+        assert_eq!(summary.fleet.count, 0);
+        assert!(summary.fleet.response.is_none());
+        assert!(summary.fleet.slo.is_none());
+        assert_eq!(summary.fleet.mean_secs, 0.0);
+        assert_eq!(LatencySummary::empty().tenants.len(), 0);
     }
 }

@@ -32,7 +32,9 @@ use skipper_sim::{CalendarQueue, HorizonTracker, MergedTimeline, SimTime};
 use crate::config::CostModel;
 
 use super::client::ClientState;
-use super::collector::{attribute_stalls_merged, RunResult, ShardResult};
+use super::collector::{
+    attribute_stalls_merged, LatencyAccumulator, RecordMode, RunResult, ShardResult,
+};
 use super::fleet::DeviceFleet;
 
 /// Event payloads of the runtime loop.
@@ -86,11 +88,18 @@ pub struct Runtime {
     /// before it are answered from shard replay logs; reaching it
     /// re-opens the window at the tracker's new minimum.
     window_end: SimTime,
+    /// Streaming tail-latency sketches, fed in completion order (the
+    /// order is bit-identical across execution modes, so the summary
+    /// is too).
+    latency: LatencyAccumulator,
+    /// Whether finished records are retained for the result.
+    record_mode: RecordMode,
 }
 
 impl Runtime {
     /// Wires the parts together (sequential execution).
     pub fn new(fleet: DeviceFleet, clients: Vec<ClientState>, cost: CostModel) -> Self {
+        let targets: Vec<_> = clients.iter().map(|c| (c.slo, c.ideal)).collect();
         Runtime {
             fleet,
             clients,
@@ -100,12 +109,20 @@ impl Runtime {
             execution: ExecutionMode::default(),
             interactions: HorizonTracker::new(),
             window_end: SimTime::ZERO,
+            latency: LatencyAccumulator::new(&targets),
+            record_mode: RecordMode::default(),
         }
     }
 
     /// Selects the execution mode (builder style).
     pub fn with_execution(mut self, mode: ExecutionMode) -> Self {
         self.execution = mode;
+        self
+    }
+
+    /// Selects whether per-query records are retained (builder style).
+    pub fn with_record_mode(mut self, mode: RecordMode) -> Self {
+        self.record_mode = mode;
         self
     }
 
@@ -250,6 +267,7 @@ impl Runtime {
             scheduler: shards[0].scheduler,
             shards,
             makespan,
+            latency: self.latency.finish(),
         }
     }
 
@@ -403,6 +421,18 @@ impl Runtime {
             // next query's upfront batch and the (empty) follow-up set
             // share one poke below instead of the historical two.
             self.clients[c].finish(c, now);
+            let response = self.clients[c]
+                .records
+                .last()
+                .expect("finish pushed a record")
+                .record
+                .response_time();
+            self.latency.observe(c, response);
+            if self.record_mode == RecordMode::Counters {
+                // Counters mode: the sketches above are the only
+                // survivors; drop the record before it accumulates.
+                self.clients[c].records.pop();
+            }
             self.try_start(c, now);
         }
         if submitted || finished {

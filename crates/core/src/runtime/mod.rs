@@ -5,8 +5,10 @@
 //!
 //! 1. **Workload layer** ([`workload`]) — [`Workload`] describes one
 //!    tenant: dataset, query mix, engine choice, and arrival process
-//!    (closed-loop, staggered starts, fixed-seed Poisson open
-//!    arrivals).
+//!    (closed-loop, staggered starts, and the open-arrival vocabulary:
+//!    fixed-seed Poisson, bursty on/off, diurnal, trace replay), plus
+//!    optional per-tenant SLO target and ideal-time anchors for the
+//!    latency summary.
 //! 2. **Engine layer** ([`engines`]) — the per-tenant [`EngineFactory`]
 //!    replacing the old global `EngineKind` branch: one scenario can
 //!    mix Skipper and Vanilla tenants with per-tenant cache/eviction
@@ -146,6 +148,40 @@
 //! per-interval union scan, pinned equal to `attribute_union` by the
 //! `tests/observability.rs` property sweep.
 //!
+//! # Internet-scale traffic & tail latency
+//!
+//! [`ArrivalProcess`] is the traffic vocabulary of the workload layer.
+//! Beyond the closed loop and the fixed-seed Poisson stream, it speaks
+//! the shapes internet-facing storage actually sees: `OnOff` (a
+//! two-phase Markov-modulated Poisson process — exponential ON bursts
+//! of exponential-gap releases separated by exponential silences),
+//! `Diurnal` (a raised-cosine rate cycle sampled by Lewis–Shedler
+//! thinning, peak-to-trough ratio set by `trough`), and `TraceReplay`
+//! (externally captured instants, sorted and offset). Every shape is
+//! expanded to concrete release instants at assembly time from labeled
+//! SplitMix64 streams, so schedules are bit-reproducible and identical
+//! across execution modes — the parallel differential battery covers
+//! each shape unchanged.
+//!
+//! An open-arrival query's clock starts at its *release*, not when a
+//! client slot frees up: [`QueryRecord::response_time`] = release →
+//! completion (queue-wait included; [`QueryRecord::duration`] remains
+//! start → completion) and [`QueryRecord::queue_wait`] is the
+//! difference. Per-query response times stream — in completion order,
+//! identical across execution modes — into Greenwald–Khanna quantile
+//! sketches ([`skipper_sim::stats::QuantileSketch`], default rank
+//! error ε = 5·10⁻⁴) held per tenant and fleet-wide, surfacing in
+//! [`RunResult::latency`] as a [`LatencySummary`]: p50/p95/p99/p999
+//! response time and stretch ([`Quantiles`]), exact mean/max, and SLO
+//! attainment ([`SloReport`]) against `Workload::slo_target` /
+//! `Scenario::slo_target` anchors. The summary costs O(sketch) memory
+//! regardless of query count, so
+//! `Scenario::record_mode(RecordMode::Counters)` can drop the
+//! per-query [`QueryRecord`]s entirely — million-query runs keep full
+//! tail visibility with bounded memory, and the collector's
+//! counters-vs-full differential tests pin the summary byte-equal
+//! across both record modes.
+//!
 //! # Multi-stream servicing (§5.2.1)
 //!
 //! Each device is a *service pipeline*: `Scenario::streams(n)` opens
@@ -220,7 +256,10 @@ pub mod pump;
 pub mod scenario;
 pub mod workload;
 
-pub use collector::{QueryRecord, RunResult, ShardResult, StreamRollup};
+pub use collector::{
+    LatencyScope, LatencySummary, Quantiles, QueryRecord, RecordMode, RunResult, ShardResult,
+    SloReport, StreamRollup,
+};
 pub use driver::ExecutionMode;
 pub use engines::{EngineFactory, EngineKind, SkipperFactory, VanillaFactory};
 pub use fleet::DeviceFleet;

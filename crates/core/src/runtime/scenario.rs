@@ -32,7 +32,7 @@ use crate::cache::EvictionPolicy;
 use crate::config::CostModel;
 
 use super::client::{ClientState, PlannedQuery};
-use super::collector::RunResult;
+use super::collector::{RecordMode, RunResult};
 use super::driver::{ExecutionMode, Runtime};
 use super::engines::{factory_for, EngineKind};
 use super::fleet::DeviceFleet;
@@ -73,7 +73,9 @@ pub struct Scenario {
     shard_overrides: BTreeMap<usize, ShardOverride>,
     trace_mode: TraceMode,
     ledger_mode: LedgerMode,
+    record_mode: RecordMode,
     execution: ExecutionMode,
+    slo: Option<SimDuration>,
 }
 
 impl Scenario {
@@ -110,7 +112,9 @@ impl Scenario {
             shard_overrides: BTreeMap::new(),
             trace_mode: TraceMode::Full,
             ledger_mode: LedgerMode::Full,
+            record_mode: RecordMode::Full,
             execution: ExecutionMode::Sequential,
+            slo: None,
         }
     }
 
@@ -280,6 +284,28 @@ impl Scenario {
     /// the work-conservation multiset checks need `Full`).
     pub fn ledger_mode(mut self, mode: LedgerMode) -> Self {
         self.ledger_mode = mode;
+        self
+    }
+
+    /// Per-query record retention (default: [`RecordMode::Full`]).
+    /// [`RecordMode::Counters`] drops records as queries finish —
+    /// [`RunResult::clients`] comes back empty — while the streaming
+    /// [`LatencySummary`](super::collector::LatencySummary) stays fully
+    /// populated, so tail latency remains observable on runs too large
+    /// to hold per-query records (pair with [`Scenario::trace_mode`] /
+    /// [`Scenario::ledger_mode`] `Counters` for a fully bounded drive).
+    pub fn record_mode(mut self, mode: RecordMode) -> Self {
+        self.record_mode = mode;
+        self
+    }
+
+    /// Scenario-wide response-time SLO target: applied to every tenant
+    /// that does not declare its own
+    /// ([`Workload::slo_target`](super::workload::Workload::slo_target)
+    /// wins). Feeds the per-tenant attainment counters of the run's
+    /// latency summary.
+    pub fn slo_target(mut self, target: SimDuration) -> Self {
+        self.slo = Some(target);
         self
     }
 
@@ -493,11 +519,15 @@ impl Scenario {
                     .zip(releases)
                     .map(|(spec, release)| PlannedQuery { spec, release })
                     .collect();
-                ClientState::new(w.dataset, w.engine, plan)
+                let mut client = ClientState::new(w.dataset, w.engine, plan);
+                client.slo = w.slo.or(self.slo);
+                client.ideal = w.ideal;
+                client
             })
             .collect();
         Runtime::new(DeviceFleet::new(devices, shard_of), clients, self.cost)
             .with_execution(self.execution)
+            .with_record_mode(self.record_mode)
             .run()
     }
 }

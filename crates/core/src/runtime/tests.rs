@@ -741,3 +741,232 @@ fn parallel_single_shard_replays_single_device_schedule() {
         .run();
     assert_eq!(parallel, reference);
 }
+
+// ---------------------------------------------------------------------
+// Open-arrival latency: queue-wait in response time, the internet-scale
+// traffic shapes, and the streaming tail-latency summary.
+
+/// The headline regression: a Poisson release landing while the tenant
+/// is busy must surface its queueing delay — response time (release →
+/// end) strictly exceeds execution time (start → end). Before the fix,
+/// `start` was the only timestamp and queue-wait silently vanished
+/// from every latency number.
+#[test]
+fn queued_release_makes_response_time_exceed_duration() {
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    // Mean gap far below the query duration ⇒ releases pile up.
+    let res = Scenario::from_workloads(vec![Workload::new(ds)
+        .repeat_query(q, 4)
+        .engine(SkipperFactory::default().cache_bytes(gib(10)))
+        .arrival(ArrivalProcess::Poisson {
+            mean: SimDuration::from_secs(1),
+            seed: 3,
+        })])
+    .run();
+    let recs = &res.clients[0];
+    assert!(recs.iter().all(|r| r.release.is_some()));
+    // Identity: response = queue-wait + execution, record by record.
+    for r in recs {
+        assert_eq!(r.response_time(), r.queue_wait() + r.duration());
+    }
+    // At least the later arrivals queued behind the first query.
+    let queued: Vec<_> = recs
+        .iter()
+        .filter(|r| r.queue_wait() > SimDuration::ZERO)
+        .collect();
+    assert!(!queued.is_empty(), "no query ever queued at 1s mean gaps");
+    for r in &queued {
+        assert!(
+            r.response_time() > r.duration(),
+            "queue-wait missing from response time (seq {})",
+            r.seq
+        );
+    }
+    // The summary is fed response times, not execution times: its mean
+    // must match the records exactly.
+    let expect_mean = recs
+        .iter()
+        .map(|r| r.response_time().as_secs_f64())
+        .sum::<f64>()
+        / recs.len() as f64;
+    assert!((res.latency.fleet.mean_secs - expect_mean).abs() < 1e-12);
+}
+
+/// Every new arrival shape × {Sequential, Parallel} must produce
+/// byte-equal `RunResult`s — the differential battery extended over the
+/// traffic vocabulary (the latency summary is part of the equality).
+#[test]
+fn arrival_shapes_are_execution_mode_invariant() {
+    let shapes: Vec<(&str, ArrivalProcess)> = vec![
+        (
+            "poisson",
+            ArrivalProcess::Poisson {
+                mean: SimDuration::from_secs(30),
+                seed: 9,
+            },
+        ),
+        (
+            "onoff",
+            ArrivalProcess::OnOff {
+                on_mean: SimDuration::from_secs(5),
+                on_duration: SimDuration::from_secs(60),
+                off_duration: SimDuration::from_secs(600),
+                seed: 9,
+            },
+        ),
+        (
+            "diurnal",
+            ArrivalProcess::Diurnal {
+                peak_mean: SimDuration::from_secs(20),
+                period: SimDuration::from_secs(3600),
+                trough: 0.2,
+                seed: 9,
+            },
+        ),
+        (
+            "trace",
+            ArrivalProcess::TraceReplay(vec![
+                SimTime::from_secs(700),
+                SimTime::from_secs(1),
+                SimTime::from_secs(30),
+                SimTime::from_secs(30),
+            ]),
+        ),
+    ];
+    let ds = std::sync::Arc::new(mini_dataset());
+    let q = tpch::q12(&ds);
+    for (label, arrival) in shapes {
+        let build = |arrival: ArrivalProcess| {
+            Scenario::from_workloads(vec![
+                Workload::new(std::sync::Arc::clone(&ds))
+                    .repeat_query(q.clone(), 4)
+                    .engine(SkipperFactory::default().cache_bytes(gib(10)))
+                    .arrival(arrival)
+                    .slo_target(SimDuration::from_secs(600))
+                    .ideal_time(SimDuration::from_secs(60)),
+                Workload::new(std::sync::Arc::clone(&ds))
+                    .repeat_query(q.clone(), 2)
+                    .engine(VanillaFactory),
+            ])
+            .shards(2)
+            .placement(PlacementPolicy::RoundRobin)
+            .streams(2)
+        };
+        let reference = build(arrival.clone()).run();
+        for workers in [2, 4] {
+            let parallel = build(arrival.clone())
+                .execution(ExecutionMode::Parallel { workers })
+                .run();
+            assert_eq!(
+                parallel, reference,
+                "{label} arrivals diverged under Parallel {{ workers: {workers} }}"
+            );
+        }
+    }
+}
+
+/// `RecordMode::Counters` drops every per-query record yet reports the
+/// identical streaming latency summary — tail latency stays observable
+/// with bounded memory.
+#[test]
+fn counters_record_mode_keeps_the_latency_summary() {
+    let ds = std::sync::Arc::new(mini_dataset());
+    let q = tpch::q12(&ds);
+    let build = || {
+        Scenario::from_workloads(vec![Workload::new(std::sync::Arc::clone(&ds))
+            .repeat_query(q.clone(), 6)
+            .engine(SkipperFactory::default().cache_bytes(gib(10)))
+            .arrival(ArrivalProcess::OnOff {
+                on_mean: SimDuration::from_secs(2),
+                on_duration: SimDuration::from_secs(120),
+                off_duration: SimDuration::from_secs(300),
+                seed: 5,
+            })
+            .slo_target(SimDuration::from_secs(400))])
+    };
+    let full = build().run();
+    let lean = build().record_mode(RecordMode::Counters).run();
+    assert!(lean.clients.iter().all(|c| c.is_empty()), "records kept");
+    assert!(!full.clients[0].is_empty());
+    assert_eq!(lean.latency, full.latency);
+    assert_eq!(lean.makespan, full.makespan);
+    assert_eq!(lean.device, full.device);
+    assert!(lean.latency.fleet.response.is_some());
+    assert_eq!(lean.latency.fleet.count, 6);
+}
+
+/// The summary's percentiles against exact sorted quantiles of the same
+/// Full-mode run: below the sketch's compression threshold the answers
+/// are exact; the rank-error bound at scale is pinned in
+/// `skipper_sim::stats` and re-checked on the bench's open drive.
+#[test]
+fn latency_summary_quantiles_match_exact_records() {
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let res = Scenario::from_workloads(vec![Workload::new(ds)
+        .repeat_query(q, 12)
+        .engine(SkipperFactory::default().cache_bytes(gib(10)))
+        .arrival(ArrivalProcess::Poisson {
+            mean: SimDuration::from_secs(20),
+            seed: 17,
+        })])
+    .run();
+    let mut exact: Vec<f64> = res.clients[0]
+        .iter()
+        .map(|r| r.response_time().as_secs_f64())
+        .collect();
+    exact.sort_by(f64::total_cmp);
+    let n = exact.len();
+    let resp = res.latency.fleet.response.unwrap();
+    for (phi, got) in [
+        (0.50, resp.p50),
+        (0.95, resp.p95),
+        (0.99, resp.p99),
+        (0.999, resp.p999),
+    ] {
+        let rank = ((phi * n as f64).ceil() as usize).clamp(1, n);
+        assert_eq!(
+            got,
+            exact[rank - 1],
+            "p{} diverged from the exact order statistic",
+            phi * 100.0
+        );
+    }
+    assert_eq!(res.latency.fleet.max_secs, *exact.last().unwrap());
+}
+
+/// SLO attainment and stretch flow through the scenario facade:
+/// scenario-wide targets apply to tenants without their own.
+#[test]
+fn scenario_slo_target_feeds_attainment_counters() {
+    let ds = std::sync::Arc::new(mini_dataset());
+    let q = tpch::q12(&ds);
+    let res = Scenario::from_workloads(vec![
+        Workload::new(std::sync::Arc::clone(&ds))
+            .repeat_query(q.clone(), 2)
+            .engine(SkipperFactory::default().cache_bytes(gib(10)))
+            .ideal_time(SimDuration::from_secs(30)),
+        Workload::new(std::sync::Arc::clone(&ds))
+            .repeat_query(q.clone(), 2)
+            .engine(VanillaFactory)
+            .slo_target(SimDuration::from_micros(1)), // unmeetable
+    ])
+    .slo_target(SimDuration::from_secs(100_000)) // generous default
+    .run();
+    // Tenant 0 inherits the generous scenario target: all met.
+    let t0 = res.latency.tenants[0].slo.unwrap();
+    assert_eq!((t0.met, t0.total), (2, 2));
+    assert_eq!(t0.attainment(), 1.0);
+    // Tenant 1's own 1 µs target wins over the default: none met.
+    let t1 = res.latency.tenants[1].slo.unwrap();
+    assert_eq!((t1.met, t1.total), (0, 2));
+    // Fleet counters aggregate both tenants, target left unstated.
+    let fleet = res.latency.fleet.slo.unwrap();
+    assert_eq!((fleet.met, fleet.total), (2, 4));
+    assert_eq!(fleet.target_secs, None);
+    // Stretch only where an ideal was declared.
+    assert!(res.latency.tenants[0].stretch.is_some());
+    assert!(res.latency.tenants[1].stretch.is_none());
+    assert!(res.latency.fleet.stretch.is_some());
+}

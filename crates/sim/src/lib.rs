@@ -50,6 +50,7 @@ pub mod trace;
 
 pub use event::{CalendarQueue, EventQueue, EventSink};
 pub use parallel::{HorizonTracker, WindowBuffer, WindowDrain};
+pub use stats::QuantileSketch;
 pub use time::{SimDuration, SimTime};
 pub use trace::{
     attribute_spans, attribute_union, Activity, ActivityTrace, Attribution, MergedTimeline,
