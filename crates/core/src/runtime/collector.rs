@@ -179,6 +179,76 @@ pub fn attribute_stalls_merged(
         .collect()
 }
 
+/// Per-shard fault-plane counters: what the deterministic fault
+/// schedule did to one shard over the run. All-zero on fault-free runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardFaultStats {
+    /// Crash episodes applied to this shard.
+    pub downs: u64,
+    /// Total virtual time spent down, in microseconds (outages still
+    /// open at run end accrue up to the makespan).
+    pub downtime_micros: u64,
+    /// Queued requests evacuated from this shard by its crashes
+    /// (re-routed to surviving replicas or parked until recovery).
+    pub evacuated_requests: u64,
+    /// In-flight transfers aborted on this shard by its crashes (the
+    /// bytes never arrived; the requests were re-served elsewhere).
+    pub aborted_transfers: u64,
+    /// Requests this shard served *as a failover target* — routed here
+    /// because the preferred replica was down.
+    pub failover_receipts: u64,
+}
+
+/// Fleet-wide fault-plane summary of a run. On a fault-free run every
+/// counter is zero and [`AvailabilitySummary::availability`] is 1.0.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AvailabilitySummary {
+    /// Fault-plane calendar actions applied (crashes, recoveries,
+    /// brown-out starts and ends).
+    pub fault_events: u64,
+    /// Σ per-shard downtime, in microseconds.
+    pub downtime_micros: u64,
+    /// Σ per-shard evacuated requests.
+    pub evacuated_requests: u64,
+    /// Σ per-shard aborted in-flight transfers.
+    pub aborted_transfers: u64,
+    /// Σ per-shard failover receipts (requests served by a non-preferred
+    /// replica).
+    pub failovers: u64,
+    /// Requests that ever parked at the fleet for lack of any live
+    /// replica (k = 1 outages, or every replica down at once).
+    pub parked_requests: u64,
+    /// Fraction of shard-time the fleet was up:
+    /// `1 − downtime / (shards × makespan)` (1.0 on an empty run).
+    pub availability: f64,
+}
+
+impl AvailabilitySummary {
+    /// Rolls per-shard fault counters up into the fleet summary.
+    pub fn from_shards(
+        stats: &[ShardFaultStats],
+        fault_events: u64,
+        parked_requests: u64,
+        makespan: SimTime,
+    ) -> AvailabilitySummary {
+        let downtime_micros: u64 = stats.iter().map(|s| s.downtime_micros).sum();
+        let shard_time = (stats.len() as u64).saturating_mul(makespan.as_micros());
+        AvailabilitySummary {
+            fault_events,
+            downtime_micros,
+            evacuated_requests: stats.iter().map(|s| s.evacuated_requests).sum(),
+            aborted_transfers: stats.iter().map(|s| s.aborted_transfers).sum(),
+            failovers: stats.iter().map(|s| s.failover_receipts).sum(),
+            parked_requests,
+            availability: if shard_time == 0 {
+                1.0
+            } else {
+                1.0 - downtime_micros as f64 / shard_time as f64
+            },
+        }
+    }
+}
+
 /// One CSD shard's share of a run: its own counters, per-stream
 /// activity spans, scheduler, and delivery ledger.
 #[derive(Clone, Debug, PartialEq)]
@@ -187,6 +257,8 @@ pub struct ShardResult {
     pub shard: usize,
     /// This shard's device counters.
     pub metrics: DeviceMetrics,
+    /// This shard's fault-plane counters (all-zero without faults).
+    pub fault: ShardFaultStats,
     /// The control stream's activity spans, in time order: every switch
     /// plus stream 0's transfers. For a serial (1-stream) device this
     /// is the whole activity log, exactly as it always was.
@@ -574,6 +646,9 @@ pub struct RunResult {
     /// percentiles and SLO attainment, fleet-wide and per tenant.
     /// Populated in every [`RecordMode`] (the sketches stream).
     pub latency: LatencySummary,
+    /// Fault-plane summary: downtime, evacuations, failovers, and the
+    /// fleet's availability fraction (1.0 on fault-free runs).
+    pub availability: AvailabilitySummary,
 }
 
 impl RunResult {

@@ -33,8 +33,10 @@ use crate::config::CostModel;
 
 use super::client::ClientState;
 use super::collector::{
-    attribute_stalls_merged, LatencyAccumulator, RecordMode, RunResult, ShardResult,
+    attribute_stalls_merged, AvailabilitySummary, LatencyAccumulator, RecordMode, RunResult,
+    ShardResult,
 };
+use super::fault::{FaultAction, TimedFault};
 use super::fleet::DeviceFleet;
 
 /// Event payloads of the runtime loop.
@@ -46,6 +48,8 @@ enum Event {
     ClientReady(usize),
     /// The arrival process releases client `c`'s next query.
     Release(usize),
+    /// The fault plan's `i`-th timed action fires.
+    Fault(usize),
 }
 
 /// How the event loop executes a run.
@@ -94,6 +98,11 @@ pub struct Runtime {
     latency: LatencyAccumulator,
     /// Whether finished records are retained for the result.
     record_mode: RecordMode,
+    /// The expanded fault schedule, in firing order (empty without a
+    /// fault plan). Every action becomes a calendar event up front, so
+    /// both execution modes see identical fault timings and each fault
+    /// instant bounds the safe horizon.
+    faults: Vec<TimedFault>,
 }
 
 impl Runtime {
@@ -111,12 +120,20 @@ impl Runtime {
             window_end: SimTime::ZERO,
             latency: LatencyAccumulator::new(&targets),
             record_mode: RecordMode::default(),
+            faults: Vec::new(),
         }
     }
 
     /// Selects the execution mode (builder style).
     pub fn with_execution(mut self, mode: ExecutionMode) -> Self {
         self.execution = mode;
+        self
+    }
+
+    /// Installs the expanded fault schedule (builder style; assembly
+    /// passes the `FaultPlan`'s timed actions here).
+    pub(crate) fn with_faults(mut self, faults: Vec<TimedFault>) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -144,6 +161,16 @@ impl Runtime {
         // Starting a client never schedules events, so arming all
         // releases first preserves the historical event order.
         let windowed = self.windowed();
+        // Fault actions are armed first: at equal instants a crash (or
+        // recovery) applies before a release routes its query. Every
+        // fault instant is a noted interaction — faults re-route work
+        // across shards, so no window may drain past one.
+        for (i, f) in self.faults.iter().enumerate() {
+            self.events.schedule(f.at, Event::Fault(i));
+            if windowed {
+                self.interactions.note(f.at);
+            }
+        }
         for (c, client) in self.clients.iter().enumerate() {
             for at in client.plan.iter().filter_map(|p| p.release) {
                 self.events.schedule(at, Event::Release(c));
@@ -203,10 +230,42 @@ impl Runtime {
                     self.try_start(c, t);
                     self.poke_fleet(t);
                 }
+                Event::Fault(i) => {
+                    if windowed {
+                        self.interactions.consume(t);
+                    }
+                    let fault = self.faults[i];
+                    let mut batch = std::mem::take(&mut self.scratch);
+                    batch.clear();
+                    match fault.action {
+                        FaultAction::Down => self.fleet.fail_shard(fault.shard, t, &mut batch),
+                        FaultAction::Recover => self.fleet.recover_shard(fault.shard, t),
+                        FaultAction::Degrade(factor) => {
+                            self.fleet.set_bandwidth_factor(fault.shard, factor)
+                        }
+                        FaultAction::Restore => self.fleet.set_bandwidth_factor(fault.shard, 1.0),
+                    }
+                    // A crash flushes watchdog-parked deliveries (their
+                    // transfers finished before the crash): route them
+                    // like any retired batch.
+                    for d in batch.drain(..) {
+                        self.route_delivery(t, d.client, d.query, d.object, d.payload);
+                    }
+                    self.scratch = batch;
+                    self.poke_fleet(t);
+                }
             }
         }
 
         let makespan = self.events.now();
+        self.fleet.close_downtime(makespan);
+        let fault_stats = self.fleet.fault_stats().to_vec();
+        let availability = AvailabilitySummary::from_shards(
+            &fault_stats,
+            self.faults.len() as u64,
+            self.fleet.parked_total(),
+            makespan,
+        );
         for (idx, client) in self.clients.iter().enumerate() {
             assert!(
                 client.plan.is_empty() && client.engine.is_none(),
@@ -255,6 +314,7 @@ impl Runtime {
                     shard,
                     scheduler: dev.scheduler_name(),
                     metrics: dev.take_metrics(),
+                    fault: fault_stats[shard],
                     spans,
                     extra_stream_spans: stream_spans.collect(),
                     deliveries: dev.take_served_log(),
@@ -268,6 +328,7 @@ impl Runtime {
             shards,
             makespan,
             latency: self.latency.finish(),
+            availability,
         }
     }
 

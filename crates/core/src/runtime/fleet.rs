@@ -13,29 +13,68 @@
 //! A 1-shard fleet is byte-for-byte the old single-device runtime: the
 //! whole batch goes to pump 0 in submission order and the event
 //! schedule is unchanged.
+//!
+//! ## Replication and failover
+//!
+//! Under `PlacementPolicy::Replicated { k, .. }` every object carries a
+//! replica list (preferred shard first; see
+//! [`DeviceFleet::with_replicas`]) and each request routes to the
+//! *first live replica*. With every replica down — or on a k = 1 fleet
+//! whose only shard is down — the request parks at the fleet and is
+//! re-submitted, in arrival order, when a replica recovers. A crash
+//! ([`DeviceFleet::fail_shard`]) evacuates the dead shard's queue and
+//! aborts its in-flight transfers; every displaced request re-routes
+//! through the same first-live-replica rule immediately, so the
+//! delivery multiset is conserved through every failover path: aborted
+//! transfers log nothing, and each query object is served exactly once
+//! by whichever replica completes it. Re-routed and un-parked requests
+//! re-enter the destination queue at the tail with a fresh arrival
+//! stamp — failover is a requeue, not a splice.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
+use skipper_csd::sched::PendingRequest;
 use skipper_csd::{CsdDevice, Delivery, ObjectId, QueryId};
 use skipper_relational::segment::Segment;
 use skipper_sim::parallel::drain_parallel;
-use skipper_sim::SimTime;
+use skipper_sim::{SimDuration, SimTime};
 
+use super::collector::ShardFaultStats;
 use super::pump::DevicePump;
 
 /// N device pumps + the object → shard map.
 pub struct DeviceFleet {
     pumps: Vec<DevicePump>,
+    /// Preferred (primary) shard per object — the k = 1 routing map.
     shard_of: HashMap<ObjectId, usize>,
+    /// Full replica lists (preferred first) when the placement
+    /// replicates; empty for single-replica fleets, which route
+    /// through `shard_of` alone.
+    replicas_of: HashMap<ObjectId, Vec<usize>>,
     /// Reusable per-shard fan-out buffers for `submit` — pooled so a
     /// multi-shard batch costs no allocation once warm, matching the
     /// 1-shard path (the 8-shard allocs/event regression fix).
     fanout: Vec<Vec<ObjectId>>,
+    /// Fault plane: per-shard down flags (`true` between `fail_shard`
+    /// and `recover_shard`).
+    down: Vec<bool>,
+    /// Crash instant of each currently-down shard (downtime accrual).
+    down_since: Vec<Option<SimTime>>,
+    /// Per-shard fault counters for the run result.
+    stats: Vec<ShardFaultStats>,
+    /// Requests with no live replica, awaiting a recovery, in arrival
+    /// order: `(client, query, object)`.
+    parked: VecDeque<(usize, QueryId, ObjectId)>,
+    /// Requests ever parked (availability summary).
+    parked_total: u64,
+    /// Reusable evacuation scratch for `fail_shard`.
+    displaced: Vec<PendingRequest>,
 }
 
 impl DeviceFleet {
-    /// Assembles a fleet from per-shard devices and the placement map.
+    /// Assembles a fleet from per-shard devices and the placement map
+    /// (single-replica: each object lives on exactly one shard).
     ///
     /// # Panics
     /// Panics on an empty fleet or a map entry pointing outside it.
@@ -45,12 +84,44 @@ impl DeviceFleet {
             shard_of.values().all(|&s| s < devices.len()),
             "placement map points outside the fleet"
         );
-        let fanout = vec![Vec::new(); devices.len()];
+        let n = devices.len();
         DeviceFleet {
             pumps: devices.into_iter().map(DevicePump::new).collect(),
             shard_of,
-            fanout,
+            replicas_of: HashMap::new(),
+            fanout: vec![Vec::new(); n],
+            down: vec![false; n],
+            down_since: vec![None; n],
+            stats: vec![ShardFaultStats::default(); n],
+            parked: VecDeque::new(),
+            parked_total: 0,
+            displaced: Vec::new(),
         }
+    }
+
+    /// Assembles a replicated fleet: every object carries its full
+    /// replica list, preferred shard first (the
+    /// `PlacementPolicy::assign_replicas` output). A fault-free run
+    /// routes every request to the preferred replica, byte-identical
+    /// to the equivalent single-replica fleet.
+    ///
+    /// # Panics
+    /// Panics on an empty fleet, an empty replica list, or a replica
+    /// outside the fleet.
+    pub fn with_replicas(
+        devices: Vec<CsdDevice<Arc<Segment>>>,
+        replicas_of: HashMap<ObjectId, Vec<usize>>,
+    ) -> Self {
+        assert!(
+            replicas_of
+                .values()
+                .all(|r| !r.is_empty() && r.iter().all(|&s| s < devices.len())),
+            "replica list empty or pointing outside the fleet"
+        );
+        let shard_of = replicas_of.iter().map(|(&o, r)| (o, r[0])).collect();
+        let mut fleet = DeviceFleet::new(devices, shard_of);
+        fleet.replicas_of = replicas_of;
+        fleet
     }
 
     /// Number of shards.
@@ -58,8 +129,8 @@ impl DeviceFleet {
         self.pumps.len()
     }
 
-    /// The shard storing `object` (shard 0 when the fleet has one
-    /// device and no explicit map).
+    /// The preferred shard storing `object` (shard 0 when the fleet
+    /// has one device and no explicit map).
     ///
     /// # Panics
     /// Panics for objects never placed on a multi-shard fleet.
@@ -73,20 +144,52 @@ impl DeviceFleet {
             .unwrap_or_else(|| panic!("object {object} was never placed on any shard"))
     }
 
-    /// Fans GET requests out to the owning shards. Objects keep their
-    /// relative order within each shard's batch; shards are submitted in
-    /// shard order for determinism.
+    /// The first live replica for `object`, counting a failover receipt
+    /// on the serving shard when it is not the preferred one. `None`
+    /// when every replica is down (the caller parks the request).
+    fn route(&mut self, object: ObjectId) -> Option<usize> {
+        if !self.replicas_of.is_empty() {
+            let replicas = self
+                .replicas_of
+                .get(&object)
+                .unwrap_or_else(|| panic!("object {object} was never placed on any shard"));
+            let choice = replicas
+                .iter()
+                .enumerate()
+                .find(|&(_, &s)| !self.down[s])
+                .map(|(i, &s)| (i, s));
+            return match choice {
+                Some((ordinal, shard)) => {
+                    if ordinal > 0 {
+                        self.stats[shard].failover_receipts += 1;
+                    }
+                    Some(shard)
+                }
+                None => None,
+            };
+        }
+        let shard = self.shard_for(object);
+        (!self.down[shard]).then_some(shard)
+    }
+
+    /// Fans GET requests out to the owning shards (first live replica
+    /// each; see the module docs). Objects keep their relative order
+    /// within each shard's batch; shards are submitted in shard order
+    /// for determinism. Requests with no live replica park until a
+    /// recovery.
     pub fn submit(&mut self, now: SimTime, client: usize, query: QueryId, objects: &[ObjectId]) {
-        if self.pumps.len() == 1 {
+        if self.pumps.len() == 1 && !self.down[0] {
             self.pumps[0].submit(now, client, query, objects);
             return;
         }
         for &obj in objects {
-            let shard = *self
-                .shard_of
-                .get(&obj)
-                .unwrap_or_else(|| panic!("object {obj} was never placed on any shard"));
-            self.fanout[shard].push(obj);
+            match self.route(obj) {
+                Some(shard) => self.fanout[shard].push(obj),
+                None => {
+                    self.parked_total += 1;
+                    self.parked.push_back((client, query, obj));
+                }
+            }
         }
         for (pump, batch) in self.pumps.iter_mut().zip(self.fanout.iter_mut()) {
             if !batch.is_empty() {
@@ -96,13 +199,113 @@ impl DeviceFleet {
         }
     }
 
+    /// Crashes shard `shard` (a fault-plane `ShardDown` start): aborts
+    /// its in-flight transfers, evacuates its queue, and re-routes
+    /// every displaced request to the first live replica (or parks it).
+    /// Transfers that completed but whose wake-up notification was
+    /// dropped are flushed into `completed` — the driver routes them
+    /// like any retired batch (the data already arrived).
+    pub fn fail_shard(
+        &mut self,
+        shard: usize,
+        now: SimTime,
+        completed: &mut Vec<Delivery<Arc<Segment>>>,
+    ) {
+        assert!(
+            !self.down[shard],
+            "shard {shard} crashed while already down"
+        );
+        self.down[shard] = true;
+        self.down_since[shard] = Some(now);
+        self.stats[shard].downs += 1;
+        let mut displaced = std::mem::take(&mut self.displaced);
+        displaced.clear();
+        let aborted = self.pumps[shard].fail(now, &mut displaced, completed);
+        self.stats[shard].aborted_transfers += aborted as u64;
+        self.stats[shard].evacuated_requests += (displaced.len() - aborted) as u64;
+        // Re-route in evacuation order: aborted in-flight requests
+        // first (slot order), then the queue (arrival order). Each
+        // re-submission is a fresh single-object batch — a requeue at
+        // the destination's tail.
+        for req in displaced.drain(..) {
+            match self.route(req.object) {
+                Some(live) => self.pumps[live].submit(now, req.client, req.query, &[req.object]),
+                None => {
+                    self.parked_total += 1;
+                    self.parked.push_back((req.client, req.query, req.object));
+                }
+            }
+        }
+        self.displaced = displaced;
+    }
+
+    /// Recovers shard `shard` (a fault-plane `ShardDown` end): accrues
+    /// its downtime, reopens it for routing, and re-submits every
+    /// parked request that now has a live replica, in arrival order.
+    pub fn recover_shard(&mut self, shard: usize, now: SimTime) {
+        assert!(self.down[shard], "shard {shard} recovered while up");
+        self.down[shard] = false;
+        let since = self.down_since[shard]
+            .take()
+            .expect("down shard has a crash instant");
+        self.stats[shard].downtime_micros += now.since(since).as_micros();
+        self.pumps[shard].recover(now);
+        for _ in 0..self.parked.len() {
+            let (client, query, obj) = self.parked.pop_front().expect("len checked");
+            match self.route(obj) {
+                Some(live) => self.pumps[live].submit(now, client, query, &[obj]),
+                None => self.parked.push_back((client, query, obj)),
+            }
+        }
+    }
+
+    /// Scales shard `shard`'s effective per-stream bandwidth (a
+    /// fault-plane brown-out; `1.0` restores nominal).
+    pub fn set_bandwidth_factor(&mut self, shard: usize, factor: f64) {
+        self.pumps[shard].set_bandwidth_factor(factor);
+    }
+
+    /// Installs a drop-wakeup injection on shard `shard` (assembly
+    /// time; see [`DevicePump::plan_drop`]).
+    pub fn plan_drop(&mut self, shard: usize, nth: u64, redeliver_after: SimDuration) {
+        self.pumps[shard].plan_drop(nth, redeliver_after);
+    }
+
+    /// Accrues downtime for shards still down when the run ends.
+    pub fn close_downtime(&mut self, end: SimTime) {
+        for shard in 0..self.pumps.len() {
+            if let Some(since) = self.down_since[shard].take() {
+                self.stats[shard].downtime_micros += end.since(since).as_micros();
+            }
+        }
+    }
+
+    /// Per-shard fault counters, in shard order.
+    pub fn fault_stats(&self) -> &[ShardFaultStats] {
+        &self.stats
+    }
+
+    /// Requests that ever parked for lack of a live replica.
+    pub fn parked_total(&self) -> u64 {
+        self.parked_total
+    }
+
+    /// Requests currently parked (non-zero only mid-outage).
+    pub fn parked_len(&self) -> usize {
+        self.parked.len()
+    }
+
     /// Pokes every shard in shard order, invoking `armed` with
-    /// `(shard, wake-up)` for each newly armed (or re-armed) wake-up.
+    /// `(shard, wake-up)` for each newly armed (or re-armed) wake-up —
+    /// including watchdog redelivery wake-ups for dropped batches.
     /// Allocation-free: this runs once per event on the loop's hot
     /// path. A re-arm supersedes the shard's previous wake-up, which
     /// then fires as a stale no-op.
     pub fn poke_all(&mut self, now: SimTime, mut armed: impl FnMut(usize, SimTime)) {
         for (shard, pump) in self.pumps.iter_mut().enumerate() {
+            if let Some(at) = pump.take_redelivery_arm() {
+                armed(shard, at);
+            }
             if let Some(at) = pump.poke(now) {
                 armed(shard, at);
             }
@@ -129,11 +332,12 @@ impl DeviceFleet {
 
     /// The earliest armed wake-up across the fleet ([`SimTime::MAX`]
     /// when no shard has one): the soonest any delivery can reach any
-    /// client, used by the safe-horizon computation.
+    /// client — device completions and watchdog redeliveries alike —
+    /// used by the safe-horizon computation.
     pub fn min_armed(&self) -> SimTime {
         self.pumps
             .iter()
-            .filter_map(|p| p.armed_at())
+            .filter_map(|p| p.next_wakeup())
             .min()
             .unwrap_or(SimTime::MAX)
     }
@@ -142,7 +346,9 @@ impl DeviceFleet {
     /// `horizon` into its replay log, on `workers` scoped threads (the
     /// windowed-parallel execution barrier). Shards drain
     /// independently — per-shard output is identical for every worker
-    /// count, so parallelism never changes the run.
+    /// count, so parallelism never changes the run. Fault-affected
+    /// shards skip pre-execution and take the live path (see
+    /// [`DevicePump`]'s fault-plane docs).
     pub fn drain_window_parallel(&mut self, horizon: SimTime, workers: usize) {
         drain_parallel(&mut self.pumps, horizon, workers);
     }
@@ -158,8 +364,9 @@ impl DeviceFleet {
         self.pumps
     }
 
-    /// True when every shard is idle with an empty queue.
+    /// True when every shard is idle with an empty queue, nothing is
+    /// parked at the fleet, and no watchdog batch is pending.
     pub fn is_quiescent(&self) -> bool {
-        self.pumps.iter().all(|p| p.device().is_quiescent())
+        self.pumps.iter().all(|p| p.is_quiescent()) && self.parked.is_empty()
     }
 }

@@ -43,7 +43,12 @@
 //!   │   │ steady-state loop allocates nothing per event    │     │
 //!   │   └──────────────────────────────────────────────────┘     │
 //!   ├────────────────────────────────────────────────────────────┤
-//!   │ fleet      DeviceFleet: PlacementPolicy → shard map        │
+//!   │ fault      FaultPlan → timestamped episodes (assembly)     │
+//!   │            ShardDown / Degraded / DropWakeup as calendar   │
+//!   │            events; crashes evacuate + fail over, k-replica │
+//!   │            placement serves from the first live replica    │
+//!   ├────────────────────────────────────────────────────────────┤
+//!   │ fleet      DeviceFleet: PlacementPolicy → replica lists    │
 //!   │   ┌──────────────────┬──────────────────┬────────┐         │
 //!   │   │ DevicePump 0     │ DevicePump 1     │   …    │ 1/shard │
 //!   │   │  earliest-of-K   │  earliest-of-K   │        │         │
@@ -68,6 +73,47 @@
 //! microsecond-exactly; `Scenario::shards(n)` scales the device layer
 //! out with per-shard config overrides and per-shard result
 //! breakdowns ([`collector::ShardResult`]).
+//!
+//! # Deterministic fault plane
+//!
+//! [`FaultPlan`] ([`fault`]) injects seeded device failures the same
+//! way [`ArrivalProcess`] injects traffic: everything is expanded at
+//! assembly time from labeled SplitMix64 streams into timestamped
+//! episodes, and the driver schedules each one as a first-class
+//! calendar event — nothing is drawn during the run, so repeated runs
+//! and both execution modes see identical fault timings (fault
+//! instants are safe-horizon barriers in windowed-parallel mode).
+//! Crashes ([`FaultEpisode::ShardDown`]) abort the shard's in-flight
+//! transfers, evacuate its queue, and cost it its spun-up group;
+//! brown-outs ([`FaultEpisode::Degraded`]) scale newly dispatched
+//! transfer bandwidth; dropped wake-ups ([`FaultEpisode::DropWakeup`])
+//! park one completed batch until a watchdog redelivers it.
+//! `PlacementPolicy::Replicated { k, .. }` stores each object on `k`
+//! consecutive shards; requests route to the first live replica, and
+//! with none live they park at the fleet until a recovery re-submits
+//! them in arrival order.
+//!
+//! **Failover invariants** (pinned by the chaos grid in
+//! `tests/sharding.rs` and the fault cells of the differential
+//! battery):
+//!
+//! * **Delivery-multiset conservation** — every `(client, query,
+//!   object)` request is served exactly once, by whichever replica
+//!   completes it: aborted transfers log nothing and are re-served;
+//!   stale deliveries for completed queries are dropped at routing.
+//!   A faulted run's multiset equals the fault-free run's.
+//! * **Determinism** — a seeded `FaultPlan` yields byte-equal
+//!   [`RunResult`]s across repeated runs and across
+//!   Sequential/Parallel execution at any worker count.
+//! * **Empty plan ⇒ exact goldens** — a default `FaultPlan` leaves
+//!   every run microsecond-identical to a build without the fault
+//!   plane.
+//!
+//! What faults *do* change: makespans (recovery events keep the run
+//! alive), per-shard counters, and latency tails — failover is a
+//! requeue at the surviving replica's tail, not a splice, and
+//! [`RunResult::availability`] / [`ShardResult`]`::fault` report
+//! downtime, evacuations, aborts, failovers, and parking.
 //!
 //! # Million-request event core
 //!
@@ -251,20 +297,22 @@ pub mod client;
 pub mod collector;
 pub mod driver;
 pub mod engines;
+pub mod fault;
 pub mod fleet;
 pub mod pump;
 pub mod scenario;
 pub mod workload;
 
 pub use collector::{
-    LatencyScope, LatencySummary, Quantiles, QueryRecord, RecordMode, RunResult, ShardResult,
-    SloReport, StreamRollup,
+    AvailabilitySummary, LatencyScope, LatencySummary, Quantiles, QueryRecord, RecordMode,
+    RunResult, ShardFaultStats, ShardResult, SloReport, StreamRollup,
 };
 pub use driver::ExecutionMode;
 pub use engines::{EngineFactory, EngineKind, SkipperFactory, VanillaFactory};
+pub use fault::{FaultEpisode, FaultPlan, DEFAULT_REDELIVERY};
 pub use fleet::DeviceFleet;
 pub use scenario::Scenario;
-pub use skipper_csd::{LedgerMode, PlacementPolicy, StreamModel};
+pub use skipper_csd::{BasePlacement, LedgerMode, PlacementPolicy, StreamModel};
 pub use skipper_sim::TraceMode;
 pub use workload::{ArrivalProcess, Workload};
 

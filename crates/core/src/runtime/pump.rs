@@ -48,13 +48,34 @@
 //! `submit` asserts the log is drained: the horizon guarantees no
 //! cross-shard interaction fires inside a window, so a submit landing
 //! mid-replay would mean the horizon was unsound.
+//!
+//! ## Fault plane
+//!
+//! The pump is also where per-shard fault state lives:
+//!
+//! * **Crash** ([`DevicePump::fail`]) — in-flight transfers abort and
+//!   the queue evacuates into the caller's buffer (the fleet re-routes
+//!   or parks them); the pump rejects submits and kicks until
+//!   [`DevicePump::recover`]. Fault instants are safe-horizon
+//!   barriers, so a crash never lands mid-replay (asserted).
+//! * **Brown-out** ([`DevicePump::set_bandwidth_factor`]) — forwarded
+//!   to the device; only newly dispatched transfers see the factor.
+//! * **Dropped wake-up** ([`DevicePump::plan_drop`]) — the `nth` live
+//!   wake-up's deliveries are parked instead of routed (the transfers
+//!   *did* complete on time inside the device — only the notification
+//!   is lost) and a watchdog redelivers them a fixed delay later.
+//!   Shards with drop state pending skip window pre-execution and run
+//!   the live sequential path, which keeps ordinal counting exact and
+//!   the run bit-identical across execution modes.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
+use skipper_csd::sched::PendingRequest;
 use skipper_csd::{CsdDevice, Delivery, ObjectId, QueryId};
 use skipper_relational::segment::Segment;
 use skipper_sim::parallel::{drain_chain, WindowBuffer, WindowDrain};
-use skipper_sim::SimTime;
+use skipper_sim::{SimDuration, SimTime};
 
 /// Wrapper pairing the device with its armed-wake-up instant.
 pub struct DevicePump {
@@ -78,6 +99,19 @@ pub struct DevicePump {
     /// handed out by the next `poke` so the wake-up chain stays
     /// scheduled in the sequential order (deliveries route first).
     pending_rearm: Option<SimTime>,
+    /// Fault plane: the shard is crashed — no submits, no kicks.
+    down: bool,
+    /// Remaining drop-wakeup injections, in ordinal order:
+    /// `(nth live wake-up, redelivery delay)`.
+    drops: VecDeque<(u64, SimDuration)>,
+    /// Live wake-ups handled so far (drop-ordinal matching).
+    wakeup_count: u64,
+    /// Deliveries withheld by a dropped wake-up, awaiting the watchdog.
+    parked: Vec<Delivery<Arc<Segment>>>,
+    /// Watchdog redelivery instant for the parked batch.
+    redeliver_at: Option<SimTime>,
+    /// Whether the redelivery wake-up event has been scheduled.
+    redeliver_armed: bool,
 }
 
 impl DevicePump {
@@ -90,6 +124,12 @@ impl DevicePump {
             replay: WindowBuffer::new(),
             stage: Vec::new(),
             pending_rearm: None,
+            down: false,
+            drops: VecDeque::new(),
+            wakeup_count: 0,
+            parked: Vec::new(),
+            redeliver_at: None,
+            redeliver_armed: false,
         }
     }
 
@@ -99,6 +139,10 @@ impl DevicePump {
             self.replay.is_empty() && self.pending_rearm.is_none(),
             "submit landed inside a drained window (unsound safe horizon): \
              a cross-shard interaction fired before the drained horizon"
+        );
+        assert!(
+            !self.down,
+            "submit landed on a crashed shard (fleet routing bug)"
         );
         self.dirty = true;
         self.device.submit(now, client, query, objects);
@@ -119,6 +163,11 @@ impl DevicePump {
             return self.pending_rearm.take();
         }
         if !self.dirty {
+            return None;
+        }
+        if self.down {
+            // Crashed: the device was failed empty and the fleet routes
+            // around it; nothing to kick until recovery.
             return None;
         }
         self.dirty = false;
@@ -174,6 +223,18 @@ impl DevicePump {
             }
             return;
         }
+        if self.redeliver_at == Some(now) {
+            // The watchdog fires: release the batch withheld by the
+            // dropped wake-up. The device completed these transfers on
+            // time internally — only their *notification* was lost —
+            // so nothing is kicked and nothing is re-served.
+            self.redeliver_at = None;
+            self.redeliver_armed = false;
+            out.append(&mut self.parked);
+            // Fall through: the device's own completion may be due at
+            // the same instant (two events, first one handles both,
+            // the second fires stale).
+        }
         if self.armed_at != Some(now) {
             // Stale: this wake-up was superseded by a re-arm at an
             // earlier instant (whose firing already completed the
@@ -183,7 +244,127 @@ impl DevicePump {
         }
         self.armed_at = None;
         self.dirty = true;
+        self.wakeup_count += 1;
+        let start = out.len();
         self.device.complete_into(now, out);
+        if self
+            .drops
+            .front()
+            .is_some_and(|&(nth, _)| nth == self.wakeup_count)
+        {
+            // This live wake-up's notification is lost: the device
+            // completed (above, on time), but its deliveries go to the
+            // parked buffer until the watchdog redelivers them.
+            let (_, delay) = self.drops.pop_front().expect("front checked");
+            debug_assert!(
+                self.parked.is_empty() && self.redeliver_at.is_none(),
+                "overlapping drop-wakeup episodes on one shard"
+            );
+            self.parked.extend(out.drain(start..));
+            self.redeliver_at = Some(now + delay);
+            self.redeliver_armed = false;
+        }
+    }
+
+    /// The watchdog redelivery instant to schedule, handed out exactly
+    /// once per dropped batch (the fleet polls this on every poke
+    /// pass, alongside the device wake-up from [`DevicePump::poke`]).
+    pub fn take_redelivery_arm(&mut self) -> Option<SimTime> {
+        match self.redeliver_at {
+            Some(at) if !self.redeliver_armed => {
+                self.redeliver_armed = true;
+                Some(at)
+            }
+            _ => None,
+        }
+    }
+
+    /// Installs a drop-wakeup injection: the `nth` live wake-up
+    /// (1-based, from run start) is dropped and redelivered
+    /// `redeliver_after` later. Must be installed in increasing
+    /// ordinal order before the run starts.
+    pub fn plan_drop(&mut self, nth: u64, redeliver_after: SimDuration) {
+        assert!(
+            self.drops.back().is_none_or(|&(last, _)| last < nth),
+            "DropWakeup ordinals on one shard must be distinct and increasing"
+        );
+        self.drops.push_back((nth, redeliver_after));
+    }
+
+    /// Crashes the shard: aborts in-flight transfers and evacuates the
+    /// queue into `displaced` (in slot order, then arrival order),
+    /// flushes any watchdog-parked deliveries into `completed` (their
+    /// transfers finished before the crash — crash detection reveals
+    /// them), and marks the pump down. Returns the number of aborted
+    /// in-flight transfers. The spun-up group is lost: the first load
+    /// after recovery pays a full switch even under `initial_load_free`.
+    pub fn fail(
+        &mut self,
+        now: SimTime,
+        displaced: &mut Vec<PendingRequest>,
+        completed: &mut Vec<Delivery<Arc<Segment>>>,
+    ) -> usize {
+        assert!(
+            self.replay.is_empty() && self.pending_rearm.is_none(),
+            "shard crashed inside a drained window: fault instants must \
+             bound the safe horizon"
+        );
+        assert!(!self.down, "shard crashed while already down");
+        self.down = true;
+        // Any armed wake-up event becomes stale; the watchdog event
+        // (if armed) goes stale too — the crash flushes its batch now.
+        self.armed_at = None;
+        self.redeliver_at = None;
+        self.redeliver_armed = false;
+        completed.append(&mut self.parked);
+        self.dirty = true;
+        self.device.fail(now, displaced)
+    }
+
+    /// Recovers a crashed shard: the pump accepts submits and kicks
+    /// again (cold — see [`DevicePump::fail`] on the lost group).
+    pub fn recover(&mut self, _now: SimTime) {
+        assert!(self.down, "recovering a shard that is not down");
+        self.down = false;
+        self.dirty = true;
+    }
+
+    /// Scales the device's effective per-stream bandwidth (fault-plane
+    /// brown-outs); transfers dispatched from now on see the factor,
+    /// committed in-flight completion instants do not move.
+    pub fn set_bandwidth_factor(&mut self, factor: f64) {
+        self.device.set_bandwidth_factor(factor);
+    }
+
+    /// True while the shard is crashed.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// The earliest instant this pump needs the event loop: the armed
+    /// device completion or the watchdog redelivery, whichever first.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        match (self.armed_at, self.redeliver_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// True when the device is idle with an empty queue and the fault
+    /// plane holds nothing back (no parked batch, no pending watchdog).
+    pub fn is_quiescent(&self) -> bool {
+        self.device.is_quiescent() && self.parked.is_empty() && self.redeliver_at.is_none()
+    }
+
+    /// True while fault state forces this shard onto the live
+    /// sequential path inside parallel windows: crashed, a drop
+    /// pending (live wake-ups must be counted), or a parked batch
+    /// awaiting its watchdog.
+    fn fault_bound(&self) -> bool {
+        self.down
+            || !self.drops.is_empty()
+            || !self.parked.is_empty()
+            || self.redeliver_at.is_some()
     }
 
     /// True when the pump's replay log still holds drained wake-ups
@@ -220,6 +401,18 @@ impl WindowDrain for DevicePump {
     /// needed, and completion chains are time-monotone, keeping the
     /// log ordered.
     fn drain_window(&mut self, horizon: SimTime) {
+        if self.fault_bound() {
+            // Fault-affected shards skip pre-execution and take the
+            // live sequential path for every in-window event: a crashed
+            // shard has nothing to drain, and drop-wakeup accounting
+            // (ordinal counting, parking, watchdog) lives on the live
+            // path only. Sound because in-window deliveries land only
+            // on busy clients' inboxes (the horizon is bounded by
+            // `min_armed` — which includes this shard's wake-ups —
+            // whenever an idle live client exists), so the event order
+            // and results stay bit-identical to sequential.
+            return;
+        }
         debug_assert!(!self.dirty, "window opened on an unpoked pump");
         let device = &mut self.device;
         drain_chain(

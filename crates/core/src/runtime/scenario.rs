@@ -35,6 +35,7 @@ use super::client::{ClientState, PlannedQuery};
 use super::collector::{RecordMode, RunResult};
 use super::driver::{ExecutionMode, Runtime};
 use super::engines::{factory_for, EngineKind};
+use super::fault::{self, FaultPlan};
 use super::fleet::DeviceFleet;
 use super::workload::Workload;
 
@@ -76,6 +77,7 @@ pub struct Scenario {
     record_mode: RecordMode,
     execution: ExecutionMode,
     slo: Option<SimDuration>,
+    faults: FaultPlan,
 }
 
 impl Scenario {
@@ -115,6 +117,7 @@ impl Scenario {
             record_mode: RecordMode::Full,
             execution: ExecutionMode::Sequential,
             slo: None,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -346,9 +349,25 @@ impl Scenario {
     }
 
     /// Object → shard placement policy (default round-robin; irrelevant
-    /// with one shard).
+    /// with one shard). `PlacementPolicy::Replicated` stores every
+    /// object on `k` consecutive shards and serves each request from
+    /// the first live replica (see the fault plane,
+    /// [`Scenario::faults`]).
     pub fn placement(mut self, p: PlacementPolicy) -> Self {
         self.placement = p;
+        self
+    }
+
+    /// Installs the deterministic fault plan (default: empty — no
+    /// faults, every run byte-identical to before the fault plane
+    /// existed). The plan expands at assembly time into timestamped
+    /// episodes — seeded stochastic streams and all — and the driver
+    /// schedules each as a first-class calendar event, so Sequential
+    /// and Parallel execution see identical fault timings. Note that
+    /// recovery events keep the simulation alive: a plan whose
+    /// episodes outlast the natural drain extends the makespan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -445,7 +464,10 @@ impl Scenario {
                     .collect()
             })
             .collect();
-        let shard_of = self.placement.assign(&tenant_objects, self.shards);
+        // Replica lists per object, preferred shard first (length 1 for
+        // plain placements, `k` under `PlacementPolicy::Replicated`):
+        // each shard stores every object whose list contains it.
+        let replicas_of = self.placement.assign_replicas(&tenant_objects, self.shards);
 
         // Fleet-appropriate default scheduler: stock CSDs run
         // object-FCFS; one Skipper tenant is enough to deploy the
@@ -468,7 +490,7 @@ impl Scenario {
                     .iter()
                     .map(|objs| {
                         objs.iter()
-                            .filter(|o| shard_of[o] == shard)
+                            .filter(|o| replicas_of[o].contains(&shard))
                             .copied()
                             .collect()
                     })
@@ -525,9 +547,29 @@ impl Scenario {
                 client
             })
             .collect();
-        Runtime::new(DeviceFleet::new(devices, shard_of), clients, self.cost)
+        // Single-replica placements keep the historical primary-map
+        // fleet path (byte-identical to before replication existed);
+        // replicated placements carry the full lists for failover.
+        let mut fleet = if self.placement.replicas() == 1 {
+            let shard_of = replicas_of.iter().map(|(&o, r)| (o, r[0])).collect();
+            DeviceFleet::new(devices, shard_of)
+        } else {
+            DeviceFleet::with_replicas(devices, replicas_of)
+        };
+
+        // Expand the fault plan (stochastic streams and all) into
+        // timestamped episodes, install drop-wakeup injections on
+        // their pumps, and hand the timed crash/brown-out actions to
+        // the driver as calendar events.
+        let episodes = self.faults.expand(self.shards);
+        for (shard, nth, redeliver_after) in fault::drop_plans(&episodes) {
+            fleet.plan_drop(shard, nth, redeliver_after);
+        }
+
+        Runtime::new(fleet, clients, self.cost)
             .with_execution(self.execution)
             .with_record_mode(self.record_mode)
+            .with_faults(fault::timed_actions(&episodes))
             .run()
     }
 }

@@ -936,6 +936,236 @@ fn latency_summary_quantiles_match_exact_records() {
     assert_eq!(res.latency.fleet.max_secs, *exact.last().unwrap());
 }
 
+// ---------------------------------------------------------------------
+// Fault plane: seeded failures, k-replica failover, degraded serving.
+// The chaos battery pins (1) delivery-multiset conservation through
+// every failover path, (2) byte-equal determinism across repeated runs
+// and execution modes, (3) the empty plan leaving runs untouched.
+
+/// The chaos cell: 3 staggered Skipper tenants over 4 shards, with a
+/// configurable placement and fault plan.
+fn chaos_scenario(placement: PlacementPolicy, plan: FaultPlan) -> Scenario {
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    Scenario::new(ds)
+        .clients(3)
+        .engine(EngineKind::Skipper)
+        .cache_bytes(gib(10))
+        .shards(4)
+        .placement(placement)
+        .stagger(SimDuration::from_secs(30))
+        .repeat_query(q, 2)
+        .faults(plan)
+}
+
+fn replicated_rr(k: usize) -> PlacementPolicy {
+    PlacementPolicy::Replicated {
+        k,
+        base: BasePlacement::RoundRobin,
+    }
+}
+
+#[test]
+fn empty_fault_plan_leaves_runs_byte_identical() {
+    let base = chaos_scenario(PlacementPolicy::RoundRobin, FaultPlan::new()).run();
+    let mut explicit = chaos_scenario(PlacementPolicy::RoundRobin, FaultPlan::new());
+    explicit = explicit.faults(FaultPlan::new());
+    assert_eq!(explicit.run(), base);
+    assert_eq!(
+        base.availability,
+        AvailabilitySummary::from_shards(&[ShardFaultStats::default(); 4], 0, 0, base.makespan,)
+    );
+    assert_eq!(base.availability.availability, 1.0);
+}
+
+#[test]
+fn replicated_placement_without_faults_serves_from_primaries() {
+    // Fault-free, the first (preferred) replica serves everything: no
+    // failovers, no parking, and the delivery multiset matches the
+    // same scenario at k = 1 over the same base policy (the replica
+    // copies only change which shards *store* objects, never which
+    // serve them).
+    let k1 = chaos_scenario(replicated_rr(1), FaultPlan::new()).run();
+    let k2 = chaos_scenario(replicated_rr(2), FaultPlan::new()).run();
+    assert_eq!(k2.availability.failovers, 0);
+    assert_eq!(k2.availability.parked_requests, 0);
+    assert_eq!(k1.delivery_multiset(), k2.delivery_multiset());
+}
+
+#[test]
+fn mid_run_crash_fails_over_with_multiset_conserved() {
+    // Shard 2 dies mid-run and recovers late; with k = 2 every object
+    // on shard 2 has a live replica, so every query completes via
+    // failover and the delivery multiset equals the fault-free run's.
+    let plan = FaultPlan::new().shard_down(2, t(20), t(500));
+    let clean = chaos_scenario(replicated_rr(2), FaultPlan::new()).run();
+    let faulted = chaos_scenario(replicated_rr(2), plan).run();
+    assert_eq!(faulted.delivery_multiset(), clean.delivery_multiset());
+    for (c, recs) in faulted.clients.iter().enumerate() {
+        assert_eq!(recs.len(), 2, "client {c} lost queries to the crash");
+    }
+    assert_eq!(faulted.shards[2].fault.downs, 1);
+    assert!(
+        faulted.availability.failovers > 0,
+        "no request ever failed over"
+    );
+    assert!(faulted.availability.downtime_micros > 0);
+    assert!(faulted.availability.availability < 1.0);
+    assert_eq!(faulted.availability.fault_events, 2);
+}
+
+#[test]
+fn chaos_grid_is_deterministic_and_execution_mode_invariant() {
+    // The differential battery's fault cells: explicit crash + seeded
+    // crash stream + brown-out + dropped wake-up, all in one plan,
+    // across Sequential and Parallel at several worker counts, plus a
+    // repeated-run determinism check. Whole RunResults compare with
+    // `==` — availability summary and per-shard fault counters
+    // included.
+    let plan = || {
+        FaultPlan::new()
+            .shard_down(2, t(20), t(300))
+            .degraded(0, t(40), t(200), 0.5)
+            .drop_wakeup(1, 2)
+            .seeded_crashes(
+                3,
+                SimDuration::from_secs(120),
+                SimDuration::from_secs(30),
+                t(600),
+                11,
+            )
+    };
+    let reference = chaos_scenario(replicated_rr(2), plan()).run();
+    let repeat = chaos_scenario(replicated_rr(2), plan()).run();
+    assert_eq!(repeat, reference, "same seeded plan, different run");
+    for workers in [1, 2, 4] {
+        let parallel = chaos_scenario(replicated_rr(2), plan())
+            .execution(ExecutionMode::Parallel { workers })
+            .run();
+        assert_eq!(
+            parallel, reference,
+            "chaos run diverged under Parallel {{ workers: {workers} }}"
+        );
+    }
+    // The plan really did something.
+    assert!(reference.availability.fault_events >= 4);
+    // And conserved the work anyway.
+    let clean = chaos_scenario(replicated_rr(2), FaultPlan::new()).run();
+    assert_eq!(reference.delivery_multiset(), clean.delivery_multiset());
+}
+
+#[test]
+fn unreplicated_outage_parks_requests_until_recovery() {
+    // k = 1 and the only shard down: nothing can serve, so requests
+    // park at the fleet and re-submit at recovery — late, but exactly
+    // once each.
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let build = |plan: FaultPlan| {
+        Scenario::new(ds.clone())
+            .clients(2)
+            .engine(EngineKind::Vanilla)
+            .repeat_query(q.clone(), 1)
+            .faults(plan)
+    };
+    let clean = build(FaultPlan::new()).run();
+    let faulted = build(FaultPlan::new().shard_down(0, t(15), t(60))).run();
+    assert_eq!(faulted.delivery_multiset(), clean.delivery_multiset());
+    assert!(
+        faulted.availability.parked_requests > 0,
+        "a 45 s outage on the only shard parked nothing"
+    );
+    assert_eq!(faulted.availability.failovers, 0, "nowhere to fail over");
+    assert_eq!(
+        faulted.availability.downtime_micros,
+        SimDuration::from_secs(45).as_micros()
+    );
+    assert!(faulted.makespan >= clean.makespan);
+    for recs in &faulted.clients {
+        assert_eq!(recs.len(), 1);
+    }
+}
+
+#[test]
+fn crash_recovery_pays_the_reload_switch() {
+    // The spun-up group is lost with the crash: even under
+    // `initial_load_free`, the first post-recovery load pays a full
+    // switch, so the faulted run can never undercut the clean one's
+    // switch count.
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let build = |plan: FaultPlan| {
+        Scenario::new(ds.clone())
+            .clients(2)
+            .engine(EngineKind::Vanilla)
+            .repeat_query(q.clone(), 1)
+            .faults(plan)
+    };
+    let clean = build(FaultPlan::new()).run();
+    let faulted = build(FaultPlan::new().shard_down(0, t(15), t(60))).run();
+    assert!(
+        faulted.device.group_switches > clean.device.group_switches,
+        "recovery reload did not pay a switch ({} vs {})",
+        faulted.device.group_switches,
+        clean.device.group_switches
+    );
+}
+
+#[test]
+fn brownout_slows_transfers_but_conserves_deliveries() {
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let build = |plan: FaultPlan| {
+        Scenario::new(ds.clone())
+            .clients(2)
+            .engine(EngineKind::Skipper)
+            .cache_bytes(gib(10))
+            .repeat_query(q.clone(), 2)
+            .faults(plan)
+    };
+    let clean = build(FaultPlan::new()).run();
+    let slowed = build(FaultPlan::new().degraded(0, t(0), t(100_000), 0.25)).run();
+    assert_eq!(slowed.delivery_multiset(), clean.delivery_multiset());
+    assert!(
+        slowed.makespan > clean.makespan,
+        "quartering the bandwidth did not slow the run"
+    );
+    assert_eq!(slowed.availability.downtime_micros, 0, "degraded ≠ down");
+    assert_eq!(slowed.availability.availability, 1.0);
+}
+
+#[test]
+fn dropped_wakeup_is_redelivered_by_the_watchdog() {
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let build = |plan: FaultPlan| {
+        Scenario::new(ds.clone())
+            .clients(2)
+            .engine(EngineKind::Skipper)
+            .cache_bytes(gib(10))
+            .repeat_query(q.clone(), 1)
+            .faults(plan)
+    };
+    let clean = build(FaultPlan::new()).run();
+    // Wake-up #5 carries client 0's last object (5 objects per Q12
+    // client, one transfer stream): parking it makes the watchdog
+    // delay visible in the query's end time instead of being absorbed
+    // by pipeline slack.
+    let dropped = build(FaultPlan::new().drop_wakeup(0, 5)).run();
+    // The lost notification delays its batch by the watchdog interval
+    // but loses nothing.
+    assert_eq!(dropped.delivery_multiset(), clean.delivery_multiset());
+    assert!(
+        dropped.clients[0][0].end >= clean.clients[0][0].end + DEFAULT_REDELIVERY,
+        "redelivered batch arrived on time ({:?} vs {:?})",
+        dropped.clients[0][0].end,
+        clean.clients[0][0].end
+    );
+    for recs in &dropped.clients {
+        assert_eq!(recs.len(), 1);
+    }
+}
+
 /// SLO attainment and stretch flow through the scenario facade:
 /// scenario-wide targets apply to tenants without their own.
 #[test]

@@ -317,7 +317,7 @@ impl Workload {
 /// releases at the same instant with unpinned tie order (the simulated
 /// clock's resolution is the microsecond, so 1 µs is the smallest
 /// representable strictly-positive gap).
-fn exponential_gap(state: &mut u64, mean: SimDuration) -> SimDuration {
+pub(crate) fn exponential_gap(state: &mut u64, mean: SimDuration) -> SimDuration {
     // 53 uniform mantissa bits in [0, 1).
     let u = (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
     SimDuration::from_secs_f64(-mean.as_secs_f64() * (1.0 - u).ln())

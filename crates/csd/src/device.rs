@@ -271,6 +271,14 @@ pub struct CsdDevice<P, Q: RequestIndex = RequestQueue> {
     traces: Vec<ActivityTrace>,
     metrics: DeviceMetrics,
     served_log: Vec<(usize, QueryId, ObjectId)>,
+    /// Fault-plane brown-out multiplier on the per-stream bandwidth,
+    /// applied to transfers *dispatched* while it is below 1.0 (already
+    /// committed completion instants never move).
+    bandwidth_factor: f64,
+    /// Set by [`CsdDevice::fail`]: the crash spun the array down, so
+    /// the first group load after recovery pays a full switch even
+    /// under `initial_load_free`.
+    paid_reload: bool,
 }
 
 impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
@@ -311,17 +319,75 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
                 .collect(),
             metrics: DeviceMetrics::default(),
             served_log: Vec::new(),
+            bandwidth_factor: 1.0,
+            paid_reload: false,
         }
     }
 
-    /// The effective per-stream service bandwidth.
+    /// The effective per-stream service bandwidth (scaled by any active
+    /// brown-out factor).
     fn stream_bandwidth(&self) -> f64 {
-        match self.config.stream_model {
+        let nominal = match self.config.stream_model {
             StreamModel::Pipeline => self.config.bandwidth_bytes_per_sec,
             StreamModel::BandwidthMultiplier => {
                 self.config.bandwidth_bytes_per_sec * self.config.parallel_streams as f64
             }
+        };
+        nominal * self.bandwidth_factor
+    }
+
+    /// Scales the per-stream bandwidth by `factor` (a fault-plane
+    /// brown-out; `1.0` restores nominal service). Only transfers
+    /// dispatched from now on see the new rate — in-flight completion
+    /// instants are already committed, which keeps the change
+    /// deterministic under windowed execution.
+    ///
+    /// # Panics
+    /// Panics unless `0 < factor <= 1`.
+    pub fn set_bandwidth_factor(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "bandwidth factor {factor} outside (0, 1]"
+        );
+        self.bandwidth_factor = factor;
+    }
+
+    /// Power-fails the device: every in-flight transfer is aborted
+    /// (nothing is counted as served — the bytes never arrived), any
+    /// armed or in-progress switch is cancelled, the spun-up group is
+    /// lost (the first load after recovery pays a full switch even
+    /// under `initial_load_free`), and the pending queue is evacuated.
+    ///
+    /// Displaced requests are appended to `displaced`: aborted
+    /// in-flight transfers first (slot order), then the queued requests
+    /// oldest first. The return value is the aborted-transfer count
+    /// (the prefix length). The caller re-routes them to surviving
+    /// replicas or parks them until recovery; their re-submission gets
+    /// fresh sequence numbers and arrival times.
+    ///
+    /// Spans already recorded for aborted transfers are left in the
+    /// trace: the device genuinely spun its platters until the crash,
+    /// and stall attribution covers every interval regardless of span
+    /// content.
+    pub fn fail(&mut self, _now: SimTime, displaced: &mut Vec<PendingRequest>) -> usize {
+        let mut aborted = 0usize;
+        for slot in &mut self.slots {
+            if let Some(TransferSlot { request, .. }) = slot.take() {
+                displaced.push(request);
+                aborted += 1;
+            }
         }
+        self.in_flight = 0;
+        self.completions.clear();
+        self.switch = SwitchStage::Idle;
+        self.active_group = None;
+        self.paid_reload = true;
+        self.metrics.transfers_aborted += aborted as u64;
+        while let Some(r) = self.queue.oldest() {
+            displaced.push(self.queue.remove(r.seq));
+            self.metrics.requests_evacuated += 1;
+        }
+        aborted
     }
 
     /// Enqueues GET requests from `client` tagged with `query`. Call
@@ -434,7 +500,10 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
                         self.switch = SwitchStage::Armed(target);
                         break;
                     }
-                    if self.active_group.is_none() && self.config.initial_load_free {
+                    if self.active_group.is_none()
+                        && self.config.initial_load_free
+                        && !self.paid_reload
+                    {
                         // The array always has some group spinning; treat
                         // the first load as free and re-decide.
                         self.active_group = Some(target);
@@ -454,6 +523,7 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
     /// completion instant.
     fn begin_switch(&mut self, now: SimTime, target: GroupId) -> SimTime {
         debug_assert_eq!(self.in_flight, 0, "switch started with transfers in flight");
+        self.paid_reload = false;
         let until = now + self.config.switch_latency;
         self.traces[0].record(now, until, Activity::Switching);
         self.metrics.group_switches += 1;

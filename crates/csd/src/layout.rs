@@ -67,6 +67,49 @@ pub enum PlacementPolicy {
     /// (range/table affinity): a tenant's scan touches few devices, at
     /// the price of coarser balance.
     TableAffinity,
+    /// `k`-way replication: `base` places the *primary* shard and the
+    /// remaining `k - 1` replicas land on the consecutively following
+    /// shards (`(primary + r) mod shards` for `r` in `1..k`). The
+    /// primary is the preferred replica; the fleet fails reads over to
+    /// the next live replica in this order when the primary is down.
+    Replicated {
+        /// Replica count (`1 ≤ k ≤ shards`; `k = 1` collapses to
+        /// `base` exactly).
+        k: usize,
+        /// The policy placing the primary replica.
+        base: BasePlacement,
+    },
+}
+
+/// The non-replicated policies a [`PlacementPolicy::Replicated`]
+/// placement can use for its primary replica.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BasePlacement {
+    /// See [`PlacementPolicy::RoundRobin`].
+    RoundRobin,
+    /// See [`PlacementPolicy::HashObject`].
+    HashObject,
+    /// See [`PlacementPolicy::TableAffinity`].
+    TableAffinity,
+}
+
+impl BasePlacement {
+    fn shard_of(self, obj: ObjectId, ordinal: usize, shards: usize) -> usize {
+        match self {
+            BasePlacement::RoundRobin => ordinal % shards,
+            BasePlacement::HashObject => {
+                // SplitMix64 over the packed id: deterministic forever,
+                // independent of std's hasher keys.
+                let mut key =
+                    ((obj.tenant as u64) << 48) | ((obj.table as u64) << 32) | obj.segment as u64;
+                (splitmix64(&mut key) % shards as u64) as usize
+            }
+            BasePlacement::TableAffinity => {
+                let mut key = ((obj.tenant as u64) << 16) | obj.table as u64;
+                (splitmix64(&mut key) % shards as u64) as usize
+            }
+        }
+    }
 }
 
 impl PlacementPolicy {
@@ -76,35 +119,81 @@ impl PlacementPolicy {
             PlacementPolicy::RoundRobin => "round-robin",
             PlacementPolicy::HashObject => "hash-object",
             PlacementPolicy::TableAffinity => "table-affinity",
+            PlacementPolicy::Replicated { base, .. } => match base {
+                BasePlacement::RoundRobin => "replicated/round-robin",
+                BasePlacement::HashObject => "replicated/hash-object",
+                BasePlacement::TableAffinity => "replicated/table-affinity",
+            },
         }
     }
 
-    /// The shard storing `obj`, where `ordinal` is the object's position
-    /// in its tenant's storage order (used by [`PlacementPolicy::RoundRobin`]).
+    /// Number of replicas each object gets (1 for the plain policies).
+    pub fn replicas(self) -> usize {
+        match self {
+            PlacementPolicy::Replicated { k, .. } => k,
+            _ => 1,
+        }
+    }
+
+    /// The *primary* shard storing `obj`, where `ordinal` is the
+    /// object's position in its tenant's storage order.
+    ///
+    /// The ordinal is the deterministic tie-break: [`RoundRobin`]
+    /// (and replicated round-robin primaries) place by `ordinal mod
+    /// shards`, so two objects with identical ids in different storage
+    /// positions would land on different shards — while the hash-based
+    /// policies ignore the ordinal entirely and depend only on the
+    /// object id. Callers must therefore pass the storage-order
+    /// position, not an arbitrary counter, for round-robin placements
+    /// to partition evenly.
+    ///
+    /// [`RoundRobin`]: PlacementPolicy::RoundRobin
     ///
     /// # Panics
-    /// Panics when `shards` is zero.
+    /// Panics with a clear message when `shards` is zero (a
+    /// modulo-by-zero would otherwise surface as an arithmetic panic
+    /// deep in the policy arm), and when a [`Replicated`] placement has
+    /// `k = 0`.
+    ///
+    /// [`Replicated`]: PlacementPolicy::Replicated
     pub fn shard_of(self, obj: ObjectId, ordinal: usize, shards: usize) -> usize {
         assert!(shards > 0, "a fleet needs at least one shard");
         match self {
-            PlacementPolicy::RoundRobin => ordinal % shards,
-            PlacementPolicy::HashObject => {
-                // SplitMix64 over the packed id: deterministic forever,
-                // independent of std's hasher keys.
-                let mut key =
-                    ((obj.tenant as u64) << 48) | ((obj.table as u64) << 32) | obj.segment as u64;
-                (splitmix64(&mut key) % shards as u64) as usize
-            }
+            PlacementPolicy::RoundRobin => BasePlacement::RoundRobin.shard_of(obj, ordinal, shards),
+            PlacementPolicy::HashObject => BasePlacement::HashObject.shard_of(obj, ordinal, shards),
             PlacementPolicy::TableAffinity => {
-                let mut key = ((obj.tenant as u64) << 16) | obj.table as u64;
-                (splitmix64(&mut key) % shards as u64) as usize
+                BasePlacement::TableAffinity.shard_of(obj, ordinal, shards)
+            }
+            PlacementPolicy::Replicated { k, base } => {
+                assert!(k >= 1, "a Replicated placement needs k >= 1");
+                base.shard_of(obj, ordinal, shards)
             }
         }
+    }
+
+    /// The full replica set storing `obj`, preferred (primary) replica
+    /// first: the primary from [`PlacementPolicy::shard_of`] followed
+    /// by the `k - 1` consecutively next shards. Plain policies return
+    /// a single shard.
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero or a replicated placement asks for
+    /// more replicas than the fleet has shards.
+    pub fn replica_shards(self, obj: ObjectId, ordinal: usize, shards: usize) -> Vec<usize> {
+        let k = self.replicas();
+        assert!(
+            k <= shards,
+            "Replicated placement wants {k} replicas but the fleet has {shards} shard(s)"
+        );
+        let primary = self.shard_of(obj, ordinal, shards);
+        (0..k).map(|r| (primary + r) % shards).collect()
     }
 
     /// Builds the full object → shard map for `tenant_objects` (indexed
     /// as in [`Layout::build`]: `tenant_objects[t]` lists tenant `t`'s
-    /// objects in storage order).
+    /// objects in storage order). Replicated placements report their
+    /// *primary* shard here; see [`PlacementPolicy::assign_replicas`]
+    /// for the full replica sets.
     pub fn assign(
         self,
         tenant_objects: &[Vec<ObjectId>],
@@ -116,6 +205,24 @@ impl PlacementPolicy {
                 objs.iter()
                     .enumerate()
                     .map(move |(i, &obj)| (obj, self.shard_of(obj, i, shards)))
+            })
+            .collect()
+    }
+
+    /// Builds the full object → replica-set map for `tenant_objects`,
+    /// each set ordered preferred replica first (see
+    /// [`PlacementPolicy::replica_shards`]).
+    pub fn assign_replicas(
+        self,
+        tenant_objects: &[Vec<ObjectId>],
+        shards: usize,
+    ) -> HashMap<ObjectId, Vec<usize>> {
+        tenant_objects
+            .iter()
+            .flat_map(|objs| {
+                objs.iter()
+                    .enumerate()
+                    .map(move |(i, &obj)| (obj, self.replica_shards(obj, i, shards)))
             })
             .collect()
     }
@@ -373,10 +480,91 @@ mod tests {
     }
 
     #[test]
+    fn replicated_produces_k_distinct_consecutive_shards() {
+        let objs = tenant_objects(3, 4);
+        for base in [
+            BasePlacement::RoundRobin,
+            BasePlacement::HashObject,
+            BasePlacement::TableAffinity,
+        ] {
+            for k in 1..=3 {
+                let policy = PlacementPolicy::Replicated { k, base };
+                let map = policy.assign_replicas(&objs, 4);
+                assert_eq!(map.len(), 12);
+                for (obj, replicas) in &map {
+                    assert_eq!(replicas.len(), k, "{base:?} k={k}");
+                    let primary = replicas[0];
+                    for (r, &shard) in replicas.iter().enumerate() {
+                        assert_eq!(shard, (primary + r) % 4, "replicas must be consecutive");
+                    }
+                    let mut distinct = replicas.clone();
+                    distinct.sort_unstable();
+                    distinct.dedup();
+                    assert_eq!(distinct.len(), k, "{obj} has duplicate replicas");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_primary_matches_base_policy() {
+        let objs = tenant_objects(2, 4);
+        let replicated = PlacementPolicy::Replicated {
+            k: 2,
+            base: BasePlacement::HashObject,
+        };
+        let primaries = replicated.assign(&objs, 4);
+        assert_eq!(primaries, PlacementPolicy::HashObject.assign(&objs, 4));
+        // k = 1 collapses to the base policy's single-shard map.
+        let single = PlacementPolicy::Replicated {
+            k: 1,
+            base: BasePlacement::HashObject,
+        };
+        for (obj, replicas) in single.assign_replicas(&objs, 4) {
+            assert_eq!(replicas, vec![primaries[&obj]]);
+        }
+    }
+
+    #[test]
+    fn plain_policies_are_single_replica() {
+        let o = ObjectId::new(0, 0, 0);
+        assert_eq!(PlacementPolicy::RoundRobin.replicas(), 1);
+        assert_eq!(PlacementPolicy::RoundRobin.replica_shards(o, 3, 2), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wants 3 replicas")]
+    fn over_replication_rejected() {
+        PlacementPolicy::Replicated {
+            k: 3,
+            base: BasePlacement::RoundRobin,
+        }
+        .replica_shards(ObjectId::new(0, 0, 0), 0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs k >= 1")]
+    fn zero_replicas_rejected() {
+        PlacementPolicy::Replicated {
+            k: 0,
+            base: BasePlacement::RoundRobin,
+        }
+        .shard_of(ObjectId::new(0, 0, 0), 0, 2);
+    }
+
+    #[test]
     fn placement_labels() {
         assert_eq!(PlacementPolicy::RoundRobin.label(), "round-robin");
         assert_eq!(PlacementPolicy::HashObject.label(), "hash-object");
         assert_eq!(PlacementPolicy::TableAffinity.label(), "table-affinity");
+        assert_eq!(
+            PlacementPolicy::Replicated {
+                k: 2,
+                base: BasePlacement::RoundRobin
+            }
+            .label(),
+            "replicated/round-robin"
+        );
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod sched;
 pub mod store;
 
 pub use device::{CsdConfig, CsdDevice, Delivery, IntraGroupOrder, LedgerMode, StreamModel};
-pub use layout::{Layout, LayoutPolicy, PlacementPolicy};
+pub use layout::{BasePlacement, Layout, LayoutPolicy, PlacementPolicy};
 pub use object::{GroupId, ObjectId, ObjectMeta, QueryId};
 pub use power::{EnergyReport, PowerModel};
 pub use sched::{

@@ -24,6 +24,15 @@ pub struct DeviceMetrics {
     /// Peak number of simultaneously occupied transfer slots (1 for a
     /// serial device; for a fleet roll-up, the max over shards).
     pub peak_concurrent_streams: u32,
+    /// In-flight transfers aborted by a fault-plane shard crash. The
+    /// bytes never arrived: aborted transfers count in no served
+    /// counter and leave no ledger entry — the request is re-served
+    /// elsewhere (or after recovery), which is what keeps the delivery
+    /// multiset conserved through failover.
+    pub transfers_aborted: u64,
+    /// Queued requests evacuated by a fault-plane shard crash
+    /// (re-routed to surviving replicas or parked until recovery).
+    pub requests_evacuated: u64,
     /// Objects served per client, indexed by client id (clients the
     /// device never served may be absent; read through
     /// [`DeviceMetrics::served_to`]). A flat vector instead of a hash
@@ -59,6 +68,8 @@ impl DeviceMetrics {
         self.peak_concurrent_streams = self
             .peak_concurrent_streams
             .max(other.peak_concurrent_streams);
+        self.transfers_aborted += other.transfers_aborted;
+        self.requests_evacuated += other.requests_evacuated;
         if self.served_per_client.len() < other.served_per_client.len() {
             self.served_per_client
                 .resize(other.served_per_client.len(), 0);

@@ -11,11 +11,12 @@
 use std::sync::Arc;
 
 use skipper::core::runtime::{
-    PlacementPolicy, RunResult, Scenario, SkipperFactory, VanillaFactory, Workload,
+    BasePlacement, FaultPlan, PlacementPolicy, RunResult, Scenario, SkipperFactory, VanillaFactory,
+    Workload,
 };
 use skipper::csd::SchedPolicy;
 use skipper::datagen::{tpch, Dataset, GenConfig};
-use skipper::sim::SimDuration;
+use skipper::sim::{SimDuration, SimTime};
 
 const GIB: u64 = 1 << 30;
 
@@ -108,6 +109,52 @@ fn sharded_runs_conserve_the_delivery_multiset() {
                 );
                 assert_eq!(res.shards.len(), shards, "{label}");
             }
+        }
+    }
+}
+
+/// The chaos grid: conservation must survive the fault plane. For
+/// every scheduler × replicated placement, a 4-shard run that loses
+/// one shard mid-run (and brown-outs another) must still deliver the
+/// fault-free run's exact multiset — failover re-serves displaced
+/// work from replicas without losing, duplicating, or inventing any.
+#[test]
+fn faulted_runs_conserve_the_delivery_multiset() {
+    let ds = dataset();
+    let secs = |s: u64| SimTime::ZERO + SimDuration::from_secs(s);
+    let plan = || {
+        FaultPlan::new()
+            .shard_down(1, secs(60), secs(900))
+            .degraded(3, secs(30), secs(400), 0.5)
+    };
+    for sched in SCHEDULERS {
+        for base in [
+            BasePlacement::RoundRobin,
+            BasePlacement::HashObject,
+            BasePlacement::TableAffinity,
+        ] {
+            let placement = PlacementPolicy::Replicated { k: 2, base };
+            let label = format!("{sched:?}/{base:?}/chaos");
+            let clean = fleet_scenario(&ds, sched)
+                .shards(4)
+                .placement(placement)
+                .run();
+            let faulted = fleet_scenario(&ds, sched)
+                .shards(4)
+                .placement(placement)
+                .faults(plan())
+                .run();
+            check_invariants(&faulted, &label);
+            assert_eq!(
+                faulted.delivery_multiset(),
+                clean.delivery_multiset(),
+                "{label}: the crash lost or duplicated work"
+            );
+            assert_eq!(faulted.shards[1].fault.downs, 1, "{label}");
+            assert!(
+                faulted.availability.availability < 1.0,
+                "{label}: downtime not accounted"
+            );
         }
     }
 }
