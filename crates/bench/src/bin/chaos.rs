@@ -35,13 +35,14 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use skipper_bench::scenarios::{mixed_fleet, secs};
 use skipper_core::runtime::{
     ArrivalProcess, BasePlacement, ExecutionMode, FaultPlan, PlacementPolicy, RunResult, Scenario,
-    SkipperFactory, VanillaFactory, Workload,
+    SkipperFactory, Workload,
 };
 use skipper_csd::SchedPolicy;
 use skipper_datagen::{tpch, Dataset, GenConfig};
-use skipper_sim::{SimDuration, SimTime};
+use skipper_sim::SimDuration;
 
 /// Counts every allocation (alloc + realloc) on top of the system
 /// allocator, as in the perf harness: the gauge is allocator traffic,
@@ -71,10 +72,6 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
-fn secs(s: u64) -> SimTime {
-    SimTime::ZERO + SimDuration::from_secs(s)
-}
-
 /// Every episode kind in one plan: crash + recovery on shard 2, a
 /// half-bandwidth brown-out on shard 0, a dropped wake-up on shard 1,
 /// and a seeded crash stream on shard 3.
@@ -92,31 +89,9 @@ fn chaos_plan() -> FaultPlan {
         )
 }
 
-/// Reduced mixed fleet: three Skipper tenants and one pull-based
-/// Vanilla tenant, enough repeat rounds that drive-loop allocation
-/// behaviour dominates assembly in the per-delivery gauge.
+/// The smoke scenario: [`mixed_fleet`] from the shared bench builders.
 fn fleet(ds: &Arc<Dataset>, sched: SchedPolicy) -> Scenario {
-    let q12 = tpch::q12(ds);
-    let mut workloads: Vec<Workload> = (0..3)
-        .map(|i| {
-            Workload::new(Arc::clone(ds))
-                .repeat_query(q12.clone(), 8)
-                .engine(SkipperFactory::default().cache_bytes(30 << 30))
-                .start_at(SimDuration::from_secs(15 * i as u64))
-        })
-        .collect();
-    workloads.push(
-        Workload::new(Arc::clone(ds))
-            .repeat_query(q12, 4)
-            .engine(VanillaFactory),
-    );
-    Scenario::from_workloads(workloads)
-        .shards(4)
-        .placement(PlacementPolicy::Replicated {
-            k: 2,
-            base: BasePlacement::RoundRobin,
-        })
-        .scheduler(sched)
+    mixed_fleet(ds, sched)
 }
 
 fn deliveries(res: &RunResult) -> u64 {

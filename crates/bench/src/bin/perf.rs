@@ -53,9 +53,8 @@ use skipper_bench::experiments::perf::{
     core_speedups, open_sweep, parallel_speedups, parallel_sweep, queue_speedups, table, to_json,
     PerfScenario, Sweep, SweepOptions,
 };
+use skipper_bench::scenarios::{parse_arrival, parse_policy};
 use skipper_core::runtime::ArrivalProcess;
-use skipper_csd::SchedPolicy;
-use skipper_sim::SimDuration;
 
 /// Counts every allocation (alloc + realloc) on top of the system
 /// allocator. Deallocation is not counted: the gauge is "how often does
@@ -87,51 +86,6 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 fn allocation_count() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
-}
-
-/// `--arrival` spec: `poisson:MEAN` | `onoff:ON_MEAN,ON_DUR,OFF_DUR` |
-/// `diurnal:PEAK_MEAN,PERIOD,TROUGH` — all durations in (fractional)
-/// seconds, with a fixed seed so CI runs are reproducible.
-fn parse_arrival(s: &str) -> ArrivalProcess {
-    const SEED: u64 = 42;
-    let secs = |v: &str| -> SimDuration {
-        SimDuration::from_secs_f64(v.parse().unwrap_or_else(|_| panic!("bad duration {v:?}")))
-    };
-    let (kind, rest) = s.split_once(':').unwrap_or((s, ""));
-    let parts: Vec<&str> = rest.split(',').filter(|p| !p.is_empty()).collect();
-    match (kind, parts.as_slice()) {
-        ("poisson", [mean]) => ArrivalProcess::Poisson {
-            mean: secs(mean),
-            seed: SEED,
-        },
-        ("onoff", [on_mean, on, off]) => ArrivalProcess::OnOff {
-            on_mean: secs(on_mean),
-            on_duration: secs(on),
-            off_duration: secs(off),
-            seed: SEED,
-        },
-        ("diurnal", [peak, period, trough]) => ArrivalProcess::Diurnal {
-            peak_mean: secs(peak),
-            period: secs(period),
-            trough: trough.parse().expect("--arrival diurnal trough"),
-            seed: SEED,
-        },
-        _ => panic!(
-            "unknown arrival spec {s:?} (poisson:MEAN | onoff:ON_MEAN,ON_DUR,OFF_DUR | \
-             diurnal:PEAK_MEAN,PERIOD,TROUGH; seconds)"
-        ),
-    }
-}
-
-fn parse_policy(s: &str) -> SchedPolicy {
-    match s {
-        "fcfs-object" => SchedPolicy::FcfsObject,
-        "fcfs-slack" => SchedPolicy::FcfsSlack(4),
-        "fairness" => SchedPolicy::FcfsQuery,
-        "maxquery" => SchedPolicy::MaxQueries,
-        "ranking" => SchedPolicy::RankBased,
-        other => panic!("unknown policy {other:?} (labels as in Figure 12)"),
-    }
 }
 
 fn main() {

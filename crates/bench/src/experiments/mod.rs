@@ -15,6 +15,7 @@ pub mod skipper_exp;
 pub mod streams;
 pub mod suite;
 pub mod table2;
+pub mod tiering;
 
 /// Default scale parameters shared by the §5 experiments.
 pub mod params {

@@ -32,6 +32,7 @@
 pub mod ctx;
 pub mod experiments;
 pub mod report;
+pub mod scenarios;
 
 pub use ctx::Ctx;
 pub use report::Table;

@@ -8,8 +8,10 @@
 //! device's activity trace to split waiting into switch vs transfer vs
 //! idle stalls (the Figure 9 breakdown).
 
+use skipper_cost::CostReport;
+use skipper_csd::cache::CacheStats;
 use skipper_csd::metrics::DeviceMetrics;
-use skipper_csd::{ObjectId, QueryId};
+use skipper_csd::{EnergyReport, ObjectId, QueryId};
 use skipper_relational::tuple::Row;
 use skipper_relational::value::Value;
 use skipper_sim::trace::Span;
@@ -271,6 +273,11 @@ pub struct ShardResult {
     pub scheduler: &'static str,
     /// Completed transfers in service order: `(client, query, object)`.
     pub deliveries: Vec<(usize, QueryId, ObjectId)>,
+    /// Shard-cache counters (all-zero when the shard runs uncached).
+    pub cache: CacheStats,
+    /// GETs served from the cache tiers, in service order (recorded
+    /// under `LedgerMode::Full`, like [`ShardResult::deliveries`]).
+    pub cache_deliveries: Vec<(usize, QueryId, ObjectId)>,
 }
 
 impl ShardResult {
@@ -649,6 +656,15 @@ pub struct RunResult {
     /// Fault-plane summary: downtime, evacuations, failovers, and the
     /// fleet's availability fraction (1.0 on fault-free runs).
     pub availability: AvailabilitySummary,
+    /// Shard-cache counters rolled up across the fleet (all-zero on an
+    /// uncached run).
+    pub cache: CacheStats,
+    /// MAID energy estimate for the run (watt-hours vs the always-on
+    /// baseline), from the scenario's `PowerModel`.
+    pub energy: EnergyReport,
+    /// Dollar breakdown of the run — amortized tier capex plus energy,
+    /// per completed query — from the scenario's `FleetPricing`.
+    pub economics: CostReport,
 }
 
 impl RunResult {
@@ -751,7 +767,12 @@ impl RunResult {
         let mut all: Vec<(usize, QueryId, ObjectId)> = self
             .shards
             .iter()
-            .flat_map(|s| s.deliveries.iter().copied())
+            .flat_map(|s| {
+                s.deliveries
+                    .iter()
+                    .chain(s.cache_deliveries.iter())
+                    .copied()
+            })
             .collect();
         all.sort_unstable();
         all

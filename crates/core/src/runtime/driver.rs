@@ -23,11 +23,13 @@
 
 use std::sync::Arc;
 
+use skipper_cost::FleetPricing;
+use skipper_csd::cache::CacheStats;
 use skipper_csd::metrics::DeviceMetrics;
-use skipper_csd::{Delivery, QueryId};
+use skipper_csd::{Delivery, PowerModel, QueryId};
 use skipper_relational::segment::Segment;
 use skipper_sim::trace::Span;
-use skipper_sim::{CalendarQueue, HorizonTracker, MergedTimeline, SimTime};
+use skipper_sim::{CalendarQueue, HorizonTracker, MergedTimeline, SimDuration, SimTime};
 
 use crate::config::CostModel;
 
@@ -103,6 +105,10 @@ pub struct Runtime {
     /// both execution modes see identical fault timings and each fault
     /// instant bounds the safe horizon.
     faults: Vec<TimedFault>,
+    /// MAID electrical model for the end-of-run energy estimate.
+    power: PowerModel,
+    /// $/GB and $/kWh inputs for the end-of-run cost report.
+    pricing: FleetPricing,
 }
 
 impl Runtime {
@@ -121,7 +127,18 @@ impl Runtime {
             latency: LatencyAccumulator::new(&targets),
             record_mode: RecordMode::default(),
             faults: Vec::new(),
+            power: PowerModel::default(),
+            pricing: FleetPricing::default(),
         }
+    }
+
+    /// Installs the electrical model and pricing inputs used for the
+    /// end-of-run energy/cost report (builder style; defaults are the
+    /// paper's Pelican-style array and Table 1 prices).
+    pub fn with_economics(mut self, power: PowerModel, pricing: FleetPricing) -> Self {
+        self.power = power;
+        self.pricing = pricing;
+        self
     }
 
     /// Selects the execution mode (builder style).
@@ -297,6 +314,25 @@ impl Runtime {
                 })
                 .collect()
         };
+        // Tier capacities and resident cold bytes feed the cost report;
+        // captured before the pumps are consumed.
+        let cold_bytes: u64 = self
+            .fleet
+            .pumps()
+            .iter()
+            .map(|p| p.device().store().total_logical_bytes())
+            .sum();
+        let (dram_bytes, ssd_bytes) =
+            self.fleet
+                .pumps()
+                .iter()
+                .fold((0u64, 0u64), |acc, p| match p.cache_config() {
+                    Some(cfg) => (
+                        acc.0 + cfg.dram.capacity_bytes,
+                        acc.1 + cfg.ssd.capacity_bytes,
+                    ),
+                    None => acc,
+                });
         // `run` consumed the runtime, so each shard's spans and delivery
         // ledger move into its ShardResult instead of being cloned.
         // Stream 0 is the control stream (switches + slot-0 transfers);
@@ -306,7 +342,9 @@ impl Runtime {
             .into_pumps()
             .into_iter()
             .enumerate()
-            .map(|(shard, pump)| {
+            .map(|(shard, mut pump)| {
+                let cache = pump.cache_stats();
+                let cache_deliveries = pump.take_cache_served_log();
                 let mut dev = pump.into_device();
                 let mut stream_spans = dev.take_stream_spans().into_iter();
                 let spans = stream_spans.next().expect("at least one stream trace");
@@ -318,17 +356,44 @@ impl Runtime {
                     spans,
                     extra_stream_spans: stream_spans.collect(),
                     deliveries: dev.take_served_log(),
+                    cache,
+                    cache_deliveries,
                 }
             })
             .collect();
+        let device = DeviceMetrics::rolled_up(shards.iter().map(|s| &s.metrics));
+        let cache = shards.iter().fold(CacheStats::default(), |mut acc, s| {
+            acc.absorb(&s.cache);
+            acc
+        });
+        // The energy estimate sees only the cold device's activity —
+        // cache hits bypass it by design, which is exactly where the
+        // MAID savings come from on a cached run.
+        let energy = self.power.estimate(
+            makespan.since(SimTime::ZERO),
+            SimDuration::from_micros(device.transfer_busy_micros),
+            device.group_switches,
+        );
+        let latency = self.latency.finish();
+        let economics = self.pricing.price_run(
+            cold_bytes,
+            dram_bytes,
+            ssd_bytes,
+            makespan.as_secs_f64(),
+            energy.maid_wh,
+            latency.fleet.count,
+        );
         RunResult {
             clients: clients_out,
-            device: DeviceMetrics::rolled_up(shards.iter().map(|s| &s.metrics)),
+            device,
             scheduler: shards[0].scheduler,
             shards,
             makespan,
-            latency: self.latency.finish(),
+            latency,
             availability,
+            cache,
+            energy,
+            economics,
         }
     }
 

@@ -265,6 +265,12 @@ impl DeviceFleet {
         self.pumps[shard].set_bandwidth_factor(factor);
     }
 
+    /// Installs shard `shard`'s cache tiers (assembly time; a disabled
+    /// config installs nothing — see [`DevicePump::set_cache`]).
+    pub fn set_cache(&mut self, shard: usize, config: skipper_csd::cache::CacheConfig) {
+        self.pumps[shard].set_cache(config);
+    }
+
     /// Installs a drop-wakeup injection on shard `shard` (assembly
     /// time; see [`DevicePump::plan_drop`]).
     pub fn plan_drop(&mut self, shard: usize, nth: u64, redeliver_after: SimDuration) {
@@ -304,6 +310,9 @@ impl DeviceFleet {
     pub fn poke_all(&mut self, now: SimTime, mut armed: impl FnMut(usize, SimTime)) {
         for (shard, pump) in self.pumps.iter_mut().enumerate() {
             if let Some(at) = pump.take_redelivery_arm() {
+                armed(shard, at);
+            }
+            if let Some(at) = pump.take_cache_arm() {
                 armed(shard, at);
             }
             if let Some(at) = pump.poke(now) {

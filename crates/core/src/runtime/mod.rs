@@ -54,6 +54,11 @@
 //!   │   │  earliest-of-K   │  earliest-of-K   │        │         │
 //!   │   │  wake-up, rearm  │  wake-up, rearm  │        │         │
 //!   │   ├──────────────────┼──────────────────┼────────┤         │
+//!   │   │ ShardCache 0     │ ShardCache 1     │   …    │ opt-in  │
+//!   │   │  DRAM tier ─┐    │  (hits bypass    │        │         │
+//!   │   │  SSD tier  ─┴─►  │   queue, sched,  │        │         │
+//!   │   │  hit fast path   │   and switches)  │        │         │
+//!   │   ├──────────────────┼──────────────────┼────────┤         │
 //!   │   │ CsdDevice 0      │ CsdDevice 1      │   …    │         │
 //!   │   │ ┌────┬────┬────┐ │ ┌────┐           │        │         │
 //!   │   │ │str0│str1│str…│ │ │str0│ streams(n)│        │         │
@@ -114,6 +119,61 @@
 //! requeue at the surviving replica's tail, not a splice, and
 //! [`RunResult::availability`] / [`ShardResult`]`::fault` report
 //! downtime, evacuations, aborts, failovers, and parking.
+//!
+//! # Shard cache tiers
+//!
+//! `Scenario::shard_cache(CacheConfig)` ([`skipper_csd::cache`]) bolts
+//! a per-shard DRAM(/SSD) hot tier onto each pump. The cache is a
+//! *latency* plane, never a correctness plane: it changes *when* bytes
+//! arrive, never *which* — every GET resolves through one of four
+//! transitions:
+//!
+//! ```text
+//!             ┌─────────── lookup at submit ───────────┐
+//!             ▼                                        ▼
+//!           HIT                                      MISS
+//!   complete at tier bandwidth               enqueue on the CsdDevice
+//!   via the pump-local pending               as before (queue, sched,
+//!   heap; the request never                  group switch, transfer)
+//!   touches queue, scheduler,                         │
+//!   or group switch                                   ▼
+//!             │                                     FILL
+//!             │                          on delivery consumption the
+//!             │                          object enters DRAM, evicting
+//!             │                          by policy (LRU / CLOCK /
+//!             │                          group-aware)
+//!             ▼                                       │
+//!   SSD hits also PROMOTE                             ▼
+//!   the object to DRAM                              EVICT
+//!                                        DRAM victims demote to SSD
+//!                                        (a write-back that reserves
+//!                                        the SSD pipe) or vanish when
+//!                                        no SSD tier is configured
+//! ```
+//!
+//! Each tier is a serialized pipe with its own bandwidth: concurrent
+//! hits queue behind a `free_at` cursor, so a hot burst is fast but not
+//! free. Residency is metadata-only — payloads stay `Arc`-shared with
+//! the store, so a "cached byte" costs an index entry, not a copy.
+//! Invariants, pinned by `tests/cache_tiers.rs` and the tiering smoke
+//! gates:
+//!
+//! * **Conservation** — hits + misses partition the GET multiset
+//!   exactly; `cache.misses == device.objects_served`.
+//! * **Zero ⇒ byte-exact** — `cache_size(0)` / `CacheConfig::disabled`
+//!   reproduces the uncached [`RunResult`] bit for bit (the goldens
+//!   survive untouched).
+//! * **Mode invariance** — hit completions are always live pump events,
+//!   never entries in the windowed-parallel replay log, so cached runs
+//!   stay bit-identical across Sequential/Parallel and repeats.
+//! * **Crash coherence** — a `ShardDown` drains pending hits into the
+//!   displaced set and invalidates the whole shard cache (DRAM does not
+//!   survive a power cycle); failover re-serves from replicas.
+//!
+//! The cost model prices the tiers ([`skipper_cost`]) and the power
+//! model charges their draw, so `skipper-bench --bin tiering` can sweep
+//! capacity × policy into a cost-vs-makespan Pareto frontier
+//! (`EXPERIMENTS.md`).
 //!
 //! # Million-request event core
 //!
@@ -312,6 +372,7 @@ pub use engines::{EngineFactory, EngineKind, SkipperFactory, VanillaFactory};
 pub use fault::{FaultEpisode, FaultPlan, DEFAULT_REDELIVERY};
 pub use fleet::DeviceFleet;
 pub use scenario::Scenario;
+pub use skipper_csd::cache::{CacheConfig, CachePolicy, CacheStats, TierConfig};
 pub use skipper_csd::{BasePlacement, LedgerMode, PlacementPolicy, StreamModel};
 pub use skipper_sim::TraceMode;
 pub use workload::{ArrivalProcess, Workload};

@@ -68,14 +68,81 @@
 //!   the live sequential path, which keeps ordinal counting exact and
 //!   the run bit-identical across execution modes.
 
-use std::collections::VecDeque;
+//!
+//! ## Shard cache
+//!
+//! With a [`CacheConfig`] installed ([`DevicePump::set_cache`]) the
+//! pump fronts the device with DRAM/SSD tiers: `submit` consults the
+//! cache first, schedules hits as *cache completions* at tier
+//! bandwidth (a pending min-heap, armed through
+//! [`DevicePump::take_cache_arm`] exactly like the watchdog), and
+//! forwards only the misses to the device — a hit never touches the
+//! CSD queue, the scheduler, or a group switch. Miss deliveries fill
+//! the tiers at consumption time on *both* the live and the replay
+//! path, so windowed execution stays bit-identical, and a crash
+//! invalidates the whole cache (pending hits are displaced like
+//! aborted transfers and re-routed by the fleet — a dead shard can
+//! never serve a stale hit). No cache installed (or zero capacity)
+//! leaves every structure `None`: the machine is byte-exactly the
+//! uncached one.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
+use skipper_csd::cache::{CacheConfig, CacheStats, ShardCache};
 use skipper_csd::sched::PendingRequest;
-use skipper_csd::{CsdDevice, Delivery, ObjectId, QueryId};
+use skipper_csd::{CsdDevice, Delivery, GroupId, LedgerMode, ObjectId, QueryId};
 use skipper_relational::segment::Segment;
 use skipper_sim::parallel::{drain_chain, WindowBuffer, WindowDrain};
 use skipper_sim::{SimDuration, SimTime};
+
+/// One cache hit awaiting its tier-bandwidth completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct CachePending {
+    /// Delivery-ready instant (tier pipe reservation).
+    ready: SimTime,
+    /// Per-shard issue sequence (deterministic tie-break).
+    seq: u64,
+    client: usize,
+    query: QueryId,
+    object: ObjectId,
+    group: GroupId,
+    bytes: u64,
+}
+
+impl Ord for CachePending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ready, self.seq).cmp(&(other.ready, other.seq))
+    }
+}
+
+impl PartialOrd for CachePending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Everything the pump keeps per installed shard cache. Boxed behind
+/// an `Option` so the uncached pump pays one pointer-null test per
+/// operation and nothing else.
+struct CacheState {
+    cache: ShardCache,
+    config: CacheConfig,
+    /// Hits in flight on the tier pipes, earliest-ready first.
+    pending: BinaryHeap<Reverse<CachePending>>,
+    /// Issue counter (heap tie-break).
+    seq: u64,
+    /// The pending-hit instant a wake-up is armed for (re-armed when a
+    /// new hit becomes the earliest, like the device protocol).
+    armed: Option<SimTime>,
+    /// Reusable submit-partition scratch (the miss batch).
+    miss_scratch: Vec<ObjectId>,
+    /// Cache-served deliveries `(client, query, object)`, recorded
+    /// only under `LedgerMode::Full` (mirrors the device ledger).
+    served_log: Vec<(usize, QueryId, ObjectId)>,
+    ledger: bool,
+}
 
 /// Wrapper pairing the device with its armed-wake-up instant.
 pub struct DevicePump {
@@ -112,6 +179,9 @@ pub struct DevicePump {
     redeliver_at: Option<SimTime>,
     /// Whether the redelivery wake-up event has been scheduled.
     redeliver_armed: bool,
+    /// Shard cache tiers, `None` when uncached (the byte-exact legacy
+    /// machine).
+    cache: Option<Box<CacheState>>,
 }
 
 impl DevicePump {
@@ -130,10 +200,33 @@ impl DevicePump {
             parked: Vec::new(),
             redeliver_at: None,
             redeliver_armed: false,
+            cache: None,
         }
     }
 
-    /// Submits GET requests from `client` tagged with `query`.
+    /// Installs the shard cache tiers (assembly time, before the run).
+    /// A disabled config installs nothing — the pump stays byte-exactly
+    /// the uncached machine.
+    pub fn set_cache(&mut self, config: CacheConfig) {
+        self.cache = ShardCache::new(config).map(|cache| {
+            Box::new(CacheState {
+                cache,
+                config,
+                pending: BinaryHeap::new(),
+                seq: 0,
+                armed: None,
+                miss_scratch: Vec::new(),
+                served_log: Vec::new(),
+                ledger: self.device.ledger_mode() == LedgerMode::Full,
+            })
+        });
+    }
+
+    /// Submits GET requests from `client` tagged with `query`. With a
+    /// cache installed the batch is partitioned first: hits are
+    /// scheduled as cache completions at tier bandwidth (the fast path
+    /// — no CSD queue, no scheduler, no switch) and only misses reach
+    /// the device.
     pub fn submit(&mut self, now: SimTime, client: usize, query: QueryId, objects: &[ObjectId]) {
         assert!(
             self.replay.is_empty() && self.pending_rearm.is_none(),
@@ -144,8 +237,44 @@ impl DevicePump {
             !self.down,
             "submit landed on a crashed shard (fleet routing bug)"
         );
-        self.dirty = true;
-        self.device.submit(now, client, query, objects);
+        let Some(state) = self.cache.as_deref_mut() else {
+            self.dirty = true;
+            self.device.submit(now, client, query, objects);
+            return;
+        };
+        state.miss_scratch.clear();
+        for &object in objects {
+            let meta = self
+                .device
+                .store()
+                .meta(object)
+                .unwrap_or_else(|| panic!("unknown object {object} submitted to shard cache"));
+            let (bytes, group) = (meta.logical_bytes, meta.group);
+            match state.cache.lookup(now, object, bytes, group) {
+                Some(ready) => {
+                    state.seq += 1;
+                    state.pending.push(Reverse(CachePending {
+                        ready,
+                        seq: state.seq,
+                        client,
+                        query,
+                        object,
+                        group,
+                        bytes,
+                    }));
+                }
+                None => state.miss_scratch.push(object),
+            }
+        }
+        if !state.miss_scratch.is_empty() {
+            self.dirty = true;
+            let misses = std::mem::take(&mut state.miss_scratch);
+            self.device.submit(now, client, query, &misses);
+            self.cache
+                .as_deref_mut()
+                .expect("cache installed")
+                .miss_scratch = misses;
+        }
     }
 
     /// Kicks the device (filling idle pipeline slots) and re-arms the
@@ -209,6 +338,11 @@ impl DevicePump {
     /// superseded wake-up. Callers must [`DevicePump::poke`] again
     /// afterwards.
     pub fn on_wakeup_into(&mut self, now: SimTime, out: &mut Vec<Delivery<Arc<Segment>>>) {
+        // Cache completions fire first, on the live path in *both*
+        // execution modes — they never enter the replay log, so their
+        // position relative to same-instant device deliveries is
+        // identical either way.
+        self.pop_cache_ready(now, out);
         if !self.replay.is_empty() {
             // Windowed execution: the device already ran this instant
             // during the drain. The front replay entry matching `now`
@@ -219,7 +353,9 @@ impl DevicePump {
             // the pump stays clean.
             if self.replay.next_at() == Some(now) {
                 debug_assert!(self.pending_rearm.is_none());
+                let start = out.len();
                 self.pending_rearm = self.replay.consume_into(now, out);
+                self.fill_from(now, out, start);
             }
             return;
         }
@@ -227,10 +363,13 @@ impl DevicePump {
             // The watchdog fires: release the batch withheld by the
             // dropped wake-up. The device completed these transfers on
             // time internally — only their *notification* was lost —
-            // so nothing is kicked and nothing is re-served.
+            // so nothing is kicked and nothing is re-served. The cache
+            // fills at notification time, like every delivery.
             self.redeliver_at = None;
             self.redeliver_armed = false;
+            let start = out.len();
             out.append(&mut self.parked);
+            self.fill_from(now, out, start);
             // Fall through: the device's own completion may be due at
             // the same instant (two events, first one handles both,
             // the second fires stale).
@@ -254,7 +393,9 @@ impl DevicePump {
         {
             // This live wake-up's notification is lost: the device
             // completed (above, on time), but its deliveries go to the
-            // parked buffer until the watchdog redelivers them.
+            // parked buffer until the watchdog redelivers them. They
+            // fill the cache when the watchdog *delivers* them, so
+            // nothing fills here.
             let (_, delay) = self.drops.pop_front().expect("front checked");
             debug_assert!(
                 self.parked.is_empty() && self.redeliver_at.is_none(),
@@ -263,6 +404,75 @@ impl DevicePump {
             self.parked.extend(out.drain(start..));
             self.redeliver_at = Some(now + delay);
             self.redeliver_armed = false;
+        }
+        self.fill_from(now, out, start);
+    }
+
+    /// Delivers every pending cache hit due at `now` (no-op while the
+    /// cache wake-up armed for this instant is absent or superseded).
+    /// Payloads clone out of the device store — an `Arc` bump, so the
+    /// hit path allocates nothing once the heap and ledger are warm.
+    fn pop_cache_ready(&mut self, now: SimTime, out: &mut Vec<Delivery<Arc<Segment>>>) {
+        let Some(state) = self.cache.as_deref_mut() else {
+            return;
+        };
+        if state.armed != Some(now) {
+            return;
+        }
+        state.armed = None;
+        while state.pending.peek().is_some_and(|p| p.0.ready == now) {
+            let Reverse(p) = state.pending.pop().expect("peeked entry");
+            let payload = self
+                .device
+                .store()
+                .get(p.object)
+                .expect("cache-resident object lives in the shard store")
+                .clone();
+            if state.ledger {
+                state.served_log.push((p.client, p.query, p.object));
+            }
+            out.push(Delivery {
+                client: p.client,
+                query: p.query,
+                object: p.object,
+                payload,
+            });
+        }
+    }
+
+    /// Fills the cache tiers from the miss deliveries in `out[start..]`
+    /// (no-op when uncached). Runs at delivery-consumption time on both
+    /// the live and the replay path, so the cache state at every
+    /// barrier is identical across execution modes.
+    fn fill_from(&mut self, now: SimTime, out: &[Delivery<Arc<Segment>>], start: usize) {
+        let Some(state) = self.cache.as_deref_mut() else {
+            return;
+        };
+        for d in &out[start..] {
+            let meta = self
+                .device
+                .store()
+                .meta(d.object)
+                .expect("delivered object has store metadata");
+            state
+                .cache
+                .fill(now, d.object, meta.logical_bytes, meta.group);
+        }
+    }
+
+    /// The earliest-pending cache completion to schedule, handed out
+    /// once per distinct instant (re-armed when a new hit becomes the
+    /// earliest; the superseded event fires stale). The fleet polls
+    /// this on every poke pass, alongside the device and watchdog
+    /// wake-ups.
+    pub fn take_cache_arm(&mut self) -> Option<SimTime> {
+        let state = self.cache.as_deref_mut()?;
+        let next = state.pending.peek()?.0.ready;
+        if state.armed == Some(next) {
+            None
+        } else {
+            state.armed = Some(next);
+            Some(next)
         }
     }
 
@@ -318,7 +528,29 @@ impl DevicePump {
         self.redeliver_armed = false;
         completed.append(&mut self.parked);
         self.dirty = true;
-        self.device.fail(now, displaced)
+        let mut aborted = self.device.fail(now, displaced);
+        if let Some(state) = self.cache.as_deref_mut() {
+            // The crash wipes the tiers — nothing survives a failover,
+            // so no stale hit can ever be served — and every pending
+            // hit is displaced like an aborted in-flight transfer (in
+            // ready order, after the device's evacuation) for the
+            // fleet to re-route to a live replica.
+            state.armed = None;
+            while let Some(Reverse(p)) = state.pending.pop() {
+                aborted += 1;
+                displaced.push(PendingRequest {
+                    object: p.object,
+                    query: p.query,
+                    client: p.client,
+                    group: p.group,
+                    bytes: p.bytes,
+                    arrival: now,
+                    seq: p.seq,
+                });
+            }
+            state.cache.invalidate_all();
+        }
+        aborted
     }
 
     /// Recovers a crashed shard: the pump accepts submits and kicks
@@ -342,18 +574,50 @@ impl DevicePump {
     }
 
     /// The earliest instant this pump needs the event loop: the armed
-    /// device completion or the watchdog redelivery, whichever first.
+    /// device completion, the watchdog redelivery, or the earliest
+    /// pending cache completion, whichever first. The safe-horizon
+    /// computation relies on this covering *every* delivery source.
     pub fn next_wakeup(&self) -> Option<SimTime> {
-        match (self.armed_at, self.redeliver_at) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        let cache_next = self
+            .cache
+            .as_ref()
+            .and_then(|s| s.pending.peek().map(|p| p.0.ready));
+        [self.armed_at, self.redeliver_at, cache_next]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// True when the device is idle with an empty queue and the fault
-    /// plane holds nothing back (no parked batch, no pending watchdog).
+    /// plane holds nothing back (no parked batch, no pending watchdog,
+    /// no cache hit awaiting delivery).
     pub fn is_quiescent(&self) -> bool {
-        self.device.is_quiescent() && self.parked.is_empty() && self.redeliver_at.is_none()
+        self.device.is_quiescent()
+            && self.parked.is_empty()
+            && self.redeliver_at.is_none()
+            && self.cache.as_ref().is_none_or(|s| s.pending.is_empty())
+    }
+
+    /// Counter snapshot of the shard cache (zeros when uncached).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .as_ref()
+            .map(|s| s.cache.stats())
+            .unwrap_or_default()
+    }
+
+    /// The installed cache configuration, if any (economics reporting).
+    pub fn cache_config(&self) -> Option<CacheConfig> {
+        self.cache.as_ref().map(|s| s.config)
+    }
+
+    /// Takes the cache-served delivery ledger (end-of-run assembly;
+    /// empty when uncached or under `LedgerMode::Counters`).
+    pub fn take_cache_served_log(&mut self) -> Vec<(usize, QueryId, ObjectId)> {
+        self.cache
+            .as_deref_mut()
+            .map(|s| std::mem::take(&mut s.served_log))
+            .unwrap_or_default()
     }
 
     /// True while fault state forces this shard onto the live

@@ -19,9 +19,11 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use skipper_cost::FleetPricing;
+use skipper_csd::cache::CacheConfig;
 use skipper_csd::{
     CsdConfig, CsdDevice, IntraGroupOrder, Layout, LayoutPolicy, LedgerMode, ObjectId, ObjectStore,
-    PlacementPolicy, SchedPolicy, StreamModel,
+    PlacementPolicy, PowerModel, SchedPolicy, StreamModel,
 };
 use skipper_datagen::Dataset;
 use skipper_relational::query::QuerySpec;
@@ -46,6 +48,7 @@ struct ShardOverride {
     bandwidth: Option<f64>,
     switch_latency: Option<SimDuration>,
     streams: Option<u32>,
+    cache: Option<CacheConfig>,
 }
 
 /// A complete experiment description; build with the fluent setters and
@@ -78,6 +81,9 @@ pub struct Scenario {
     execution: ExecutionMode,
     slo: Option<SimDuration>,
     faults: FaultPlan,
+    shard_cache: CacheConfig,
+    power: PowerModel,
+    pricing: FleetPricing,
 }
 
 impl Scenario {
@@ -118,6 +124,9 @@ impl Scenario {
             execution: ExecutionMode::Sequential,
             slo: None,
             faults: FaultPlan::new(),
+            shard_cache: CacheConfig::disabled(),
+            power: PowerModel::default(),
+            pricing: FleetPricing::default(),
         }
     }
 
@@ -223,6 +232,43 @@ impl Scenario {
     /// MJoin cache-eviction policy (legacy global engine only).
     pub fn eviction(mut self, p: EvictionPolicy) -> Self {
         self.eviction = p;
+        self
+    }
+
+    /// Shard-cache tiers installed on every shard: DRAM/SSD capacities,
+    /// bandwidths, and the promotion/demotion policy. Distinct from
+    /// [`Scenario::cache_bytes`] (the legacy MJoin engine buffer): this
+    /// cache fronts the *device*, completing hot GETs at tier bandwidth
+    /// without a queue or a group switch. A disabled config (the
+    /// default) runs the uncached machine byte-exactly.
+    pub fn shard_cache(mut self, config: CacheConfig) -> Self {
+        self.shard_cache = config;
+        self
+    }
+
+    /// Convenience: a DRAM-only shard cache of `bytes` per shard under
+    /// LRU at the default DRAM bandwidth. `cache_size(0)` collapses to
+    /// the uncached machine byte-exactly.
+    pub fn cache_size(mut self, bytes: u64) -> Self {
+        self.shard_cache = CacheConfig::dram_only(bytes);
+        self
+    }
+
+    /// Overrides one shard's cache config (heterogeneous fleets).
+    pub fn shard_cache_config(mut self, shard: usize, config: CacheConfig) -> Self {
+        self.shard_overrides.entry(shard).or_default().cache = Some(config);
+        self
+    }
+
+    /// MAID electrical model for the end-of-run energy report.
+    pub fn power_model(mut self, model: PowerModel) -> Self {
+        self.power = model;
+        self
+    }
+
+    /// $/GB and $/kWh inputs for the end-of-run cost report.
+    pub fn pricing(mut self, pricing: FleetPricing) -> Self {
+        self.pricing = pricing;
         self
     }
 
@@ -566,10 +612,24 @@ impl Scenario {
             fleet.plan_drop(shard, nth, redeliver_after);
         }
 
+        // Install the shard-cache tiers (a disabled config installs
+        // nothing, keeping the uncached machine byte-exact).
+        for shard in 0..self.shards {
+            let cfg = self
+                .shard_overrides
+                .get(&shard)
+                .and_then(|o| o.cache)
+                .unwrap_or(self.shard_cache);
+            if cfg.enabled() {
+                fleet.set_cache(shard, cfg);
+            }
+        }
+
         Runtime::new(fleet, clients, self.cost)
             .with_execution(self.execution)
             .with_record_mode(self.record_mode)
             .with_faults(fault::timed_actions(&episodes))
+            .with_economics(self.power, self.pricing)
             .run()
     }
 }

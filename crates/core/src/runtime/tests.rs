@@ -1200,3 +1200,36 @@ fn scenario_slo_target_feeds_attainment_counters() {
     assert!(res.latency.tenants[1].stretch.is_none());
     assert!(res.latency.fleet.stretch.is_some());
 }
+
+#[test]
+fn parallel_matches_sequential_with_shard_caches() {
+    // The cache extends the differential battery: hit completions are
+    // pump-local wake-ups that never enter the replay log, so the
+    // windowed drive must reproduce the sequential schedule exactly in
+    // every cache configuration — DRAM-only, two-tier, every policy.
+    use skipper_csd::cache::{CacheConfig, CachePolicy};
+    let configs = [
+        CacheConfig::dram_only(2 << 30),
+        CacheConfig::dram_only(6 << 30).with_policy(CachePolicy::Clock),
+        CacheConfig::two_tier(2 << 30, 4 << 30).with_policy(CachePolicy::GroupAware),
+    ];
+    for config in configs {
+        let reference = sweep_scenario(SchedPolicy::RankBased, PlacementPolicy::RoundRobin, 2)
+            .shard_cache(config)
+            .run();
+        assert!(
+            reference.cache.hits() > 0,
+            "{config:?}: repeat rounds never hit the cache"
+        );
+        for workers in [1, 2, 4] {
+            let parallel = sweep_scenario(SchedPolicy::RankBased, PlacementPolicy::RoundRobin, 2)
+                .shard_cache(config)
+                .execution(ExecutionMode::Parallel { workers })
+                .run();
+            assert_eq!(
+                parallel, reference,
+                "cached parallel(workers={workers}) diverged for {config:?}"
+            );
+        }
+    }
+}

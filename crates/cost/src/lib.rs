@@ -13,8 +13,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod model;
 pub mod tiers;
 
+pub use fleet::{CostReport, FleetPricing};
 pub use model::{CsdTiering, StorageConfig};
 pub use tiers::{DevicePricing, TierFractions, CSD_PRICE_POINTS};

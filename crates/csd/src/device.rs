@@ -686,6 +686,12 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
         self.traces.iter_mut().map(|t| t.take_spans()).collect()
     }
 
+    /// The configured delivery-ledger mode (callers layering extra
+    /// ledgers — e.g. the shard cache's served log — follow it).
+    pub fn ledger_mode(&self) -> LedgerMode {
+        self.config.ledger_mode
+    }
+
     /// The scheduler's report name.
     pub fn scheduler_name(&self) -> &'static str {
         self.scheduler.name()

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod device;
 pub mod layout;
 pub mod metrics;
@@ -50,6 +51,7 @@ pub mod power;
 pub mod sched;
 pub mod store;
 
+pub use cache::{CacheConfig, CachePolicy, CacheStats, ShardCache, TierConfig};
 pub use device::{CsdConfig, CsdDevice, Delivery, IntraGroupOrder, LedgerMode, StreamModel};
 pub use layout::{BasePlacement, Layout, LayoutPolicy, PlacementPolicy};
 pub use object::{GroupId, ObjectId, ObjectMeta, QueryId};
