@@ -21,13 +21,17 @@
 //!    O(events) regression dominates.)
 //!
 //! Any violation exits non-zero — the CI chaos-smoke regression gate.
+//! `--out PATH` additionally writes the smoke cells (deliveries,
+//! availability, failovers, parked requests, allocations/delivery per
+//! scheduling policy) as `BENCH_chaos.json` (schema `BENCH_chaos/v1`).
 //!
 //! `--sweep` instead prints the EXPERIMENTS.md degraded-mode table:
 //! open-arrival tenants (Poisson vs equal-rate bursty) under a ~10%
 //! outage, k = 1 vs k = 2, p99/p999 + SLO attainment per policy.
 //!
 //! ```text
-//! cargo run --release -p skipper-bench --bin chaos -- --alloc-ceiling 300
+//! cargo run --release -p skipper-bench --bin chaos -- \
+//!     --alloc-ceiling 300 --out BENCH_chaos.json
 //! cargo run --release -p skipper-bench --bin chaos -- --sweep
 //! ```
 
@@ -187,6 +191,7 @@ fn outage() -> FaultPlan {
 fn main() {
     let mut alloc_ceiling: Option<f64> = None;
     let mut sweep = false;
+    let mut out_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -195,6 +200,10 @@ fn main() {
                 i += 1;
                 let v = args.get(i).expect("missing value for --alloc-ceiling");
                 alloc_ceiling = Some(v.parse().expect("--alloc-ceiling"));
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).expect("missing value for --out").to_string());
             }
             "--sweep" => sweep = true,
             other => panic!("unknown flag {other:?}"),
@@ -219,6 +228,7 @@ fn main() {
         }
     };
 
+    let mut json_rows: Vec<String> = Vec::new();
     for sched in [SchedPolicy::RankBased, SchedPolicy::FcfsObject] {
         let clean = fleet(&ds, sched).run();
 
@@ -265,6 +275,28 @@ fn main() {
                 &format!("{sched:?}: allocations/delivery {per_delivery:.1} <= {ceiling:.1}"),
             );
         }
+        json_rows.push(format!(
+            "    {{\"scheduler\": \"{sched:?}\", \"deliveries\": {}, \
+             \"availability\": {:.6}, \"downtime_micros\": {}, \"failovers\": {}, \
+             \"parked_requests\": {}, \"evacuated_requests\": {}, \
+             \"fault_events\": {}, \"allocs_per_delivery\": {per_delivery:.4}}}",
+            deliveries(&faulted),
+            faulted.availability.availability,
+            faulted.availability.downtime_micros,
+            faulted.availability.failovers,
+            faulted.availability.parked_requests,
+            faulted.availability.evacuated_requests,
+            faulted.availability.fault_events,
+        ));
+    }
+
+    if let Some(path) = out_path {
+        let json = format!(
+            "{{\n  \"schema\": \"BENCH_chaos/v1\",\n  \"cells\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
     }
 
     if failures > 0 {

@@ -66,6 +66,17 @@ pub struct ClientState {
     pub slo: Option<SimDuration>,
     /// Ideal single-tenant time (enables streaming stretch quantiles).
     pub ideal: Option<SimDuration>,
+    /// Protection plane: the current query was cancelled while charged
+    /// processing was in flight — the pending `ClientReady` must
+    /// discard its reaction instead of applying it.
+    pub cancelled: bool,
+    /// Protection plane: keep a clone of each started query's spec so a
+    /// deadline-cancelled query can be re-planned for retry. Set at
+    /// assembly only for tenants with both a deadline and a retry
+    /// policy; the default (false) skips the per-start clone.
+    pub keep_spec: bool,
+    /// The running query's spec, saved when [`ClientState::keep_spec`].
+    pub current_spec: Option<QuerySpec>,
 }
 
 impl ClientState {
@@ -90,6 +101,9 @@ impl ClientState {
             records: Vec::new(),
             slo: None,
             ideal: None,
+            cancelled: false,
+            keep_spec: false,
+            current_spec: None,
         }
     }
 
@@ -114,6 +128,9 @@ impl ClientState {
         let planned = self.plan.pop_front().expect("start_next on empty plan");
         let query_name = planned.spec.name.clone();
         let release = planned.release;
+        if self.keep_spec {
+            self.current_spec = Some(planned.spec.clone());
+        }
         let mut engine = self
             .factory
             .build(tenant, &self.dataset, planned.spec, cost);
@@ -121,6 +138,25 @@ impl ClientState {
         self.engine = Some(engine);
         self.draft = RecordDraft::begin(query_name, release, now);
         requests
+    }
+
+    /// Abandons the current query without a record (a protection-plane
+    /// cancel): drops the engine, discards buffered deliveries, resets
+    /// the measurement draft, and advances the query seq so in-flight
+    /// deliveries and stale protection events are recognized and
+    /// dropped at routing. If charged processing is in flight the
+    /// [`ClientState::cancelled`] flag stays up and the pending
+    /// `ClientReady` discards its reaction instead of applying it; the
+    /// driver must not start the next query until that fires.
+    pub fn cancel(&mut self) {
+        assert!(self.engine.is_some(), "cancel without a running query");
+        self.engine = None;
+        self.inbox.clear();
+        self.draft = RecordDraft::default();
+        self.qseq += 1;
+        if self.busy {
+            self.cancelled = true;
+        }
     }
 
     /// Whether `query_seq` refers to the query currently in flight.

@@ -21,6 +21,8 @@ use skipper_sim::{
 
 use crate::engine::EngineStats;
 
+use super::protect::ProtectionSummary;
+
 /// One query's measurements.
 #[derive(Clone, Debug, PartialEq)]
 pub struct QueryRecord {
@@ -665,6 +667,17 @@ pub struct RunResult {
     /// Dollar breakdown of the run — amortized tier capex plus energy,
     /// per completed query — from the scenario's `FleetPricing`.
     pub economics: CostReport,
+    /// Protection-plane counters: deadline misses, sheds, retries,
+    /// hedges, breaker trips, and per-tenant goodput vs offered load.
+    /// All-zero (`ProtectionSummary::is_quiet`) when every protection
+    /// knob is disabled.
+    pub protection: ProtectionSummary,
+    /// Consumed-delivery ledger under hedging: one `(client, query,
+    /// object)` entry per delivery a client actually consumed
+    /// (duplicates from the losing replica are excluded at routing).
+    /// Recorded only when hedging is enabled and records are
+    /// [`RecordMode::Full`]; empty otherwise.
+    pub consumed: Vec<(usize, QueryId, ObjectId)>,
 }
 
 impl RunResult {
@@ -774,6 +787,18 @@ impl RunResult {
                     .copied()
             })
             .collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// The *consumed* multiset under hedging, sorted: conservation is
+    /// re-pinned on consumption — each requested object is consumed at
+    /// most once per query, with duplicate (losing-replica) deliveries
+    /// discarded at routing. A hedged run's consumed multiset equals
+    /// the unhedged run's delivery multiset. Empty unless hedging was
+    /// enabled with [`RecordMode::Full`].
+    pub fn consumed_multiset(&self) -> Vec<(usize, QueryId, ObjectId)> {
+        let mut all = self.consumed.clone();
         all.sort_unstable();
         all
     }

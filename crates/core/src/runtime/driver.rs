@@ -26,20 +26,22 @@ use std::sync::Arc;
 use skipper_cost::FleetPricing;
 use skipper_csd::cache::CacheStats;
 use skipper_csd::metrics::DeviceMetrics;
-use skipper_csd::{Delivery, PowerModel, QueryId};
+use skipper_csd::{Delivery, ObjectId, PowerModel, QueryId};
 use skipper_relational::segment::Segment;
+use skipper_sim::rng::derive_seed;
 use skipper_sim::trace::Span;
 use skipper_sim::{CalendarQueue, HorizonTracker, MergedTimeline, SimDuration, SimTime};
 
 use crate::config::CostModel;
 
-use super::client::ClientState;
+use super::client::{ClientState, PlannedQuery};
 use super::collector::{
     attribute_stalls_merged, AvailabilitySummary, LatencyAccumulator, RecordMode, RunResult,
     ShardResult,
 };
 use super::fault::{FaultAction, TimedFault};
 use super::fleet::DeviceFleet;
+use super::protect::{AdmissionPolicy, AdmissionResponse, ClientProtection, ProtectionSummary};
 
 /// Event payloads of the runtime loop.
 #[derive(Clone, Copy, Debug)]
@@ -52,6 +54,46 @@ enum Event {
     Release(usize),
     /// The fault plan's `i`-th timed action fires.
     Fault(usize),
+    /// Client `c`'s query seq `q` hits its response deadline.
+    Deadline(usize, u32),
+    /// The `i`-th hedge entry fires: re-issue still-undelivered
+    /// objects to the next live replica.
+    Hedge(usize),
+    /// The `i`-th retry entry fires: re-submit one unroutable object.
+    Retry(usize),
+}
+
+/// A scheduled re-submission of one object that found no live replica.
+#[derive(Clone, Copy)]
+struct RetryEntry {
+    client: usize,
+    query: QueryId,
+    object: ObjectId,
+    attempt: u32,
+}
+
+/// A scheduled hedge check covering one submitted batch: the range
+/// `start..end` indexes the client's `HedgeState::requested` log.
+#[derive(Clone, Copy)]
+struct HedgeEntry {
+    client: usize,
+    qseq: u32,
+    start: usize,
+    end: usize,
+}
+
+/// Per-client hedging ledger for the current query. Cleared on finish
+/// and cancel; empty for tenants without a hedge delay.
+#[derive(Clone, Default)]
+struct HedgeState {
+    /// Every object submitted for the current query, in submit order.
+    requested: Vec<ObjectId>,
+    /// Objects already consumed (first copy delivered); later copies
+    /// are hedge losers and are discarded.
+    consumed: Vec<ObjectId>,
+    /// Objects with a hedge duplicate in flight, and the shard it was
+    /// sent to (to tell hedge wins from primary wins).
+    hedged: Vec<(ObjectId, usize)>,
 }
 
 /// How the event loop executes a run.
@@ -109,12 +151,45 @@ pub struct Runtime {
     power: PowerModel,
     /// $/GB and $/kWh inputs for the end-of-run cost report.
     pricing: FleetPricing,
+    /// Per-client protection knobs (deadline, retry, hedge, priority);
+    /// one entry per client, all-disabled by default.
+    protection: Vec<ClientProtection>,
+    /// Fleet-seam admission policy, if any.
+    admission: Option<AdmissionPolicy>,
+    /// Protection-plane counters for the run result.
+    protection_summary: ProtectionSummary,
+    /// Per-client seeded SplitMix streams for retry backoff jitter.
+    retry_rng: Vec<u64>,
+    /// Deadline-retry attempts already spent on the current query.
+    query_attempts: Vec<u32>,
+    /// Scheduled unroutable-object retries, indexed by `Event::Retry`.
+    retries: Vec<RetryEntry>,
+    /// Scheduled hedge checks, indexed by `Event::Hedge`.
+    hedges: Vec<HedgeEntry>,
+    /// Per-client hedging ledgers (empty vectors when unused).
+    hedge_state: Vec<HedgeState>,
+    /// True when any client hedges: gates the per-delivery ledger work
+    /// and the extra safe-horizon bound.
+    any_hedge: bool,
+    /// Whether consumed deliveries are logged (hedged full-record runs).
+    log_consumed: bool,
+    /// At-most-once consumption log (see `RunResult::consumed`).
+    consumed_log: Vec<(usize, QueryId, ObjectId)>,
+    /// Reusable buffer for draining the fleet's unroutable requests.
+    unroutable_scratch: Vec<(usize, QueryId, ObjectId)>,
+    /// Instant of the last event that did anything. Protection events
+    /// for queries that already completed pop as stale no-ops and must
+    /// not stretch the makespan (a met deadline leaves its far-future
+    /// event behind); every other event advances this unconditionally,
+    /// so without protection it equals the historical `events.now()`.
+    last_activity: SimTime,
 }
 
 impl Runtime {
     /// Wires the parts together (sequential execution).
     pub fn new(fleet: DeviceFleet, clients: Vec<ClientState>, cost: CostModel) -> Self {
         let targets: Vec<_> = clients.iter().map(|c| (c.slo, c.ideal)).collect();
+        let n = clients.len();
         Runtime {
             fleet,
             clients,
@@ -129,6 +204,19 @@ impl Runtime {
             faults: Vec::new(),
             power: PowerModel::default(),
             pricing: FleetPricing::default(),
+            protection: vec![ClientProtection::default(); n],
+            admission: None,
+            protection_summary: ProtectionSummary::sized(n),
+            retry_rng: vec![0; n],
+            query_attempts: vec![0; n],
+            retries: Vec::new(),
+            hedges: Vec::new(),
+            hedge_state: vec![HedgeState::default(); n],
+            any_hedge: false,
+            log_consumed: false,
+            consumed_log: Vec::new(),
+            unroutable_scratch: Vec::new(),
+            last_activity: SimTime::ZERO,
         }
     }
 
@@ -160,6 +248,43 @@ impl Runtime {
         self
     }
 
+    /// Installs the protection plane (builder style): per-client knobs,
+    /// the optional admission policy, and the root seed the per-client
+    /// `"retry/{c}"` backoff streams derive from. With all knobs
+    /// disabled this is a no-op and the run is byte-identical to one
+    /// that never called it.
+    pub(crate) fn with_protection(
+        mut self,
+        per_client: Vec<ClientProtection>,
+        admission: Option<AdmissionPolicy>,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            per_client.len(),
+            self.clients.len(),
+            "one protection entry per client"
+        );
+        self.any_hedge = per_client.iter().any(|p| p.hedge.is_some());
+        let retry_flags: Vec<bool> = per_client.iter().map(|p| p.retry.enabled()).collect();
+        if retry_flags.iter().any(|&f| f) {
+            self.retry_rng = (0..per_client.len())
+                .map(|c| derive_seed(seed, &format!("retry/{c}")))
+                .collect();
+            self.fleet.set_retry_clients(retry_flags);
+        }
+        for (c, p) in per_client.iter().enumerate() {
+            // A deadline-cancelled query can only be re-planned if its
+            // spec survives the cancel.
+            self.clients[c].keep_spec = p.deadline.is_some() && p.retry.enabled();
+        }
+        if let Some(b) = admission.and_then(|a| a.breaker) {
+            self.fleet.set_breaker(b);
+        }
+        self.admission = admission;
+        self.protection = per_client;
+        self
+    }
+
     /// True when running windowed-parallel.
     fn windowed(&self) -> bool {
         self.execution != ExecutionMode::Sequential
@@ -178,6 +303,10 @@ impl Runtime {
         // Starting a client never schedules events, so arming all
         // releases first preserves the historical event order.
         let windowed = self.windowed();
+        self.log_consumed = self.any_hedge && self.record_mode == RecordMode::Full;
+        for (c, client) in self.clients.iter().enumerate() {
+            self.protection_summary.per_tenant[c].offered = client.plan.len() as u64;
+        }
         // Fault actions are armed first: at equal instants a crash (or
         // recovery) applies before a release routes its query. Every
         // fault instant is a noted interaction — faults re-route work
@@ -220,6 +349,9 @@ impl Runtime {
                 }
                 self.window_end = horizon;
             }
+            if !matches!(ev, Event::Deadline(..) | Event::Hedge(_) | Event::Retry(_)) {
+                self.last_activity = t;
+            }
             match ev {
                 Event::Device(shard) => {
                     // A multi-stream wake-up retires every transfer due
@@ -234,7 +366,7 @@ impl Runtime {
                     batch.clear();
                     self.fleet.on_wakeup_into(shard, t, &mut batch);
                     for d in batch.drain(..) {
-                        self.route_delivery(t, d.client, d.query, d.object, d.payload);
+                        self.route_delivery(t, shard, d.client, d.query, d.object, d.payload);
                     }
                     self.scratch = batch;
                     self.poke_fleet(t);
@@ -266,16 +398,40 @@ impl Runtime {
                     // transfers finished before the crash): route them
                     // like any retired batch.
                     for d in batch.drain(..) {
-                        self.route_delivery(t, d.client, d.query, d.object, d.payload);
+                        self.route_delivery(t, fault.shard, d.client, d.query, d.object, d.payload);
                     }
                     self.scratch = batch;
+                    // A crash may have displaced a retry tenant's
+                    // in-flight requests with no live replica left.
+                    if self.fleet.has_unroutable() {
+                        self.drain_unroutable(t, 1);
+                    }
                     self.poke_fleet(t);
+                }
+                Event::Deadline(c, qseq) => {
+                    if windowed {
+                        self.interactions.consume(t);
+                    }
+                    self.deadline_fired(c, qseq, t);
+                }
+                Event::Hedge(i) => {
+                    if windowed {
+                        self.interactions.consume(t);
+                    }
+                    self.hedge_fired(i, t);
+                }
+                Event::Retry(i) => {
+                    if windowed {
+                        self.interactions.consume(t);
+                    }
+                    self.retry_fired(i, t);
                 }
             }
         }
 
-        let makespan = self.events.now();
+        let makespan = self.last_activity;
         self.fleet.close_downtime(makespan);
+        self.protection_summary.breaker_trips = self.fleet.breaker_trips();
         let fault_stats = self.fleet.fault_stats().to_vec();
         let availability = AvailabilitySummary::from_shards(
             &fault_stats,
@@ -394,6 +550,8 @@ impl Runtime {
             cache,
             energy,
             economics,
+            protection: self.protection_summary,
+            consumed: self.consumed_log,
         }
     }
 
@@ -441,19 +599,96 @@ impl Runtime {
         if idle_live {
             horizon = horizon.min(self.fleet.min_armed());
         }
+        // Hedging adds a delivery-time device mutation: consuming the
+        // winning copy cancels the loser's queued copy on another
+        // shard. While any hedge-enabled client has a query in flight,
+        // no window may drain past the fleet's earliest completion —
+        // the cancel must never land inside a pre-drained chain.
+        if self.any_hedge
+            && self
+                .clients
+                .iter()
+                .zip(&self.protection)
+                .any(|(cl, p)| p.hedge.is_some() && cl.engine.is_some())
+        {
+            horizon = horizon.min(self.fleet.min_armed());
+        }
         horizon
     }
 
     /// Starts client `c`'s next query if its release has come and the
-    /// client is idle.
+    /// client is idle, after the protection gates: queries whose
+    /// deadline already lapsed while queued are abandoned, and
+    /// admission control sheds or defers the start when a live shard
+    /// is over its backlog ceiling.
     fn try_start(&mut self, c: usize, now: SimTime) {
-        if !self.clients[c].can_start(now) {
-            return;
+        loop {
+            if !self.clients[c].can_start(now) {
+                return;
+            }
+            if self.protection[c].disabled() && self.admission.is_none() {
+                break; // historical fast path, byte-identical
+            }
+            // Lazy deadline check: an open-arrival query that queued
+            // past its whole deadline is a miss before it starts.
+            if let Some(d) = self.protection[c].deadline {
+                let expired = self.clients[c]
+                    .plan
+                    .front()
+                    .and_then(|p| p.release)
+                    .is_some_and(|r| r + d <= now);
+                if expired {
+                    self.clients[c].plan.pop_front();
+                    self.protection_summary.deadline_misses += 1;
+                    self.protection_summary.per_tenant[c].deadline_misses += 1;
+                    self.query_attempts[c] = 0;
+                    continue;
+                }
+            }
+            if let Some(policy) = self.admission {
+                let (depth, bytes) = self.fleet.max_live_load();
+                if policy.over_limit(self.protection[c].priority, depth, bytes) {
+                    match policy.response {
+                        AdmissionResponse::Shed => {
+                            self.clients[c].plan.pop_front();
+                            self.protection_summary.sheds += 1;
+                            self.protection_summary.per_tenant[c].shed += 1;
+                            self.query_attempts[c] = 0;
+                            continue;
+                        }
+                        AdmissionResponse::Backpressure(delay) => {
+                            let at = now + delay;
+                            self.clients[c]
+                                .plan
+                                .front_mut()
+                                .expect("can_start saw a front query")
+                                .release = Some(at);
+                            self.events.schedule(at, Event::Release(c));
+                            if self.windowed() {
+                                self.interactions.note(at);
+                            }
+                            self.protection_summary.backpressure_deferrals += 1;
+                            return;
+                        }
+                    }
+                }
+            }
+            break;
         }
         let requests = self.clients[c].start_next(c as u16, self.cost, now);
         self.clients[c].draft.upfront_gets = requests.len() as u64;
         let qid = QueryId::new(c as u16, self.clients[c].qseq);
-        self.fleet.submit(now, c, qid, &requests);
+        if let Some(d) = self.protection[c].deadline {
+            // The deadline anchors at release (queue wait counts), like
+            // the SLO attainment report.
+            let anchor = self.clients[c].draft.release.unwrap_or(now);
+            let at = anchor + d;
+            self.events.schedule(at, Event::Deadline(c, qid.seq));
+            if self.windowed() {
+                self.interactions.note(at);
+            }
+        }
+        self.protected_submit(now, c, qid, &requests);
     }
 
     /// Arms wake-ups on every shard with pending work and none armed.
@@ -464,20 +699,49 @@ impl Runtime {
     }
 
     /// Routes a finished transfer to its client, dropping stale
-    /// deliveries for already-completed queries (reissue races).
+    /// deliveries for already-completed queries (reissue races) and —
+    /// for hedged tenants — duplicate copies of an already-consumed
+    /// object (at-most-once consumption; the winner's cancel may have
+    /// raced the loser's dispatch).
     fn route_delivery(
         &mut self,
         now: SimTime,
+        shard: usize,
         c: usize,
         query: QueryId,
-        object: skipper_csd::ObjectId,
+        object: ObjectId,
         payload: std::sync::Arc<skipper_relational::segment::Segment>,
     ) {
-        let client = &mut self.clients[c];
-        if !client.is_current(query.seq) {
+        if !self.clients[c].is_current(query.seq) {
             return; // stale delivery for a completed query
         }
-        client.inbox.push_back((object, payload));
+        if self.protection[c].hedge.is_some() {
+            let hs = &mut self.hedge_state[c];
+            if hs.consumed.contains(&object) {
+                self.protection_summary.hedge_losers_discarded += 1;
+                return; // the other replica already won this object
+            }
+            hs.consumed.push(object);
+            let hedge_shard = hs
+                .hedged
+                .iter()
+                .find(|&&(o, _)| o == object)
+                .map(|&(_, s)| s);
+            if let Some(target) = hedge_shard {
+                if target == shard {
+                    self.protection_summary.hedge_wins += 1;
+                }
+                // First consumption: dequeue the loser's still-queued
+                // copy wherever it sits (the winner's copy left its
+                // queue at dispatch, so a fleet-wide scan is safe).
+                self.protection_summary.hedge_losers_cancelled +=
+                    self.fleet.cancel_object(query, object) as u64;
+            }
+        }
+        if self.log_consumed {
+            self.consumed_log.push((c, query, object));
+        }
+        self.clients[c].inbox.push_back((object, payload));
         self.try_process(c, now);
     }
 
@@ -530,6 +794,17 @@ impl Runtime {
             self.clients[c].ready_noted = false;
             self.interactions.consume(now);
         }
+        if self.clients[c].cancelled {
+            // The query this processing belonged to was cancelled while
+            // charged: discard the reaction. A successor query may
+            // already have started (a release fired during the busy
+            // window), so drain its buffered deliveries too.
+            self.clients[c].cancelled = false;
+            self.try_start(c, now);
+            self.poke_fleet(now);
+            self.try_process(c, now);
+            return;
+        }
         let submitted = !requests.is_empty();
         // Reaction contract: a finished query has nothing left to fetch.
         // The single poke below would otherwise let a next-query batch
@@ -540,13 +815,16 @@ impl Runtime {
         );
         if submitted {
             let qid = QueryId::new(c as u16, self.clients[c].qseq);
-            self.fleet.submit(now, c, qid, &requests);
+            self.protected_submit(now, c, qid, &requests);
         }
         if finished {
             // Engines never finish with follow-up GETs in flight, so the
             // next query's upfront batch and the (empty) follow-up set
             // share one poke below instead of the historical two.
             self.clients[c].finish(c, now);
+            self.protection_summary.per_tenant[c].completed += 1;
+            self.query_attempts[c] = 0;
+            self.clear_hedge(c);
             let response = self.clients[c]
                 .records
                 .last()
@@ -568,5 +846,226 @@ impl Runtime {
             self.clients[c].note_waiting(now);
             self.try_process(c, now);
         }
+    }
+
+    /// Submits a batch through the protection plane: records a hedge
+    /// check for hedge-enabled tenants under replication, routes
+    /// through the fleet, and converts any unroutable requests (retry
+    /// tenants with no live replica) into scheduled re-submissions.
+    fn protected_submit(&mut self, now: SimTime, c: usize, qid: QueryId, objects: &[ObjectId]) {
+        if !objects.is_empty() && self.fleet.replicated() {
+            if let Some(delay) = self.protection[c].hedge {
+                let hs = &mut self.hedge_state[c];
+                let start = hs.requested.len();
+                hs.requested.extend_from_slice(objects);
+                let entry = HedgeEntry {
+                    client: c,
+                    qseq: self.clients[c].qseq,
+                    start,
+                    end: start + objects.len(),
+                };
+                let at = now + delay;
+                let idx = self.hedges.len();
+                self.hedges.push(entry);
+                self.events.schedule(at, Event::Hedge(idx));
+                if self.windowed() {
+                    self.interactions.note(at);
+                }
+            }
+        }
+        self.fleet.submit(now, c, qid, objects);
+        if self.fleet.has_unroutable() {
+            self.drain_unroutable(now, 1);
+        }
+    }
+
+    /// Converts the fleet's pending unroutable requests into scheduled
+    /// retries at backoff instant `attempt`.
+    fn drain_unroutable(&mut self, now: SimTime, attempt: u32) {
+        let mut buf = std::mem::take(&mut self.unroutable_scratch);
+        buf.clear();
+        self.fleet.take_unroutable(&mut buf);
+        for &(client, query, object) in buf.iter() {
+            self.schedule_retry(now, client, query, object, attempt);
+        }
+        buf.clear();
+        self.unroutable_scratch = buf;
+    }
+
+    /// Schedules re-submission attempt `attempt` for one unroutable
+    /// object, or — when the backoff budget is exhausted — cancels the
+    /// whole query so the run still drains.
+    fn schedule_retry(
+        &mut self,
+        now: SimTime,
+        client: usize,
+        query: QueryId,
+        object: ObjectId,
+        attempt: u32,
+    ) {
+        if self.clients[client].engine.is_none() || self.clients[client].qseq != query.seq {
+            return; // the owning query was cancelled meanwhile
+        }
+        match self.protection[client]
+            .retry
+            .delay(attempt, &mut self.retry_rng[client])
+        {
+            Some(delay) => {
+                self.protection_summary.retries += 1;
+                let at = now + delay;
+                let idx = self.retries.len();
+                self.retries.push(RetryEntry {
+                    client,
+                    query,
+                    object,
+                    attempt,
+                });
+                self.events.schedule(at, Event::Retry(idx));
+                if self.windowed() {
+                    self.interactions.note(at);
+                }
+            }
+            None => {
+                // Out of attempts: the query can never receive this
+                // object, so cancel it (no timeout charged — the shard
+                // is down, not slow).
+                self.protection_summary.retry_exhausted += 1;
+                self.cancel_current(client, now, false);
+                self.query_attempts[client] = 0;
+                if !self.clients[client].busy {
+                    self.try_start(client, now);
+                }
+            }
+        }
+    }
+
+    /// A scheduled retry instant arrived: re-submit the object if its
+    /// query is still in flight; if the fleet still has no live replica
+    /// the request comes straight back and re-schedules at the next
+    /// backoff step.
+    fn retry_fired(&mut self, i: usize, now: SimTime) {
+        let RetryEntry {
+            client,
+            query,
+            object,
+            attempt,
+        } = self.retries[i];
+        if self.clients[client].engine.is_none() || self.clients[client].qseq != query.seq {
+            return; // cancelled or finished while the retry waited
+        }
+        self.last_activity = now;
+        self.fleet.submit(now, client, query, &[object]);
+        if self.fleet.has_unroutable() {
+            self.drain_unroutable(now, attempt + 1);
+        }
+        self.poke_fleet(now);
+    }
+
+    /// A hedge delay elapsed: re-issue every still-undelivered object
+    /// of the covered batch to the next live replica.
+    fn hedge_fired(&mut self, i: usize, now: SimTime) {
+        let HedgeEntry {
+            client,
+            qseq,
+            start,
+            end,
+        } = self.hedges[i];
+        if self.clients[client].engine.is_none() || self.clients[client].qseq != qseq {
+            return; // the covered query already finished or cancelled
+        }
+        self.last_activity = now;
+        let qid = QueryId::new(client as u16, qseq);
+        let mut fired = false;
+        for idx in start..end {
+            let object = self.hedge_state[client].requested[idx];
+            let skip = {
+                let hs = &self.hedge_state[client];
+                hs.consumed.contains(&object) || hs.hedged.iter().any(|&(o, _)| o == object)
+            };
+            if skip {
+                continue;
+            }
+            let Some(target) = self.fleet.hedge_target(object) else {
+                continue; // no second live replica to hedge to
+            };
+            self.fleet.submit_to(target, now, client, qid, object);
+            self.hedge_state[client].hedged.push((object, target));
+            self.protection_summary.hedges_fired += 1;
+            fired = true;
+        }
+        if fired {
+            self.poke_fleet(now);
+        }
+    }
+
+    /// A deadline fired: if the query is still in flight, cancel it
+    /// everywhere (client, queues, ledgers), count the miss, and — for
+    /// retry tenants — re-plan it at the next backoff instant.
+    fn deadline_fired(&mut self, c: usize, qseq: u32, now: SimTime) {
+        let live = self.clients[c].engine.is_some() && self.clients[c].qseq == qseq;
+        if !live {
+            return; // the query beat its deadline
+        }
+        self.last_activity = now;
+        self.protection_summary.deadline_misses += 1;
+        self.protection_summary.per_tenant[c].deadline_misses += 1;
+        let attempt = self.query_attempts[c] + 1;
+        let delay = self.protection[c]
+            .retry
+            .delay(attempt, &mut self.retry_rng[c]);
+        // The timeout is charged to the shards that still held queued
+        // work for the query — that is what trips a slow shard's
+        // breaker.
+        self.cancel_current(c, now, true);
+        match delay {
+            Some(delay) => {
+                self.query_attempts[c] = attempt;
+                self.protection_summary.retries += 1;
+                let spec = self.clients[c]
+                    .current_spec
+                    .clone()
+                    .expect("retry-enabled client keeps its running spec");
+                let at = now + delay;
+                self.clients[c].plan.push_front(PlannedQuery {
+                    spec,
+                    release: Some(at),
+                });
+                self.events.schedule(at, Event::Release(c));
+                if self.windowed() {
+                    self.interactions.note(at);
+                }
+            }
+            None => {
+                if self.protection[c].retry.enabled() {
+                    self.protection_summary.retry_exhausted += 1;
+                }
+                self.query_attempts[c] = 0;
+            }
+        }
+        if !self.clients[c].busy {
+            self.try_start(c, now);
+        }
+        self.poke_fleet(now);
+    }
+
+    /// Cancels client `c`'s current query end-to-end: fleet queues
+    /// (optionally charging the breaker's timeout counter), the client
+    /// state machine, and the hedge ledger.
+    fn cancel_current(&mut self, c: usize, now: SimTime, charge_timeout: bool) {
+        let qid = QueryId::new(c as u16, self.clients[c].qseq);
+        self.fleet.cancel_query(qid, now, charge_timeout);
+        self.clients[c].cancel();
+        self.clear_hedge(c);
+    }
+
+    /// Resets client `c`'s hedge ledger (no-op when nothing hedges).
+    fn clear_hedge(&mut self, c: usize) {
+        if !self.any_hedge {
+            return;
+        }
+        let hs = &mut self.hedge_state[c];
+        hs.requested.clear();
+        hs.consumed.clear();
+        hs.hedged.clear();
     }
 }

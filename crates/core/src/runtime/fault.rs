@@ -575,6 +575,30 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "overlap on shard 0")]
+    fn overlapping_downtime_windows_on_one_shard_rejected() {
+        // Two ShardDown windows on the same shard must not compose
+        // silently (a shard cannot crash while already down): validation
+        // rejects the plan loudly at assembly time, exactly like the
+        // down-vs-degraded overlap above.
+        FaultPlan::new()
+            .shard_down(0, secs(10), secs(100))
+            .shard_down(0, secs(50), secs(150))
+            .expand(2);
+    }
+
+    #[test]
+    fn overlapping_downtime_on_different_shards_composes() {
+        // Overlap is only illegal per shard: concurrent outages on
+        // different shards are a first-class chaos shape.
+        let episodes = FaultPlan::new()
+            .shard_down(0, secs(10), secs(100))
+            .shard_down(1, secs(50), secs(150))
+            .expand(2);
+        assert_eq!(episodes.len(), 2);
+    }
+
+    #[test]
     fn timed_actions_order_recovery_before_adjacent_start() {
         let episodes = FaultPlan::new()
             .shard_down(0, secs(10), secs(20))

@@ -41,6 +41,7 @@ use skipper_sim::parallel::drain_parallel;
 use skipper_sim::{SimDuration, SimTime};
 
 use super::collector::ShardFaultStats;
+use super::protect::BreakerPolicy;
 use super::pump::DevicePump;
 
 /// N device pumps + the object → shard map.
@@ -70,6 +71,26 @@ pub struct DeviceFleet {
     parked_total: u64,
     /// Reusable evacuation scratch for `fail_shard`.
     displaced: Vec<PendingRequest>,
+    /// Protection plane: clients whose no-live-replica requests are
+    /// handed back to the driver for backoff retries instead of parking
+    /// (empty unless a retry policy is configured — the parked path
+    /// stays byte-identical).
+    retry_clients: Vec<bool>,
+    /// Requests from retry-enabled clients that found no live replica,
+    /// awaiting a driver-scheduled re-submission.
+    unroutable: Vec<(usize, QueryId, ObjectId)>,
+    /// Protection plane: the per-shard breaker policy, `None` (the
+    /// default) leaving routing byte-identical.
+    breaker: Option<BreakerPolicy>,
+    /// Breaker state: shard open due to repeated deadline timeouts
+    /// until this instant.
+    breaker_open_until: Vec<SimTime>,
+    /// Breaker state: shard open due to a deep brown-out.
+    breaker_brownout: Vec<bool>,
+    /// Deadline timeouts charged per shard since its last trip.
+    breaker_timeouts: Vec<u32>,
+    /// Breaker openings over the run (brown-out + timeout trips).
+    breaker_trips: u64,
 }
 
 impl DeviceFleet {
@@ -96,6 +117,13 @@ impl DeviceFleet {
             parked: VecDeque::new(),
             parked_total: 0,
             displaced: Vec::new(),
+            retry_clients: Vec::new(),
+            unroutable: Vec::new(),
+            breaker: None,
+            breaker_open_until: vec![SimTime::ZERO; n],
+            breaker_brownout: vec![false; n],
+            breaker_timeouts: vec![0; n],
+            breaker_trips: 0,
         }
     }
 
@@ -144,10 +172,21 @@ impl DeviceFleet {
             .unwrap_or_else(|| panic!("object {object} was never placed on any shard"))
     }
 
+    /// Protection plane: true while `shard`'s breaker holds it out of
+    /// preferred routing (brown-out, or a recent timeout trip still in
+    /// cooldown). Always false without a [`BreakerPolicy`].
+    fn breaker_open(&self, shard: usize, now: SimTime) -> bool {
+        self.breaker.is_some()
+            && (self.breaker_brownout[shard] || self.breaker_open_until[shard] > now)
+    }
+
     /// The first live replica for `object`, counting a failover receipt
-    /// on the serving shard when it is not the preferred one. `None`
+    /// on the serving shard when it is not the preferred one. With a
+    /// breaker installed, replicas whose breaker is open are skipped
+    /// when a closed live replica exists (and used anyway when not —
+    /// the breaker degrades preference, never availability). `None`
     /// when every replica is down (the caller parks the request).
-    fn route(&mut self, object: ObjectId) -> Option<usize> {
+    fn route(&mut self, now: SimTime, object: ObjectId) -> Option<usize> {
         if !self.replicas_of.is_empty() {
             let replicas = self
                 .replicas_of
@@ -156,7 +195,8 @@ impl DeviceFleet {
             let choice = replicas
                 .iter()
                 .enumerate()
-                .find(|&(_, &s)| !self.down[s])
+                .find(|&(_, &s)| !self.down[s] && !self.breaker_open(s, now))
+                .or_else(|| replicas.iter().enumerate().find(|&(_, &s)| !self.down[s]))
                 .map(|(i, &s)| (i, s));
             return match choice {
                 Some((ordinal, shard)) => {
@@ -183,12 +223,9 @@ impl DeviceFleet {
             return;
         }
         for &obj in objects {
-            match self.route(obj) {
+            match self.route(now, obj) {
                 Some(shard) => self.fanout[shard].push(obj),
-                None => {
-                    self.parked_total += 1;
-                    self.parked.push_back((client, query, obj));
-                }
+                None => self.park_or_defer(client, query, obj),
             }
         }
         for (pump, batch) in self.pumps.iter_mut().zip(self.fanout.iter_mut()) {
@@ -196,6 +233,18 @@ impl DeviceFleet {
                 pump.submit(now, client, query, batch);
                 batch.clear();
             }
+        }
+    }
+
+    /// A request with no live replica either parks (the historical
+    /// path) or, for retry-enabled clients, lands in the unroutable
+    /// buffer for the driver to schedule a backoff re-submission.
+    fn park_or_defer(&mut self, client: usize, query: QueryId, obj: ObjectId) {
+        if self.retry_clients.get(client).copied().unwrap_or(false) {
+            self.unroutable.push((client, query, obj));
+        } else {
+            self.parked_total += 1;
+            self.parked.push_back((client, query, obj));
         }
     }
 
@@ -228,12 +277,9 @@ impl DeviceFleet {
         // re-submission is a fresh single-object batch — a requeue at
         // the destination's tail.
         for req in displaced.drain(..) {
-            match self.route(req.object) {
+            match self.route(now, req.object) {
                 Some(live) => self.pumps[live].submit(now, req.client, req.query, &[req.object]),
-                None => {
-                    self.parked_total += 1;
-                    self.parked.push_back((req.client, req.query, req.object));
-                }
+                None => self.park_or_defer(req.client, req.query, req.object),
             }
         }
         self.displaced = displaced;
@@ -252,7 +298,7 @@ impl DeviceFleet {
         self.pumps[shard].recover(now);
         for _ in 0..self.parked.len() {
             let (client, query, obj) = self.parked.pop_front().expect("len checked");
-            match self.route(obj) {
+            match self.route(now, obj) {
                 Some(live) => self.pumps[live].submit(now, client, query, &[obj]),
                 None => self.parked.push_back((client, query, obj)),
             }
@@ -260,9 +306,147 @@ impl DeviceFleet {
     }
 
     /// Scales shard `shard`'s effective per-stream bandwidth (a
-    /// fault-plane brown-out; `1.0` restores nominal).
+    /// fault-plane brown-out; `1.0` restores nominal). With a breaker
+    /// installed, a factor below its `brownout_below` threshold opens
+    /// the shard's breaker until service is restored.
     pub fn set_bandwidth_factor(&mut self, shard: usize, factor: f64) {
         self.pumps[shard].set_bandwidth_factor(factor);
+        if let Some(policy) = self.breaker {
+            if factor < policy.brownout_below {
+                if !self.breaker_brownout[shard] {
+                    self.breaker_brownout[shard] = true;
+                    self.breaker_trips += 1;
+                }
+            } else {
+                self.breaker_brownout[shard] = false;
+            }
+        }
+    }
+
+    /// Installs the per-client retry flags (assembly time): requests of
+    /// flagged clients with no live replica go to the unroutable buffer
+    /// instead of parking.
+    pub(crate) fn set_retry_clients(&mut self, flags: Vec<bool>) {
+        self.retry_clients = flags;
+    }
+
+    /// Installs the breaker policy (assembly time).
+    pub(crate) fn set_breaker(&mut self, policy: BreakerPolicy) {
+        self.breaker = Some(policy);
+    }
+
+    /// Charges one deadline timeout against `shard`; at the policy's
+    /// `trip_timeouts` the shard's breaker opens for the cooldown and
+    /// the counter resets. No-op without a breaker.
+    pub(crate) fn record_timeout(&mut self, shard: usize, now: SimTime) {
+        let Some(policy) = self.breaker else { return };
+        self.breaker_timeouts[shard] += 1;
+        if self.breaker_timeouts[shard] >= policy.trip_timeouts {
+            self.breaker_timeouts[shard] = 0;
+            self.breaker_open_until[shard] = now + policy.cooldown;
+            self.breaker_trips += 1;
+        }
+    }
+
+    /// Breaker openings over the run (for the protection summary).
+    pub(crate) fn breaker_trips(&self) -> u64 {
+        self.breaker_trips
+    }
+
+    /// True when the unroutable buffer holds requests awaiting a
+    /// driver-scheduled retry (O(1); the driver polls after every
+    /// fleet call that can route).
+    pub(crate) fn has_unroutable(&self) -> bool {
+        !self.unroutable.is_empty()
+    }
+
+    /// Drains the unroutable buffer into `out` (preserving order).
+    pub(crate) fn take_unroutable(&mut self, out: &mut Vec<(usize, QueryId, ObjectId)>) {
+        out.append(&mut self.unroutable);
+    }
+
+    /// Protection plane: dequeues every still-queued request of `query`
+    /// across the fleet — pumps, the parked buffer, and the unroutable
+    /// buffer. When `charge_timeout` (a deadline cancel), every shard
+    /// that still held queued work for the query is charged a breaker
+    /// timeout. Returns the number of requests removed from device
+    /// queues.
+    pub(crate) fn cancel_query(
+        &mut self,
+        query: QueryId,
+        now: SimTime,
+        charge_timeout: bool,
+    ) -> usize {
+        let mut total = 0;
+        for shard in 0..self.pumps.len() {
+            let n = self.pumps[shard].cancel_query(query);
+            if n > 0 && charge_timeout {
+                self.record_timeout(shard, now);
+            }
+            total += n;
+        }
+        self.parked.retain(|&(_, q, _)| q != query);
+        self.unroutable.retain(|&(_, q, _)| q != query);
+        total
+    }
+
+    /// Protection plane: dequeues every still-queued copy of
+    /// `(query, object)` across the fleet (hedge losers — the winning
+    /// replica already delivered, so at most the loser copies remain
+    /// queued). Returns the number of copies removed.
+    pub(crate) fn cancel_object(&mut self, query: QueryId, object: ObjectId) -> usize {
+        let mut n = 0;
+        for pump in &mut self.pumps {
+            if pump.cancel_object(query, object) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// The hedge target for `object`: the first live replica *after*
+    /// the one routing currently prefers, or `None` when no distinct
+    /// live replica exists (single-replica placements never hedge).
+    pub(crate) fn hedge_target(&self, object: ObjectId) -> Option<usize> {
+        let replicas = self.replicas_of.get(&object)?;
+        let mut live = replicas.iter().filter(|&&s| !self.down[s]);
+        let _primary = live.next()?;
+        live.next().copied()
+    }
+
+    /// Submits one request directly to `shard`, bypassing routing (the
+    /// hedge duplicate — the caller picked the target).
+    pub(crate) fn submit_to(
+        &mut self,
+        shard: usize,
+        now: SimTime,
+        client: usize,
+        query: QueryId,
+        object: ObjectId,
+    ) {
+        debug_assert!(!self.down[shard], "hedge duplicate sent to a down shard");
+        self.pumps[shard].submit(now, client, query, &[object]);
+    }
+
+    /// The deepest backlog across live shards, as `(max queued
+    /// requests, max queued logical bytes)` — the admission-control
+    /// load signal. O(shards); called only when an admission policy is
+    /// configured.
+    pub(crate) fn max_live_load(&self) -> (usize, u64) {
+        let (mut depth, mut bytes) = (0usize, 0u64);
+        for (shard, pump) in self.pumps.iter().enumerate() {
+            if self.down[shard] {
+                continue;
+            }
+            depth = depth.max(pump.device().pending_len());
+            bytes = bytes.max(pump.device().queued_bytes());
+        }
+        (depth, bytes)
+    }
+
+    /// True under replicated placement (hedging needs a second copy).
+    pub(crate) fn replicated(&self) -> bool {
+        !self.replicas_of.is_empty()
     }
 
     /// Installs shard `shard`'s cache tiers (assembly time; a disabled
@@ -374,8 +558,11 @@ impl DeviceFleet {
     }
 
     /// True when every shard is idle with an empty queue, nothing is
-    /// parked at the fleet, and no watchdog batch is pending.
+    /// parked at the fleet, no watchdog batch is pending, and no
+    /// unroutable request awaits a retry.
     pub fn is_quiescent(&self) -> bool {
-        self.pumps.iter().all(|p| p.is_quiescent()) && self.parked.is_empty()
+        self.pumps.iter().all(|p| p.is_quiescent())
+            && self.parked.is_empty()
+            && self.unroutable.is_empty()
     }
 }

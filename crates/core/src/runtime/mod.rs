@@ -120,6 +120,81 @@
 //! [`RunResult::availability`] / [`ShardResult`]`::fault` report
 //! downtime, evacuations, aborts, failovers, and parking.
 //!
+//! # Overload-and-outage protection plane
+//!
+//! Cold storage serves *seconds*-scale accesses, so saturation and
+//! outages are tail-latency catastrophes by default: queues grow
+//! without bound under a sustained burst, and a k = 1 outage parks
+//! requests indefinitely. [`protect`] threads four deterministic
+//! defenses through scenario → client → driver → fleet:
+//!
+//! * **Deadlines** (`Scenario::deadline` / `Workload::deadline`) — a
+//!   per-tenant response bound anchored at release (queue wait
+//!   counts). A query that cannot meet it is *cancelled*: its queued
+//!   requests are dequeued on every shard
+//!   (`CsdDevice::cancel_query`), its client drops the engine and
+//!   bumps the query seq so in-flight deliveries and late protection
+//!   events go stale, and queries whose deadline lapses while still
+//!   queued are abandoned unstarted. Cancel-while-busy is legal: the
+//!   pending `ClientReady` fires, sees the `cancelled` flag, and
+//!   discards its reaction instead of applying it.
+//! * **Seeded retry with capped exponential backoff** —
+//!   [`RetryPolicy::Backoff`] re-plans a deadline-cancelled query (and
+//!   re-submits outage-unroutable requests) at instants drawn from the
+//!   per-client `"retry/{c}"` SplitMix stream (seeded by
+//!   `Scenario::seed`), never from wall-clock state. For retry
+//!   tenants the fleet diverts would-park requests to the driver's
+//!   retry schedule; [`RetryPolicy::None`] tenants keep the
+//!   historical parking path byte-exactly.
+//! * **Hedged requests** (`hedge_after`) — under replicated placement,
+//!   reads still undelivered after the hedge delay are re-issued to
+//!   the next live replica; the first completion wins. Conservation is
+//!   redefined from at-most-once *delivery* to at-most-once
+//!   **consumption**: the winner is consumed, the loser's queued copy
+//!   is cancelled (`cancel_object`), a loser that was already in
+//!   flight delivers and is discarded at routing, and
+//!   [`RunResult::consumed`] logs the consumed multiset so the bench
+//!   can assert it equals the clean run's delivery multiset.
+//! * **Admission control + breaker** ([`AdmissionPolicy`]) — before a
+//!   query starts, the fleet's most-loaded *live* shard is checked
+//!   against priority-scaled backlog ceilings; over the limit the
+//!   arrival is shed (dropped, counted per tenant) or deferred by
+//!   backpressure into the release schedule. The optional per-shard
+//!   [`BreakerPolicy`] opens on brown-outs below a bandwidth factor or
+//!   on repeated deadline timeouts, and `route` then *prefers* a
+//!   closed-breaker replica while still falling back to any live one —
+//!   the breaker degrades preference, never availability.
+//!
+//! **Protection invariants** (pinned by the protection battery in the
+//! runtime tests and the overload bench gates):
+//!
+//! * **Disabled ⇒ byte-exact** — with every knob off the driver takes
+//!   only historical code paths: no protection events are scheduled,
+//!   the fleet routes and parks exactly as before, and the goldens
+//!   survive unregenerated ([`ProtectionSummary::is_quiet`] holds; the
+//!   per-tenant offered/completed ledger populates on every run but is
+//!   behavior-neutral).
+//! * **Determinism & mode invariance** — backoff jitter is the only
+//!   stochastic input and it pre-derives from labeled streams, so every
+//!   protected run is byte-equal across repeats and across
+//!   Sequential/Parallel at any worker count. Deadline, hedge, and
+//!   retry instants are noted safe-horizon interactions, and while any
+//!   hedge-enabled client has a query in flight the horizon is also
+//!   bounded by the fleet's earliest armed completion — a delivery-time
+//!   loser-cancel must never land inside a pre-drained window.
+//! * **Makespan honesty** — protection events for queries that already
+//!   completed pop as stale no-ops and do not stretch the makespan (a
+//!   met deadline leaves a far-future cancel event behind).
+//! * **Consumption conservation** — hedged runs consume every
+//!   requested `(client, query, object)` exactly once; duplicates are
+//!   cancelled or discarded, never double-processed.
+//!
+//! [`RunResult::protection`] rolls up misses, sheds, deferrals,
+//! retries, hedge outcomes, breaker trips, and the per-tenant
+//! offered/completed/missed/shed ledger; `skipper-bench --bin
+//! overload` sweeps a saturating burst across protection configs into
+//! `BENCH_overload.json` (`EXPERIMENTS.md`).
+//!
 //! # Shard cache tiers
 //!
 //! `Scenario::shard_cache(CacheConfig)` ([`skipper_csd::cache`]) bolts
@@ -359,6 +434,7 @@ pub mod driver;
 pub mod engines;
 pub mod fault;
 pub mod fleet;
+pub mod protect;
 pub mod pump;
 pub mod scenario;
 pub mod workload;
@@ -371,6 +447,10 @@ pub use driver::ExecutionMode;
 pub use engines::{EngineFactory, EngineKind, SkipperFactory, VanillaFactory};
 pub use fault::{FaultEpisode, FaultPlan, DEFAULT_REDELIVERY};
 pub use fleet::DeviceFleet;
+pub use protect::{
+    AdmissionPolicy, AdmissionResponse, BreakerPolicy, ProtectionSummary, RetryPolicy,
+    TenantProtection,
+};
 pub use scenario::Scenario;
 pub use skipper_csd::cache::{CacheConfig, CachePolicy, CacheStats, TierConfig};
 pub use skipper_csd::{BasePlacement, LedgerMode, PlacementPolicy, StreamModel};

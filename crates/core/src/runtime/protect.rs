@@ -1,0 +1,327 @@
+//! The overload-and-outage protection plane: knob types and counters.
+//!
+//! The paper serves analytics from devices with *seconds*-scale access
+//! latencies, so tail behavior under bursts and outages is the product:
+//! without protection, a k=1 outage parks requests indefinitely and a
+//! saturating open-arrival burst grows queues without bound. This
+//! module holds the configuration surface and the observability rollup
+//! for the four defenses the driver threads through the machine:
+//!
+//! * **Deadlines** — a per-tenant response-time bound; a query that
+//!   cannot finish inside it is cancelled (dequeued if waiting, its
+//!   deliveries discarded if in flight) and counted as a miss.
+//! * **Retry with capped exponential backoff + jitter**
+//!   ([`RetryPolicy::Backoff`]) — cancelled queries and outage-parked
+//!   requests re-submit at instants computed from a labeled SplitMix
+//!   stream instead of parking forever. [`RetryPolicy::None`] preserves
+//!   the historical parking behavior byte-exactly.
+//! * **Hedged requests** — under replicated placement, a per-tenant
+//!   hedge delay after which still-undelivered reads are re-issued to
+//!   the next live replica; first completion wins, the loser's queued
+//!   copy is cancelled and its late delivery discarded (at-most-once
+//!   *consumption*).
+//! * **Admission control** ([`AdmissionPolicy`]) — per-shard backlog
+//!   thresholds that shed the lowest-priority arrivals (or push
+//!   backpressure into closed-loop think time), plus a per-shard
+//!   breaker ([`BreakerPolicy`]) that routes around shards in brown-out
+//!   or repeated-timeout state.
+//!
+//! Every knob defaults to *off*, and a fully-disabled configuration
+//! takes none of the new code paths — today's machine is reproduced
+//! byte-exactly (see the invariants section in
+//! [`runtime`](crate::runtime)).
+
+use skipper_sim::rng::uniform01;
+use skipper_sim::SimDuration;
+
+/// Re-submission policy for cancelled queries and requests that find no
+/// live replica.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum RetryPolicy {
+    /// No retries: requests with no live replica park until a recovery
+    /// re-submits them (the historical behavior, byte-identical), and a
+    /// deadline-cancelled query is simply dropped.
+    #[default]
+    None,
+    /// Seeded capped exponential backoff with jitter: attempt `k`
+    /// (1-based) re-submits after `min(cap, base·2^(k−1))` scaled by a
+    /// uniform jitter in `[0.5, 1.0)` drawn from the per-client
+    /// `"retry/{client}"` SplitMix stream.
+    Backoff {
+        /// First-attempt delay (before jitter).
+        base: SimDuration,
+        /// Upper bound on the un-jittered delay.
+        cap: SimDuration,
+        /// Total re-submission attempts before giving up; exhaustion
+        /// cancels the query so the run still drains.
+        max_attempts: u32,
+    },
+}
+
+impl RetryPolicy {
+    /// True when retries are enabled.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, RetryPolicy::None)
+    }
+
+    /// The jittered delay before re-submission attempt `attempt`
+    /// (1-based), or `None` when the policy is [`RetryPolicy::None`] or
+    /// the attempt budget is exhausted. `state` is the client's
+    /// dedicated SplitMix stream; one draw per computed delay.
+    pub(crate) fn delay(&self, attempt: u32, state: &mut u64) -> Option<SimDuration> {
+        match *self {
+            RetryPolicy::None => None,
+            RetryPolicy::Backoff {
+                base,
+                cap,
+                max_attempts,
+            } => {
+                if attempt > max_attempts {
+                    return None;
+                }
+                let doubled = base
+                    .as_micros()
+                    .saturating_mul(1u64 << (attempt - 1).min(62));
+                let capped = doubled.min(cap.as_micros());
+                let jitter = 0.5 + 0.5 * uniform01(state);
+                Some(SimDuration::from_micros(
+                    ((capped as f64 * jitter) as u64).max(1),
+                ))
+            }
+        }
+    }
+}
+
+/// What the fleet seam does with an arrival that would push a shard's
+/// backlog past the [`AdmissionPolicy`] thresholds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AdmissionResponse {
+    /// Drop the query outright (no record, counted per tenant) and move
+    /// on to the tenant's next planned query.
+    Shed,
+    /// Defer the query: push its release this far into the future,
+    /// stretching a closed-loop client's think time instead of losing
+    /// work.
+    Backpressure(SimDuration),
+}
+
+/// Per-shard breaker: routes reads around shards that are browned out
+/// or repeatedly blowing deadlines.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BreakerPolicy {
+    /// A brown-out below this bandwidth factor opens the shard's
+    /// breaker until the fault plane restores nominal service.
+    pub brownout_below: f64,
+    /// Deadline-cancellations charged to a shard before its breaker
+    /// opens for [`BreakerPolicy::cooldown`].
+    pub trip_timeouts: u32,
+    /// How long a timeout-tripped breaker stays open.
+    pub cooldown: SimDuration,
+}
+
+/// Fleet-seam admission control: per-shard backlog thresholds plus the
+/// optional breaker. Thresholds are scaled by tenant priority — a
+/// tenant with priority `p` is admitted until `limit × (p + 1)` — so
+/// saturation sheds the lowest-priority arrivals first.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Per-shard queued-request ceiling (priority-scaled).
+    pub max_queue_depth: usize,
+    /// Per-shard queued logical-byte ceiling (priority-scaled).
+    pub max_queued_bytes: u64,
+    /// Shed or defer when a target shard is over its ceiling.
+    pub response: AdmissionResponse,
+    /// Optional per-shard breaker.
+    pub breaker: Option<BreakerPolicy>,
+}
+
+impl AdmissionPolicy {
+    /// True when `depth`/`bytes` exceed the ceilings scaled for a
+    /// tenant of `priority`.
+    pub(crate) fn over_limit(&self, priority: u32, depth: usize, bytes: u64) -> bool {
+        let scale = priority as u64 + 1;
+        depth as u64 >= (self.max_queue_depth as u64).saturating_mul(scale)
+            || bytes >= self.max_queued_bytes.saturating_mul(scale)
+    }
+}
+
+/// One tenant's offered-vs-attained ledger.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantProtection {
+    /// Queries the tenant's plan released (including shed ones).
+    pub offered: u64,
+    /// Queries that ran to completion — the tenant's goodput.
+    pub completed: u64,
+    /// Queries cancelled (or abandoned unstarted) past their deadline.
+    pub deadline_misses: u64,
+    /// Queries dropped by admission control before starting.
+    pub shed: u64,
+}
+
+/// Protection-plane counters for a run, rolled into
+/// [`RunResult::protection`](crate::runtime::RunResult::protection).
+/// Every event counter is zero ([`ProtectionSummary::is_quiet`]) when
+/// every knob is disabled; the per-tenant offered/completed ledger is
+/// populated on every run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProtectionSummary {
+    /// Queries cancelled or abandoned past their deadline.
+    pub deadline_misses: u64,
+    /// Queries dropped at the admission seam.
+    pub sheds: u64,
+    /// Query releases deferred by backpressure.
+    pub backpressure_deferrals: u64,
+    /// Re-submission attempts scheduled by [`RetryPolicy::Backoff`].
+    pub retries: u64,
+    /// Queries cancelled because their retry budget ran out.
+    pub retry_exhausted: u64,
+    /// Hedge duplicates issued to a secondary replica.
+    pub hedges_fired: u64,
+    /// Consumed deliveries that arrived from the hedge copy (the
+    /// duplicate beat the primary).
+    pub hedge_wins: u64,
+    /// Queued loser copies cancelled before service once the winning
+    /// replica delivered.
+    pub hedge_losers_cancelled: u64,
+    /// Loser deliveries that completed anyway and were discarded at
+    /// routing (at-most-once consumption).
+    pub hedge_losers_discarded: u64,
+    /// Breaker openings (brown-out or repeated timeouts).
+    pub breaker_trips: u64,
+    /// Per-tenant goodput vs offered load, indexed by client.
+    pub per_tenant: Vec<TenantProtection>,
+}
+
+impl ProtectionSummary {
+    /// An all-zero summary with one [`TenantProtection`] slot per
+    /// client. The per-tenant offered/completed tallies populate on
+    /// every run (they are behavior-neutral); the event counters stay
+    /// zero whenever every knob is disabled.
+    pub(crate) fn sized(clients: usize) -> Self {
+        ProtectionSummary {
+            per_tenant: vec![TenantProtection::default(); clients],
+            ..ProtectionSummary::default()
+        }
+    }
+
+    /// True when no protection mechanism ever acted (trivially true for
+    /// a disabled configuration).
+    pub fn is_quiet(&self) -> bool {
+        let ProtectionSummary {
+            deadline_misses,
+            sheds,
+            backpressure_deferrals,
+            retries,
+            retry_exhausted,
+            hedges_fired,
+            hedge_wins,
+            hedge_losers_cancelled,
+            hedge_losers_discarded,
+            breaker_trips,
+            per_tenant: _,
+        } = self;
+        *deadline_misses == 0
+            && *sheds == 0
+            && *backpressure_deferrals == 0
+            && *retries == 0
+            && *retry_exhausted == 0
+            && *hedges_fired == 0
+            && *hedge_wins == 0
+            && *hedge_losers_cancelled == 0
+            && *hedge_losers_discarded == 0
+            && *breaker_trips == 0
+    }
+}
+
+/// One client's assembled protection knobs, resolved from its
+/// [`Workload`](crate::runtime::Workload) with scenario-wide defaults
+/// filled in (mirroring how SLO targets resolve).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub(crate) struct ClientProtection {
+    /// Response-time deadline (anchored at release, like SLO targets).
+    pub deadline: Option<SimDuration>,
+    /// Re-submission policy for cancelled / unroutable work.
+    pub retry: RetryPolicy,
+    /// Hedge delay: re-issue undelivered reads to the next live replica
+    /// this long after submission.
+    pub hedge: Option<SimDuration>,
+    /// Admission priority (0 = lowest, shed first).
+    pub priority: u32,
+}
+
+impl ClientProtection {
+    /// True when no knob is set — the client takes only historical code
+    /// paths.
+    pub fn disabled(&self) -> bool {
+        self.deadline.is_none() && !self.retry.enabled() && self.hedge.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipper_sim::rng::derive_seed;
+
+    #[test]
+    fn backoff_delays_double_cap_and_jitter() {
+        let policy = RetryPolicy::Backoff {
+            base: SimDuration::from_secs(1),
+            cap: SimDuration::from_secs(4),
+            max_attempts: 5,
+        };
+        let mut state = derive_seed(42, "retry/0");
+        for attempt in 1..=5u32 {
+            let d = policy.delay(attempt, &mut state).unwrap().as_micros();
+            let unjittered = (1u64 << (attempt - 1)).min(4) * 1_000_000;
+            assert!(
+                d >= unjittered / 2 && d < unjittered,
+                "attempt {attempt}: {d} outside [{}, {})",
+                unjittered / 2,
+                unjittered
+            );
+        }
+        assert_eq!(policy.delay(6, &mut state), None);
+        assert_eq!(RetryPolicy::None.delay(1, &mut state), None);
+    }
+
+    #[test]
+    fn backoff_stream_is_reproducible() {
+        let policy = RetryPolicy::Backoff {
+            base: SimDuration::from_millis(100),
+            cap: SimDuration::from_secs(10),
+            max_attempts: 8,
+        };
+        let mut a = derive_seed(7, "retry/3");
+        let mut b = derive_seed(7, "retry/3");
+        for attempt in 1..=8 {
+            assert_eq!(policy.delay(attempt, &mut a), policy.delay(attempt, &mut b));
+        }
+    }
+
+    #[test]
+    fn admission_limits_scale_with_priority() {
+        let policy = AdmissionPolicy {
+            max_queue_depth: 10,
+            max_queued_bytes: 1000,
+            response: AdmissionResponse::Shed,
+            breaker: None,
+        };
+        assert!(policy.over_limit(0, 10, 0));
+        assert!(!policy.over_limit(0, 9, 999));
+        assert!(policy.over_limit(0, 0, 1000));
+        // Priority 1 gets double the headroom.
+        assert!(!policy.over_limit(1, 10, 1000));
+        assert!(policy.over_limit(1, 20, 0));
+    }
+
+    #[test]
+    fn disabled_protection_is_quiet() {
+        assert!(ClientProtection::default().disabled());
+        assert!(ProtectionSummary::default().is_quiet());
+        let s = ProtectionSummary {
+            sheds: 1,
+            ..ProtectionSummary::default()
+        };
+        assert!(!s.is_quiet());
+    }
+}

@@ -561,6 +561,47 @@ impl DevicePump {
         self.dirty = true;
     }
 
+    /// Protection plane: dequeues every still-queued request of `query`
+    /// (a deadline cancel or exhausted retry). In-flight transfers are
+    /// left to complete — their deliveries arrive stale and are dropped
+    /// at routing — and pending cache hits likewise deliver-and-drop,
+    /// so the wake-up protocol is untouched. Returns the number of
+    /// requests removed. Cancel instants are noted interactions, so
+    /// this can never land mid-replay (asserted).
+    pub fn cancel_query(&mut self, query: QueryId) -> usize {
+        assert!(
+            self.replay.is_empty() && self.pending_rearm.is_none(),
+            "cancel landed inside a drained window (unsound safe horizon)"
+        );
+        if self.down {
+            return 0; // failed empty: nothing queued on a crashed shard
+        }
+        let n = self.device.cancel_query(query);
+        if n > 0 {
+            self.dirty = true;
+        }
+        n
+    }
+
+    /// Protection plane: dequeues one still-queued `(query, object)`
+    /// request (a hedge loser whose winning replica delivered first).
+    /// Returns whether a copy was found and removed; an in-flight or
+    /// already-served copy delivers stale instead.
+    pub fn cancel_object(&mut self, query: QueryId, object: ObjectId) -> bool {
+        assert!(
+            self.replay.is_empty() && self.pending_rearm.is_none(),
+            "cancel landed inside a drained window (unsound safe horizon)"
+        );
+        if self.down {
+            return false;
+        }
+        let removed = self.device.cancel_object(query, object);
+        if removed {
+            self.dirty = true;
+        }
+        removed
+    }
+
     /// Scales the device's effective per-stream bandwidth (fault-plane
     /// brown-outs); transfers dispatched from now on see the factor,
     /// committed in-flight completion instants do not move.

@@ -39,6 +39,7 @@ use super::driver::{ExecutionMode, Runtime};
 use super::engines::{factory_for, EngineKind};
 use super::fault::{self, FaultPlan};
 use super::fleet::DeviceFleet;
+use super::protect::{AdmissionPolicy, ClientProtection, RetryPolicy};
 use super::workload::Workload;
 
 /// Per-shard deviations from the scenario-wide device knobs.
@@ -84,6 +85,11 @@ pub struct Scenario {
     shard_cache: CacheConfig,
     power: PowerModel,
     pricing: FleetPricing,
+    seed: u64,
+    deadline: Option<SimDuration>,
+    retry: RetryPolicy,
+    hedge: Option<SimDuration>,
+    admission: Option<AdmissionPolicy>,
 }
 
 impl Scenario {
@@ -127,6 +133,11 @@ impl Scenario {
             shard_cache: CacheConfig::disabled(),
             power: PowerModel::default(),
             pricing: FleetPricing::default(),
+            seed: 42,
+            deadline: None,
+            retry: RetryPolicy::None,
+            hedge: None,
+            admission: None,
         }
     }
 
@@ -358,6 +369,53 @@ impl Scenario {
         self
     }
 
+    /// Root seed for the protection plane's per-client
+    /// `"retry/{client}"` backoff-jitter streams (default 42; workload
+    /// arrival processes keep their own per-tenant seeds).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scenario-wide response-time deadline: a query that cannot finish
+    /// within it (measured from release, queue wait included) is
+    /// cancelled and counted as a miss. Per-workload
+    /// [`Workload::deadline`](super::workload::Workload::deadline)
+    /// wins; tenants without either knob are never cancelled.
+    pub fn deadline(mut self, d: SimDuration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Scenario-wide retry policy for deadline-cancelled queries and
+    /// requests with no live replica (default [`RetryPolicy::None`]:
+    /// cancelled queries drop, unroutable requests park until
+    /// recovery — the historical behavior byte-exactly). A workload's
+    /// own enabled policy wins.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Scenario-wide hedge delay under replicated placement: reads
+    /// still undelivered this long after submission are re-issued to
+    /// the next live replica; first completion wins. Per-workload
+    /// [`Workload::hedge_after`](super::workload::Workload::hedge_after)
+    /// wins.
+    pub fn hedge_after(mut self, delay: SimDuration) -> Self {
+        self.hedge = Some(delay);
+        self
+    }
+
+    /// Installs fleet-seam admission control (default: none — every
+    /// arrival admitted, byte-identical to before the protection plane
+    /// existed): per-shard backlog ceilings that shed or defer the
+    /// lowest-priority arrivals, plus the optional per-shard breaker.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = Some(policy);
+        self
+    }
+
     /// Execution mode of the event loop (default:
     /// [`ExecutionMode::Sequential`], the reference implementation).
     /// [`ExecutionMode::Parallel`] drains the fleet's per-shard
@@ -576,6 +634,22 @@ impl Scenario {
             })
             .collect();
 
+        // Per-client protection knobs, resolved like SLO targets:
+        // workload-level settings win over scenario-wide defaults.
+        let protection: Vec<ClientProtection> = workloads
+            .iter()
+            .map(|w| ClientProtection {
+                deadline: w.deadline.or(self.deadline),
+                retry: if w.retry.enabled() {
+                    w.retry
+                } else {
+                    self.retry
+                },
+                hedge: w.hedge.or(self.hedge),
+                priority: w.priority,
+            })
+            .collect();
+
         let clients = workloads
             .into_iter()
             .enumerate()
@@ -630,6 +704,7 @@ impl Scenario {
             .with_record_mode(self.record_mode)
             .with_faults(fault::timed_actions(&episodes))
             .with_economics(self.power, self.pricing)
+            .with_protection(protection, self.admission, self.seed)
             .run()
     }
 }

@@ -1233,3 +1233,439 @@ fn parallel_matches_sequential_with_shard_caches() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Protection plane: deadlines, seeded retry/backoff, hedged requests,
+// admission control. The battery pins (1) the disabled configuration
+// reproducing the unprotected machine byte-exactly, (2) each mechanism's
+// behavior and accounting, (3) conservation under hedging (at-most-once
+// *consumption*), and (4) bit-identity across execution modes and
+// repeats for every protection feature.
+
+fn backoff(base_s: u64, cap_s: u64, max_attempts: u32) -> RetryPolicy {
+    RetryPolicy::Backoff {
+        base: SimDuration::from_secs(base_s),
+        cap: SimDuration::from_secs(cap_s),
+        max_attempts,
+    }
+}
+
+#[test]
+fn disabled_protection_plane_is_byte_identical() {
+    // No knobs set: the protection plumbing (always installed) must not
+    // perturb a single byte — and the seed is inert without retries.
+    let base = chaos_scenario(replicated_rr(2), FaultPlan::new()).run();
+    let reseeded = chaos_scenario(replicated_rr(2), FaultPlan::new())
+        .seed(7)
+        .run();
+    assert_eq!(reseeded, base);
+    let explicit = chaos_scenario(replicated_rr(2), FaultPlan::new())
+        .retry(RetryPolicy::None)
+        .run();
+    assert_eq!(explicit, base);
+    assert!(base.protection.is_quiet());
+    // The per-tenant ledger populates on every run (behavior-neutral).
+    for t in &base.protection.per_tenant {
+        assert_eq!((t.offered, t.completed), (2, 2));
+        assert_eq!((t.deadline_misses, t.shed), (0, 0));
+    }
+    assert!(base.consumed.is_empty(), "consumption log without hedging");
+}
+
+#[test]
+fn generous_deadline_leaves_the_run_byte_identical() {
+    // Deadlines nobody misses schedule cancel events that all pop
+    // stale: the run — makespan included — must not move.
+    let base = chaos_scenario(replicated_rr(2), FaultPlan::new()).run();
+    let protected = chaos_scenario(replicated_rr(2), FaultPlan::new())
+        .deadline(SimDuration::from_secs(10_000))
+        .run();
+    assert_eq!(protected, base);
+}
+
+#[test]
+fn tight_deadline_cancels_and_counts_misses() {
+    // A 5 s deadline is unmeetable for ~53 s queries: every query is
+    // cancelled (in flight or unstarted), nothing completes, and the
+    // run still drains instead of deadlocking.
+    let res = chaos_scenario(replicated_rr(2), FaultPlan::new())
+        .deadline(SimDuration::from_secs(5))
+        .run();
+    assert_eq!(res.protection.deadline_misses, 6, "2 queries × 3 tenants");
+    assert_eq!(res.latency.fleet.count, 0);
+    for t in &res.protection.per_tenant {
+        assert_eq!((t.offered, t.completed, t.deadline_misses), (2, 0, 2));
+    }
+    assert!(
+        res.device.requests_cancelled > 0,
+        "cancels never reached the device queues"
+    );
+    // Much shorter than the ~181 s unprotected run: cancelled queries
+    // release the fleet.
+    let base = chaos_scenario(replicated_rr(2), FaultPlan::new()).run();
+    assert!(res.makespan < base.makespan);
+}
+
+#[test]
+fn deadline_retry_replays_missed_queries_to_completion() {
+    // 65 s sits between the solo and the contended response time: early
+    // queries miss under contention, their retries re-run after the
+    // fleet drains and beat the deadline. Everything completes.
+    let res = chaos_scenario(replicated_rr(2), FaultPlan::new())
+        .deadline(SimDuration::from_secs(65))
+        .retry(backoff(20, 60, 10))
+        .run();
+    assert!(res.protection.deadline_misses > 0, "nothing ever missed");
+    assert!(res.protection.retries > 0);
+    assert_eq!(res.protection.retry_exhausted, 0, "a retry budget ran dry");
+    for (c, t) in res.protection.per_tenant.iter().enumerate() {
+        assert_eq!(
+            (t.offered, t.completed),
+            (2, 2),
+            "tenant {c} lost queries despite retries"
+        );
+    }
+    // Completed-query latencies all beat the deadline (misses are
+    // cancelled before they can report).
+    assert!(res.latency.fleet.max_secs <= 65.0);
+}
+
+#[test]
+fn retry_replaces_parking_during_outage() {
+    // k = 1 and the only shard down: without retry the requests park at
+    // the fleet; with backoff they re-submit on their own schedule and
+    // complete after recovery — same deliveries, no parking.
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let build = |plan: FaultPlan| {
+        Scenario::new(ds.clone())
+            .clients(2)
+            .engine(EngineKind::Vanilla)
+            .repeat_query(q.clone(), 1)
+            .faults(plan)
+    };
+    let clean = build(FaultPlan::new()).run();
+    let outage = || FaultPlan::new().shard_down(0, t(15), t(60));
+    let parked = build(outage()).run();
+    let retried = build(outage()).retry(backoff(5, 20, 50)).run();
+    assert_eq!(retried.delivery_multiset(), clean.delivery_multiset());
+    assert_eq!(
+        retried.availability.parked_requests, 0,
+        "retry tenants must bypass the parking lot"
+    );
+    assert!(retried.protection.retries > 0);
+    assert!(parked.availability.parked_requests > 0);
+    for recs in &retried.clients {
+        assert_eq!(recs.len(), 1);
+    }
+}
+
+#[test]
+fn hedged_requests_cut_brownout_tails_and_conserve_consumption() {
+    // Shard 0 crawls at 5% bandwidth; its queries would dominate the
+    // tail. Hedging re-issues its reads to the healthy replica after
+    // 5 s — first copy wins, the loser is cancelled or discarded, and
+    // every (client, query, object) is consumed exactly once.
+    let slow = || FaultPlan::new().degraded(0, t(0), t(2_000), 0.05);
+    let clean = chaos_scenario(replicated_rr(2), FaultPlan::new()).run();
+    let unhedged = chaos_scenario(replicated_rr(2), slow()).run();
+    let hedged = chaos_scenario(replicated_rr(2), slow())
+        .hedge_after(SimDuration::from_secs(5))
+        .run();
+    assert!(hedged.protection.hedges_fired > 0, "no hedge ever fired");
+    assert!(
+        hedged.latency.fleet.max_secs < unhedged.latency.fleet.max_secs,
+        "hedging did not beat the degraded shard ({} s vs {} s)",
+        hedged.latency.fleet.max_secs,
+        unhedged.latency.fleet.max_secs
+    );
+    // At-most-once consumption: the consumed multiset equals the clean
+    // run's delivery multiset — duplicates were discarded, not eaten.
+    assert_eq!(hedged.consumed_multiset(), clean.delivery_multiset());
+    // Every hedged object consumes exactly one copy; the other copy is
+    // the loser — cancelled in-queue, discarded at delivery, or (for
+    // the last objects of a query) dropped as stale when it lands
+    // after the query already finished. (Wins overlap with these: a
+    // win just says *which* copy was consumed.)
+    let losers =
+        hedged.protection.hedge_losers_cancelled + hedged.protection.hedge_losers_discarded;
+    assert!(
+        losers > 0 && losers <= hedged.protection.hedges_fired,
+        "loser accounting out of range: {losers} of {} duplicates",
+        hedged.protection.hedges_fired
+    );
+    assert!(hedged.protection.hedge_wins > 0, "no duplicate ever won");
+    assert!(hedged.protection.hedge_wins <= hedged.protection.hedges_fired);
+    for t in &hedged.protection.per_tenant {
+        assert_eq!((t.offered, t.completed), (2, 2));
+    }
+}
+
+#[test]
+fn admission_sheds_lowest_priority_under_saturation() {
+    // One shard, four tenants submitting together: tenant 0 (priority
+    // 5) fills the queue, tenants 1–2 (priority 0) are over the ceiling
+    // and shed everything, tenant 3 (priority 9) rides its 10× headroom.
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let mk = |priority: u32| {
+        Workload::new(Arc::new(ds.clone()))
+            .repeat_query(q.clone(), 2)
+            .engine(SkipperFactory::default().cache_bytes(gib(10)))
+            .priority(priority)
+    };
+    let res = Scenario::from_workloads(vec![mk(5), mk(0), mk(0), mk(3)])
+        .admission(AdmissionPolicy {
+            max_queue_depth: 3,
+            max_queued_bytes: u64::MAX,
+            response: AdmissionResponse::Shed,
+            breaker: None,
+        })
+        .run();
+    assert_eq!(res.protection.sheds, 4, "tenants 1 and 2 shed everything");
+    for c in [1, 2] {
+        let t = &res.protection.per_tenant[c];
+        assert_eq!((t.offered, t.completed, t.shed), (2, 0, 2));
+    }
+    for c in [0, 3] {
+        let t = &res.protection.per_tenant[c];
+        assert_eq!((t.offered, t.completed, t.shed), (2, 2, 0));
+    }
+    assert_eq!(res.latency.fleet.count, 4);
+}
+
+#[test]
+fn backpressure_defers_but_completes_everything() {
+    // Same saturation, Backpressure response: over-ceiling arrivals are
+    // pushed back in 20 s steps instead of dropped — goodput is
+    // preserved at the price of latency.
+    let ds = mini_dataset();
+    let q = tpch::q12(&ds);
+    let mk = || {
+        Workload::new(Arc::new(ds.clone()))
+            .repeat_query(q.clone(), 2)
+            .engine(SkipperFactory::default().cache_bytes(gib(10)))
+    };
+    let res = Scenario::from_workloads(vec![mk(), mk(), mk(), mk()])
+        .admission(AdmissionPolicy {
+            max_queue_depth: 3,
+            max_queued_bytes: u64::MAX,
+            response: AdmissionResponse::Backpressure(SimDuration::from_secs(20)),
+            breaker: None,
+        })
+        .run();
+    assert!(res.protection.backpressure_deferrals > 0);
+    assert_eq!(res.protection.sheds, 0);
+    for t in &res.protection.per_tenant {
+        assert_eq!((t.offered, t.completed), (2, 2));
+    }
+    assert_eq!(res.latency.fleet.count, 8);
+}
+
+#[test]
+fn breaker_routes_reads_around_a_browned_out_shard() {
+    // With the breaker armed, a brown-out below the threshold diverts
+    // reads to the healthy replica for the whole episode; without it
+    // the primary crawls. Both conserve deliveries.
+    let slow = || FaultPlan::new().degraded(0, t(0), t(2_000), 0.1);
+    let admission = AdmissionPolicy {
+        max_queue_depth: usize::MAX,
+        max_queued_bytes: u64::MAX,
+        response: AdmissionResponse::Shed,
+        breaker: Some(BreakerPolicy {
+            brownout_below: 0.5,
+            trip_timeouts: u32::MAX,
+            cooldown: SimDuration::from_secs(60),
+        }),
+    };
+    let clean = chaos_scenario(replicated_rr(2), FaultPlan::new()).run();
+    let unprotected = chaos_scenario(replicated_rr(2), slow()).run();
+    let shielded = chaos_scenario(replicated_rr(2), slow())
+        .admission(admission)
+        .run();
+    assert!(shielded.protection.breaker_trips >= 1);
+    assert_eq!(shielded.protection.sheds, 0, "ceilings were unreachable");
+    // The fault window itself pins both makespans (the Restore event
+    // at t = 2000 s is the last calendar entry), so the win shows in
+    // the response-time tail instead.
+    assert!(
+        shielded.latency.fleet.max_secs < unprotected.latency.fleet.max_secs,
+        "breaker failed to route around the brown-out ({} s vs {} s)",
+        shielded.latency.fleet.max_secs,
+        unprotected.latency.fleet.max_secs
+    );
+    assert_eq!(shielded.delivery_multiset(), clean.delivery_multiset());
+}
+
+#[test]
+fn protection_grid_is_deterministic_and_execution_mode_invariant() {
+    // The differential battery extended over the protection plane: each
+    // cell runs the full feature set it names, and whole RunResults —
+    // protection counters and consumption log included — must be
+    // byte-equal across repeats and execution modes.
+    type Cell = (&'static str, Box<dyn Fn() -> Scenario>);
+    let cells: Vec<Cell> = vec![
+        (
+            "deadline+retry under crash",
+            Box::new(|| {
+                chaos_scenario(
+                    replicated_rr(2),
+                    FaultPlan::new().shard_down(2, t(20), t(300)),
+                )
+                .deadline(SimDuration::from_secs(65))
+                .retry(backoff(20, 60, 10))
+            }),
+        ),
+        (
+            "hedge under brown-out",
+            Box::new(|| {
+                chaos_scenario(
+                    replicated_rr(2),
+                    FaultPlan::new().degraded(0, t(0), t(2_000), 0.05),
+                )
+                .hedge_after(SimDuration::from_secs(5))
+            }),
+        ),
+        (
+            "admission+breaker under degrade",
+            Box::new(|| {
+                chaos_scenario(
+                    replicated_rr(2),
+                    FaultPlan::new().degraded(1, t(10), t(400), 0.25),
+                )
+                .admission(AdmissionPolicy {
+                    max_queue_depth: 6,
+                    max_queued_bytes: u64::MAX,
+                    response: AdmissionResponse::Backpressure(SimDuration::from_secs(15)),
+                    breaker: Some(BreakerPolicy {
+                        brownout_below: 0.5,
+                        trip_timeouts: 3,
+                        cooldown: SimDuration::from_secs(60),
+                    }),
+                })
+            }),
+        ),
+        (
+            "retry instead of parking",
+            Box::new(|| {
+                chaos_scenario(
+                    PlacementPolicy::RoundRobin,
+                    FaultPlan::new().shard_down(1, t(10), t(120)),
+                )
+                .retry(backoff(5, 30, 50))
+            }),
+        ),
+    ];
+    for (name, build) in &cells {
+        let reference = build().run();
+        let repeat = build().run();
+        assert_eq!(repeat, reference, "{name}: same config, different run");
+        for workers in [1, 2, 4] {
+            let parallel = build().execution(ExecutionMode::Parallel { workers }).run();
+            assert_eq!(
+                parallel, reference,
+                "{name}: diverged under Parallel {{ workers: {workers} }}"
+            );
+        }
+    }
+}
+
+#[test]
+fn overlapping_outages_resubmit_parked_requests_in_arrival_order() {
+    // Two shards fail in overlapping windows and recover one at a time.
+    // Requests parked while both were down must re-submit at each
+    // recovery in original arrival order — the fleet's parking lot is
+    // FIFO per recovery, never a LIFO or an interleaving artifact.
+    let ds = mini_dataset();
+    let payload: Arc<Segment> = Arc::clone(&ds.segments[0][0]);
+    let mk_dev = |objs: &[ObjectId]| {
+        let mut store: ObjectStore<Arc<Segment>> = ObjectStore::new();
+        for &o in objs {
+            store.put(o, 1 << 20, 0, Arc::clone(&payload));
+        }
+        CsdDevice::new(
+            CsdConfig {
+                switch_latency: SimDuration::from_secs(1),
+                bandwidth_bytes_per_sec: (1u64 << 30) as f64,
+                initial_load_free: true,
+                parallel_streams: 1,
+                stream_model: StreamModel::Pipeline,
+                ..CsdConfig::default()
+            },
+            store,
+            SchedPolicy::FcfsObject.build(),
+            IntraGroupOrder::SemanticRoundRobin,
+        )
+    };
+    // Shard 0 owns a0..a2, shard 1 owns b0..b2.
+    let a: Vec<ObjectId> = (0..3).map(|s| ObjectId::new(0, 0, s)).collect();
+    let b: Vec<ObjectId> = (0..3).map(|s| ObjectId::new(0, 1, s)).collect();
+    let mut map = std::collections::HashMap::new();
+    for &o in &a {
+        map.insert(o, 0);
+    }
+    for &o in &b {
+        map.insert(o, 1);
+    }
+    let mut fleet = DeviceFleet::new(vec![mk_dev(&a), mk_dev(&b)], map);
+    let mut flushed = Vec::new();
+    fleet.fail_shard(0, t(1), &mut flushed);
+    fleet.fail_shard(1, t(2), &mut flushed);
+    assert!(flushed.is_empty());
+    // Six requests from three clients while both shards are down, in a
+    // deliberately shard-interleaved arrival order.
+    let arrivals = [
+        (0usize, a[0]),
+        (1usize, b[0]),
+        (2usize, a[1]),
+        (0usize, b[1]),
+        (1usize, a[2]),
+        (2usize, b[2]),
+    ];
+    for (i, &(client, obj)) in arrivals.iter().enumerate() {
+        fleet.submit(
+            t(10 + i as u64),
+            client,
+            QueryId::new(client as u16, 0),
+            &[obj],
+        );
+    }
+    assert_eq!(fleet.parked_total(), 6);
+    // Shard 0 recovers first: its three parked requests re-submit (in
+    // arrival order), shard 1's re-park untouched.
+    fleet.recover_shard(0, t(100));
+    // Drain shard 0 and collect its service order.
+    fn drain(fleet: &mut DeviceFleet, start: SimTime, served: &mut [Vec<(usize, ObjectId)>; 2]) {
+        let mut now = start;
+        loop {
+            let mut armed = Vec::new();
+            fleet.poke_all(now, |s, at| armed.push((s, at)));
+            if armed.is_empty() {
+                break;
+            }
+            for (s, at) in armed {
+                for d in fleet.on_wakeup(s, at) {
+                    served[s].push((d.client, d.object));
+                }
+                now = now.max(at);
+            }
+        }
+    }
+    let mut served: [Vec<(usize, ObjectId)>; 2] = [Vec::new(), Vec::new()];
+    drain(&mut fleet, t(100), &mut served);
+    assert_eq!(
+        served[0],
+        vec![(0, a[0]), (2, a[1]), (1, a[2])],
+        "shard 0 recovery re-submitted out of arrival order"
+    );
+    assert!(served[1].is_empty(), "shard 1 served while down");
+    // Shard 1 recovers later: same FIFO property for its survivors.
+    fleet.recover_shard(1, t(1_000));
+    drain(&mut fleet, t(1_000), &mut served);
+    assert_eq!(
+        served[1],
+        vec![(1, b[0]), (0, b[1]), (2, b[2])],
+        "shard 1 recovery re-submitted out of arrival order"
+    );
+    assert!(fleet.is_quiescent());
+}

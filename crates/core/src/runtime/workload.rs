@@ -34,6 +34,7 @@ use skipper_sim::rng::{derive_seed, splitmix64};
 use skipper_sim::{SimDuration, SimTime};
 
 use super::engines::{EngineFactory, SkipperFactory};
+use super::protect::RetryPolicy;
 
 /// How a tenant's queries are released over time.
 ///
@@ -228,6 +229,23 @@ pub struct Workload {
     /// if known; enables streaming stretch quantiles in the run's
     /// latency summary.
     pub ideal: Option<SimDuration>,
+    /// Response-time deadline: a query not finished this long after its
+    /// release (queue-wait included) is cancelled and counted as a
+    /// miss. `None` (default) disables cancellation for this tenant.
+    pub deadline: Option<SimDuration>,
+    /// Re-submission policy for this tenant's cancelled or
+    /// replica-less requests. [`RetryPolicy::None`] (default) keeps the
+    /// historical park-until-recovery behavior byte-identical.
+    pub retry: RetryPolicy,
+    /// Hedge delay: this long after submission, still-undelivered reads
+    /// are re-issued to the next live replica (first completion wins).
+    /// `None` (default) disables hedging. Only meaningful under
+    /// replicated placement.
+    pub hedge: Option<SimDuration>,
+    /// Admission priority (0 = lowest): under admission control, a
+    /// tenant of priority `p` is admitted until `limit × (p + 1)`, so
+    /// saturation sheds the lowest-priority arrivals first.
+    pub priority: u32,
 }
 
 impl Workload {
@@ -243,6 +261,10 @@ impl Workload {
             start: SimDuration::ZERO,
             slo: None,
             ideal: None,
+            deadline: None,
+            retry: RetryPolicy::None,
+            hedge: None,
+            priority: 0,
         }
     }
 
@@ -296,6 +318,33 @@ impl Workload {
     /// tenant's queries, enabling streaming stretch quantiles.
     pub fn ideal_time(mut self, ideal: SimDuration) -> Self {
         self.ideal = Some(ideal);
+        self
+    }
+
+    /// Sets a response-time deadline: a query not finished this long
+    /// after its release is cancelled and counted as a miss.
+    pub fn deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the re-submission policy for cancelled or replica-less
+    /// requests.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the hedge delay: this long after submission, undelivered
+    /// reads are re-issued to the next live replica.
+    pub fn hedge_after(mut self, delay: SimDuration) -> Self {
+        self.hedge = Some(delay);
+        self
+    }
+
+    /// Sets the admission priority (0 = lowest, shed first).
+    pub fn priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
         self
     }
 

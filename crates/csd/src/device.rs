@@ -279,6 +279,10 @@ pub struct CsdDevice<P, Q: RequestIndex = RequestQueue> {
     /// the first group load after recovery pays a full switch even
     /// under `initial_load_free`.
     paid_reload: bool,
+    /// Logical bytes of the queued (not yet dispatched) requests,
+    /// maintained at every queue mutation so the admission-control
+    /// seam reads the backlog in O(1) instead of rescanning.
+    queued_bytes: u64,
 }
 
 impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
@@ -321,6 +325,7 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
             served_log: Vec::new(),
             bandwidth_factor: 1.0,
             paid_reload: false,
+            queued_bytes: 0,
         }
     }
 
@@ -387,7 +392,37 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
             displaced.push(self.queue.remove(r.seq));
             self.metrics.requests_evacuated += 1;
         }
+        self.queued_bytes = 0;
         aborted
+    }
+
+    /// Cancels query `q`: every still-queued request of the query is
+    /// dequeued (never served, no ledger entry) and counted in
+    /// [`DeviceMetrics::requests_cancelled`]. In-flight transfers are
+    /// *not* preempted — serving never preempts — so their deliveries
+    /// still complete and the caller discards them at routing. Returns
+    /// the number of requests dequeued.
+    pub fn cancel_query(&mut self, q: QueryId) -> usize {
+        let mut bytes = 0u64;
+        let n = self.queue.cancel_query(q, &mut |r| bytes += r.bytes);
+        self.queued_bytes -= bytes;
+        self.metrics.requests_cancelled += n as u64;
+        n
+    }
+
+    /// Cancels query `q`'s queued request for `object` — the
+    /// hedge-loser path: the winning replica's copy was consumed, so
+    /// the duplicate must not occupy this shard's pipeline. Returns
+    /// true when a queued copy was dequeued.
+    pub fn cancel_object(&mut self, q: QueryId, object: ObjectId) -> bool {
+        match self.queue.cancel_object(q, object) {
+            Some(r) => {
+                self.queued_bytes -= r.bytes;
+                self.metrics.requests_cancelled += 1;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Enqueues GET requests from `client` tagged with `query`. Call
@@ -412,6 +447,7 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
                 seq: self.next_seq,
             });
             self.next_seq += 1;
+            self.queued_bytes += meta.logical_bytes;
             self.metrics.requests_submitted += 1;
         }
     }
@@ -466,6 +502,7 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
                     let request = self.queue.remove(seq);
                     debug_assert_eq!(request.group, active, "serving off-group request");
                     let bytes = request.bytes;
+                    self.queued_bytes -= bytes;
                     let until = now + transfer_time(bytes, self.stream_bandwidth());
                     self.traces[slot].record(
                         now,
@@ -624,6 +661,13 @@ impl<P: Clone, Q: RequestIndex> CsdDevice<P, Q> {
     /// Number of queued (not yet dispatched) requests.
     pub fn pending_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Logical bytes of the queued (not yet dispatched) requests — the
+    /// backlog the admission-control seam thresholds against,
+    /// maintained incrementally (O(1) read).
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
     }
 
     /// Number of transfers currently occupying pipeline slots.

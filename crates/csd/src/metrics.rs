@@ -33,6 +33,11 @@ pub struct DeviceMetrics {
     /// Queued requests evacuated by a fault-plane shard crash
     /// (re-routed to surviving replicas or parked until recovery).
     pub requests_evacuated: u64,
+    /// Queued requests dequeued by the protection plane before service:
+    /// deadline-cancelled queries, exhausted retries, and hedge losers
+    /// whose winning replica delivered first. Cancelled requests leave
+    /// no served-ledger entry — they were never transferred.
+    pub requests_cancelled: u64,
     /// Objects served per client, indexed by client id (clients the
     /// device never served may be absent; read through
     /// [`DeviceMetrics::served_to`]). A flat vector instead of a hash
@@ -70,6 +75,7 @@ impl DeviceMetrics {
             .max(other.peak_concurrent_streams);
         self.transfers_aborted += other.transfers_aborted;
         self.requests_evacuated += other.requests_evacuated;
+        self.requests_cancelled += other.requests_cancelled;
         if self.served_per_client.len() < other.served_per_client.len() {
             self.served_per_client
                 .resize(other.served_per_client.len(), 0);

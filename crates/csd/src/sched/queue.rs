@@ -49,7 +49,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use skipper_sim::SimTime;
 
 use crate::device::IntraGroupOrder;
-use crate::object::{GroupId, QueryId};
+use crate::object::{GroupId, ObjectId, QueryId};
 use crate::sched::{GroupLens, PendingRequest, QueueView, ServeScope};
 
 /// The intra-group service key: the device's [`IntraGroupOrder`]
@@ -415,6 +415,35 @@ pub trait RequestIndex: QueueView {
     /// device should serve next under its intra-group order, or `None`
     /// when the scope is empty.
     fn select(&self, scope: ServeScope, active: GroupId) -> Option<u64>;
+
+    /// Dequeues every pending request of query `q`, oldest first,
+    /// handing each removed request to `on_removed`; returns the number
+    /// dequeued. The protection plane's cancel path (deadline misses,
+    /// retry exhaustion): the default drains via the per-query index so
+    /// both queue implementations keep their aggregates exact.
+    fn cancel_query(&mut self, q: QueryId, on_removed: &mut dyn FnMut(&PendingRequest)) -> usize {
+        let mut removed = 0;
+        while let Some(r) = self.oldest_of_query(q) {
+            let r = self.remove(r.seq);
+            on_removed(&r);
+            removed += 1;
+        }
+        removed
+    }
+
+    /// Dequeues query `q`'s oldest pending request for `object`, if one
+    /// is queued — the hedge-loser cancel: once the winning replica's
+    /// copy is consumed, the duplicate must not occupy the losing
+    /// shard's service pipeline.
+    fn cancel_object(&mut self, q: QueryId, object: ObjectId) -> Option<PendingRequest> {
+        let mut seq = None;
+        self.for_each_window(usize::MAX, &mut |r| {
+            if seq.is_none() && r.query == q && r.object == object {
+                seq = Some(r.seq);
+            }
+        });
+        seq.map(|s| self.remove(s))
+    }
 }
 
 /// The production indexed queue. See the module docs for the index
@@ -847,6 +876,40 @@ mod tests {
         assert_eq!(w, vec![0, 2, 5]);
         q.remove(0);
         assert_eq!(q.oldest().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn cancel_query_and_object_agree_with_naive() {
+        use crate::sched::naive::NaiveQueue;
+        let pending = [
+            req(1, 0, 0, 0, 0, 0),
+            req(2, 0, 0, 1, 0, 1),
+            req(1, 1, 0, 0, 0, 2),
+            req(1, 0, 1, 2, 0, 3),
+        ];
+        let mut indexed = queue(&pending);
+        let mut naive = NaiveQueue::from_requests(IntraGroupOrder::SemanticRoundRobin, pending);
+        // Object-level cancel removes exactly the (query, object) copy.
+        let victim = QueryId::new(0, 0);
+        let obj = pending[1].object;
+        assert_eq!(indexed.cancel_object(victim, obj).unwrap().seq, 1);
+        assert_eq!(naive.cancel_object(victim, obj).unwrap().seq, 1);
+        assert!(indexed.cancel_object(victim, obj).is_none());
+        // Query-level cancel drains the remaining requests of the query,
+        // oldest first, leaving other queries untouched.
+        let mut seqs = Vec::new();
+        let n = indexed.cancel_query(victim, &mut |r| seqs.push(r.seq));
+        assert_eq!((n, seqs.as_slice()), (1, &[0u64][..]));
+        let mut naive_seqs = Vec::new();
+        assert_eq!(
+            naive.cancel_query(victim, &mut |r| naive_seqs.push(r.seq)),
+            1
+        );
+        assert_eq!(naive_seqs, seqs);
+        assert_eq!(indexed.len(), 2);
+        assert_eq!(indexed.oldest_of_query(victim), None);
+        assert!(indexed.oldest_of_query(QueryId::new(1, 0)).is_some());
+        assert!(indexed.oldest_of_query(QueryId::new(0, 1)).is_some());
     }
 
     #[test]

@@ -38,6 +38,14 @@ pub fn stream_rng(root: u64, label: &str) -> StdRng {
     StdRng::seed_from_u64(derive_seed(root, label))
 }
 
+/// One uniform draw in `[0, 1)` from a SplitMix stream, using the top
+/// 53 bits so the mantissa is fully random (the shared primitive behind
+/// arrival-gap sampling and the protection plane's backoff jitter).
+#[inline]
+pub fn uniform01(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,6 +64,15 @@ mod tests {
     fn different_labels_differ() {
         assert_ne!(derive_seed(7, "client-1"), derive_seed(7, "client-2"));
         assert_ne!(derive_seed(7, "a"), derive_seed(8, "a"));
+    }
+
+    #[test]
+    fn uniform01_stays_in_unit_interval() {
+        let mut s = derive_seed(42, "jitter");
+        for _ in 0..1000 {
+            let u = uniform01(&mut s);
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 
     #[test]
